@@ -1,0 +1,125 @@
+// Command experiments regenerates every table and figure of the paper.
+//
+// Usage:
+//
+//	experiments -run all                 # everything, CI scale
+//	experiments -run fig1 -records 100000 -ops 2000000   # paper scale
+//	experiments -run fig2
+//	experiments -run table1
+//	experiments -run fsync
+//	experiments -run spectrum
+//	experiments -run tls
+//	experiments -run fastexpiry
+//	experiments -run erasure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"gdprstore/internal/core"
+	"gdprstore/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "table1|fig1|fig2|fsync|spectrum|tls|fastexpiry|erasure|all")
+		records = flag.Int64("records", 5000, "fig1/fsync/spectrum record count")
+		ops     = flag.Int64("ops", 20000, "fig1/fsync/spectrum operation count")
+		workers = flag.Int("workers", 8, "client parallelism")
+		dir     = flag.String("dir", "", "working directory for AOF/audit files")
+	)
+	flag.Parse()
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+
+	if want("table1") {
+		section("Table 1 — GDPR articles vs storage features")
+		fmt.Print(core.FormatTable1())
+	}
+
+	if want("fig2") {
+		section("Figure 2 — erasure delay of expired keys (20% of total)")
+		rows, err := experiments.Figure2(experiments.Figure2Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFigure2(rows))
+	}
+
+	if want("fastexpiry") {
+		section("§4.3 — fast active expiry up to 1M keys (paper: sub-second)")
+		out, err := experiments.FastExpirySweep(nil, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range []int{100_000, 250_000, 500_000, 1_000_000} {
+			fmt.Printf("%9d keys: erased in %v\n", n, out[n].Round(time.Microsecond))
+		}
+	}
+
+	if want("fsync") {
+		section("§4.1 — logging durability spectrum (YCSB-A, embedded)")
+		rows, err := experiments.FsyncSpectrum(*dir, *records, *ops, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFsync(rows))
+	}
+
+	if want("fig1") {
+		section("Figure 1 — YCSB throughput: Unmodified vs AOF-w/-sync vs LUKS+TLS")
+		rows, err := experiments.Figure1(experiments.Figure1Config{
+			RecordCount: *records, OperationCount: *ops, Workers: *workers, Dir: *dir,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatFigure1(rows))
+	}
+
+	if want("spectrum") {
+		section("§3.2 — compliance spectrum ablation (YCSB-A)")
+		rows, err := experiments.ComplianceSpectrum(*dir, *records, *ops, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatSpectrum(rows))
+	}
+
+	if want("erasure") {
+		section("Art. 17 — erasure latency across the compliance spectrum")
+		d := *dir
+		if d == "" {
+			var err error
+			d, err = mkTemp()
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		rows, err := experiments.ErasureLatency(d, 50, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatErasure(rows))
+	}
+
+	if want("tls") {
+		section("§4.2 — TLS tunnel bandwidth collapse")
+		rows, err := experiments.TLSBandwidth(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatTLSBandwidth(rows))
+	}
+}
+
+func section(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+func mkTemp() (string, error) { return os.MkdirTemp("", "gdpr-exp") }

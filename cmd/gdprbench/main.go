@@ -1,0 +1,80 @@
+// Command gdprbench runs the GDPR-persona workloads (customer,
+// controller, processor, regulator) against an embedded compliant store
+// and prints per-operation latency summaries — the benchmark style of
+// GDPRbench, this paper's follow-up.
+//
+// Example:
+//
+//	gdprbench -subjects 1000 -records 10 -ops 50000 -role customer
+//	gdprbench -role all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/core"
+	"gdprstore/internal/gdprbench"
+)
+
+func main() {
+	var (
+		subjects = flag.Int("subjects", 200, "number of data subjects")
+		records  = flag.Int("records", 10, "records per subject")
+		ops      = flag.Int("ops", 10000, "operations per role run")
+		roleStr  = flag.String("role", "all", "customer|controller|processor|regulator|all")
+		timing   = flag.String("timing", "realtime", "eventual|realtime")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	cfg := core.Strict("")
+	if *timing == "eventual" {
+		cfg = core.EventualFull("")
+	}
+	cfg.DefaultTTL = 24 * time.Hour
+	st, err := core.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	st.ACL().AddPrincipal(acl.Principal{ID: "controller", Role: acl.RoleController})
+	st.ACL().AddPrincipal(acl.Principal{ID: "processor", Role: acl.RoleProcessor})
+	st.ACL().AddPrincipal(acl.Principal{ID: "regulator", Role: acl.RoleRegulator})
+	for i := 0; i < *subjects; i++ {
+		st.ACL().AddPrincipal(acl.Principal{ID: gdprbench.SubjectName(i), Role: acl.RoleSubject})
+	}
+	if err := st.ACL().AddGrant(acl.Grant{Principal: "processor", Purpose: "*"}); err != nil {
+		log.Fatal(err)
+	}
+
+	bcfg := gdprbench.Config{
+		Subjects: *subjects, RecordsPerSubject: *records,
+		Operations: *ops, Seed: *seed,
+	}
+	ctl := core.Ctx{Actor: "controller", Purpose: "populate"}
+	start := time.Now()
+	if err := gdprbench.Populate(st, ctl, bcfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("populated %d subjects x %d records in %v\n",
+		*subjects, *records, time.Since(start).Round(time.Millisecond))
+
+	roles := gdprbench.Roles
+	if *roleStr != "all" {
+		roles = []gdprbench.Role{gdprbench.Role(*roleStr)}
+	}
+	for _, role := range roles {
+		rcfg := bcfg
+		rcfg.Role = role
+		res, err := gdprbench.Run(st, rcfg)
+		if err != nil {
+			log.Fatalf("%s: %v", role, err)
+		}
+		fmt.Println(res)
+	}
+}

@@ -1,0 +1,122 @@
+// Command gdprkv-cli is an interactive RESP client for gdprkv-server, in
+// the spirit of redis-cli. Lines are split on whitespace (double quotes
+// group arguments) and sent verbatim, so every server command — including
+// the GDPR family (AUTH, PURPOSE, GPUT, GETUSER, FORGETUSER, OBJECT,
+// BREACH, ...) — is reachable.
+//
+// Usage:
+//
+//	gdprkv-cli [-addr host:port] [command args...]
+//
+// With a command, it runs once and exits; without, it reads a REPL.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gdprstore/internal/client"
+	"gdprstore/internal/resp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6380", "server address")
+	flag.Parse()
+
+	c, err := client.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connect: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	if args := flag.Args(); len(args) > 0 {
+		runOnce(c, args)
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Printf("%s> ", *addr)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			args := splitArgs(line)
+			if strings.EqualFold(args[0], "quit") || strings.EqualFold(args[0], "exit") {
+				return
+			}
+			runOnce(c, args)
+		}
+		fmt.Printf("%s> ", *addr)
+	}
+}
+
+func runOnce(c *client.Client, args []string) {
+	v, err := c.Do(args...)
+	if err != nil {
+		if _, ok := err.(client.ServerError); ok {
+			fmt.Printf("(error) %s\n", v.Text())
+			return
+		}
+		fmt.Fprintf(os.Stderr, "io error: %v\n", err)
+		os.Exit(1)
+	}
+	printValue(v, "")
+}
+
+func printValue(v resp.Value, indent string) {
+	switch v.Type {
+	case resp.SimpleString:
+		fmt.Printf("%s%s\n", indent, v.Text())
+	case resp.Integer:
+		fmt.Printf("%s(integer) %d\n", indent, v.Int)
+	case resp.BulkString:
+		if v.Null {
+			fmt.Printf("%s(nil)\n", indent)
+			return
+		}
+		fmt.Printf("%s%q\n", indent, v.Text())
+	case resp.Array:
+		if v.Null {
+			fmt.Printf("%s(nil)\n", indent)
+			return
+		}
+		if len(v.Array) == 0 {
+			fmt.Printf("%s(empty array)\n", indent)
+			return
+		}
+		for i, e := range v.Array {
+			fmt.Printf("%s%d) ", indent, i+1)
+			printValue(e, "")
+		}
+	default:
+		fmt.Printf("%s%v\n", indent, v)
+	}
+}
+
+// splitArgs splits on spaces, honouring double quotes.
+func splitArgs(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		ch := line[i]
+		switch {
+		case ch == '"':
+			inQuote = !inQuote
+		case ch == ' ' && !inQuote:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(ch)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

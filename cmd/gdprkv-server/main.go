@@ -1,0 +1,152 @@
+// Command gdprkv-server runs the GDPR-compliant key-value server.
+//
+// Usage:
+//
+//	gdprkv-server [flags]
+//
+//	-addr string        listen address (default "127.0.0.1:6380")
+//	-compliant          enable the GDPR compliance layer
+//	-timing string      "eventual" or "realtime" (default "eventual")
+//	-capability string  "partial" or "full" (default "full")
+//	-aof string         append-only file path ("" disables persistence)
+//	-aof-sync string    "no", "everysec", or "always" (default by timing)
+//	-journal-reads      log reads through the AOF (§4.1 retrofit)
+//	-audit string       audit trail path ("" keeps it in memory)
+//	-atrest-hex string  64-hex-char at-rest encryption key (LUKS stand-in)
+//	-tls                front the server with a TLS tunnel (stunnel stand-in)
+//	-default-ttl dur    default retention bound for writes (e.g. 720h)
+//	-locations string   comma-separated allowed storage regions
+//	-expirer            run the background active-expiry loop (default true)
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gdprstore/internal/aof"
+	"gdprstore/internal/core"
+	"gdprstore/internal/server"
+	"gdprstore/internal/tlsproxy"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:6380", "listen address")
+		compliant    = flag.Bool("compliant", false, "enable the GDPR compliance layer")
+		timing       = flag.String("timing", "eventual", `"eventual" or "realtime"`)
+		capability   = flag.String("capability", "full", `"partial" or "full"`)
+		aofPath      = flag.String("aof", "", "append-only file path (empty disables persistence)")
+		aofSync      = flag.String("aof-sync", "", `"no", "everysec", or "always" (default derived from timing)`)
+		journalReads = flag.Bool("journal-reads", false, "log reads through the AOF (the paper's §4.1 retrofit)")
+		auditPath    = flag.String("audit", "", "audit trail path (empty keeps the trail in memory)")
+		atRestHex    = flag.String("atrest-hex", "", "64-hex-char at-rest encryption key (LUKS stand-in)")
+		withTLS      = flag.Bool("tls", false, "front the server with a TLS tunnel (stunnel stand-in)")
+		defaultTTL   = flag.Duration("default-ttl", 0, "default retention bound for writes")
+		locations    = flag.String("locations", "", "comma-separated allowed storage regions")
+		expirer      = flag.Bool("expirer", true, "run the background active-expiry loop")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Compliant:    *compliant,
+		AOFPath:      *aofPath,
+		JournalReads: *journalReads,
+		AuditEnabled: *compliant,
+		AuditPath:    *auditPath,
+		DefaultTTL:   *defaultTTL,
+	}
+	switch *timing {
+	case "realtime":
+		cfg.Timing = core.TimingRealTime
+	case "eventual":
+		cfg.Timing = core.TimingEventual
+	default:
+		log.Fatalf("unknown -timing %q", *timing)
+	}
+	switch *capability {
+	case "full":
+		cfg.Capability = core.CapabilityFull
+	case "partial":
+		cfg.Capability = core.CapabilityPartial
+	default:
+		log.Fatalf("unknown -capability %q", *capability)
+	}
+	switch *aofSync {
+	case "":
+	case "no":
+		cfg.AOFSync = core.Ptr(aof.SyncNo)
+	case "everysec":
+		cfg.AOFSync = core.Ptr(aof.SyncEverySec)
+	case "always":
+		cfg.AOFSync = core.Ptr(aof.SyncAlways)
+	default:
+		log.Fatalf("unknown -aof-sync %q", *aofSync)
+	}
+	if *atRestHex != "" {
+		key, err := hex.DecodeString(*atRestHex)
+		if err != nil || len(key) != 32 {
+			log.Fatalf("-atrest-hex must be 64 hex chars (32 bytes)")
+		}
+		cfg.AtRestKey = key
+	}
+	if *locations != "" {
+		cfg.AllowedLocations = strings.Split(*locations, ",")
+		cfg.DefaultLocation = cfg.AllowedLocations[0]
+	}
+
+	st, err := core.Open(cfg)
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	defer st.Close()
+	if *expirer {
+		st.StartExpirer()
+		defer st.StopExpirer()
+	}
+
+	srv, err := server.Listen(*addr, st)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("gdprkv-server listening on %s (compliant=%v timing=%s capability=%s)\n",
+		srv.Addr(), cfg.Compliant, cfg.Timing, cfg.Capability)
+
+	var tun *tlsproxy.Tunnel
+	if *withTLS {
+		tun, err = tlsproxy.NewTunnel(srv.Addr(), tlsproxy.Throttle{})
+		if err != nil {
+			log.Fatalf("tls tunnel: %v", err)
+		}
+		defer tun.Close()
+		fmt.Printf("TLS tunnel entry point: %s\n", tun.Addr())
+	}
+
+	// Periodic maintenance: ghost-metadata pruning, deferred compaction.
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(30 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				st.Maintain()
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	fmt.Println("shutting down")
+}

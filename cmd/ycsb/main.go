@@ -1,0 +1,127 @@
+// Command ycsb drives the YCSB core workloads against a gdprstore, either
+// embedded in-process or over the network, mirroring how the paper
+// benchmarks Redis.
+//
+// Examples:
+//
+//	ycsb -workload A -records 100000 -ops 2000000            # embedded baseline
+//	ycsb -workload A -mode gdpr -timing realtime              # compliance path
+//	ycsb -workload C -mode network -addr 127.0.0.1:6380       # over the wire
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/aof"
+	"gdprstore/internal/core"
+	"gdprstore/internal/ycsb"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "A", "core workload letter A-F")
+		records    = flag.Int64("records", 100000, "record count (load phase)")
+		ops        = flag.Int64("ops", 1000000, "operation count (run phase)")
+		valueSize  = flag.Int("valuesize", 1000, "record payload bytes")
+		workers    = flag.Int("workers", 8, "concurrent clients")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		mode       = flag.String("mode", "embedded", `"embedded", "gdpr", or "network"`)
+		addr       = flag.String("addr", "127.0.0.1:6380", "server address (network mode)")
+		timing     = flag.String("timing", "eventual", "gdpr mode: eventual|realtime")
+		aofPath    = flag.String("aof", "", "gdpr/embedded mode: AOF path")
+		aofSyncStr = flag.String("aof-sync", "", "no|everysec|always")
+		auditPath  = flag.String("audit", "", "gdpr mode: audit trail path")
+		loadOnly   = flag.Bool("load-only", false, "run only the load phase")
+		skipLoad   = flag.Bool("skip-load", false, "skip the load phase")
+	)
+	flag.Parse()
+
+	w, ok := ycsb.CoreWorkloads[*workload]
+	if !ok {
+		log.Fatalf("unknown workload %q", *workload)
+	}
+
+	var factory func(int) (ycsb.DB, error)
+	var cleanup func()
+
+	switch *mode {
+	case "network":
+		factory = func(int) (ycsb.DB, error) { return ycsb.DialNetworkDB(*addr) }
+		cleanup = func() {}
+	case "embedded", "gdpr":
+		cfg := core.Baseline()
+		if *mode == "gdpr" {
+			cfg = core.Config{
+				Compliant:    true,
+				Capability:   core.CapabilityFull,
+				AuditEnabled: true,
+				AuditPath:    *auditPath,
+				DefaultTTL:   24 * time.Hour,
+			}
+			if *timing == "realtime" {
+				cfg.Timing = core.TimingRealTime
+			}
+		}
+		if *aofPath != "" {
+			cfg.AOFPath = *aofPath
+		} else if *mode == "gdpr" {
+			dir, err := os.MkdirTemp("", "ycsb-gdpr")
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.AOFPath = filepath.Join(dir, "gdpr.aof")
+		}
+		switch *aofSyncStr {
+		case "":
+		case "no":
+			cfg.AOFSync = core.Ptr(aof.SyncNo)
+		case "everysec":
+			cfg.AOFSync = core.Ptr(aof.SyncEverySec)
+		case "always":
+			cfg.AOFSync = core.Ptr(aof.SyncAlways)
+		default:
+			log.Fatalf("unknown -aof-sync %q", *aofSyncStr)
+		}
+		st, err := core.Open(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cleanup = func() { st.Close() }
+		if *mode == "gdpr" {
+			st.ACL().AddPrincipal(acl.Principal{ID: "bench", Role: acl.RoleController})
+			ctx := core.Ctx{Actor: "bench", Purpose: "benchmark"}
+			opts := core.PutOptions{Owner: "subject", Purposes: []string{"benchmark"}}
+			factory = func(int) (ycsb.DB, error) { return ycsb.NewGDPRDB(st, ctx, opts), nil }
+		} else {
+			factory = func(int) (ycsb.DB, error) { return ycsb.NewEmbeddedDB(st), nil }
+		}
+	default:
+		log.Fatalf("unknown -mode %q", *mode)
+	}
+	defer cleanup()
+
+	cfg := ycsb.Config{
+		Workload: w, RecordCount: *records, OperationCount: *ops,
+		ValueSize: *valueSize, Workers: *workers, Seed: *seed, Factory: factory,
+	}
+	if !*skipLoad {
+		res, err := ycsb.Load(cfg)
+		if err != nil {
+			log.Fatalf("load: %v", err)
+		}
+		fmt.Println(res)
+	}
+	if !*loadOnly {
+		res, err := ycsb.Run(cfg)
+		if err != nil {
+			log.Fatalf("run: %v", err)
+		}
+		fmt.Println(res)
+	}
+}

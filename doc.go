@@ -1,0 +1,13 @@
+// Package gdprstore is a reproduction of "Analyzing the Impact of GDPR on
+// Storage Systems" (Shah, Banakar, Shastri, Wasserman, Chidambaram —
+// HotStorage 2019): a Redis-like storage engine retrofitted with the six
+// GDPR features the paper derives (timely deletion, monitoring, metadata
+// indexing, access control, encryption, data-location management), the
+// compliance spectrum it defines, and the benchmark harnesses (YCSB and
+// GDPR-persona workloads) that regenerate its tables and figures.
+//
+// The root package carries the repository-level benchmarks (bench_test.go,
+// one per table/figure); the implementation lives under internal/ — see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package gdprstore

@@ -1,0 +1,105 @@
+// Breachaudit: the Articles 30/33/34 monitoring workflow. A controller
+// runs normal traffic, an attacker probes the store, and the regulator
+// reconstructs the 72-hour breach notification from the audit trail —
+// who was affected, by whom, through which operations. Run with:
+//
+//	go run ./examples/breachaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/audit"
+	"gdprstore/internal/core"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "breachaudit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Durable, encrypted audit trail: the evidence itself is personal
+	// data and must be protected (Art. 32).
+	cfg := core.Strict(filepath.Join(dir, "audit.log"))
+	cfg.DefaultTTL = 30 * 24 * time.Hour
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	cfg.AtRestKey = key
+	st, err := core.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	st.ACL().AddPrincipal(acl.Principal{ID: "api", Role: acl.RoleController})
+	st.ACL().AddPrincipal(acl.Principal{ID: "dpa", Role: acl.RoleRegulator})
+	st.ACL().AddPrincipal(acl.Principal{ID: "compromised-svc", Role: acl.RoleProcessor})
+	st.ACL().AddGrant(acl.Grant{Principal: "compromised-svc", Purpose: "telemetry"})
+
+	api := core.Ctx{Actor: "api", Purpose: "account"}
+	for _, user := range []string{"alice", "bob", "carol", "dave"} {
+		err := st.Put(api, "pd:"+user, []byte(user+"'s profile"), core.PutOptions{
+			Owner: user, Purposes: []string{"account", "telemetry"},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Normal traffic.
+	st.Get(api, "pd:alice")
+	st.Get(api, "pd:bob")
+
+	// The incident: a compromised processor sweeps the store under its
+	// telemetry grant and probes beyond it.
+	breachStart := time.Now()
+	attacker := core.Ctx{Actor: "compromised-svc", Purpose: "telemetry"}
+	for _, user := range []string{"alice", "bob", "carol", "dave"} {
+		st.Get(attacker, "pd:"+user)
+	}
+	// Attempts outside the grant are denied — and recorded.
+	st.Get(core.Ctx{Actor: "compromised-svc", Purpose: "account"}, "pd:alice")
+	st.Forget(core.Ctx{Actor: "compromised-svc"}, "alice")
+	breachEnd := time.Now().Add(time.Second)
+
+	// The regulator (or the controller's DPO) reconstructs the incident.
+	dpa := core.Ctx{Actor: "dpa"}
+	rep, err := st.Breach(dpa, breachStart, breachEnd)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Breach report %s – %s\n", rep.From.Format(time.TimeOnly), rep.To.Format(time.TimeOnly))
+	fmt.Printf("  operations in window: %d (denied: %d)\n", rep.Records, rep.Denied)
+	fmt.Printf("  affected data subjects (Art. 34 notification list):\n")
+	owners := make([]string, 0, len(rep.AffectedOwners))
+	for o := range rep.AffectedOwners {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	for _, o := range owners {
+		fmt.Printf("    %-8s %d touch(es)\n", o, rep.AffectedOwners[o])
+	}
+	fmt.Printf("  actors: %v\n", rep.Actors)
+
+	// Drill into exactly what the compromised service did.
+	trail, err := st.Trail().Query(audit.Filter{Actor: "compromised-svc"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  compromised-svc activity:")
+	for _, r := range trail {
+		fmt.Printf("    seq=%-3d %-10s key=%-10s owner=%-8s outcome=%s\n",
+			r.Seq, r.Op, r.Key, r.Owner, r.Outcome)
+	}
+}

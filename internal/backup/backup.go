@@ -1,0 +1,236 @@
+// Package backup provides the backup half of the paper's Article 17
+// requirement: erased personal data must not survive in backups. A backup
+// is a point-in-time snapshot of the engine in the same RESP command
+// format the AOF uses, optionally block-encrypted at rest (the LUKS
+// stand-in). The Manager tracks a backup directory and supports the two
+// compliant erasure strategies:
+//
+//   - Refresh: re-snapshot after erasure and delete older generations, so
+//     no backup older than the erasure survives (what Google Cloud's
+//     ~180-day deletion guarantee amounts to, done eagerly);
+//   - crypto-shredding (when the store uses envelope encryption): backups
+//     contain only per-owner ciphertext, so destroying the owner's key in
+//     the keyring renders every backup generation unreadable without
+//     touching the files.
+package backup
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"gdprstore/internal/clock"
+	"gdprstore/internal/cryptoutil"
+	"gdprstore/internal/resp"
+	"gdprstore/internal/store"
+)
+
+// Write streams a snapshot of db to w, optionally encrypted with key.
+func Write(db *store.DB, w io.Writer, key []byte) error {
+	var sink io.Writer = w
+	if key != nil {
+		c, err := cryptoutil.NewOffsetCipher(key)
+		if err != nil {
+			return err
+		}
+		sink = cryptoutil.NewWriter(w, c, 0)
+	}
+	bw := bufio.NewWriterSize(sink, 256*1024)
+	enc := resp.NewWriter(bw)
+	err := db.Snapshot(func(name string, args ...[]byte) error {
+		vs := make([]resp.Value, 0, len(args)+1)
+		vs = append(vs, resp.BulkStringValue(name))
+		for _, a := range args {
+			vs = append(vs, resp.BulkValue(a))
+		}
+		return enc.WriteValue(resp.ArrayValue(vs...))
+	})
+	if err != nil {
+		return fmt.Errorf("backup: snapshot: %w", err)
+	}
+	if err := enc.Flush(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Restore replays a backup stream into db.
+func Restore(db *store.DB, r io.Reader, key []byte) (int, error) {
+	var src io.Reader = r
+	if key != nil {
+		c, err := cryptoutil.NewOffsetCipher(key)
+		if err != nil {
+			return 0, err
+		}
+		src = cryptoutil.NewReader(r, c)
+	}
+	dec := resp.NewReader(bufio.NewReaderSize(src, 256*1024))
+	n := 0
+	for {
+		args, err := dec.ReadCommand()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return n, nil
+			}
+			return n, fmt.Errorf("backup: restore after %d records: %w", n, err)
+		}
+		if err := db.Apply(string(args[0]), args[1:]); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Manager keeps timestamped backup generations in a directory.
+type Manager struct {
+	dir string
+	key []byte
+	clk clock.Clock
+	seq int // disambiguates backups within one clock tick
+}
+
+// NewManager creates a manager over dir (created if missing). key, when
+// non-nil, encrypts every generation at rest.
+func NewManager(dir string, key []byte, clk clock.Clock) (*Manager, error) {
+	if clk == nil {
+		clk = clock.NewWall()
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("backup: mkdir: %w", err)
+	}
+	return &Manager{dir: dir, key: key, clk: clk}, nil
+}
+
+// Create writes a new backup generation and returns its path.
+func (m *Manager) Create(db *store.DB) (string, error) {
+	m.seq++
+	name := fmt.Sprintf("backup-%s-%04d.snap",
+		m.clk.Now().UTC().Format("20060102T150405.000000000"), m.seq)
+	path := filepath.Join(m.dir, name)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o600)
+	if err != nil {
+		return "", err
+	}
+	if err := Write(db, f, m.key); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return path, nil
+}
+
+// List returns existing generations, oldest first.
+func (m *Manager) List() ([]string, error) {
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "backup-") && strings.HasSuffix(e.Name(), ".snap") {
+			out = append(out, filepath.Join(m.dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// RestoreLatest replays the newest generation into db.
+func (m *Manager) RestoreLatest(db *store.DB) (int, error) {
+	gens, err := m.List()
+	if err != nil {
+		return 0, err
+	}
+	if len(gens) == 0 {
+		return 0, fmt.Errorf("backup: no generations in %s", m.dir)
+	}
+	f, err := os.Open(gens[len(gens)-1])
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return Restore(db, f, m.key)
+}
+
+// Refresh implements post-erasure backup hygiene: snapshot the current
+// (already-erased) dataset as a new generation and remove every older
+// generation, so no backup predating the erasure survives. It returns the
+// new generation's path and how many old generations were removed.
+func (m *Manager) Refresh(db *store.DB) (string, int, error) {
+	old, err := m.List()
+	if err != nil {
+		return "", 0, err
+	}
+	path, err := m.Create(db)
+	if err != nil {
+		return "", 0, err
+	}
+	removed := 0
+	for _, g := range old {
+		if g == path {
+			continue
+		}
+		if err := os.Remove(g); err != nil {
+			return path, removed, fmt.Errorf("backup: purge %s: %w", g, err)
+		}
+		removed++
+	}
+	return path, removed, nil
+}
+
+// PruneOlderThan removes generations whose encoded timestamp is before
+// cutoff, returning how many were removed — the retention-policy knob for
+// backup data itself (storage limitation applies to backups too).
+func (m *Manager) PruneOlderThan(cutoff time.Time) (int, error) {
+	gens, err := m.List()
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, g := range gens {
+		ts, ok := parseBackupTime(filepath.Base(g))
+		if !ok {
+			continue
+		}
+		if ts.Before(cutoff) {
+			if err := os.Remove(g); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+func parseBackupTime(name string) (time.Time, bool) {
+	name = strings.TrimPrefix(name, "backup-")
+	name = strings.TrimSuffix(name, ".snap")
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		name = name[:i]
+	}
+	ts, err := time.Parse("20060102T150405.000000000", name)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return ts, true
+}

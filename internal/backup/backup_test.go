@@ -1,0 +1,195 @@
+package backup
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+
+	"gdprstore/internal/clock"
+	"gdprstore/internal/store"
+)
+
+func newDB() (*store.DB, *clock.Virtual) {
+	vc := clock.NewVirtual(time.Date(2019, 5, 16, 0, 0, 0, 0, time.UTC))
+	return store.New(store.Options{Clock: vc, Seed: 1}), vc
+}
+
+func TestWriteRestoreRoundTrip(t *testing.T) {
+	src, vc := newDB()
+	src.Set("plain", []byte("1"))
+	src.SetEX("ttl", []byte("2"), time.Hour)
+	var buf bytes.Buffer
+	if err := Write(src, &buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := store.New(store.Options{Clock: vc, Seed: 2})
+	n, err := Restore(dst, &buf, nil)
+	if err != nil || n != 2 {
+		t.Fatalf("restored %d, %v", n, err)
+	}
+	if v, ok := dst.Get("plain"); !ok || string(v) != "1" {
+		t.Fatalf("plain = %q, %v", v, ok)
+	}
+	d, st := dst.TTL("ttl")
+	if st != store.TTLSet || d != time.Hour {
+		t.Fatalf("ttl = %v, %v", d, st)
+	}
+}
+
+func TestEncryptedBackupUnreadableWithoutKey(t *testing.T) {
+	src, vc := newDB()
+	secret := []byte("super-secret-personal-data")
+	src.Set("pd", secret)
+	key := bytes.Repeat([]byte{9}, 32)
+	var buf bytes.Buffer
+	if err := Write(src, &buf, key); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), secret) {
+		t.Fatal("plaintext visible in encrypted backup")
+	}
+	// Wrong key fails.
+	dst := store.New(store.Options{Clock: vc})
+	if _, err := Restore(dst, bytes.NewReader(buf.Bytes()), bytes.Repeat([]byte{8}, 32)); err == nil {
+		t.Fatal("wrong key restored successfully")
+	}
+	// Right key round-trips.
+	dst2 := store.New(store.Options{Clock: vc})
+	n, err := Restore(dst2, bytes.NewReader(buf.Bytes()), key)
+	if err != nil || n != 1 {
+		t.Fatalf("restore: %d, %v", n, err)
+	}
+	if v, _ := dst2.Get("pd"); !bytes.Equal(v, secret) {
+		t.Fatalf("restored %q", v)
+	}
+}
+
+func TestBackupSkipsExpired(t *testing.T) {
+	src, vc := newDB()
+	src.Set("live", []byte("1"))
+	src.SetEX("dead", []byte("2"), time.Second)
+	vc.Advance(time.Minute)
+	var buf bytes.Buffer
+	Write(src, &buf, nil)
+	dst := store.New(store.Options{Clock: vc})
+	Restore(dst, &buf, nil)
+	if dst.Exists("dead") {
+		t.Fatal("expired data resurrected through a backup")
+	}
+	if !dst.Exists("live") {
+		t.Fatal("live data missing")
+	}
+}
+
+func TestManagerGenerations(t *testing.T) {
+	db, vc := newDB()
+	db.Set("k", []byte("v1"))
+	m, err := NewManager(t.TempDir(), nil, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := m.Create(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.Advance(time.Hour)
+	db.Set("k", []byte("v2"))
+	p2, err := m.Create(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("generations collide")
+	}
+	gens, _ := m.List()
+	if len(gens) != 2 || gens[0] != p1 || gens[1] != p2 {
+		t.Fatalf("list = %v", gens)
+	}
+	dst := store.New(store.Options{Clock: vc})
+	if _, err := m.RestoreLatest(dst); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.Get("k"); string(v) != "v2" {
+		t.Fatalf("latest restore = %q", v)
+	}
+}
+
+func TestRestoreLatestEmpty(t *testing.T) {
+	m, _ := NewManager(t.TempDir(), nil, nil)
+	db, _ := newDB()
+	if _, err := m.RestoreLatest(db); err == nil {
+		t.Fatal("restore from empty dir accepted")
+	}
+}
+
+func TestRefreshPurgesErasedData(t *testing.T) {
+	// The Article 17 backup property: after erasure + Refresh, no backup
+	// generation contains the erased data.
+	db, vc := newDB()
+	secret := []byte("alice-erased-payload")
+	db.Set("pd:alice", secret)
+	db.Set("pd:bob", []byte("bob-data"))
+	m, err := NewManager(t.TempDir(), nil, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Create(db)
+	vc.Advance(time.Hour)
+	m.Create(db)
+
+	db.Del("pd:alice") // the erasure
+	_, removed, err := m.Refresh(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("removed %d old generations, want 2", removed)
+	}
+	gens, _ := m.List()
+	if len(gens) != 1 {
+		t.Fatalf("generations after refresh = %d", len(gens))
+	}
+	raw, err := os.ReadFile(gens[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, secret) {
+		t.Fatal("erased data persists in the refreshed backup")
+	}
+	if !bytes.Contains(raw, []byte("bob-data")) {
+		t.Fatal("unrelated data lost from backup")
+	}
+}
+
+func TestPruneOlderThan(t *testing.T) {
+	db, vc := newDB()
+	db.Set("k", []byte("v"))
+	m, _ := NewManager(t.TempDir(), nil, vc)
+	m.Create(db)
+	vc.Advance(48 * time.Hour)
+	m.Create(db)
+	cutoff := vc.Now().Add(-24 * time.Hour)
+	n, err := m.PruneOlderThan(cutoff)
+	if err != nil || n != 1 {
+		t.Fatalf("pruned %d, %v", n, err)
+	}
+	gens, _ := m.List()
+	if len(gens) != 1 {
+		t.Fatalf("remaining = %d", len(gens))
+	}
+}
+
+func TestParseBackupTime(t *testing.T) {
+	ts, ok := parseBackupTime("backup-20190516T120000.000000000-0001.snap")
+	if !ok {
+		t.Fatal("failed to parse valid name")
+	}
+	want := time.Date(2019, 5, 16, 12, 0, 0, 0, time.UTC)
+	if !ts.Equal(want) {
+		t.Fatalf("ts = %v", ts)
+	}
+	if _, ok := parseBackupTime("garbage.snap"); ok {
+		t.Fatal("parsed garbage")
+	}
+}

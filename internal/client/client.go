@@ -1,0 +1,343 @@
+// Package client is the Go client for the gdprstore RESP server. It covers
+// both the vanilla Redis-style surface (Set/Get/Del/Expire/...) and the
+// GDPR command family, and supports pipelining — the batching technique
+// YCSB-style load generators rely on to saturate a server.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+
+	"gdprstore/internal/resp"
+)
+
+// ErrNil is returned when the server replies with a null bulk string (key
+// missing).
+var ErrNil = errors.New("client: nil reply")
+
+// ServerError is an error reply from the server, preserving its code
+// prefix (ERR, DENIED, POLICY, PURPOSEDENIED, ERASED, BASELINE).
+type ServerError string
+
+// Error implements error.
+func (e ServerError) Error() string { return "client: server: " + string(e) }
+
+// Client is a single-connection client. It is not safe for concurrent use;
+// benchmarks open one client per worker, like YCSB threads do.
+type Client struct {
+	conn net.Conn
+	r    *resp.Reader
+	w    *resp.Writer
+}
+
+// Dial connects to a gdprstore server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Client{conn: conn, r: resp.NewReader(conn), w: resp.NewWriter(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one command and waits for its reply.
+func (c *Client) Do(args ...string) (resp.Value, error) {
+	if err := c.w.WriteCommand(args...); err != nil {
+		return resp.Value{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return resp.Value{}, err
+	}
+	return c.readReply()
+}
+
+// DoArgs sends one command with raw byte arguments.
+func (c *Client) DoArgs(name string, args ...[]byte) (resp.Value, error) {
+	vs := make([]resp.Value, 0, len(args)+1)
+	vs = append(vs, resp.BulkStringValue(name))
+	for _, a := range args {
+		vs = append(vs, resp.BulkValue(a))
+	}
+	if err := c.w.WriteValue(resp.ArrayValue(vs...)); err != nil {
+		return resp.Value{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return resp.Value{}, err
+	}
+	return c.readReply()
+}
+
+func (c *Client) readReply() (resp.Value, error) {
+	v, err := c.r.ReadValue()
+	if err != nil {
+		return resp.Value{}, err
+	}
+	if v.IsError() {
+		return v, ServerError(v.Text())
+	}
+	return v, nil
+}
+
+// --- vanilla command helpers ---
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	v, err := c.Do("PING")
+	if err != nil {
+		return err
+	}
+	if v.Text() != "PONG" {
+		return fmt.Errorf("client: unexpected PING reply %q", v.Text())
+	}
+	return nil
+}
+
+// Auth sets the connection's principal.
+func (c *Client) Auth(actor string) error {
+	_, err := c.Do("AUTH", actor)
+	return err
+}
+
+// Purpose sets the connection's processing purpose.
+func (c *Client) Purpose(purpose string) error {
+	_, err := c.Do("PURPOSE", purpose)
+	return err
+}
+
+// Set stores a raw key/value (baseline path).
+func (c *Client) Set(key string, value []byte) error {
+	_, err := c.DoArgs("SET", []byte(key), value)
+	return err
+}
+
+// SetEX stores a raw key/value with a TTL in seconds.
+func (c *Client) SetEX(key string, value []byte, seconds int64) error {
+	_, err := c.DoArgs("SET", []byte(key), value, []byte("EX"), []byte(strconv.FormatInt(seconds, 10)))
+	return err
+}
+
+// Get fetches a raw value; ErrNil if missing.
+func (c *Client) Get(key string) ([]byte, error) {
+	v, err := c.Do("GET", key)
+	if err != nil {
+		return nil, err
+	}
+	if v.Null {
+		return nil, ErrNil
+	}
+	return v.Str, nil
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(keys ...string) (int64, error) {
+	args := append([]string{"DEL"}, keys...)
+	v, err := c.Do(args...)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int, nil
+}
+
+// Expire sets a TTL in seconds, reporting whether the key existed.
+func (c *Client) Expire(key string, seconds int64) (bool, error) {
+	v, err := c.Do("EXPIRE", key, strconv.FormatInt(seconds, 10))
+	if err != nil {
+		return false, err
+	}
+	return v.Int == 1, nil
+}
+
+// TTL returns the TTL in seconds (-1 no TTL, -2 missing).
+func (c *Client) TTL(key string) (int64, error) {
+	v, err := c.Do("TTL", key)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int, nil
+}
+
+// Scan iterates the keyspace; returns keys and the next cursor (0 = done).
+func (c *Client) Scan(cursor uint64, match string, count int) ([]string, uint64, error) {
+	v, err := c.Do("SCAN", strconv.FormatUint(cursor, 10), "MATCH", match, "COUNT", strconv.Itoa(count))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(v.Array) != 2 {
+		return nil, 0, fmt.Errorf("client: malformed SCAN reply")
+	}
+	next, err := strconv.ParseUint(v.Array[0].Text(), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: bad SCAN cursor: %w", err)
+	}
+	keys := make([]string, len(v.Array[1].Array))
+	for i, k := range v.Array[1].Array {
+		keys[i] = k.Text()
+	}
+	return keys, next, nil
+}
+
+// --- GDPR command helpers ---
+
+// GDPRPutArgs carries the metadata flags for GPut.
+type GDPRPutArgs struct {
+	Owner      string
+	Purposes   string // comma-separated
+	TTLSeconds int64
+	Origin     string
+	Location   string
+	SharedWith string // comma-separated
+	AutoDecide bool
+}
+
+// GPut writes personal data with metadata.
+func (c *Client) GPut(key string, value []byte, m GDPRPutArgs) error {
+	args := [][]byte{[]byte(key), value}
+	if m.Owner != "" {
+		args = append(args, []byte("OWNER"), []byte(m.Owner))
+	}
+	if m.Purposes != "" {
+		args = append(args, []byte("PURPOSES"), []byte(m.Purposes))
+	}
+	if m.TTLSeconds > 0 {
+		args = append(args, []byte("TTL"), []byte(strconv.FormatInt(m.TTLSeconds, 10)))
+	}
+	if m.Origin != "" {
+		args = append(args, []byte("ORIGIN"), []byte(m.Origin))
+	}
+	if m.Location != "" {
+		args = append(args, []byte("LOCATION"), []byte(m.Location))
+	}
+	if m.SharedWith != "" {
+		args = append(args, []byte("SHAREDWITH"), []byte(m.SharedWith))
+	}
+	if m.AutoDecide {
+		args = append(args, []byte("AUTODECIDE"))
+	}
+	_, err := c.DoArgs("GPUT", args...)
+	return err
+}
+
+// GGet reads personal data under the connection's purpose.
+func (c *Client) GGet(key string) ([]byte, error) {
+	v, err := c.Do("GGET", key)
+	if err != nil {
+		return nil, err
+	}
+	if v.Null {
+		return nil, ErrNil
+	}
+	return v.Str, nil
+}
+
+// GDel deletes personal data.
+func (c *Client) GDel(key string) error {
+	_, err := c.Do("GDEL", key)
+	return err
+}
+
+// GetUser returns all key/value pairs of a data subject (Art. 15).
+func (c *Client) GetUser(owner string) (map[string][]byte, error) {
+	v, err := c.Do("GETUSER", owner)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(v.Array)/2)
+	for i := 0; i+1 < len(v.Array); i += 2 {
+		out[v.Array[i].Text()] = v.Array[i+1].Str
+	}
+	return out, nil
+}
+
+// ExportUser returns the Art. 20 portability payload.
+func (c *Client) ExportUser(owner string) ([]byte, error) {
+	v, err := c.Do("EXPORTUSER", owner)
+	if err != nil {
+		return nil, err
+	}
+	return v.Str, nil
+}
+
+// ForgetUser erases a data subject (Art. 17), returning records erased.
+func (c *Client) ForgetUser(owner string) (int64, error) {
+	v, err := c.Do("FORGETUSER", owner)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int, nil
+}
+
+// Object records an Art. 21 objection.
+func (c *Client) Object(owner, purpose string) error {
+	_, err := c.Do("OBJECT", owner, purpose)
+	return err
+}
+
+// Unobject withdraws an Art. 21 objection.
+func (c *Client) Unobject(owner, purpose string) error {
+	_, err := c.Do("UNOBJECT", owner, purpose)
+	return err
+}
+
+// --- pipelining ---
+
+// Pipeline batches commands into one network round trip.
+type Pipeline struct {
+	c       *Client
+	pending int
+}
+
+// Pipeline starts a new batch.
+func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
+
+// Do queues a command.
+func (p *Pipeline) Do(args ...string) error {
+	if err := p.c.w.WriteCommand(args...); err != nil {
+		return err
+	}
+	p.pending++
+	return nil
+}
+
+// DoArgs queues a command with raw byte arguments.
+func (p *Pipeline) DoArgs(name string, args ...[]byte) error {
+	vs := make([]resp.Value, 0, len(args)+1)
+	vs = append(vs, resp.BulkStringValue(name))
+	for _, a := range args {
+		vs = append(vs, resp.BulkValue(a))
+	}
+	if err := p.c.w.WriteValue(resp.ArrayValue(vs...)); err != nil {
+		return err
+	}
+	p.pending++
+	return nil
+}
+
+// Exec flushes the batch and collects one reply per queued command. Error
+// replies are returned in-slice (as Values with IsError true), not as a Go
+// error, so one failed command does not mask the rest of the batch.
+func (p *Pipeline) Exec() ([]resp.Value, error) {
+	if p.pending == 0 {
+		return nil, nil
+	}
+	if err := p.c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]resp.Value, 0, p.pending)
+	for i := 0; i < p.pending; i++ {
+		v, err := p.c.r.ReadValue()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v)
+	}
+	p.pending = 0
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package client_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gdprstore/internal/client"
+	"gdprstore/internal/core"
+	"gdprstore/internal/server"
+)
+
+func startBaseline(t *testing.T) *client.Client {
+	t.Helper()
+	st, err := core.Open(core.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Listen("127.0.0.1:0", st)
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); st.Close() })
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestDialRefused(t *testing.T) {
+	if _, err := client.Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestPingAndEcho(t *testing.T) {
+	c := startBaseline(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinarySafety(t *testing.T) {
+	c := startBaseline(t)
+	val := []byte{0, 1, 2, '\r', '\n', 0xFF, '$', '*'}
+	if err := c.Set("bin", val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("bin")
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestServerErrorPreservesCode(t *testing.T) {
+	c := startBaseline(t)
+	_, err := c.Do("GET") // wrong arity
+	var se client.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v", err)
+	}
+	if se.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestPipelineMixedResults(t *testing.T) {
+	c := startBaseline(t)
+	p := c.Pipeline()
+	p.DoArgs("SET", []byte("k"), []byte("v"))
+	p.Do("GET", "k")
+	p.Do("GET") // arity error, must come back in-slice
+	p.Do("GET", "missing")
+	replies, err := p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 4 {
+		t.Fatalf("replies = %d", len(replies))
+	}
+	if replies[0].Text() != "OK" {
+		t.Fatalf("set reply %+v", replies[0])
+	}
+	if replies[1].Text() != "v" {
+		t.Fatalf("get reply %+v", replies[1])
+	}
+	if !replies[2].IsError() {
+		t.Fatalf("error reply %+v", replies[2])
+	}
+	if !replies[3].Null {
+		t.Fatalf("missing reply %+v", replies[3])
+	}
+}
+
+func TestPipelineEmptyExec(t *testing.T) {
+	c := startBaseline(t)
+	replies, err := c.Pipeline().Exec()
+	if err != nil || replies != nil {
+		t.Fatalf("empty exec = %v, %v", replies, err)
+	}
+}
+
+func TestPipelineReusable(t *testing.T) {
+	c := startBaseline(t)
+	p := c.Pipeline()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 10; i++ {
+			p.DoArgs("SET", []byte(fmt.Sprintf("r%d-k%d", round, i)), []byte("v"))
+		}
+		replies, err := p.Exec()
+		if err != nil || len(replies) != 10 {
+			t.Fatalf("round %d: %d replies, %v", round, len(replies), err)
+		}
+	}
+}
+
+func TestLargePipeline(t *testing.T) {
+	c := startBaseline(t)
+	p := c.Pipeline()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		p.DoArgs("SET", []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	replies, err := p.Exec()
+	if err != nil || len(replies) != n {
+		t.Fatalf("%d replies, %v", len(replies), err)
+	}
+	v, _ := c.Do("DBSIZE")
+	if v.Int != n {
+		t.Fatalf("dbsize = %d", v.Int)
+	}
+}
+
+func TestClientTTLHelpers(t *testing.T) {
+	c := startBaseline(t)
+	c.SetEX("k", []byte("v"), 50)
+	ttl, err := c.TTL("k")
+	if err != nil || ttl <= 0 {
+		t.Fatalf("ttl = %d, %v", ttl, err)
+	}
+	ok, err := c.Expire("k", 100)
+	if err != nil || !ok {
+		t.Fatalf("expire = %v, %v", ok, err)
+	}
+	ok, err = c.Expire("missing", 100)
+	if err != nil || ok {
+		t.Fatalf("expire missing = %v, %v", ok, err)
+	}
+}
+
+func TestGDPRHelpersAgainstBaselineFail(t *testing.T) {
+	c := startBaseline(t)
+	if _, err := c.ForgetUser("alice"); err == nil {
+		t.Fatal("ForgetUser on baseline store accepted")
+	}
+	if err := c.Object("alice", "ads"); err == nil {
+		t.Fatal("Object on baseline store accepted")
+	}
+}
+
+func TestManySequentialCommands(t *testing.T) {
+	c := startBaseline(t)
+	start := time.Now()
+	for i := 0; i < 2000; i++ {
+		if err := c.Set("k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("2000 round trips in %v", time.Since(start))
+}

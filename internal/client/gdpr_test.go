@@ -1,0 +1,146 @@
+package client_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"gdprstore/internal/client"
+	"gdprstore/internal/core"
+	"gdprstore/internal/server"
+)
+
+// startStrict spins up a full+real-time compliant server with principals.
+func startStrict(t *testing.T) *client.Client {
+	t.Helper()
+	cfg := core.Strict("")
+	st, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Listen("127.0.0.1:0", st)
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); st.Close() })
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for _, cmd := range [][]string{
+		{"ACL", "ADDPRINCIPAL", "ctl", "controller"},
+		{"ACL", "ADDPRINCIPAL", "alice", "subject"},
+		{"ACL", "ADDPRINCIPAL", "bob", "subject"},
+	} {
+		if _, err := c.Do(cmd...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Auth("ctl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Purpose("svc"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGPutAllFlags(t *testing.T) {
+	c := startStrict(t)
+	err := c.GPut("k", []byte("v"), client.GDPRPutArgs{
+		Owner: "alice", Purposes: "svc,extra", TTLSeconds: 600,
+		Origin: "import", Location: "eu-west", SharedWith: "partner1,partner2",
+		AutoDecide: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := c.Do("GETMETA", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"owner":"alice"`, `"origin":"import"`, `"location":"eu-west"`,
+		`"automated_decisions":true`, "partner1", "extra"} {
+		if !bytes.Contains(mv.Str, []byte(want)) {
+			t.Errorf("meta missing %s: %s", want, mv.Str)
+		}
+	}
+	v, err := c.GGet("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("gget = %q, %v", v, err)
+	}
+}
+
+func TestGDelOverWire(t *testing.T) {
+	c := startStrict(t)
+	c.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "alice", Purposes: "svc", TTLSeconds: 60})
+	if err := c.GDel("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GGet("k"); !errors.Is(err, client.ErrNil) {
+		t.Fatalf("gget after gdel: %v", err)
+	}
+	// Deleting again: not found maps to an error-free nil? Server replies
+	// NullValue for ErrNotFound on GDEL path? It returns errReply →
+	// NullValue for not-found; client.GDel sees no error.
+	if err := c.GDel("k"); err != nil {
+		t.Fatalf("double gdel: %v", err)
+	}
+}
+
+func TestGetUserExportForgetHelpers(t *testing.T) {
+	c := startStrict(t)
+	c.GPut("a1", []byte("v1"), client.GDPRPutArgs{Owner: "alice", Purposes: "svc", TTLSeconds: 600})
+	c.GPut("a2", []byte("v2"), client.GDPRPutArgs{Owner: "alice", Purposes: "svc", TTLSeconds: 600})
+	recs, err := c.GetUser("alice")
+	if err != nil || len(recs) != 2 || string(recs["a1"]) != "v1" {
+		t.Fatalf("getuser = %v, %v", recs, err)
+	}
+	exp, err := c.ExportUser("alice")
+	if err != nil || !bytes.Contains(exp, []byte(`"a1"`)) {
+		t.Fatalf("export = %.80s, %v", exp, err)
+	}
+	n, err := c.ForgetUser("alice")
+	if err != nil || n != 2 {
+		t.Fatalf("forget = %d, %v", n, err)
+	}
+	recs, err = c.GetUser("alice")
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("post-forget getuser = %v, %v", recs, err)
+	}
+}
+
+func TestObjectUnobjectHelpers(t *testing.T) {
+	c := startStrict(t)
+	c.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "alice", Purposes: "svc,ads", TTLSeconds: 600})
+	if err := c.Object("alice", "ads"); err != nil {
+		t.Fatal(err)
+	}
+	c.Purpose("ads")
+	if _, err := c.GGet("k"); err == nil {
+		t.Fatal("objected purpose served")
+	}
+	if err := c.Unobject("alice", "ads"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GGet("k"); err != nil {
+		t.Fatalf("after unobject: %v", err)
+	}
+}
+
+func TestGDPRPolicyErrorsSurface(t *testing.T) {
+	c := startStrict(t)
+	// Full compliance: no owner → POLICY error.
+	err := c.GPut("k", []byte("v"), client.GDPRPutArgs{TTLSeconds: 60})
+	var se client.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v", err)
+	}
+	// No TTL → POLICY error.
+	err = c.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "alice"})
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v", err)
+	}
+}

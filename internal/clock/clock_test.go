@@ -1,0 +1,104 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallNow(t *testing.T) {
+	w := NewWall()
+	before := time.Now()
+	got := w.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Wall.Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestWallSince(t *testing.T) {
+	w := NewWall()
+	start := w.Now()
+	if d := w.Since(start); d < 0 {
+		t.Fatalf("Since returned negative duration %v", d)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	start := time.Date(2019, 5, 16, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), start)
+	}
+	v.Advance(90 * time.Second)
+	want := start.Add(90 * time.Second)
+	if !v.Now().Equal(want) {
+		t.Fatalf("after Advance Now() = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualNegativeAdvanceIgnored(t *testing.T) {
+	start := time.Unix(1000, 0)
+	v := NewVirtual(start)
+	v.Advance(-time.Hour)
+	if !v.Now().Equal(start) {
+		t.Fatalf("negative advance moved the clock to %v", v.Now())
+	}
+}
+
+func TestVirtualSleepAdvances(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(time.Hour) // must not block
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("virtual Sleep blocked")
+	}
+	if got := v.Now(); !got.Equal(time.Unix(3600, 0)) {
+		t.Fatalf("Sleep advanced to %v, want %v", got, time.Unix(3600, 0))
+	}
+}
+
+func TestVirtualSetMonotonic(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	v.Set(time.Unix(50, 0)) // backwards: ignored
+	if !v.Now().Equal(time.Unix(100, 0)) {
+		t.Fatalf("Set moved clock backwards to %v", v.Now())
+	}
+	v.Set(time.Unix(200, 0))
+	if !v.Now().Equal(time.Unix(200, 0)) {
+		t.Fatalf("Set failed to move clock forward, now %v", v.Now())
+	}
+}
+
+func TestVirtualSince(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	mark := v.Now()
+	v.Advance(42 * time.Second)
+	if d := v.Since(mark); d != 42*time.Second {
+		t.Fatalf("Since = %v, want 42s", d)
+	}
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(10, 0)
+	if !v.Now().Equal(want) {
+		t.Fatalf("concurrent advances lost updates: now %v, want %v", v.Now(), want)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gdprstore/internal/acl"
+)
+
+// TestConcurrentMixedOperations hammers the compliance layer from many
+// goroutines and then checks the core consistency invariants:
+//
+//  1. every metadata entry refers to a key the engine still has (after one
+//     Maintain pass prunes expiry ghosts);
+//  2. every owner-index entry round-trips through GetUser;
+//  3. forgotten owners have no surviving records.
+func TestConcurrentMixedOperations(t *testing.T) {
+	s := newFullStore(t, nil)
+	const owners = 8
+	for i := 0; i < owners; i++ {
+		s.ACL().AddPrincipal(acl.Principal{ID: fmt.Sprintf("owner%d", i), Role: acl.RoleSubject})
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < owners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			owner := fmt.Sprintf("owner%d", g)
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("pd:%s:%d", owner, i%20)
+				switch i % 7 {
+				case 0, 1, 2:
+					if err := s.Put(ctlCtx, key, []byte("v"), PutOptions{
+						Owner: owner, Purposes: []string{"p"}, TTL: time.Hour,
+					}); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				case 3, 4:
+					s.Get(Ctx{Actor: "controller", Purpose: "p"}, key)
+				case 5:
+					s.Delete(ctlCtx, key)
+				case 6:
+					if i%49 == 6 {
+						s.Object(Ctx{Actor: owner}, owner, "ads")
+						s.Unobject(Ctx{Actor: owner}, owner, "ads")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Maintain()
+
+	// Invariant 1: no ghost metadata after maintenance.
+	s.mu.Lock()
+	for k := range s.ix.meta {
+		if !s.db.Exists(k) {
+			s.mu.Unlock()
+			t.Fatalf("ghost metadata for %q after Maintain", k)
+		}
+	}
+	// Invariant 2: owner index agrees with metadata.
+	for owner, set := range s.ix.byOwner {
+		for k := range set {
+			m, ok := s.ix.meta[k]
+			if !ok || m.Owner != owner {
+				s.mu.Unlock()
+				t.Fatalf("owner index inconsistent: %q -> %q", owner, k)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	// Invariant 3: forgetting an owner leaves nothing behind.
+	if _, err := s.Forget(ctlCtx, "owner0"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.GetUser(ctlCtx, "owner0")
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("owner0 records after forget: %d, %v", len(recs), err)
+	}
+}
+
+func TestConcurrentRightsAndWrites(t *testing.T) {
+	// Rights operations racing data-path writes must never error with
+	// anything but the benign set, and the store must stay consistent.
+	s := newFullStore(t, nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := fmt.Sprintf("pd:alice:%d", i%10)
+			s.Put(ctlCtx, key, []byte("v"), PutOptions{Owner: "alice", Purposes: []string{"p"}})
+			i++
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := s.GetUser(ctlCtx, "alice"); err != nil {
+			t.Fatalf("GetUser under write load: %v", err)
+		}
+		if _, err := s.Export(ctlCtx, "alice"); err != nil {
+			t.Fatalf("Export under write load: %v", err)
+		}
+	}
+	if _, err := s.Forget(Ctx{Actor: "alice"}, "alice"); err != nil {
+		t.Fatalf("Forget under write load: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestConcurrentExpiryAndAccess(t *testing.T) {
+	// The engine's expirer runs concurrently with compliance-layer reads
+	// in production; exercise that interleaving on the wall clock.
+	cfg := Strict("")
+	cfg.DefaultTTL = 24 * time.Hour
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.ACL().AddPrincipal(acl.Principal{ID: "controller", Role: acl.RoleController})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		ttl := time.Duration(1+i%5) * time.Millisecond
+		if i%2 == 0 {
+			ttl = time.Hour
+		}
+		if err := s.Put(ctlCtx, key, []byte("v"), PutOptions{Owner: "alice", TTL: ttl}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.StartExpirer()
+	defer s.StopExpirer()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 100; i++ {
+			s.Get(ctlCtx, fmt.Sprintf("k%d", i))
+		}
+		if s.Engine().ExpiredCount() >= 250 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := s.Maintain()
+	_ = st
+	// All short-TTL keys must eventually be gone; long-TTL ones intact.
+	for i := 0; i < 500; i += 2 {
+		if !s.Engine().Exists(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("long-TTL key k%d vanished", i)
+		}
+	}
+}

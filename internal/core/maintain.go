@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gdprstore/internal/audit"
+	"gdprstore/internal/cryptoutil"
+)
+
+func openSealed(key, sealed []byte, recordKey string) ([]byte, error) {
+	return cryptoutil.Open(key, sealed, []byte(recordKey))
+}
+
+// snapshotAll emits the commands that reconstruct the full compliance
+// state: the dataset (SET/SETEX), metadata (GMETA), standing objections
+// (GOBJ), and the envelope keyring (GKEY/GSHRED). Callers hold s.mu.
+func (s *Store) snapshotAll(emit func(name string, args ...[]byte) error) error {
+	if err := s.db.Snapshot(emit); err != nil {
+		return err
+	}
+	for k, m := range s.ix.meta {
+		if !s.db.Exists(k) {
+			continue
+		}
+		mb, err := m.encode()
+		if err != nil {
+			return err
+		}
+		if err := emit(opMeta, []byte(k), mb); err != nil {
+			return err
+		}
+	}
+	for owner, set := range s.objections {
+		for p := range set {
+			if err := emit(opObject, []byte(owner), []byte(p)); err != nil {
+				return err
+			}
+		}
+	}
+	if s.keyring != nil {
+		wrapped, err := s.keyring.ExportAll()
+		if err != nil {
+			return err
+		}
+		for owner, w := range wrapped {
+			if err := emit(opKey, []byte(owner), w); err != nil {
+				return err
+			}
+		}
+		for _, owner := range s.keyring.ShreddedOwners() {
+			if err := emit(opShred, []byte(owner)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rewriteLocked compacts the AOF so deleted/erased personal data stops
+// persisting in the log. Callers hold s.mu.
+func (s *Store) rewriteLocked(ctx Ctx) error {
+	if s.log == nil {
+		s.pendingRewrite = false
+		return nil
+	}
+	before := s.log.Size()
+	if err := s.log.Rewrite(s.snapshotAll); err != nil {
+		return fmt.Errorf("core: aof compaction: %w", err)
+	}
+	s.pendingRewrite = false
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: "REWRITE", Outcome: audit.OutcomeOK,
+		Detail: fmt.Sprintf("bytes=%d->%d", before, s.log.Size()),
+	})
+	return nil
+}
+
+// Compact forces an AOF compaction now, regardless of timing mode.
+func (s *Store) Compact(ctx Ctx) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.rewriteLocked(ctx)
+}
+
+// MaintStats reports what one maintenance pass did.
+type MaintStats struct {
+	// GhostMetaPruned counts metadata entries dropped because the engine
+	// had already expired their keys.
+	GhostMetaPruned int
+	// GrantsPurged counts expired ACL grants removed.
+	GrantsPurged int
+	// Rewrote reports whether a deferred AOF compaction ran.
+	Rewrote bool
+	// Took is the wall duration of the pass.
+	Took time.Duration
+}
+
+// Maintain runs one background maintenance pass: it prunes ghost metadata
+// left behind by engine-side expiry, purges expired grants, and performs
+// any deferred AOF compaction (the "eventual" half of the compliance
+// spectrum — erasure work postponed off the critical path lands here).
+func (s *Store) Maintain() MaintStats {
+	start := time.Now()
+	var st MaintStats
+	s.mu.Lock()
+	for k := range s.ix.meta {
+		if !s.db.Exists(k) {
+			s.ix.del(k)
+			st.GhostMetaPruned++
+		}
+	}
+	st.GrantsPurged = s.acl.PurgeExpired()
+	if s.pendingRewrite {
+		if err := s.propagateErasureLocked(Ctx{Actor: "system:maintenance"}); err == nil {
+			st.Rewrote = true
+		}
+	}
+	s.mu.Unlock()
+	st.Took = time.Since(start)
+	return st
+}
+
+// PendingRewrite reports whether an AOF compaction is owed (eventual
+// timing defers it to Maintain).
+func (s *Store) PendingRewrite() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingRewrite
+}
+
+// MetaCount returns the number of metadata entries currently indexed
+// (including ghosts not yet pruned); for tests and introspection.
+func (s *Store) MetaCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.len()
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Metadata is the per-record GDPR metadata the compliance layer maintains
+// alongside each value. It captures everything Article 15 obliges the
+// controller to report back to the data subject: processing purposes,
+// recipients, the storage period, and automated decision-making; plus the
+// origin (Art. 14), objections (Art. 21), and storage location (Art. 46).
+type Metadata struct {
+	// Owner is the data subject the record belongs to. Required.
+	Owner string `json:"owner"`
+	// Purposes whitelists the processing purposes the subject consented to
+	// (Art. 5 purpose limitation, Art. 13).
+	Purposes []string `json:"purposes,omitempty"`
+	// Objections blacklists purposes the subject has objected to
+	// (Art. 21); an objection overrides a listed purpose.
+	Objections []string `json:"objections,omitempty"`
+	// Origin records where the data was obtained (Art. 14-15).
+	Origin string `json:"origin,omitempty"`
+	// SharedWith lists recipients to whom the record was disclosed
+	// (Art. 15(1)(c)).
+	SharedWith []string `json:"shared_with,omitempty"`
+	// Expiry is the retention deadline (Art. 5 storage limitation). Zero
+	// means no bound, which full compliance rejects.
+	Expiry time.Time `json:"expiry,omitempty"`
+	// Location is the region the record is stored in (Art. 46).
+	Location string `json:"location,omitempty"`
+	// AutomatedDecisions marks use in automated decision-making,
+	// disclosed under Art. 15(1)(h) and restricted by Art. 22.
+	AutomatedDecisions bool `json:"automated_decisions,omitempty"`
+	// Created is when the record was first stored.
+	Created time.Time `json:"created"`
+}
+
+// clone returns a deep copy so callers cannot mutate indexed state.
+func (m Metadata) clone() Metadata {
+	c := m
+	c.Purposes = append([]string(nil), m.Purposes...)
+	c.Objections = append([]string(nil), m.Objections...)
+	c.SharedWith = append([]string(nil), m.SharedWith...)
+	return c
+}
+
+// PermitsPurpose reports whether processing under the given purpose is
+// permitted: it must be whitelisted and not objected to. The empty purpose
+// is never permitted on records with purpose restrictions.
+func (m Metadata) PermitsPurpose(purpose string) bool {
+	for _, o := range m.Objections {
+		if o == purpose || o == "*" {
+			return false
+		}
+	}
+	for _, p := range m.Purposes {
+		if p == purpose || p == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+func (m Metadata) encode() ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode metadata: %w", err)
+	}
+	return b, nil
+}
+
+func decodeMetadata(b []byte) (Metadata, error) {
+	var m Metadata
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Metadata{}, fmt.Errorf("core: decode metadata: %w", err)
+	}
+	return m, nil
+}
+
+// metaIndex maintains the secondary indexes the paper's "metadata
+// indexing" feature calls for: find all keys of a subject (Art. 15/17/20)
+// and all keys processable under a purpose (Art. 21) without scanning the
+// keyspace. It is owned by Store and guarded by Store.mu.
+type metaIndex struct {
+	meta      map[string]Metadata
+	byOwner   map[string]map[string]struct{}
+	byPurpose map[string]map[string]struct{}
+}
+
+func newMetaIndex() *metaIndex {
+	return &metaIndex{
+		meta:      make(map[string]Metadata),
+		byOwner:   make(map[string]map[string]struct{}),
+		byPurpose: make(map[string]map[string]struct{}),
+	}
+}
+
+func (ix *metaIndex) put(key string, m Metadata) {
+	if old, ok := ix.meta[key]; ok {
+		ix.unindex(key, old)
+	}
+	ix.meta[key] = m
+	if m.Owner != "" {
+		set, ok := ix.byOwner[m.Owner]
+		if !ok {
+			set = make(map[string]struct{})
+			ix.byOwner[m.Owner] = set
+		}
+		set[key] = struct{}{}
+	}
+	for _, p := range m.Purposes {
+		set, ok := ix.byPurpose[p]
+		if !ok {
+			set = make(map[string]struct{})
+			ix.byPurpose[p] = set
+		}
+		set[key] = struct{}{}
+	}
+}
+
+func (ix *metaIndex) get(key string) (Metadata, bool) {
+	m, ok := ix.meta[key]
+	return m, ok
+}
+
+func (ix *metaIndex) del(key string) {
+	if m, ok := ix.meta[key]; ok {
+		ix.unindex(key, m)
+		delete(ix.meta, key)
+	}
+}
+
+func (ix *metaIndex) unindex(key string, m Metadata) {
+	if set, ok := ix.byOwner[m.Owner]; ok {
+		delete(set, key)
+		if len(set) == 0 {
+			delete(ix.byOwner, m.Owner)
+		}
+	}
+	for _, p := range m.Purposes {
+		if set, ok := ix.byPurpose[p]; ok {
+			delete(set, key)
+			if len(set) == 0 {
+				delete(ix.byPurpose, p)
+			}
+		}
+	}
+}
+
+// ownerKeys returns the keys owned by owner, in unspecified order.
+func (ix *metaIndex) ownerKeys(owner string) []string {
+	set := ix.byOwner[owner]
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
+// purposeKeys returns the keys whitelisted for purpose.
+func (ix *metaIndex) purposeKeys(purpose string) []string {
+	set := ix.byPurpose[purpose]
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (ix *metaIndex) len() int { return len(ix.meta) }

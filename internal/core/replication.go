@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"gdprstore/internal/audit"
+	"gdprstore/internal/backup"
+	"gdprstore/internal/replica"
+	"gdprstore/internal/store"
+)
+
+// EnableReplication creates a journal fan-out in the given mode and chains
+// it after the AOF, so every engine mutation — including expiry-generated
+// deletions — streams to replicas. Call before attaching replicas.
+func (s *Store) EnableReplication(mode replica.Mode) (*replica.Primary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.primary != nil {
+		return nil, fmt.Errorf("core: replication already enabled")
+	}
+	s.primary = replica.NewPrimary(mode, 0)
+	var legs []store.Journal
+	if s.log != nil {
+		legs = append(legs, store.JournalFunc(s.log.Append))
+	}
+	legs = append(legs, s.primary)
+	j, err := replica.Chain(legs...)
+	if err != nil {
+		return nil, err
+	}
+	s.db.SetJournal(j)
+	return s.primary, nil
+}
+
+// AddReplica seeds a fresh replica from the current dataset and attaches
+// it to the stream. Writes concurrent with attachment may be applied
+// twice, which the replica tolerates (ops are idempotent).
+func (s *Store) AddReplica() (*replica.Replica, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.primary == nil {
+		return nil, fmt.Errorf("core: replication not enabled")
+	}
+	rdb := store.New(store.Options{Clock: s.cfg.Config.Clock, Seed: s.cfg.Seed + 1})
+	r, err := s.primary.Attach(s.db, rdb)
+	if err != nil {
+		return nil, err
+	}
+	s.auditOp(audit.Record{
+		Actor: "system:replication", Op: "ADDREPLICA", Outcome: audit.OutcomeOK,
+	})
+	return r, nil
+}
+
+// Primary returns the replication fan-out, or nil if replication is off.
+func (s *Store) Primary() *replica.Primary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.primary
+}
+
+// SetBackupManager registers a backup manager whose generations the store
+// keeps consistent with erasure: real-time Forget refreshes the backups
+// synchronously; eventual timing defers the refresh to Maintain.
+func (s *Store) SetBackupManager(m *backup.Manager) {
+	s.mu.Lock()
+	s.backups = m
+	s.mu.Unlock()
+}
+
+// Backup writes a new backup generation now.
+func (s *Store) Backup() (string, error) {
+	s.mu.Lock()
+	m := s.backups
+	s.mu.Unlock()
+	if m == nil {
+		return "", fmt.Errorf("core: no backup manager registered")
+	}
+	path, err := m.Create(s.db)
+	if err != nil {
+		return "", err
+	}
+	s.auditOp(audit.Record{
+		Actor: "system:backup", Op: "BACKUP", Outcome: audit.OutcomeOK, Detail: path,
+	})
+	return path, nil
+}
+
+// propagateErasureLocked completes an Article 17 erasure across the
+// subsystems beyond the main engine: the AOF (compaction), the replicas
+// (drain the stream), and the backups (refresh generations). Callers hold
+// s.mu. In eventual timing the work is deferred to Maintain via
+// pendingRewrite.
+func (s *Store) propagateErasureLocked(ctx Ctx) error {
+	if err := s.rewriteLocked(ctx); err != nil {
+		return err
+	}
+	if s.primary != nil {
+		s.primary.Flush()
+	}
+	if s.backups != nil {
+		if _, removed, err := s.backups.Refresh(s.db); err != nil {
+			return fmt.Errorf("core: backup refresh: %w", err)
+		} else if removed > 0 {
+			s.auditOp(audit.Record{
+				Actor: ctx.Actor, Op: "BACKUPREFRESH", Outcome: audit.OutcomeOK,
+				Detail: fmt.Sprintf("purged=%d", removed),
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+
+	"gdprstore/internal/backup"
+	"gdprstore/internal/clock"
+	"gdprstore/internal/replica"
+)
+
+func TestForgetPropagatesToReplicas(t *testing.T) {
+	for _, mode := range []replica.Mode{replica.Sync, replica.Async} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := newFullStore(t, nil)
+			if _, err := s.EnableReplication(mode); err != nil {
+				t.Fatal(err)
+			}
+			r1, err := s.AddReplica()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := s.AddReplica()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Put(ctlCtx, "pd:alice:1", []byte("secret"), PutOptions{Owner: "alice"})
+			s.Put(ctlCtx, "pd:bob:1", []byte("other"), PutOptions{Owner: "bob"})
+			if mode == replica.Async {
+				s.Primary().Flush()
+			}
+			if !r1.DB.Exists("pd:alice:1") {
+				t.Fatal("replication did not deliver the write")
+			}
+			if _, err := s.Forget(Ctx{Actor: "alice"}, "alice"); err != nil {
+				t.Fatal(err)
+			}
+			// Real-time timing flushes replicas inside Forget; verify the
+			// Article 17 guarantee on every replica.
+			for i, r := range []*replica.Replica{r1, r2} {
+				if r.DB.Exists("pd:alice:1") {
+					t.Fatalf("replica %d still holds erased data (%s mode)", i, mode)
+				}
+				if !r.DB.Exists("pd:bob:1") {
+					t.Fatalf("replica %d lost unrelated data", i)
+				}
+			}
+		})
+	}
+}
+
+func TestReplicationRequiresEnable(t *testing.T) {
+	s := newFullStore(t, nil)
+	if _, err := s.AddReplica(); err == nil {
+		t.Fatal("AddReplica without EnableReplication accepted")
+	}
+	if s.Primary() != nil {
+		t.Fatal("phantom primary")
+	}
+}
+
+func TestEnableReplicationTwiceFails(t *testing.T) {
+	s := newFullStore(t, nil)
+	if _, err := s.EnableReplication(replica.Sync); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EnableReplication(replica.Sync); err == nil {
+		t.Fatal("double enable accepted")
+	}
+}
+
+func TestReplicationChainsWithAOF(t *testing.T) {
+	// Both the AOF and the replicas must observe every mutation when
+	// chained.
+	path := tempAOF(t)
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	s, err := Open(persistentCfg(path, vc, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addPrincipals(s)
+	if _, err := s.EnableReplication(replica.Sync); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.AddReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(ctlCtx, "k", []byte("v"), PutOptions{Owner: "alice"})
+	if !r.DB.Exists("k") {
+		t.Fatal("replica missed the write")
+	}
+	s.Log().Sync()
+	raw, _ := os.ReadFile(path)
+	if !bytes.Contains(raw, []byte("k")) {
+		t.Fatal("AOF missed the write")
+	}
+}
+
+func TestForgetRefreshesBackups(t *testing.T) {
+	s := newFullStore(t, nil)
+	m, err := backup.NewManager(t.TempDir(), nil, s.Config().Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetBackupManager(m)
+	secret := []byte("alice-backup-payload")
+	s.Put(ctlCtx, "pd:alice", secret, PutOptions{Owner: "alice"})
+	s.Put(ctlCtx, "pd:bob", []byte("bob-data"), PutOptions{Owner: "bob"})
+	if _, err := s.Backup(); err != nil {
+		t.Fatal(err)
+	}
+	vclock(s).Advance(time.Hour)
+	if _, err := s.Backup(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Forget(Ctx{Actor: "alice"}, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	// Real-time Forget must have refreshed: exactly one generation, free
+	// of alice's data.
+	gens, _ := m.List()
+	if len(gens) != 1 {
+		t.Fatalf("generations after Forget = %d, want 1", len(gens))
+	}
+	raw, _ := os.ReadFile(gens[0])
+	if bytes.Contains(raw, secret) {
+		t.Fatal("erased data persists in backups after real-time Forget")
+	}
+	if !bytes.Contains(raw, []byte("bob-data")) {
+		t.Fatal("unrelated data lost from refreshed backup")
+	}
+}
+
+func TestEventualForgetDefersBackupRefresh(t *testing.T) {
+	s := newFullStore(t, func(c *Config) { c.Timing = TimingEventual })
+	m, err := backup.NewManager(t.TempDir(), nil, s.Config().Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetBackupManager(m)
+	secret := []byte("deferred-erasure-payload")
+	s.Put(ctlCtx, "pd:alice", secret, PutOptions{Owner: "alice"})
+	s.Backup()
+	s.Forget(Ctx{Actor: "alice"}, "alice")
+
+	gens, _ := m.List()
+	raw, _ := os.ReadFile(gens[0])
+	if !bytes.Contains(raw, secret) {
+		t.Fatal("eventual timing should leave the old backup until Maintain")
+	}
+	st := s.Maintain()
+	if !st.Rewrote {
+		t.Fatal("Maintain did not run deferred erasure propagation")
+	}
+	gens, _ = m.List()
+	if len(gens) != 1 {
+		t.Fatalf("generations after Maintain = %d", len(gens))
+	}
+	raw, _ = os.ReadFile(gens[0])
+	if bytes.Contains(raw, secret) {
+		t.Fatal("erased data persists in backups after Maintain")
+	}
+}
+
+func TestBackupWithoutManagerFails(t *testing.T) {
+	s := newFullStore(t, nil)
+	if _, err := s.Backup(); err == nil {
+		t.Fatal("Backup without manager accepted")
+	}
+}

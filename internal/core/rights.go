@@ -1,0 +1,453 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/audit"
+)
+
+// UserRecord pairs one key the subject owns with its value and metadata.
+type UserRecord struct {
+	Key      string   `json:"key"`
+	Value    []byte   `json:"value"`
+	Metadata Metadata `json:"metadata"`
+}
+
+// GetUser implements Article 15's right of access: it returns every record
+// owned by the subject, decrypted, with its metadata. The metadata index
+// makes this a lookup rather than a keyspace scan.
+func (s *Store) GetUser(ctx Ctx, owner string) ([]UserRecord, error) {
+	if !s.cfg.Compliant {
+		return nil, ErrNotCompliant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if err := s.check(ctx, acl.OpRights, owner, "GETUSER", ""); err != nil {
+		return nil, err
+	}
+	recs, err := s.collectOwnerLocked(owner)
+	if err != nil {
+		return nil, err
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: "GETUSER", Owner: owner, Purpose: ctx.Purpose,
+		Outcome: audit.OutcomeOK, Detail: fmt.Sprintf("records=%d", len(recs)),
+	})
+	return recs, nil
+}
+
+func (s *Store) collectOwnerLocked(owner string) ([]UserRecord, error) {
+	keys := s.ix.ownerKeys(owner)
+	sort.Strings(keys)
+	recs := make([]UserRecord, 0, len(keys))
+	for _, k := range keys {
+		m, ok := s.metaLive(k)
+		if !ok {
+			continue
+		}
+		v, ok := s.db.Get(k)
+		if !ok {
+			continue
+		}
+		if s.keyring != nil && owner != "" {
+			dk, err := s.keyring.KeyFor(owner)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s", ErrErased, owner)
+			}
+			pt, err := openSealed(dk, v, k)
+			if err != nil {
+				return nil, err
+			}
+			v = pt
+		}
+		recs = append(recs, UserRecord{Key: k, Value: v, Metadata: m.clone()})
+	}
+	return recs, nil
+}
+
+// AccessReport is the Article 15 disclosure: purposes of processing,
+// recipients, storage periods, origin, and automated decision-making, per
+// record and aggregated.
+type AccessReport struct {
+	Owner       string    `json:"owner"`
+	GeneratedAt time.Time `json:"generated_at"`
+	RecordCount int       `json:"record_count"`
+	// Purposes aggregates the distinct processing purposes in effect.
+	Purposes []string `json:"purposes"`
+	// Recipients aggregates the distinct disclosure recipients.
+	Recipients []string `json:"recipients"`
+	// Objections lists the subject's standing objections.
+	Objections []string `json:"objections"`
+	// EarliestExpiry and LatestExpiry bound the storage periods.
+	EarliestExpiry time.Time `json:"earliest_expiry,omitempty"`
+	LatestExpiry   time.Time `json:"latest_expiry,omitempty"`
+	// AutomatedDecisions reports whether any record feeds automated
+	// decision-making (Art. 15(1)(h)).
+	AutomatedDecisions bool `json:"automated_decisions"`
+	// Records carries the per-record detail.
+	Records []UserRecord `json:"records"`
+}
+
+// Access builds the Article 15 report for owner.
+func (s *Store) Access(ctx Ctx, owner string) (AccessReport, error) {
+	recs, err := s.GetUser(ctx, owner)
+	if err != nil {
+		return AccessReport{}, err
+	}
+	s.mu.Lock()
+	var objections []string
+	for p := range s.objections[owner] {
+		objections = append(objections, p)
+	}
+	s.mu.Unlock()
+	sort.Strings(objections)
+
+	rep := AccessReport{
+		Owner:       owner,
+		GeneratedAt: s.cfg.Config.Clock.Now(),
+		RecordCount: len(recs),
+		Objections:  objections,
+		Records:     recs,
+	}
+	pset, rset := map[string]struct{}{}, map[string]struct{}{}
+	for _, r := range recs {
+		for _, p := range r.Metadata.Purposes {
+			pset[p] = struct{}{}
+		}
+		for _, rc := range r.Metadata.SharedWith {
+			rset[rc] = struct{}{}
+		}
+		if r.Metadata.AutomatedDecisions {
+			rep.AutomatedDecisions = true
+		}
+		e := r.Metadata.Expiry
+		if !e.IsZero() {
+			if rep.EarliestExpiry.IsZero() || e.Before(rep.EarliestExpiry) {
+				rep.EarliestExpiry = e
+			}
+			if e.After(rep.LatestExpiry) {
+				rep.LatestExpiry = e
+			}
+		}
+	}
+	for p := range pset {
+		rep.Purposes = append(rep.Purposes, p)
+	}
+	for r := range rset {
+		rep.Recipients = append(rep.Recipients, r)
+	}
+	sort.Strings(rep.Purposes)
+	sort.Strings(rep.Recipients)
+	return rep, nil
+}
+
+// Export implements Article 20's right to data portability: every record
+// of the subject serialised in a commonly used, machine-readable format
+// (JSON), ready for transmission to another controller.
+func (s *Store) Export(ctx Ctx, owner string) ([]byte, error) {
+	recs, err := s.GetUser(ctx, owner)
+	if err != nil {
+		return nil, err
+	}
+	payload := struct {
+		Format  string       `json:"format"`
+		Owner   string       `json:"owner"`
+		Records []UserRecord `json:"records"`
+	}{Format: "gdprstore-export/v1", Owner: owner, Records: recs}
+	b, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: "EXPORTUSER", Owner: owner, Purpose: ctx.Purpose,
+		Outcome: audit.OutcomeOK, Detail: fmt.Sprintf("bytes=%d", len(b)),
+	})
+	return b, nil
+}
+
+// ImportExport ingests a portability payload produced by Export (the
+// receiving-controller half of Article 20). Records are written with their
+// original metadata; the importing context must be permitted to write for
+// each record's owner.
+func (s *Store) ImportExport(ctx Ctx, payload []byte) (int, error) {
+	var in struct {
+		Format  string       `json:"format"`
+		Owner   string       `json:"owner"`
+		Records []UserRecord `json:"records"`
+	}
+	if err := json.Unmarshal(payload, &in); err != nil {
+		return 0, fmt.Errorf("core: import: %w", err)
+	}
+	if in.Format != "gdprstore-export/v1" {
+		return 0, fmt.Errorf("core: import: unknown format %q", in.Format)
+	}
+	n := 0
+	for _, r := range in.Records {
+		opts := PutOptions{
+			Owner:              r.Metadata.Owner,
+			Purposes:           r.Metadata.Purposes,
+			Origin:             r.Metadata.Origin,
+			SharedWith:         r.Metadata.SharedWith,
+			Location:           r.Metadata.Location,
+			AutomatedDecisions: r.Metadata.AutomatedDecisions,
+		}
+		if !r.Metadata.Expiry.IsZero() {
+			opts.ExpireAt = r.Metadata.Expiry
+		}
+		if err := s.Put(ctx, r.Key, r.Value, opts); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Forget implements Article 17's right to be forgotten: it erases every
+// record of the subject from the engine and indexes, crypto-shreds the
+// subject's data key when envelope encryption is on, and — under real-time
+// timing — compacts the AOF before returning so no copy persists in any
+// subsystem. It returns the number of records erased.
+func (s *Store) Forget(ctx Ctx, owner string) (int, error) {
+	if !s.cfg.Compliant {
+		return 0, ErrNotCompliant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if err := s.check(ctx, acl.OpRights, owner, "FORGETUSER", ""); err != nil {
+		return 0, err
+	}
+	keys := s.ix.ownerKeys(owner)
+	n := s.db.Del(keys...)
+	for _, k := range keys {
+		s.ix.del(k)
+	}
+	if s.keyring != nil {
+		s.keyring.Shred(owner)
+		if err := s.appendLog(opShred, []byte(owner)); err != nil {
+			return n, err
+		}
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: "FORGETUSER", Owner: owner, Purpose: ctx.Purpose,
+		Outcome: audit.OutcomeOK, Detail: fmt.Sprintf("erased=%d", n),
+	})
+	s.pendingRewrite = true
+	if s.cfg.Timing == TimingRealTime {
+		if err := s.propagateErasureLocked(ctx); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Reinstate clears an erased subject's crypto-shred mark so the subject can
+// return with fresh data under a new key (old ciphertexts stay dead).
+func (s *Store) Reinstate(ctx Ctx, owner string) error {
+	if !s.cfg.Compliant {
+		return ErrNotCompliant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx, acl.OpAdmin, owner, "REINSTATE", ""); err != nil {
+		return err
+	}
+	if s.keyring != nil {
+		s.keyring.Reinstate(owner)
+		if err := s.appendLog(opReinst, []byte(owner)); err != nil {
+			return err
+		}
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: "REINSTATE", Owner: owner,
+		Outcome: audit.OutcomeOK,
+	})
+	return nil
+}
+
+// Object implements Article 21: the subject objects to processing of their
+// data for the given purpose ("*" objects to everything). The objection
+// takes effect immediately on all existing records and automatically
+// applies to future ones.
+func (s *Store) Object(ctx Ctx, owner, purpose string) error {
+	return s.setObjection(ctx, owner, purpose, true)
+}
+
+// Unobject withdraws an Article 21 objection.
+func (s *Store) Unobject(ctx Ctx, owner, purpose string) error {
+	return s.setObjection(ctx, owner, purpose, false)
+}
+
+func (s *Store) setObjection(ctx Ctx, owner, purpose string, add bool) error {
+	if !s.cfg.Compliant {
+		return ErrNotCompliant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	opName := "OBJECT"
+	logOp := opObject
+	if !add {
+		opName = "UNOBJECT"
+		logOp = opUnobj
+	}
+	if err := s.check(ctx, acl.OpRights, owner, opName, ""); err != nil {
+		return err
+	}
+	if add {
+		s.applyObjection(owner, purpose)
+	} else {
+		s.applyUnobjection(owner, purpose)
+	}
+	if err := s.appendLog(logOp, []byte(owner), []byte(purpose)); err != nil {
+		return err
+	}
+	// Re-journal the affected records' metadata so replay converges even
+	// if the GOBJ record were compacted away.
+	for _, k := range s.ix.ownerKeys(owner) {
+		if m, ok := s.ix.get(k); ok {
+			if mb, err := m.encode(); err == nil {
+				if err := s.appendLog(opMeta, []byte(k), mb); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: opName, Owner: owner, Purpose: purpose,
+		Outcome: audit.OutcomeOK,
+	})
+	return nil
+}
+
+// applyObjection mutates objection state; callers hold s.mu (or are in
+// single-threaded replay).
+func (s *Store) applyObjection(owner, purpose string) {
+	set, ok := s.objections[owner]
+	if !ok {
+		set = make(map[string]struct{})
+		s.objections[owner] = set
+	}
+	set[purpose] = struct{}{}
+	for _, k := range s.ix.ownerKeys(owner) {
+		m, ok := s.ix.get(k)
+		if !ok {
+			continue
+		}
+		found := false
+		for _, o := range m.Objections {
+			if o == purpose {
+				found = true
+				break
+			}
+		}
+		if !found {
+			m.Objections = append(m.Objections, purpose)
+			s.ix.put(k, m)
+		}
+	}
+}
+
+func (s *Store) applyUnobjection(owner, purpose string) {
+	if set, ok := s.objections[owner]; ok {
+		delete(set, purpose)
+		if len(set) == 0 {
+			delete(s.objections, owner)
+		}
+	}
+	for _, k := range s.ix.ownerKeys(owner) {
+		m, ok := s.ix.get(k)
+		if !ok {
+			continue
+		}
+		kept := m.Objections[:0]
+		for _, o := range m.Objections {
+			if o != purpose {
+				kept = append(kept, o)
+			}
+		}
+		m.Objections = kept
+		s.ix.put(k, m)
+	}
+}
+
+// Objections returns the subject's standing objections.
+func (s *Store) Objections(owner string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for p := range s.objections[owner] {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeysByPurpose returns the keys whitelisted for a processing purpose that
+// are not objected to — the Art. 21-aware purpose query of §5.1.
+func (s *Store) KeysByPurpose(ctx Ctx, purpose string) ([]string, error) {
+	if !s.cfg.Compliant {
+		return nil, ErrNotCompliant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx, acl.OpRead, "", "KEYSBYPURPOSE", ""); err != nil {
+		return nil, err
+	}
+	keys := s.ix.purposeKeys(purpose)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		m, ok := s.metaLive(k)
+		if !ok {
+			continue
+		}
+		if m.PermitsPurpose(purpose) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// OwnerKeys returns the keys owned by a data subject.
+func (s *Store) OwnerKeys(ctx Ctx, owner string) ([]string, error) {
+	if !s.cfg.Compliant {
+		return nil, ErrNotCompliant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(ctx, acl.OpRead, owner, "OWNERKEYS", ""); err != nil {
+		return nil, err
+	}
+	keys := s.ix.ownerKeys(owner)
+	out := keys[:0]
+	for _, k := range keys {
+		if _, ok := s.metaLive(k); ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Breach builds the Articles 33/34 breach report over [from, to).
+func (s *Store) Breach(ctx Ctx, from, to time.Time) (audit.BreachReport, error) {
+	if s.trail == nil {
+		return audit.BreachReport{}, ErrNotCompliant
+	}
+	if err := s.check(ctx, acl.OpAudit, "", "BREACH", ""); err != nil {
+		return audit.BreachReport{}, err
+	}
+	return s.trail.Breach(from, to)
+}

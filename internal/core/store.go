@@ -1,0 +1,606 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/aof"
+	"gdprstore/internal/audit"
+	"gdprstore/internal/backup"
+	"gdprstore/internal/cryptoutil"
+	"gdprstore/internal/replica"
+	"gdprstore/internal/store"
+)
+
+// Journal record types appended by the compliance layer alongside the
+// engine's SET/SETEX/DEL records. They reconstruct GDPR state on replay.
+const (
+	opMeta   = "GMETA"   // GMETA key metadataJSON
+	opObject = "GOBJ"    // GOBJ owner purpose
+	opUnobj  = "GUNOBJ"  // GUNOBJ owner purpose
+	opKey    = "GKEY"    // GKEY owner wrappedDataKey
+	opShred  = "GSHRED"  // GSHRED owner
+	opReinst = "GREINST" // GREINST owner
+)
+
+// Ctx identifies who is performing an operation and why — the two
+// dimensions GDPR conditions every access on.
+type Ctx struct {
+	// Actor is the authenticated principal issuing the operation.
+	Actor string
+	// Purpose is the declared processing purpose (Art. 5).
+	Purpose string
+}
+
+// PutOptions carries the GDPR metadata for a write.
+type PutOptions struct {
+	// Owner is the data subject; required for personal data under full
+	// compliance.
+	Owner string
+	// Purposes whitelists processing purposes. Defaults to the writing
+	// context's purpose when empty.
+	Purposes []string
+	// TTL is the retention bound relative to now. Mutually exclusive with
+	// ExpireAt; ExpireAt wins if both are set.
+	TTL time.Duration
+	// ExpireAt is the absolute retention deadline.
+	ExpireAt time.Time
+	// Origin records where the data came from.
+	Origin string
+	// SharedWith lists recipients the record is disclosed to.
+	SharedWith []string
+	// Location is the storage region; defaults to Config.DefaultLocation.
+	Location string
+	// AutomatedDecisions marks use in automated decision-making.
+	AutomatedDecisions bool
+}
+
+// Store is a GDPR-compliant key-value store: the engine plus metadata
+// indexing, auditing, access control, encryption, retention and location
+// policy, configured to a point on the compliance spectrum.
+type Store struct {
+	cfg normalized
+
+	// mu serialises compliance-layer state transitions (metadata indexes,
+	// objections, rewrite scheduling). The engine, AOF and audit trail have
+	// their own locks; lock order is always mu → engine/log/trail.
+	mu sync.Mutex
+
+	db        *store.DB
+	ix        *metaIndex
+	trail     *audit.Trail
+	log       *aof.Log
+	acl       *acl.List
+	keyring   *cryptoutil.Keyring
+	expirer   *store.Expirer
+	primary   *replica.Primary
+	backups   *backup.Manager
+	retention *RetentionPolicy
+
+	// objections holds standing per-owner objections applied to future
+	// records (Art. 21 "object at any time").
+	objections map[string]map[string]struct{}
+
+	pendingRewrite bool
+	closed         bool
+}
+
+// Open builds a Store from the configuration, replaying any existing AOF.
+func Open(cfg Config) (*Store, error) {
+	n := cfg.normalize()
+	s := &Store{
+		cfg:        n,
+		ix:         newMetaIndex(),
+		objections: make(map[string]map[string]struct{}),
+	}
+	s.db = store.New(store.Options{
+		Clock:        n.Config.Clock,
+		Seed:         n.Seed,
+		Strategy:     n.strategy,
+		JournalReads: n.JournalReads,
+	})
+	s.acl = acl.New(n.Config.Clock)
+	s.acl.SetEnforce(n.Config.Compliant && n.enforceACL)
+
+	if n.Envelope {
+		if len(n.MasterKey) != cryptoutil.BlockCipherKeySize {
+			return nil, fmt.Errorf("core: envelope encryption requires a 32-byte MasterKey")
+		}
+		kr, err := cryptoutil.NewKeyring(n.MasterKey)
+		if err != nil {
+			return nil, err
+		}
+		s.keyring = kr
+	}
+
+	if n.AOFPath != "" {
+		if err := s.replay(n.AOFPath, n.AtRestKey); err != nil {
+			return nil, err
+		}
+		log, err := aof.Open(n.AOFPath, aof.Options{Policy: n.aofSync, Key: n.AtRestKey})
+		if err != nil {
+			return nil, err
+		}
+		s.log = log
+		// The engine journals every mutation — including expiry-generated
+		// deletions — straight into the AOF.
+		s.db.SetJournal(store.JournalFunc(log.Append))
+	}
+
+	if n.Config.Compliant && n.AuditEnabled {
+		t, err := audit.Open(audit.Options{
+			Path:  n.AuditPath,
+			Mode:  n.auditMode,
+			Key:   n.AtRestKey,
+			Clock: n.Config.Clock,
+		})
+		if err != nil {
+			if s.log != nil {
+				s.log.Close()
+			}
+			return nil, err
+		}
+		s.trail = t
+	}
+
+	s.expirer = store.NewExpirer(s.db)
+	return s, nil
+}
+
+func (s *Store) replay(path string, key []byte) error {
+	_, err := aof.Load(path, key, func(name string, args [][]byte) error {
+		switch name {
+		case opMeta:
+			if len(args) != 2 {
+				return fmt.Errorf("core: replay GMETA: need 2 args")
+			}
+			m, err := decodeMetadata(args[1])
+			if err != nil {
+				return err
+			}
+			s.ix.put(string(args[0]), m)
+			return nil
+		case opObject:
+			if len(args) != 2 {
+				return fmt.Errorf("core: replay GOBJ: need 2 args")
+			}
+			s.applyObjection(string(args[0]), string(args[1]))
+			return nil
+		case opUnobj:
+			if len(args) != 2 {
+				return fmt.Errorf("core: replay GUNOBJ: need 2 args")
+			}
+			s.applyUnobjection(string(args[0]), string(args[1]))
+			return nil
+		case opKey:
+			if len(args) != 2 {
+				return fmt.Errorf("core: replay GKEY: need 2 args")
+			}
+			if s.keyring == nil {
+				return nil // envelope disabled this run; ignore
+			}
+			return s.keyring.Import(string(args[0]), args[1])
+		case opShred:
+			if len(args) != 1 {
+				return fmt.Errorf("core: replay GSHRED: need 1 arg")
+			}
+			if s.keyring != nil {
+				s.keyring.Shred(string(args[0]))
+			}
+			return nil
+		case opReinst:
+			if len(args) != 1 {
+				return fmt.Errorf("core: replay GREINST: need 1 arg")
+			}
+			if s.keyring != nil {
+				s.keyring.Reinstate(string(args[0]))
+			}
+			return nil
+		case "DEL":
+			for _, a := range args {
+				s.ix.del(string(a))
+			}
+			return s.db.Apply(name, args)
+		case "FLUSHALL":
+			s.ix = newMetaIndex()
+			return s.db.Apply(name, args)
+		default:
+			return s.db.Apply(name, args)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Drop metadata for keys that did not survive the replay.
+	for k := range s.ix.meta {
+		if !s.db.Exists(k) {
+			s.ix.del(k)
+		}
+	}
+	return nil
+}
+
+// appendLog journals a compliance-layer record; a nil log is a no-op.
+func (s *Store) appendLog(name string, args ...[]byte) error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Append(name, args...)
+}
+
+// auditOp records an audit entry; a nil trail is a no-op.
+func (s *Store) auditOp(r audit.Record) {
+	if s.trail == nil {
+		return
+	}
+	// Audit failures must not fail the data path; the trail retains its
+	// own LastErr for health checks, and strict deployments alert on it.
+	_, _ = s.trail.Append(r)
+}
+
+// check runs an ACL decision and audits denials.
+func (s *Store) check(ctx Ctx, op acl.OpClass, owner, opName, key string) error {
+	d := s.acl.Check(ctx.Actor, op, owner, ctx.Purpose)
+	if d.Allowed {
+		return nil
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: opName, Key: key, Owner: owner,
+		Purpose: ctx.Purpose, Outcome: audit.OutcomeDenied, Detail: d.Reason,
+	})
+	return fmt.Errorf("%w: %s", ErrDenied, d.Reason)
+}
+
+// Put stores personal data under key with the supplied GDPR metadata.
+func (s *Store) Put(ctx Ctx, key string, value []byte, opts PutOptions) error {
+	if !s.cfg.Compliant {
+		s.db.Set(key, value)
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.check(ctx, acl.OpWrite, opts.Owner, "PUT", key); err != nil {
+		return err
+	}
+
+	full := s.cfg.Capability == CapabilityFull
+	if full && opts.Owner == "" {
+		return ErrNoOwner
+	}
+
+	purposes := opts.Purposes
+	if len(purposes) == 0 && ctx.Purpose != "" {
+		purposes = []string{ctx.Purpose}
+	}
+
+	// Retention bound (Art. 5 storage limitation): the tightest of the
+	// requested TTL, the purpose-based retention policy, and the default.
+	deadline := s.effectiveDeadlineLocked(opts, purposes)
+	if s.cfg.requireTTL && deadline.IsZero() {
+		return ErrNoTTL
+	}
+
+	// Location policy (Art. 46).
+	loc := opts.Location
+	if loc == "" {
+		loc = s.cfg.DefaultLocation
+	}
+	if len(s.cfg.AllowedLocations) > 0 && full {
+		ok := false
+		for _, a := range s.cfg.AllowedLocations {
+			if a == loc {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			s.auditOp(audit.Record{
+				Actor: ctx.Actor, Op: "PUT", Key: key, Owner: opts.Owner,
+				Purpose: ctx.Purpose, Outcome: audit.OutcomeDenied,
+				Detail: "location " + loc + " not permitted",
+			})
+			return fmt.Errorf("%w: %q", ErrLocationDenied, loc)
+		}
+	}
+
+	meta := Metadata{
+		Owner:              opts.Owner,
+		Purposes:           purposes,
+		Origin:             opts.Origin,
+		SharedWith:         append([]string(nil), opts.SharedWith...),
+		Expiry:             deadline,
+		Location:           loc,
+		AutomatedDecisions: opts.AutomatedDecisions,
+		Created:            s.cfg.Config.Clock.Now(),
+	}
+	// Standing objections of this owner apply to new records immediately.
+	for p := range s.objections[opts.Owner] {
+		meta.Objections = append(meta.Objections, p)
+	}
+
+	stored := value
+	if s.keyring != nil && opts.Owner != "" {
+		k, wrapped, created, err := s.keyring.Ensure(opts.Owner)
+		if err != nil {
+			if err == cryptoutil.ErrUnknownKey {
+				return fmt.Errorf("%w: %s", ErrErased, opts.Owner)
+			}
+			return err
+		}
+		if created {
+			if err := s.appendLog(opKey, []byte(opts.Owner), wrapped); err != nil {
+				return err
+			}
+		}
+		sealed, err := cryptoutil.Seal(k, value, []byte(key))
+		if err != nil {
+			return err
+		}
+		stored = sealed
+	}
+
+	if deadline.IsZero() {
+		s.db.Set(key, stored)
+	} else {
+		s.db.SetEX(key, stored, deadline.Sub(s.cfg.Config.Clock.Now()))
+	}
+	mb, err := meta.encode()
+	if err != nil {
+		return err
+	}
+	s.ix.put(key, meta)
+	if err := s.appendLog(opMeta, []byte(key), mb); err != nil {
+		return err
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: "PUT", Key: key, Owner: opts.Owner,
+		Purpose: ctx.Purpose, Outcome: audit.OutcomeOK,
+	})
+	return nil
+}
+
+// Get reads the value at key, enforcing purpose limitation and access
+// control, and auditing the read when the configuration demands it.
+func (s *Store) Get(ctx Ctx, key string) ([]byte, error) {
+	if !s.cfg.Compliant {
+		v, ok := s.db.Get(key)
+		if !ok {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	meta, hasMeta := s.metaLive(key)
+	owner := meta.Owner
+	if err := s.check(ctx, acl.OpRead, owner, "GET", key); err != nil {
+		return nil, err
+	}
+	if hasMeta && s.cfg.Capability == CapabilityFull {
+		if !meta.PermitsPurpose(ctx.Purpose) {
+			s.auditOp(audit.Record{
+				Actor: ctx.Actor, Op: "GET", Key: key, Owner: owner,
+				Purpose: ctx.Purpose, Outcome: audit.OutcomeDenied,
+				Detail: "purpose not permitted",
+			})
+			return nil, fmt.Errorf("%w: %q", ErrPurposeDenied, ctx.Purpose)
+		}
+	}
+	v, ok := s.db.Get(key)
+	if !ok {
+		s.ix.del(key) // ghost metadata from lazy expiry
+		if s.cfg.auditReads {
+			s.auditOp(audit.Record{
+				Actor: ctx.Actor, Op: "GET", Key: key, Owner: owner,
+				Purpose: ctx.Purpose, Outcome: audit.OutcomeMissing,
+			})
+		}
+		return nil, ErrNotFound
+	}
+	if s.keyring != nil && owner != "" {
+		k, err := s.keyring.KeyFor(owner)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s", ErrErased, owner)
+		}
+		pt, err := cryptoutil.Open(k, v, []byte(key))
+		if err != nil {
+			return nil, err
+		}
+		v = pt
+	}
+	if s.cfg.auditReads {
+		s.auditOp(audit.Record{
+			Actor: ctx.Actor, Op: "GET", Key: key, Owner: owner,
+			Purpose: ctx.Purpose, Outcome: audit.OutcomeOK,
+		})
+	}
+	return v, nil
+}
+
+// Delete removes key. Under real-time timing the AOF is scheduled for
+// compaction so the deleted data does not persist in the log (§4.3).
+func (s *Store) Delete(ctx Ctx, key string) error {
+	if !s.cfg.Compliant {
+		if s.db.Del(key) == 0 {
+			return ErrNotFound
+		}
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	meta, _ := s.metaLive(key)
+	if err := s.check(ctx, acl.OpWrite, meta.Owner, "DEL", key); err != nil {
+		return err
+	}
+	n := s.db.Del(key)
+	s.ix.del(key)
+	outcome := audit.OutcomeOK
+	if n == 0 {
+		outcome = audit.OutcomeMissing
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: "DEL", Key: key, Owner: meta.Owner,
+		Purpose: ctx.Purpose, Outcome: outcome,
+	})
+	if n == 0 {
+		return ErrNotFound
+	}
+	s.pendingRewrite = true
+	if s.cfg.Timing == TimingRealTime {
+		return s.rewriteLocked(ctx)
+	}
+	return nil
+}
+
+// metaLive returns key's metadata if the key still exists in the engine;
+// ghost metadata (key expired underneath) is pruned.
+func (s *Store) metaLive(key string) (Metadata, bool) {
+	m, ok := s.ix.get(key)
+	if !ok {
+		return Metadata{}, false
+	}
+	if !s.db.Exists(key) {
+		s.ix.del(key)
+		return Metadata{}, false
+	}
+	return m, true
+}
+
+// Metadata returns the GDPR metadata for key.
+func (s *Store) Metadata(ctx Ctx, key string) (Metadata, error) {
+	if !s.cfg.Compliant {
+		return Metadata{}, ErrNotCompliant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.metaLive(key)
+	if !ok {
+		return Metadata{}, ErrNotFound
+	}
+	if err := s.check(ctx, acl.OpRead, m.Owner, "GETMETA", key); err != nil {
+		return Metadata{}, err
+	}
+	return m.clone(), nil
+}
+
+// TTL returns the remaining retention time for key.
+func (s *Store) TTL(key string) (time.Duration, store.TTLStatus) {
+	return s.db.TTL(key)
+}
+
+// Expire updates the retention deadline for key (controller operation).
+func (s *Store) Expire(ctx Ctx, key string, ttl time.Duration) error {
+	if !s.cfg.Compliant {
+		if !s.db.Expire(key, ttl) {
+			return ErrNotFound
+		}
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, _ := s.metaLive(key)
+	if err := s.check(ctx, acl.OpWrite, m.Owner, "EXPIRE", key); err != nil {
+		return err
+	}
+	if !s.db.Expire(key, ttl) {
+		return ErrNotFound
+	}
+	if mm, ok := s.ix.get(key); ok {
+		mm.Expiry = s.cfg.Config.Clock.Now().Add(ttl)
+		s.ix.put(key, mm)
+		if mb, err := mm.encode(); err == nil {
+			if err := s.appendLog(opMeta, []byte(key), mb); err != nil {
+				return err
+			}
+		}
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: "EXPIRE", Key: key, Owner: m.Owner,
+		Purpose: ctx.Purpose, Outcome: audit.OutcomeOK,
+	})
+	return nil
+}
+
+// Exists reports whether key is present and unexpired.
+func (s *Store) Exists(key string) bool { return s.db.Exists(key) }
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return s.db.Len() }
+
+// ACL exposes the access-control list for principal and grant management.
+func (s *Store) ACL() *acl.List { return s.acl }
+
+// Trail exposes the audit trail (nil when auditing is disabled).
+func (s *Store) Trail() *audit.Trail { return s.trail }
+
+// Engine exposes the underlying storage engine. Benchmarks and the Figure 2
+// experiment use it to drive expiry cycles directly.
+func (s *Store) Engine() *store.DB { return s.db }
+
+// Log exposes the AOF (nil when persistence is disabled).
+func (s *Store) Log() *aof.Log { return s.log }
+
+// Config returns the store's (normalized-inputs) configuration.
+func (s *Store) Config() Config { return s.cfg.Config }
+
+// StartExpirer launches the background active-expiry loop (wall clock).
+func (s *Store) StartExpirer() { s.expirer.Run() }
+
+// StopExpirer halts the background active-expiry loop.
+func (s *Store) StopExpirer() { s.expirer.Stop() }
+
+// Expirer returns the expiry driver, for step-wise (virtual time) control.
+func (s *Store) Expirer() *store.Expirer { return s.expirer }
+
+// ExpiryCycle runs one active-expiry cycle and audits a summary record.
+// GDPR deletion work is itself a processing activity worth evidencing.
+func (s *Store) ExpiryCycle() store.CycleStats {
+	st := s.db.ActiveExpireCycle()
+	if st.Expired > 0 {
+		s.auditOp(audit.Record{
+			Actor: "system:expiry", Op: "EXPIRECYCLE",
+			Outcome: audit.OutcomeOK,
+			Detail:  fmt.Sprintf("reclaimed=%d sampled=%d loops=%d", st.Expired, st.Sampled, st.Loops),
+		})
+	}
+	return st
+}
+
+// Close flushes and releases every subsystem.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	primary := s.primary
+	s.mu.Unlock()
+	s.expirer.Stop()
+	if primary != nil {
+		primary.Close()
+	}
+	var first error
+	if s.log != nil {
+		if err := s.log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.trail != nil {
+		if err := s.trail.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,297 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(b byte) []byte { return bytes.Repeat([]byte{b}, BlockCipherKeySize) }
+
+func TestOffsetCipherRoundTrip(t *testing.T) {
+	c, err := NewOffsetCipher(testKey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	buf := append([]byte(nil), data...)
+	c.Apply(buf, 0)
+	if bytes.Equal(buf, data) {
+		t.Fatal("cipher is identity")
+	}
+	c.Apply(buf, 0)
+	if !bytes.Equal(buf, data) {
+		t.Fatal("double-apply did not restore plaintext")
+	}
+}
+
+func TestOffsetCipherBadKey(t *testing.T) {
+	if _, err := NewOffsetCipher([]byte("short")); err != ErrBadKeySize {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOffsetCipherSplitEqualsWhole(t *testing.T) {
+	// Property: encrypting a buffer in arbitrary split positions produces
+	// the same ciphertext as encrypting it in one call — the invariant the
+	// append-only writer depends on.
+	c, _ := NewOffsetCipher(testKey(2))
+	f := func(data []byte, splitRaw uint16, offRaw uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		off := int64(offRaw)
+		whole := append([]byte(nil), data...)
+		c.Apply(whole, off)
+
+		split := int(splitRaw) % len(data)
+		part := append([]byte(nil), data...)
+		c.Apply(part[:split], off)
+		c.Apply(part[split:], off+int64(split))
+		return bytes.Equal(whole, part)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReaderPipeline(t *testing.T) {
+	c, _ := NewOffsetCipher(testKey(3))
+	var sink bytes.Buffer
+	w := NewWriter(&sink, c, 0)
+	msgs := [][]byte{[]byte("hello "), []byte("encrypted "), []byte("world")}
+	for _, m := range msgs {
+		if _, err := w.Write(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Offset() != int64(sink.Len()) {
+		t.Fatalf("offset %d != sink %d", w.Offset(), sink.Len())
+	}
+	r := NewReader(&sink, c)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello encrypted world" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestWriterDoesNotMutateInput(t *testing.T) {
+	c, _ := NewOffsetCipher(testKey(4))
+	w := NewWriter(io.Discard, c, 0)
+	data := []byte("immutable")
+	w.Write(data)
+	if string(data) != "immutable" {
+		t.Fatal("Write mutated caller's buffer")
+	}
+}
+
+func TestReaderAtOffset(t *testing.T) {
+	c, _ := NewOffsetCipher(testKey(5))
+	plain := []byte("0123456789abcdef0123456789abcdef tail")
+	ct := append([]byte(nil), plain...)
+	c.Apply(ct, 0)
+	// Decrypt only the tail, as a reader positioned mid-stream.
+	tail := ct[20:]
+	r := NewReaderAt(bytes.NewReader(tail), c, 20)
+	got, _ := io.ReadAll(r)
+	if !bytes.Equal(got, plain[20:]) {
+		t.Fatalf("got %q want %q", got, plain[20:])
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := testKey(6)
+	pt := []byte("personal data")
+	ad := []byte("record-key")
+	sealed, err := Seal(key, pt, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(key, sealed, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOpenRejectsTamper(t *testing.T) {
+	key := testKey(6)
+	sealed, _ := Seal(key, []byte("data"), []byte("ad"))
+	sealed[len(sealed)-1] ^= 1
+	if _, err := Open(key, sealed, []byte("ad")); err != ErrCorrupt {
+		t.Fatalf("tampered open err = %v", err)
+	}
+}
+
+func TestOpenRejectsWrongAD(t *testing.T) {
+	key := testKey(6)
+	sealed, _ := Seal(key, []byte("data"), []byte("key-a"))
+	if _, err := Open(key, sealed, []byte("key-b")); err != ErrCorrupt {
+		t.Fatal("cross-record replay not rejected (AD binding broken)")
+	}
+}
+
+func TestOpenRejectsShortCiphertext(t *testing.T) {
+	if _, err := Open(testKey(1), []byte("tiny"), nil); err != ErrCorrupt {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSealUniqueNonces(t *testing.T) {
+	key := testKey(7)
+	a, _ := Seal(key, []byte("same"), nil)
+	b, _ := Seal(key, []byte("same"), nil)
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals produced identical ciphertext (nonce reuse)")
+	}
+}
+
+func TestDeriveKeyDeterministicAndDistinct(t *testing.T) {
+	master := testKey(8)
+	k1 := DeriveKey(master, "ctx1")
+	k2 := DeriveKey(master, "ctx1")
+	k3 := DeriveKey(master, "ctx2")
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("derivation not deterministic")
+	}
+	if bytes.Equal(k1, k3) {
+		t.Fatal("contexts collide")
+	}
+	if len(k1) != BlockCipherKeySize {
+		t.Fatalf("derived key length %d", len(k1))
+	}
+}
+
+func TestKeyringSealOpen(t *testing.T) {
+	kr, err := NewKeyring(testKey(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := kr.SealFor("alice", []byte("alice's data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := kr.OpenFor("alice", sealed)
+	if err != nil || string(got) != "alice's data" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+	// Bob's key must not open Alice's record.
+	if _, err := kr.OpenFor("bob", sealed); err == nil {
+		t.Fatal("cross-owner decryption succeeded")
+	}
+}
+
+func TestKeyringShred(t *testing.T) {
+	kr, _ := NewKeyring(testKey(10))
+	sealed, _ := kr.SealFor("alice", []byte("secret"))
+	kr.Shred("alice")
+	if !kr.Shredded("alice") {
+		t.Fatal("shred flag missing")
+	}
+	if _, err := kr.OpenFor("alice", sealed); err != ErrUnknownKey {
+		t.Fatalf("open after shred err = %v", err)
+	}
+	if _, err := kr.SealFor("alice", []byte("new")); err != ErrUnknownKey {
+		t.Fatalf("seal after shred err = %v", err)
+	}
+}
+
+func TestKeyringShredIrreversibleAfterReinstate(t *testing.T) {
+	kr, _ := NewKeyring(testKey(11))
+	sealed, _ := kr.SealFor("alice", []byte("old life"))
+	kr.Shred("alice")
+	kr.Reinstate("alice")
+	// New key is random: old ciphertext must stay dead.
+	if _, err := kr.OpenFor("alice", sealed); err == nil {
+		t.Fatal("old ciphertext readable after reinstate — shred was reversible")
+	}
+	// But new data flows fine.
+	s2, err := kr.SealFor("alice", []byte("new life"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := kr.OpenFor("alice", s2); err != nil || string(got) != "new life" {
+		t.Fatalf("got %q err %v", got, err)
+	}
+}
+
+func TestKeyringEnsureWrapImport(t *testing.T) {
+	master := testKey(12)
+	kr, _ := NewKeyring(master)
+	k, wrapped, created, err := kr.Ensure("alice")
+	if err != nil || !created || wrapped == nil {
+		t.Fatalf("ensure: created=%v err=%v", created, err)
+	}
+	k2, w2, created2, _ := kr.Ensure("alice")
+	if created2 || w2 != nil || !bytes.Equal(k, k2) {
+		t.Fatal("second Ensure must return the same key, not create")
+	}
+	// A fresh keyring (restart) imports the wrapped key and can decrypt.
+	sealed, _ := kr.SealFor("alice", []byte("data"))
+	kr2, _ := NewKeyring(master)
+	if err := kr2.Import("alice", wrapped); err != nil {
+		t.Fatal(err)
+	}
+	got, err := kr2.OpenFor("alice", sealed)
+	if err != nil || string(got) != "data" {
+		t.Fatalf("after import: %q, %v", got, err)
+	}
+	// Import with the wrong master must fail.
+	kr3, _ := NewKeyring(testKey(13))
+	if err := kr3.Import("alice", wrapped); err == nil {
+		t.Fatal("import under wrong master succeeded")
+	}
+}
+
+func TestKeyringExportAll(t *testing.T) {
+	master := testKey(14)
+	kr, _ := NewKeyring(master)
+	kr.KeyFor("alice")
+	kr.KeyFor("bob")
+	kr.Shred("bob")
+	wrapped, err := kr.ExportAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wrapped["alice"]; !ok {
+		t.Fatal("alice missing from export")
+	}
+	if _, ok := wrapped["bob"]; ok {
+		t.Fatal("shredded owner exported")
+	}
+	if owners := kr.ShreddedOwners(); len(owners) != 1 || owners[0] != "bob" {
+		t.Fatalf("shredded owners = %v", owners)
+	}
+}
+
+func TestNewKeyringBadMaster(t *testing.T) {
+	if _, err := NewKeyring([]byte("short")); err != ErrBadKeySize {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRandomKeyLengthAndUniqueness(t *testing.T) {
+	a, err := RandomKey()
+	if err != nil || len(a) != BlockCipherKeySize {
+		t.Fatalf("len=%d err=%v", len(a), err)
+	}
+	b, _ := RandomKey()
+	if bytes.Equal(a, b) {
+		t.Fatal("two random keys identical")
+	}
+}
+
+func TestSealBadKeySize(t *testing.T) {
+	if _, err := Seal([]byte("short"), []byte("x"), nil); err != ErrBadKeySize {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Open([]byte("short"), []byte("x"), nil); err != ErrBadKeySize {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,252 @@
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Record-level ("key-level") encryption: each logical owner (a data
+// subject) gets a data key; records are sealed with AES-GCM under that
+// key. This mirrors the Themis-style per-record encryption the paper
+// mentions as the alternative to LUKS+TLS.
+
+// ErrUnknownKey is returned when sealing/opening references a key that is
+// not in the ring (possibly because it was shredded).
+var ErrUnknownKey = errors.New("cryptoutil: unknown or shredded key")
+
+// ErrCorrupt is returned when an authenticated record fails to open.
+var ErrCorrupt = errors.New("cryptoutil: ciphertext corrupt or wrong key")
+
+// Seal encrypts plaintext with AES-256-GCM under key, prepending the nonce.
+func Seal(key, plaintext, additionalData []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("cryptoutil: nonce: %w", err)
+	}
+	out := aead.Seal(nonce, nonce, plaintext, additionalData)
+	return out, nil
+}
+
+// Open decrypts a record produced by Seal.
+func Open(key, sealed, additionalData []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < aead.NonceSize() {
+		return nil, ErrCorrupt
+	}
+	nonce, ct := sealed[:aead.NonceSize()], sealed[aead.NonceSize():]
+	pt, err := aead.Open(nil, nonce, ct, additionalData)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	return pt, nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	if len(key) != BlockCipherKeySize {
+		return nil, ErrBadKeySize
+	}
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(b)
+}
+
+// DeriveKey derives a 32-byte subkey from master for the given context
+// label using HKDF-style HMAC-SHA256 expansion (RFC 5869 with a fixed
+// zero salt, single-block output).
+func DeriveKey(master []byte, context string) []byte {
+	// extract
+	ext := hmac.New(sha256.New, make([]byte, sha256.Size))
+	ext.Write(master)
+	prk := ext.Sum(nil)
+	// expand (one block is exactly 32 bytes)
+	exp := hmac.New(sha256.New, prk)
+	exp.Write([]byte(context))
+	exp.Write([]byte{1})
+	return exp.Sum(nil)
+}
+
+// Keyring manages per-owner data keys wrapped under a master key. Shredding
+// a key makes every record sealed under it permanently unreadable — the
+// crypto-erasure fast path for GDPR Article 17.
+type Keyring struct {
+	mu     sync.RWMutex
+	master []byte
+	keys   map[string][]byte // owner -> data key (unwrapped, in memory)
+	shred  map[string]bool   // owners whose keys were destroyed
+}
+
+// NewKeyring creates a keyring rooted at the given master key.
+func NewKeyring(master []byte) (*Keyring, error) {
+	if len(master) != BlockCipherKeySize {
+		return nil, ErrBadKeySize
+	}
+	m := make([]byte, len(master))
+	copy(m, master)
+	return &Keyring{
+		master: m,
+		keys:   make(map[string][]byte),
+		shred:  make(map[string]bool),
+	}, nil
+}
+
+// KeyFor returns the data key for owner, generating a fresh random key on
+// first use. It returns ErrUnknownKey if the owner's key was shredded.
+// Keys are random (not derived) so that shredding is irreversible; persist
+// them across restarts with Ensure/Import.
+func (kr *Keyring) KeyFor(owner string) ([]byte, error) {
+	k, _, _, err := kr.Ensure(owner)
+	return k, err
+}
+
+// Ensure returns owner's data key, generating one if needed. It also
+// returns the key wrapped (sealed) under the master key — callers journal
+// the wrapped form when created is true so the keyring survives restarts —
+// and whether this call created the key.
+func (kr *Keyring) Ensure(owner string) (key, wrapped []byte, created bool, err error) {
+	kr.mu.RLock()
+	if kr.shred[owner] {
+		kr.mu.RUnlock()
+		return nil, nil, false, ErrUnknownKey
+	}
+	if k, ok := kr.keys[owner]; ok {
+		kr.mu.RUnlock()
+		return k, nil, false, nil
+	}
+	kr.mu.RUnlock()
+
+	kr.mu.Lock()
+	defer kr.mu.Unlock()
+	if kr.shred[owner] {
+		return nil, nil, false, ErrUnknownKey
+	}
+	if k, ok := kr.keys[owner]; ok {
+		return k, nil, false, nil
+	}
+	k := make([]byte, BlockCipherKeySize)
+	if _, err := io.ReadFull(rand.Reader, k); err != nil {
+		return nil, nil, false, fmt.Errorf("cryptoutil: keygen: %w", err)
+	}
+	w, err := Seal(kr.master, k, []byte("wrap:"+owner))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	kr.keys[owner] = k
+	return k, w, true, nil
+}
+
+// Import installs a previously wrapped data key for owner (journal replay).
+// Importing clears any shred mark recorded before the import, so replay
+// order (GKEY then GSHRED) decides the final state.
+func (kr *Keyring) Import(owner string, wrapped []byte) error {
+	k, err := Open(kr.master, wrapped, []byte("wrap:"+owner))
+	if err != nil {
+		return err
+	}
+	kr.mu.Lock()
+	defer kr.mu.Unlock()
+	kr.keys[owner] = k
+	delete(kr.shred, owner)
+	return nil
+}
+
+// Reinstate clears owner's shred mark so a *new* key can be generated for
+// fresh data (e.g. the subject returns as a customer after erasure). Old
+// ciphertexts remain unreadable because the old key was random.
+func (kr *Keyring) Reinstate(owner string) {
+	kr.mu.Lock()
+	delete(kr.shred, owner)
+	kr.mu.Unlock()
+}
+
+// ShreddedOwners returns the owners whose keys were destroyed, for
+// journaling during compaction.
+func (kr *Keyring) ShreddedOwners() []string {
+	kr.mu.RLock()
+	defer kr.mu.RUnlock()
+	out := make([]string, 0, len(kr.shred))
+	for o := range kr.shred {
+		out = append(out, o)
+	}
+	return out
+}
+
+// ExportAll returns every live owner key wrapped under the master key, for
+// journaling during compaction.
+func (kr *Keyring) ExportAll() (map[string][]byte, error) {
+	kr.mu.RLock()
+	defer kr.mu.RUnlock()
+	out := make(map[string][]byte, len(kr.keys))
+	for o, k := range kr.keys {
+		w, err := Seal(kr.master, k, []byte("wrap:"+o))
+		if err != nil {
+			return nil, err
+		}
+		out[o] = w
+	}
+	return out, nil
+}
+
+// Shred destroys owner's data key. Records sealed under it become
+// unrecoverable, which constitutes erasure for Article 17 purposes even
+// before the ciphertext itself is reclaimed.
+func (kr *Keyring) Shred(owner string) {
+	kr.mu.Lock()
+	defer kr.mu.Unlock()
+	if k, ok := kr.keys[owner]; ok {
+		for i := range k {
+			k[i] = 0
+		}
+		delete(kr.keys, owner)
+	}
+	kr.shred[owner] = true
+}
+
+// Shredded reports whether owner's key has been destroyed.
+func (kr *Keyring) Shredded(owner string) bool {
+	kr.mu.RLock()
+	defer kr.mu.RUnlock()
+	return kr.shred[owner]
+}
+
+// SealFor seals plaintext under owner's data key.
+func (kr *Keyring) SealFor(owner string, plaintext []byte) ([]byte, error) {
+	k, err := kr.KeyFor(owner)
+	if err != nil {
+		return nil, err
+	}
+	return Seal(k, plaintext, []byte(owner))
+}
+
+// OpenFor opens a record sealed with SealFor.
+func (kr *Keyring) OpenFor(owner string, sealed []byte) ([]byte, error) {
+	k, err := kr.KeyFor(owner)
+	if err != nil {
+		return nil, err
+	}
+	return Open(k, sealed, []byte(owner))
+}
+
+// RandomKey generates a fresh random 32-byte key.
+func RandomKey() ([]byte, error) {
+	k := make([]byte, BlockCipherKeySize)
+	if _, err := io.ReadFull(rand.Reader, k); err != nil {
+		return nil, err
+	}
+	return k, nil
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/aof"
+	"gdprstore/internal/core"
+	"gdprstore/internal/ycsb"
+)
+
+// FsyncRow is one point of the §4.1 fsync spectrum: how throughput changes
+// with the durability of monitoring.
+type FsyncRow struct {
+	// Mode is the logging configuration.
+	Mode string
+	// Throughput is YCSB-A op/s.
+	Throughput float64
+	// RelativeToOff is Throughput / no-logging Throughput.
+	RelativeToOff float64
+}
+
+// FsyncSpectrum reproduces §4.1's finding: synchronous per-op logging
+// drops throughput to ~5% of baseline, while batching the log once per
+// second recovers 6× (to ~30%). It runs YCSB workload A embedded (the
+// logging cost, not the network, is under test) against three AOF modes:
+// no logging, fsync every second, fsync always — all with reads journaled.
+func FsyncSpectrum(dir string, recordCount, opCount int64, workers int) ([]FsyncRow, error) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "gdpr-fsync")
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+	}
+	if recordCount <= 0 {
+		recordCount = 2000
+	}
+	if opCount <= 0 {
+		opCount = 10000
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+
+	modes := []struct {
+		name string
+		cfg  func() core.Config
+	}{
+		{"no logging", func() core.Config { return core.Baseline() }},
+		{"AOF everysec (eventual)", func() core.Config {
+			c := core.Baseline()
+			c.AOFPath = filepath.Join(dir, "everysec.aof")
+			c.AOFSync = core.Ptr(aof.SyncEverySec)
+			c.JournalReads = true
+			return c
+		}},
+		{"AOF sync-every-op (real-time)", func() core.Config {
+			c := core.Baseline()
+			c.AOFPath = filepath.Join(dir, "always.aof")
+			c.AOFSync = core.Ptr(aof.SyncAlways)
+			c.JournalReads = true
+			return c
+		}},
+	}
+
+	rows := make([]FsyncRow, 0, len(modes))
+	for _, m := range modes {
+		st, err := core.Open(m.cfg())
+		if err != nil {
+			return nil, err
+		}
+		factory := func(int) (ycsb.DB, error) { return ycsb.NewEmbeddedDB(st), nil }
+		if _, err := ycsb.Load(ycsb.Config{
+			Workload: ycsb.WorkloadA, RecordCount: recordCount, Workers: workers, Factory: factory,
+		}); err != nil {
+			st.Close()
+			return nil, err
+		}
+		res, err := ycsb.Run(ycsb.Config{
+			Workload: ycsb.WorkloadA, RecordCount: recordCount,
+			OperationCount: opCount, Workers: workers, Factory: factory,
+		})
+		st.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FsyncRow{Mode: m.name, Throughput: res.Throughput})
+	}
+	base := rows[0].Throughput
+	for i := range rows {
+		rows[i].RelativeToOff = rows[i].Throughput / base
+	}
+	return rows, nil
+}
+
+// FormatFsync renders the fsync spectrum table.
+func FormatFsync(rows []FsyncRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %14s %10s\n", "Logging mode", "Throughput", "vs off")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-32s %9.0f op/s %9.1f%%\n", r.Mode, r.Throughput, 100*r.RelativeToOff)
+	}
+	if len(rows) == 3 && rows[2].Throughput > 0 {
+		fmt.Fprintf(&b, "everysec / always speedup: %.1fx (paper: ~6x)\n",
+			rows[1].Throughput/rows[2].Throughput)
+	}
+	return b.String()
+}
+
+// SpectrumRow is one corner of the §3.2 compliance spectrum.
+type SpectrumRow struct {
+	Timing     string
+	Capability string
+	Throughput float64
+	// RelativeToBaseline compares against the non-compliant store.
+	RelativeToBaseline float64
+}
+
+// ComplianceSpectrum measures YCSB-A throughput across the four corners of
+// the compliance spectrum (real-time/eventual × full/partial), plus the
+// non-compliant baseline, with auditing to disk in every compliant corner.
+// It demonstrates §3.2's claim that compliance is a continuum with strict
+// compliance the most expensive corner.
+func ComplianceSpectrum(dir string, recordCount, opCount int64, workers int) ([]SpectrumRow, error) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "gdpr-spectrum")
+		if err != nil {
+			return nil, err
+		}
+		dir = d
+	}
+	if recordCount <= 0 {
+		recordCount = 1000
+	}
+	if opCount <= 0 {
+		opCount = 5000
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+
+	type corner struct {
+		timing     core.Timing
+		capability core.Capability
+	}
+	corners := []corner{
+		{core.TimingEventual, core.CapabilityPartial},
+		{core.TimingEventual, core.CapabilityFull},
+		{core.TimingRealTime, core.CapabilityPartial},
+		{core.TimingRealTime, core.CapabilityFull},
+	}
+
+	var rows []SpectrumRow
+
+	// Baseline first.
+	baseThr, err := spectrumRun(core.Baseline(), core.Ctx{}, core.PutOptions{}, recordCount, opCount, workers)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, SpectrumRow{Timing: "none", Capability: "baseline", Throughput: baseThr})
+
+	for i, c := range corners {
+		cfg := core.Config{
+			Compliant:    true,
+			Timing:       c.timing,
+			Capability:   c.capability,
+			AuditEnabled: true,
+			AuditPath:    filepath.Join(dir, fmt.Sprintf("audit-%d.log", i)),
+			DefaultTTL:   24 * time.Hour,
+		}
+		// Partial capability on its own disables read auditing; keep the
+		// corners comparable on the features they do share.
+		ctx := core.Ctx{Actor: "bench", Purpose: "benchmark"}
+		opts := core.PutOptions{Owner: "subject", Purposes: []string{"benchmark"}}
+		thr, err := spectrumCompliantRun(cfg, ctx, opts, recordCount, opCount, workers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SpectrumRow{
+			Timing:     c.timing.String(),
+			Capability: c.capability.String(),
+			Throughput: thr,
+		})
+	}
+	for i := range rows {
+		rows[i].RelativeToBaseline = rows[i].Throughput / baseThr
+	}
+	return rows, nil
+}
+
+func spectrumRun(cfg core.Config, ctx core.Ctx, opts core.PutOptions, recordCount, opCount int64, workers int) (float64, error) {
+	st, err := core.Open(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	factory := func(int) (ycsb.DB, error) { return ycsb.NewEmbeddedDB(st), nil }
+	if _, err := ycsb.Load(ycsb.Config{Workload: ycsb.WorkloadA, RecordCount: recordCount, Workers: workers, Factory: factory}); err != nil {
+		return 0, err
+	}
+	res, err := ycsb.Run(ycsb.Config{Workload: ycsb.WorkloadA, RecordCount: recordCount, OperationCount: opCount, Workers: workers, Factory: factory})
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput, nil
+}
+
+func spectrumCompliantRun(cfg core.Config, ctx core.Ctx, opts core.PutOptions, recordCount, opCount int64, workers int) (float64, error) {
+	st, err := core.Open(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	st.ACL().AddPrincipal(acl.Principal{ID: "bench", Role: acl.RoleController})
+	factory := func(int) (ycsb.DB, error) { return ycsb.NewGDPRDB(st, ctx, opts), nil }
+	if _, err := ycsb.Load(ycsb.Config{Workload: ycsb.WorkloadA, RecordCount: recordCount, Workers: workers, Factory: factory}); err != nil {
+		return 0, err
+	}
+	res, err := ycsb.Run(ycsb.Config{Workload: ycsb.WorkloadA, RecordCount: recordCount, OperationCount: opCount, Workers: workers, Factory: factory})
+	if err != nil {
+		return 0, err
+	}
+	if res.Errors > 0 {
+		return 0, fmt.Errorf("experiments: spectrum corner %s/%s had %d errors",
+			cfg.Timing, cfg.Capability, res.Errors)
+	}
+	return res.Throughput, nil
+}
+
+// FormatSpectrum renders the compliance-spectrum table.
+func FormatSpectrum(rows []SpectrumRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-10s %14s %10s\n", "Timing", "Capability", "Throughput", "vs base")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-10s %9.0f op/s %9.1f%%\n",
+			r.Timing, r.Capability, r.Throughput, 100*r.RelativeToBaseline)
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package gdprbench
+
+import (
+	"testing"
+	"time"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/clock"
+	"gdprstore/internal/core"
+)
+
+// benchStore builds a full-compliance store with the persona principals
+// the benchmark requires.
+func benchStore(t *testing.T, subjects int) (*core.Store, core.Ctx) {
+	t.Helper()
+	cfg := core.Strict("")
+	cfg.Clock = clock.NewVirtual(time.Date(2019, 5, 16, 0, 0, 0, 0, time.UTC))
+	st, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	st.ACL().AddPrincipal(acl.Principal{ID: "controller", Role: acl.RoleController})
+	st.ACL().AddPrincipal(acl.Principal{ID: "processor", Role: acl.RoleProcessor})
+	st.ACL().AddPrincipal(acl.Principal{ID: "regulator", Role: acl.RoleRegulator})
+	for i := 0; i < subjects; i++ {
+		st.ACL().AddPrincipal(acl.Principal{ID: SubjectName(i), Role: acl.RoleSubject})
+	}
+	if err := st.ACL().AddGrant(acl.Grant{Principal: "processor", Purpose: "*"}); err != nil {
+		t.Fatal(err)
+	}
+	return st, core.Ctx{Actor: "controller", Purpose: "populate"}
+}
+
+func TestPopulate(t *testing.T) {
+	st, ctl := benchStore(t, 10)
+	cfg := Config{Subjects: 10, RecordsPerSubject: 5}
+	if err := Populate(st, ctl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine().Len() != 50 {
+		t.Fatalf("populated %d keys, want 50", st.Engine().Len())
+	}
+	keys, err := st.OwnerKeys(ctl, SubjectName(3))
+	if err != nil || len(keys) != 5 {
+		t.Fatalf("subject3 keys = %v, %v", keys, err)
+	}
+}
+
+func TestRunAllRoles(t *testing.T) {
+	st, ctl := benchStore(t, 20)
+	cfg := Config{Subjects: 20, RecordsPerSubject: 4}
+	if err := Populate(st, ctl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, role := range Roles {
+		role := role
+		t.Run(string(role), func(t *testing.T) {
+			rcfg := cfg
+			rcfg.Role = role
+			rcfg.Operations = 300
+			res, err := Run(st, rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Errors != 0 {
+				t.Fatalf("%s errors: %d\n%s", role, res.Errors, res)
+			}
+			if len(res.PerOp) == 0 {
+				t.Fatalf("%s recorded no operations", role)
+			}
+			if res.Throughput <= 0 {
+				t.Fatal("zero throughput")
+			}
+		})
+	}
+}
+
+func TestCustomerEraseTakesEffect(t *testing.T) {
+	st, ctl := benchStore(t, 5)
+	cfg := Config{Subjects: 5, RecordsPerSubject: 3, Role: RoleCustomer, Operations: 2000, Seed: 42}
+	if err := Populate(st, ctl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 1% erase probability over 2000 ops on 5 subjects, at least one
+	// subject should have been erased.
+	if _, ok := res.PerOp[OpErase]; !ok {
+		t.Skip("no erase drawn with this seed")
+	}
+	total := 0
+	for i := 0; i < 5; i++ {
+		keys, _ := st.OwnerKeys(ctl, SubjectName(i))
+		total += len(keys)
+	}
+	if total == 15 {
+		t.Fatal("erases recorded but no subject data removed")
+	}
+}
+
+func TestUnknownRole(t *testing.T) {
+	st, _ := benchStore(t, 1)
+	if _, err := Run(st, Config{Role: "hacker", Subjects: 1, RecordsPerSubject: 1, Operations: 1}); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+}
+
+func TestMixWeightsSumToOne(t *testing.T) {
+	for role, mix := range mixes {
+		sum := 0.0
+		for _, w := range mix {
+			sum += w.w
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("role %s mix sums to %v", role, sum)
+		}
+	}
+}
+
+func TestPurposeOfRoundTrip(t *testing.T) {
+	cfg := Config{}
+	cfg.defaults()
+	rec := RecordKey(12, 7)
+	want := cfg.Purposes[7%len(cfg.Purposes)]
+	if got := purposeOf(rec, cfg); got != want {
+		t.Fatalf("purposeOf(%q) = %q, want %q", rec, got, want)
+	}
+	if got := purposeOf("garbage", cfg); got != cfg.Purposes[0] {
+		t.Fatalf("fallback purpose = %q", got)
+	}
+}

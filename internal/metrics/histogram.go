@@ -1,0 +1,239 @@
+// Package metrics provides the measurement primitives used by the YCSB and
+// GDPRbench harnesses: a fixed-memory logarithmic latency histogram with
+// quantile estimation, and throughput counters. It mirrors what the YCSB
+// "hdrhistogram" measurement module reports (ops/sec, avg, p50/p95/p99/max).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// bucketCount covers latencies from 1ns up to ~1099s using sub-bucketed
+// powers of two: 64 exponents x 32 linear sub-buckets.
+const (
+	histExponents  = 40
+	histSubBuckets = 32
+	bucketCount    = histExponents * histSubBuckets
+)
+
+// Histogram is a concurrency-safe logarithmic histogram of durations.
+// Construct with NewHistogram.
+type Histogram struct {
+	buckets [bucketCount]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds
+	min     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxUint64)
+	return h
+}
+
+func bucketIndex(ns uint64) int {
+	if ns == 0 {
+		return 0
+	}
+	// exponent: position of highest set bit
+	exp := 63 - leadingZeros64(ns)
+	if exp < 5 {
+		// values < 32ns land in the first linear region
+		return int(ns)
+	}
+	sub := (ns >> (uint(exp) - 5)) & (histSubBuckets - 1)
+	idx := (exp-4)*histSubBuckets + int(sub)
+	if idx >= bucketCount {
+		idx = bucketCount - 1
+	}
+	return idx
+}
+
+// bucketLow returns a representative (lower-bound) value for bucket i,
+// inverse of bucketIndex.
+func bucketLow(i int) uint64 {
+	if i < histSubBuckets {
+		return uint64(i)
+	}
+	exp := i/histSubBuckets + 4
+	sub := uint64(i % histSubBuckets)
+	return (1 << uint(exp)) | (sub << (uint(exp) - 5))
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one duration observation. Negative durations count as zero.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if ns >= cur {
+			break
+		}
+		if h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean recorded duration.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / c)
+}
+
+// Max returns the largest recorded duration (bucket-quantised lower bound
+// for large values, exact for small ones).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Min returns the smallest recorded duration.
+func (h *Histogram) Min() time.Duration {
+	m := h.min.Load()
+	if m == math.MaxUint64 {
+		return 0
+	}
+	return time.Duration(m)
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) of recorded
+// durations. It returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < bucketCount; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return time.Duration(bucketLow(i))
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Snapshot is an immutable summary of a histogram.
+type Snapshot struct {
+	Count uint64
+	Mean  time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	P999  time.Duration
+}
+
+// Snapshot captures the current summary statistics.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}
+
+// String formats the snapshot in YCSB-report style.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("count=%d mean=%v min=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean, s.Min, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Merge adds every observation bucket of other into h. Min/max/sum/count are
+// combined. Merge is safe to call concurrently with Record, with the usual
+// racy-snapshot caveat.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := 0; i < bucketCount; i++ {
+		if n := other.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	om := other.min.Load()
+	for {
+		cur := h.min.Load()
+		if om >= cur {
+			break
+		}
+		if h.min.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+	oM := other.max.Load()
+	for {
+		cur := h.max.Load()
+		if oM <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, oM) {
+			break
+		}
+	}
+}
+
+// Percentiles returns the given quantiles in one pass, sorted by q.
+func (h *Histogram) Percentiles(qs ...float64) []time.Duration {
+	sorted := append([]float64(nil), qs...)
+	sort.Float64s(sorted)
+	out := make([]time.Duration, len(sorted))
+	for i, q := range sorted {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}

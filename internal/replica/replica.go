@@ -1,0 +1,283 @@
+// Package replica provides the replication substrate the paper's Article
+// 17 analysis demands: "the requested data be erased in a timely manner
+// including all its replicas and backups". A primary fans its journal out
+// to replicas either synchronously (each op applied to every replica
+// before the primary's call returns — real-time compliance) or
+// asynchronously (ops queue and apply in the background — eventual
+// compliance, with measurable erasure lag on the replicas).
+//
+// Replication here is in-process — replicas are store.DB instances fed
+// through the same journal interface the AOF uses — standing in for
+// networked replicas; the consistency and erasure-propagation semantics
+// under test are identical, and the wire transport would reuse
+// internal/resp exactly as the AOF does.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gdprstore/internal/store"
+)
+
+// Mode selects replication timing.
+type Mode int
+
+// Replication modes, named for the compliance spectrum they serve.
+const (
+	// Sync applies each op to every replica before the primary returns:
+	// deletions are visible everywhere immediately (real-time compliance).
+	Sync Mode = iota
+	// Async queues ops per replica and applies them in the background:
+	// deletions propagate with a lag (eventual compliance).
+	Async
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Sync {
+		return "sync"
+	}
+	return "async"
+}
+
+// op is one journaled operation in flight. A non-nil flush field marks a
+// drain barrier instead of a data op.
+type op struct {
+	name  string
+	args  [][]byte
+	flush chan struct{}
+}
+
+// Replica is one secondary copy of the dataset.
+type Replica struct {
+	// DB is the replica's dataset.
+	DB *store.DB
+
+	mu      sync.Mutex
+	applied uint64
+	lastErr error
+
+	// async machinery
+	ch     chan op
+	done   chan struct{}
+	closed bool
+}
+
+// Applied returns how many operations the replica has applied.
+func (r *Replica) Applied() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// Lag returns how many operations are queued but not yet applied (always
+// zero for sync replicas).
+func (r *Replica) Lag() int {
+	if r.ch == nil {
+		return 0
+	}
+	return len(r.ch)
+}
+
+// LastErr returns the most recent apply error.
+func (r *Replica) LastErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+func (r *Replica) apply(o op) {
+	err := r.DB.Apply(o.name, o.args)
+	r.mu.Lock()
+	r.applied++
+	if err != nil && r.lastErr == nil {
+		r.lastErr = err
+	}
+	r.mu.Unlock()
+}
+
+func (r *Replica) runAsync() {
+	defer close(r.done)
+	for o := range r.ch {
+		if o.flush != nil {
+			close(o.flush)
+			continue
+		}
+		r.apply(o)
+	}
+}
+
+// Primary fans journal operations out to replicas. It implements
+// store.Journal so it can be chained between the engine and the AOF with
+// Chain.
+type Primary struct {
+	mu       sync.Mutex
+	mode     Mode
+	replicas []*Replica
+	bufSize  int
+}
+
+// NewPrimary creates a fan-out in the given mode. bufSize bounds each
+// async replica's queue (default 4096); a full queue applies backpressure
+// by blocking the primary, never by dropping ops — dropping a DEL would
+// violate erasure propagation.
+func NewPrimary(mode Mode, bufSize int) *Primary {
+	if bufSize <= 0 {
+		bufSize = 4096
+	}
+	return &Primary{mode: mode, bufSize: bufSize}
+}
+
+// Mode returns the replication mode.
+func (p *Primary) Mode() Mode { return p.mode }
+
+// Attach creates a replica seeded with a snapshot of src and registers it
+// for streaming. The snapshot and registration are atomic with respect to
+// journaled ops only if the caller pauses writes; otherwise ops between
+// snapshot and attach may be duplicated, which Apply tolerates (SET/DEL
+// are idempotent).
+func (p *Primary) Attach(src *store.DB, replicaDB *store.DB) (*Replica, error) {
+	if err := src.Snapshot(func(name string, args ...[]byte) error {
+		return replicaDB.Apply(name, args)
+	}); err != nil {
+		return nil, fmt.Errorf("replica: seed: %w", err)
+	}
+	r := &Replica{DB: replicaDB}
+	if p.mode == Async {
+		r.ch = make(chan op, p.bufSize)
+		r.done = make(chan struct{})
+		go r.runAsync()
+	}
+	p.mu.Lock()
+	p.replicas = append(p.replicas, r)
+	p.mu.Unlock()
+	return r, nil
+}
+
+// Detach removes a replica from the fan-out and stops its applier. The
+// replica's DB remains usable (e.g. for promoting it).
+func (p *Primary) Detach(r *Replica) {
+	p.mu.Lock()
+	kept := p.replicas[:0]
+	for _, x := range p.replicas {
+		if x != r {
+			kept = append(kept, x)
+		}
+	}
+	p.replicas = kept
+	p.mu.Unlock()
+	r.stop()
+}
+
+func (r *Replica) stop() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	if r.ch != nil {
+		close(r.ch)
+		<-r.done
+	}
+}
+
+// Replicas returns the attached replicas.
+func (p *Primary) Replicas() []*Replica {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Replica(nil), p.replicas...)
+}
+
+// AppendOp implements store.Journal: fan the op out per the mode.
+func (p *Primary) AppendOp(name string, args ...[]byte) error {
+	// Copy args: journal callers may reuse buffers after we return, and
+	// async repliers hold the op across goroutines.
+	cp := make([][]byte, len(args))
+	for i, a := range args {
+		b := make([]byte, len(a))
+		copy(b, a)
+		cp[i] = b
+	}
+	o := op{name: name, args: cp}
+
+	p.mu.Lock()
+	replicas := append([]*Replica(nil), p.replicas...)
+	p.mu.Unlock()
+	for _, r := range replicas {
+		if p.mode == Sync {
+			r.apply(o)
+			continue
+		}
+		r.mu.Lock()
+		closed := r.closed
+		r.mu.Unlock()
+		if !closed {
+			r.ch <- o
+		}
+	}
+	return nil
+}
+
+// Flush blocks until every async replica has drained all operations
+// enqueued before the call. It is how an eventually compliant deployment
+// verifies erasure propagation before confirming an Article 17 request.
+func (p *Primary) Flush() {
+	p.mu.Lock()
+	replicas := append([]*Replica(nil), p.replicas...)
+	p.mu.Unlock()
+	for _, r := range replicas {
+		if r.ch == nil {
+			continue
+		}
+		r.mu.Lock()
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			continue
+		}
+		done := make(chan struct{})
+		r.ch <- op{flush: done}
+		<-done
+	}
+}
+
+// Close stops all repliers.
+func (p *Primary) Close() {
+	p.mu.Lock()
+	replicas := p.replicas
+	p.replicas = nil
+	p.mu.Unlock()
+	for _, r := range replicas {
+		r.stop()
+	}
+}
+
+// ErrNilJournal is returned by Chain when no journals are supplied.
+var ErrNilJournal = errors.New("replica: no journals to chain")
+
+// Chain composes journals so the engine can feed the AOF and the replica
+// fan-out simultaneously: db.SetJournal(replica.Chain(aofLog, primary)).
+func Chain(js ...store.Journal) (store.Journal, error) {
+	nonNil := make([]store.Journal, 0, len(js))
+	for _, j := range js {
+		if j != nil {
+			nonNil = append(nonNil, j)
+		}
+	}
+	if len(nonNil) == 0 {
+		return nil, ErrNilJournal
+	}
+	return store.JournalFunc(func(name string, args ...[]byte) error {
+		var first error
+		for _, j := range nonNil {
+			if err := j.AppendOp(name, args...); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}), nil
+}

@@ -1,0 +1,231 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gdprstore/internal/clock"
+	"gdprstore/internal/store"
+)
+
+func newDB() *store.DB {
+	return store.New(store.Options{Clock: clock.NewVirtual(time.Unix(0, 0)), Seed: 1})
+}
+
+func TestSyncReplicationMirrorsWrites(t *testing.T) {
+	primary := newDB()
+	p := NewPrimary(Sync, 0)
+	defer p.Close()
+	r, err := p.Attach(primary, newDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.SetJournal(p)
+
+	primary.Set("k1", []byte("v1"))
+	primary.SetEX("k2", []byte("v2"), time.Hour)
+	primary.Del("k1")
+
+	if v, ok := r.DB.Get("k2"); !ok || string(v) != "v2" {
+		t.Fatalf("replica k2 = %q, %v", v, ok)
+	}
+	if r.DB.Exists("k1") {
+		t.Fatal("deleted key present on sync replica")
+	}
+	if _, st := r.DB.TTL("k2"); st != store.TTLSet {
+		t.Fatal("TTL not replicated")
+	}
+	if r.Applied() != 3 {
+		t.Fatalf("applied = %d", r.Applied())
+	}
+}
+
+func TestAttachSeedsExistingData(t *testing.T) {
+	primary := newDB()
+	primary.Set("pre", []byte("existing"))
+	primary.SetEX("pre-ttl", []byte("x"), time.Hour)
+	p := NewPrimary(Sync, 0)
+	defer p.Close()
+	r, err := p.Attach(primary, newDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.DB.Get("pre"); !ok || string(v) != "existing" {
+		t.Fatalf("seed missing: %q, %v", v, ok)
+	}
+	if _, st := r.DB.TTL("pre-ttl"); st != store.TTLSet {
+		t.Fatal("seeded TTL missing")
+	}
+}
+
+func TestAsyncReplicationDrains(t *testing.T) {
+	primary := newDB()
+	p := NewPrimary(Async, 64)
+	defer p.Close()
+	r, err := p.Attach(primary, newDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.SetJournal(p)
+	for i := 0; i < 500; i++ {
+		primary.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	p.Flush()
+	if got := r.DB.RawLen(); got != 500 {
+		t.Fatalf("replica has %d keys after flush, want 500", got)
+	}
+	if r.Lag() != 0 {
+		t.Fatalf("lag after flush = %d", r.Lag())
+	}
+}
+
+func TestErasurePropagatesToAllReplicas(t *testing.T) {
+	// The Article 17 property: after deletion + Flush, no replica holds
+	// the erased data, in either mode.
+	for _, mode := range []Mode{Sync, Async} {
+		t.Run(mode.String(), func(t *testing.T) {
+			primary := newDB()
+			p := NewPrimary(mode, 0)
+			defer p.Close()
+			var reps []*Replica
+			for i := 0; i < 3; i++ {
+				r, err := p.Attach(primary, newDB())
+				if err != nil {
+					t.Fatal(err)
+				}
+				reps = append(reps, r)
+			}
+			primary.SetJournal(p)
+			primary.Set("pd:alice", []byte("personal"))
+			primary.Set("pd:bob", []byte("other"))
+			primary.Del("pd:alice")
+			p.Flush()
+			for i, r := range reps {
+				if r.DB.Exists("pd:alice") {
+					t.Fatalf("replica %d (%s) still holds erased data", i, mode)
+				}
+				if !r.DB.Exists("pd:bob") {
+					t.Fatalf("replica %d lost unrelated data", i)
+				}
+			}
+		})
+	}
+}
+
+func TestExpiryDeletionsReplicate(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	primary := store.New(store.Options{Clock: vc, Seed: 1, Strategy: store.ExpiryFastScan})
+	p := NewPrimary(Sync, 0)
+	defer p.Close()
+	// Replica shares the virtual clock so its own lazy expiry stays inert.
+	r, err := p.Attach(primary, store.New(store.Options{Clock: vc, Seed: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.SetJournal(p)
+	primary.SetEX("short", []byte("v"), time.Minute)
+	vc.Advance(2 * time.Minute)
+	primary.ActiveExpireCycle() // journals the DEL
+	if r.DB.RawLen() != 0 {
+		t.Fatal("expiry deletion did not reach the replica")
+	}
+}
+
+func TestDetachStopsStreaming(t *testing.T) {
+	primary := newDB()
+	p := NewPrimary(Sync, 0)
+	defer p.Close()
+	r, _ := p.Attach(primary, newDB())
+	primary.SetJournal(p)
+	primary.Set("a", []byte("1"))
+	p.Detach(r)
+	primary.Set("b", []byte("2"))
+	if r.DB.Exists("b") {
+		t.Fatal("detached replica still receiving")
+	}
+	if !r.DB.Exists("a") {
+		t.Fatal("detached replica lost prior data")
+	}
+	if len(p.Replicas()) != 0 {
+		t.Fatal("replica list not empty")
+	}
+}
+
+func TestPromoteDetachedReplica(t *testing.T) {
+	primary := newDB()
+	p := NewPrimary(Sync, 0)
+	defer p.Close()
+	r, _ := p.Attach(primary, newDB())
+	primary.SetJournal(p)
+	primary.Set("k", []byte("v"))
+	p.Detach(r)
+	// Promotion: the replica DB serves reads and writes on its own.
+	r.DB.Set("new", []byte("after-promotion"))
+	if v, ok := r.DB.Get("new"); !ok || string(v) != "after-promotion" {
+		t.Fatalf("promoted replica write failed: %q %v", v, ok)
+	}
+}
+
+func TestChainFansOutToAOFAndReplicas(t *testing.T) {
+	primary := newDB()
+	p := NewPrimary(Sync, 0)
+	defer p.Close()
+	r, _ := p.Attach(primary, newDB())
+	var logged []string
+	fakeAOF := store.JournalFunc(func(name string, args ...[]byte) error {
+		logged = append(logged, name)
+		return nil
+	})
+	j, err := Chain(fakeAOF, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.SetJournal(j)
+	primary.Set("k", []byte("v"))
+	if len(logged) != 1 || logged[0] != "SET" {
+		t.Fatalf("AOF leg got %v", logged)
+	}
+	if !r.DB.Exists("k") {
+		t.Fatal("replica leg missed the op")
+	}
+}
+
+func TestChainRejectsEmpty(t *testing.T) {
+	if _, err := Chain(nil, nil); err != ErrNilJournal {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAsyncArgBuffersCopied(t *testing.T) {
+	// The journal caller may reuse its arg buffer; async replicas must
+	// not observe the mutation.
+	primary := newDB()
+	p := NewPrimary(Async, 64)
+	defer p.Close()
+	r, _ := p.Attach(primary, newDB())
+	buf := []byte("original")
+	p.AppendOp("SET", []byte("k"), buf)
+	copy(buf, "CLOBBER!")
+	p.Flush()
+	if v, _ := r.DB.Get("k"); string(v) != "original" {
+		t.Fatalf("replica saw mutated buffer: %q", v)
+	}
+}
+
+func TestReplicaLastErrSurfacesBadOps(t *testing.T) {
+	primary := newDB()
+	p := NewPrimary(Sync, 0)
+	defer p.Close()
+	r, _ := p.Attach(primary, newDB())
+	p.AppendOp("GARBAGE-OP")
+	if r.LastErr() == nil {
+		t.Fatal("bad op not surfaced")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Sync.String() != "sync" || Async.String() != "async" {
+		t.Fatal("mode names wrong")
+	}
+}

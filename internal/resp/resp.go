@@ -1,0 +1,312 @@
+// Package resp implements the REdis Serialization Protocol (RESP2), the
+// wire format spoken between the gdprstore server and its clients. It is the
+// same protocol real Redis v4 clients use, so the network-mode benchmarks
+// exercise an equivalent parse/serialise path to the paper's setup.
+//
+// RESP2 types:
+//
+//	+OK\r\n                  simple string
+//	-ERR message\r\n         error
+//	:42\r\n                  integer
+//	$5\r\nhello\r\n          bulk string ($-1 = null)
+//	*2\r\n...                array (*-1 = null)
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Type identifies a RESP value kind.
+type Type byte
+
+// RESP value kinds.
+const (
+	SimpleString Type = '+'
+	Error        Type = '-'
+	Integer      Type = ':'
+	BulkString   Type = '$'
+	Array        Type = '*'
+)
+
+// Value is one decoded RESP value.
+type Value struct {
+	Type  Type
+	Str   []byte  // SimpleString, Error, BulkString payload
+	Int   int64   // Integer payload
+	Array []Value // Array payload
+	Null  bool    // true for null bulk strings / null arrays
+}
+
+// Common protocol errors.
+var (
+	ErrProtocol = errors.New("resp: protocol error")
+	// MaxBulkLen bounds a single bulk string (512 MB, Redis's limit).
+	errBulkTooLong = errors.New("resp: bulk string exceeds limit")
+)
+
+// MaxBulkLen is the largest accepted bulk string, matching Redis's
+// proto-max-bulk-len default of 512 MB.
+const MaxBulkLen = 512 << 20
+
+// MaxArrayLen bounds a multibulk request, matching Redis's 1M element cap.
+const MaxArrayLen = 1 << 20
+
+// SimpleStringValue constructs a simple-string value.
+func SimpleStringValue(s string) Value { return Value{Type: SimpleString, Str: []byte(s)} }
+
+// ErrorValue constructs an error value.
+func ErrorValue(msg string) Value { return Value{Type: Error, Str: []byte(msg)} }
+
+// IntegerValue constructs an integer value.
+func IntegerValue(n int64) Value { return Value{Type: Integer, Int: n} }
+
+// BulkValue constructs a bulk-string value.
+func BulkValue(b []byte) Value { return Value{Type: BulkString, Str: b} }
+
+// BulkStringValue constructs a bulk-string value from a string.
+func BulkStringValue(s string) Value { return Value{Type: BulkString, Str: []byte(s)} }
+
+// NullValue constructs the null bulk string ($-1).
+func NullValue() Value { return Value{Type: BulkString, Null: true} }
+
+// NullArrayValue constructs the null array (*-1).
+func NullArrayValue() Value { return Value{Type: Array, Null: true} }
+
+// ArrayValue constructs an array value.
+func ArrayValue(vs ...Value) Value { return Value{Type: Array, Array: vs} }
+
+// CommandValue builds the client-side representation of a command: an array
+// of bulk strings, exactly as redis-cli would send it.
+func CommandValue(args ...string) Value {
+	vs := make([]Value, len(args))
+	for i, a := range args {
+		vs[i] = BulkStringValue(a)
+	}
+	return ArrayValue(vs...)
+}
+
+// IsError reports whether v is a protocol-level error reply.
+func (v Value) IsError() bool { return v.Type == Error }
+
+// Text returns the value's string payload (for simple/bulk/error values).
+func (v Value) Text() string { return string(v.Str) }
+
+// Reader decodes RESP values from a stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader wraps r in a buffered RESP decoder.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 16*1024)}
+}
+
+// ReadValue decodes the next value from the stream.
+func (r *Reader) ReadValue() (Value, error) {
+	return r.readValue(0)
+}
+
+// Buffered returns the number of bytes already read from the connection and
+// waiting to be decoded. Servers use it to flush replies only when a
+// pipelined batch has drained.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+const maxNestingDepth = 32
+
+func (r *Reader) readValue(depth int) (Value, error) {
+	if depth > maxNestingDepth {
+		return Value{}, fmt.Errorf("%w: nesting too deep", ErrProtocol)
+	}
+	t, err := r.br.ReadByte()
+	if err != nil {
+		return Value{}, err
+	}
+	switch Type(t) {
+	case SimpleString, Error:
+		line, err := r.readLine()
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Type: Type(t), Str: line}, nil
+	case Integer:
+		n, err := r.readInt()
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Type: Integer, Int: n}, nil
+	case BulkString:
+		n, err := r.readInt()
+		if err != nil {
+			return Value{}, err
+		}
+		if n == -1 {
+			return Value{Type: BulkString, Null: true}, nil
+		}
+		if n < 0 || n > MaxBulkLen {
+			return Value{}, errBulkTooLong
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return Value{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Value{}, fmt.Errorf("%w: bulk string missing CRLF", ErrProtocol)
+		}
+		return Value{Type: BulkString, Str: buf[:n]}, nil
+	case Array:
+		n, err := r.readInt()
+		if err != nil {
+			return Value{}, err
+		}
+		if n == -1 {
+			return Value{Type: Array, Null: true}, nil
+		}
+		if n < 0 || n > MaxArrayLen {
+			return Value{}, fmt.Errorf("%w: invalid array length %d", ErrProtocol, n)
+		}
+		vs := make([]Value, n)
+		for i := range vs {
+			vs[i], err = r.readValue(depth + 1)
+			if err != nil {
+				return Value{}, err
+			}
+		}
+		return Value{Type: Array, Array: vs}, nil
+	default:
+		return Value{}, fmt.Errorf("%w: unknown type byte %q", ErrProtocol, t)
+	}
+}
+
+// ReadCommand decodes a client command (array of bulk strings) and returns
+// its arguments. It rejects non-command values; inline commands are not
+// supported.
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	v, err := r.ReadValue()
+	if err != nil {
+		return nil, err
+	}
+	if v.Type != Array || v.Null || len(v.Array) == 0 {
+		return nil, fmt.Errorf("%w: expected command array", ErrProtocol)
+	}
+	args := make([][]byte, len(v.Array))
+	for i, e := range v.Array {
+		if e.Type != BulkString || e.Null {
+			return nil, fmt.Errorf("%w: command argument %d is not a bulk string", ErrProtocol, i)
+		}
+		args[i] = e.Str
+	}
+	return args, nil
+}
+
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("%w: line missing CRLF", ErrProtocol)
+	}
+	return line[:len(line)-2], nil
+}
+
+func (r *Reader) readInt() (int64, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(string(line), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad integer %q", ErrProtocol, line)
+	}
+	return n, nil
+}
+
+// Writer encodes RESP values onto a stream with an internal buffer; call
+// Flush after writing a batch (pipelining-friendly).
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w in a buffered RESP encoder.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 16*1024)}
+}
+
+// WriteValue encodes v. The data is buffered until Flush.
+func (w *Writer) WriteValue(v Value) error {
+	switch v.Type {
+	case SimpleString, Error:
+		if err := w.bw.WriteByte(byte(v.Type)); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(v.Str); err != nil {
+			return err
+		}
+		return w.crlf()
+	case Integer:
+		if err := w.bw.WriteByte(':'); err != nil {
+			return err
+		}
+		if _, err := w.bw.WriteString(strconv.FormatInt(v.Int, 10)); err != nil {
+			return err
+		}
+		return w.crlf()
+	case BulkString:
+		if v.Null {
+			_, err := w.bw.WriteString("$-1\r\n")
+			return err
+		}
+		if err := w.bw.WriteByte('$'); err != nil {
+			return err
+		}
+		if _, err := w.bw.WriteString(strconv.Itoa(len(v.Str))); err != nil {
+			return err
+		}
+		if err := w.crlf(); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(v.Str); err != nil {
+			return err
+		}
+		return w.crlf()
+	case Array:
+		if v.Null {
+			_, err := w.bw.WriteString("*-1\r\n")
+			return err
+		}
+		if err := w.bw.WriteByte('*'); err != nil {
+			return err
+		}
+		if _, err := w.bw.WriteString(strconv.Itoa(len(v.Array))); err != nil {
+			return err
+		}
+		if err := w.crlf(); err != nil {
+			return err
+		}
+		for _, e := range v.Array {
+			if err := w.WriteValue(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: cannot encode type %q", ErrProtocol, byte(v.Type))
+	}
+}
+
+// WriteCommand encodes a command as an array of bulk strings and buffers it.
+func (w *Writer) WriteCommand(args ...string) error {
+	return w.WriteValue(CommandValue(args...))
+}
+
+func (w *Writer) crlf() error {
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// Flush writes all buffered data to the underlying stream.
+func (w *Writer) Flush() error { return w.bw.Flush() }

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"time"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/core"
+	"gdprstore/internal/resp"
+	"gdprstore/internal/store"
+)
+
+func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+// cmdSet implements SET key value [EX seconds] [KEEPTTL] against the raw
+// engine (the non-GDPR path, used by baseline benchmarks).
+func (s *Server) cmdSet(a [][]byte) resp.Value {
+	if len(a) < 2 {
+		return wrongArity("SET")
+	}
+	key, val := string(a[0]), a[1]
+	var ex time.Duration
+	keepTTL := false
+	for i := 2; i < len(a); i++ {
+		switch strings.ToUpper(string(a[i])) {
+		case "EX":
+			if i+1 >= len(a) {
+				return resp.ErrorValue("ERR syntax error")
+			}
+			secs, err := strconv.ParseInt(string(a[i+1]), 10, 64)
+			if err != nil || secs <= 0 {
+				return resp.ErrorValue("ERR invalid expire time")
+			}
+			ex = time.Duration(secs) * time.Second
+			i++
+		case "KEEPTTL":
+			keepTTL = true
+		default:
+			return resp.ErrorValue("ERR syntax error")
+		}
+	}
+	switch {
+	case ex > 0:
+		s.store.Engine().SetEX(key, val, ex)
+	case keepTTL:
+		s.store.Engine().SetKeepTTL(key, val)
+	default:
+		s.store.Engine().Set(key, val)
+	}
+	return resp.SimpleStringValue("OK")
+}
+
+func cmdTTLReply(s *Server, key string) resp.Value {
+	d, st := s.store.Engine().TTL(key)
+	switch st {
+	case store.TTLMissing:
+		return resp.IntegerValue(-2)
+	case store.TTLNone:
+		return resp.IntegerValue(-1)
+	default:
+		return resp.IntegerValue(int64(d / time.Second))
+	}
+}
+
+// cmdScan implements SCAN cursor [MATCH pattern] [COUNT n].
+func (s *Server) cmdScan(a [][]byte) resp.Value {
+	if len(a) < 1 {
+		return wrongArity("SCAN")
+	}
+	cursor, err := strconv.ParseUint(string(a[0]), 10, 64)
+	if err != nil {
+		return resp.ErrorValue("ERR invalid cursor")
+	}
+	pattern := "*"
+	count := 10
+	for i := 1; i < len(a); i++ {
+		switch strings.ToUpper(string(a[i])) {
+		case "MATCH":
+			if i+1 >= len(a) {
+				return resp.ErrorValue("ERR syntax error")
+			}
+			pattern = string(a[i+1])
+			i++
+		case "COUNT":
+			if i+1 >= len(a) {
+				return resp.ErrorValue("ERR syntax error")
+			}
+			n, err := strconv.Atoi(string(a[i+1]))
+			if err != nil || n <= 0 {
+				return resp.ErrorValue("ERR invalid count")
+			}
+			count = n
+			i++
+		default:
+			return resp.ErrorValue("ERR syntax error")
+		}
+	}
+	keys, next := s.store.Engine().Scan(cursor, pattern, count)
+	return resp.ArrayValue(
+		resp.BulkStringValue(strconv.FormatUint(next, 10)),
+		stringsArray(keys),
+	)
+}
+
+// cmdGPut implements
+//
+//	GPUT key value OWNER o [PURPOSES p1,p2] [TTL secs] [ORIGIN x]
+//	     [LOCATION l] [SHAREDWITH a,b] [AUTODECIDE]
+func (s *Server) cmdGPut(ctx core.Ctx, a [][]byte) resp.Value {
+	if len(a) < 2 {
+		return wrongArity("GPUT")
+	}
+	key, val := string(a[0]), a[1]
+	var opts core.PutOptions
+	for i := 2; i < len(a); i++ {
+		tok := strings.ToUpper(string(a[i]))
+		need := func() bool { return i+1 < len(a) }
+		switch tok {
+		case "OWNER":
+			if !need() {
+				return resp.ErrorValue("ERR syntax error")
+			}
+			opts.Owner = string(a[i+1])
+			i++
+		case "PURPOSES":
+			if !need() {
+				return resp.ErrorValue("ERR syntax error")
+			}
+			opts.Purposes = splitNonEmpty(string(a[i+1]))
+			i++
+		case "TTL":
+			if !need() {
+				return resp.ErrorValue("ERR syntax error")
+			}
+			secs, err := strconv.ParseInt(string(a[i+1]), 10, 64)
+			if err != nil || secs <= 0 {
+				return resp.ErrorValue("ERR invalid ttl")
+			}
+			opts.TTL = time.Duration(secs) * time.Second
+			i++
+		case "ORIGIN":
+			if !need() {
+				return resp.ErrorValue("ERR syntax error")
+			}
+			opts.Origin = string(a[i+1])
+			i++
+		case "LOCATION":
+			if !need() {
+				return resp.ErrorValue("ERR syntax error")
+			}
+			opts.Location = string(a[i+1])
+			i++
+		case "SHAREDWITH":
+			if !need() {
+				return resp.ErrorValue("ERR syntax error")
+			}
+			opts.SharedWith = splitNonEmpty(string(a[i+1]))
+			i++
+		case "AUTODECIDE":
+			opts.AutomatedDecisions = true
+		default:
+			return resp.ErrorValue("ERR syntax error near '" + string(a[i]) + "'")
+		}
+	}
+	if err := s.store.Put(ctx, key, val, opts); err != nil {
+		return errReply(err)
+	}
+	return resp.SimpleStringValue("OK")
+}
+
+func splitNonEmpty(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// cmdACL implements
+//
+//	ACL ADDPRINCIPAL id subject|processor|controller|regulator
+//	ACL DELPRINCIPAL id
+//	ACL GRANT principal purpose [OWNER o] [TTL secs]
+//	ACL REVOKE principal purpose [OWNER o]
+func (s *Server) cmdACL(a [][]byte) resp.Value {
+	if len(a) < 1 {
+		return wrongArity("ACL")
+	}
+	sub := strings.ToUpper(string(a[0]))
+	rest := a[1:]
+	switch sub {
+	case "ADDPRINCIPAL":
+		if len(rest) != 2 {
+			return wrongArity("ACL ADDPRINCIPAL")
+		}
+		role, ok := parseRole(string(rest[1]))
+		if !ok {
+			return resp.ErrorValue("ERR unknown role '" + string(rest[1]) + "'")
+		}
+		s.store.ACL().AddPrincipal(acl.Principal{ID: string(rest[0]), Role: role})
+		return resp.SimpleStringValue("OK")
+	case "DELPRINCIPAL":
+		if len(rest) != 1 {
+			return wrongArity("ACL DELPRINCIPAL")
+		}
+		s.store.ACL().RemovePrincipal(string(rest[0]))
+		return resp.SimpleStringValue("OK")
+	case "GRANT":
+		if len(rest) < 2 {
+			return wrongArity("ACL GRANT")
+		}
+		g := acl.Grant{Principal: string(rest[0]), Purpose: string(rest[1])}
+		for i := 2; i < len(rest); i++ {
+			switch strings.ToUpper(string(rest[i])) {
+			case "OWNER":
+				if i+1 >= len(rest) {
+					return resp.ErrorValue("ERR syntax error")
+				}
+				g.Owner = string(rest[i+1])
+				i++
+			case "TTL":
+				if i+1 >= len(rest) {
+					return resp.ErrorValue("ERR syntax error")
+				}
+				secs, err := strconv.ParseInt(string(rest[i+1]), 10, 64)
+				if err != nil || secs <= 0 {
+					return resp.ErrorValue("ERR invalid ttl")
+				}
+				g.Expires = time.Now().Add(time.Duration(secs) * time.Second)
+				i++
+			default:
+				return resp.ErrorValue("ERR syntax error")
+			}
+		}
+		if err := s.store.ACL().AddGrant(g); err != nil {
+			return resp.ErrorValue("ERR " + err.Error())
+		}
+		return resp.SimpleStringValue("OK")
+	case "REVOKE":
+		if len(rest) < 2 {
+			return wrongArity("ACL REVOKE")
+		}
+		owner := ""
+		if len(rest) >= 4 && strings.ToUpper(string(rest[2])) == "OWNER" {
+			owner = string(rest[3])
+		}
+		n := s.store.ACL().RevokeGrants(string(rest[0]), string(rest[1]), owner)
+		return resp.IntegerValue(int64(n))
+	default:
+		return resp.ErrorValue("ERR unknown ACL subcommand '" + string(a[0]) + "'")
+	}
+}
+
+func parseRole(s string) (acl.Role, bool) {
+	switch strings.ToLower(s) {
+	case "subject":
+		return acl.RoleSubject, true
+	case "processor":
+		return acl.RoleProcessor, true
+	case "controller":
+		return acl.RoleController, true
+	case "regulator":
+		return acl.RoleRegulator, true
+	default:
+		return 0, false
+	}
+}
+
+// cmdInfo reports server and store health in Redis INFO style.
+func (s *Server) cmdInfo() resp.Value {
+	var b strings.Builder
+	cfg := s.store.Config()
+	b.WriteString("# gdprstore\r\n")
+	b.WriteString("compliant:" + strconv.FormatBool(cfg.Compliant) + "\r\n")
+	b.WriteString("timing:" + cfg.Timing.String() + "\r\n")
+	b.WriteString("capability:" + cfg.Capability.String() + "\r\n")
+	b.WriteString("dbsize:" + strconv.Itoa(s.store.Engine().Len()) + "\r\n")
+	b.WriteString("expires:" + strconv.Itoa(s.store.Engine().ExpireLen()) + "\r\n")
+	b.WriteString("expired_total:" + strconv.FormatUint(s.store.Engine().ExpiredCount(), 10) + "\r\n")
+	if l := s.store.Log(); l != nil {
+		b.WriteString("aof_size:" + strconv.FormatInt(l.Size(), 10) + "\r\n")
+		b.WriteString("aof_appends:" + strconv.FormatUint(l.Appends(), 10) + "\r\n")
+		b.WriteString("aof_syncs:" + strconv.FormatUint(l.Syncs(), 10) + "\r\n")
+	}
+	if t := s.store.Trail(); t != nil {
+		b.WriteString("audit_seq:" + strconv.FormatUint(t.Seq(), 10) + "\r\n")
+		b.WriteString("audit_syncs:" + strconv.FormatUint(t.Syncs(), 10) + "\r\n")
+	}
+	return resp.BulkStringValue(b.String())
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gdprstore/internal/client"
+	"gdprstore/internal/core"
+)
+
+// rawDial opens a plain TCP connection to the server for protocol abuse.
+func rawDial(t *testing.T, srv *Server) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestGarbageBytesDoNotCrashServer(t *testing.T) {
+	srv, cl := startServer(t, core.Baseline())
+	payloads := []string{
+		"GET key\r\n",               // inline commands unsupported
+		"\x00\x01\x02\x03",          // binary noise
+		"*2\r\n$3\r\nGET\r\n:5\r\n", // non-bulk arg in command
+		"$-2\r\n",                   // invalid negative bulk
+		"*1000000000\r\n",           // absurd array header
+		"$99999999999999\r\n",       // absurd bulk header
+	}
+	for _, p := range payloads {
+		c := rawDial(t, srv)
+		if _, err := io.WriteString(c, p); err != nil {
+			t.Fatalf("write %q: %v", p, err)
+		}
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		io.Copy(io.Discard, c) // drain whatever comes back until close
+		c.Close()
+	}
+	// The server must still serve well-formed clients.
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("server unhealthy after garbage: %v", err)
+	}
+}
+
+func TestHalfCommandThenDisconnect(t *testing.T) {
+	srv, cl := startServer(t, core.Baseline())
+	c := rawDial(t, srv)
+	io.WriteString(c, "*3\r\n$3\r\nSET\r\n$1\r\nk") // cut mid-arg
+	c.Close()
+	time.Sleep(50 * time.Millisecond)
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("server unhealthy after torn command: %v", err)
+	}
+	// The torn SET must not have been applied.
+	if _, err := cl.Get("k"); err == nil {
+		t.Fatal("partial command applied")
+	}
+}
+
+func TestSlowClientDoesNotBlockOthers(t *testing.T) {
+	srv, _ := startServer(t, core.Baseline())
+	// A client that connects and goes silent.
+	idle := rawDial(t, srv)
+	defer idle.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := client.Dial(srv.Addr())
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		done <- c.Ping()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("idle client starved an active one")
+	}
+}
+
+func TestCloseWhileClientsActive(t *testing.T) {
+	st, err := core.Open(core.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv, err := Listen("127.0.0.1:0", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr())
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for j := 0; ; j++ {
+				if err := c.Set(fmt.Sprintf("k%d", j), []byte("v")); err != nil {
+					return // server closed underneath us: expected
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait() // must terminate: Close closed the connections
+}
+
+func TestVeryLongKeyAndValue(t *testing.T) {
+	_, cl := startServer(t, core.Baseline())
+	key := strings.Repeat("k", 10_000)
+	val := make([]byte, 1<<20) // 1 MiB value
+	for i := range val {
+		val[i] = byte(i)
+	}
+	if err := cl.Set(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Get(key)
+	if err != nil || len(got) != len(val) {
+		t.Fatalf("len = %d, %v", len(got), err)
+	}
+}
+
+func TestReconnectAfterServerError(t *testing.T) {
+	srv, _ := startServer(t, core.Baseline())
+	c := rawDial(t, srv)
+	io.WriteString(c, "!bogus\r\n")
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	io.Copy(io.Discard, c)
+	c.Close()
+	c2, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}

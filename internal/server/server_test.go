@@ -1,0 +1,352 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gdprstore/internal/client"
+	"gdprstore/internal/core"
+)
+
+// startServer spins up a server over a store built from cfg, with standard
+// principals installed.
+func startServer(t *testing.T, cfg core.Config) (*Server, *client.Client) {
+	t.Helper()
+	st, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Listen("127.0.0.1:0", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		st.Close()
+	})
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func setupPrincipals(t *testing.T, c *client.Client) {
+	t.Helper()
+	for _, cmd := range [][]string{
+		{"ACL", "ADDPRINCIPAL", "controller", "controller"},
+		{"ACL", "ADDPRINCIPAL", "svc", "processor"},
+		{"ACL", "ADDPRINCIPAL", "alice", "subject"},
+		{"ACL", "GRANT", "svc", "billing"},
+	} {
+		if _, err := c.Do(cmd...); err != nil {
+			t.Fatalf("%v: %v", cmd, err)
+		}
+	}
+}
+
+func TestPingEcho(t *testing.T) {
+	_, c := startServer(t, core.Baseline())
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Do("ECHO", "hello")
+	if err != nil || v.Text() != "hello" {
+		t.Fatalf("echo = %q, %v", v.Text(), err)
+	}
+}
+
+func TestVanillaSetGetDel(t *testing.T) {
+	_, c := startServer(t, core.Baseline())
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	n, err := c.Del("k", "missing")
+	if err != nil || n != 1 {
+		t.Fatalf("del = %d, %v", n, err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, client.ErrNil) {
+		t.Fatalf("get deleted = %v", err)
+	}
+}
+
+func TestSetEXAndTTL(t *testing.T) {
+	_, c := startServer(t, core.Baseline())
+	if err := c.SetEX("k", []byte("v"), 100); err != nil {
+		t.Fatal(err)
+	}
+	ttl, err := c.TTL("k")
+	if err != nil || ttl <= 0 || ttl > 100 {
+		t.Fatalf("ttl = %d, %v", ttl, err)
+	}
+	if ttl, _ := c.TTL("missing"); ttl != -2 {
+		t.Fatalf("missing ttl = %d", ttl)
+	}
+	c.Set("plain", []byte("v"))
+	if ttl, _ := c.TTL("plain"); ttl != -1 {
+		t.Fatalf("plain ttl = %d", ttl)
+	}
+	ok, err := c.Expire("plain", 60)
+	if err != nil || !ok {
+		t.Fatalf("expire = %v, %v", ok, err)
+	}
+}
+
+func TestScanThroughClient(t *testing.T) {
+	_, c := startServer(t, core.Baseline())
+	for i := 0; i < 25; i++ {
+		c.Set(fmt.Sprintf("user:%02d", i), []byte("v"))
+	}
+	var cursor uint64
+	seen := 0
+	for {
+		keys, next, err := c.Scan(cursor, "user:*", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen += len(keys)
+		if next == 0 {
+			break
+		}
+		cursor = next
+	}
+	if seen != 25 {
+		t.Fatalf("scan saw %d keys", seen)
+	}
+}
+
+func TestGDPRFlowOverNetwork(t *testing.T) {
+	_, c := startServer(t, core.Strict(""))
+	setupPrincipals(t, c)
+	if err := c.Auth("controller"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Purpose("billing"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.GPut("user:alice:email", []byte("a@x.eu"), client.GDPRPutArgs{
+		Owner: "alice", Purposes: "billing", TTLSeconds: 3600, Origin: "signup",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.GGet("user:alice:email")
+	if err != nil || string(v) != "a@x.eu" {
+		t.Fatalf("gget = %q, %v", v, err)
+	}
+	// Metadata round trip.
+	mv, err := c.Do("GETMETA", "user:alice:email")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(mv.Str, []byte(`"owner":"alice"`)) {
+		t.Fatalf("meta = %s", mv.Str)
+	}
+	// Subject rights over the wire.
+	recs, err := c.GetUser("alice")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("getuser = %v, %v", recs, err)
+	}
+	exp, err := c.ExportUser("alice")
+	if err != nil || !bytes.Contains(exp, []byte("gdprstore-export/v1")) {
+		t.Fatalf("export = %.60s, %v", exp, err)
+	}
+	n, err := c.ForgetUser("alice")
+	if err != nil || n != 1 {
+		t.Fatalf("forget = %d, %v", n, err)
+	}
+	if _, err := c.GGet("user:alice:email"); !errors.Is(err, client.ErrNil) {
+		t.Fatalf("forgotten gget = %v", err)
+	}
+}
+
+func TestPurposeDeniedOverNetwork(t *testing.T) {
+	_, c := startServer(t, core.Strict(""))
+	setupPrincipals(t, c)
+	c.Auth("controller")
+	c.Purpose("billing")
+	c.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "alice", Purposes: "billing", TTLSeconds: 60})
+	c.Purpose("marketing")
+	_, err := c.GGet("k")
+	var se client.ServerError
+	if !errors.As(err, &se) || !strings.HasPrefix(string(se), "PURPOSEDENIED") {
+		t.Fatalf("err = %v, want PURPOSEDENIED", err)
+	}
+}
+
+func TestACLDeniedOverNetwork(t *testing.T) {
+	srv, c := startServer(t, core.Strict(""))
+	setupPrincipals(t, c)
+	c.Auth("controller")
+	c.Purpose("billing")
+	c.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "alice", Purposes: "billing", TTLSeconds: 60})
+	// A fresh connection that never AUTHs is an unknown principal: denied.
+	c2, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.Purpose("billing")
+	_, gerr := c2.GGet("k")
+	var se client.ServerError
+	if !errors.As(gerr, &se) || !strings.HasPrefix(string(se), "DENIED") {
+		t.Fatalf("err = %v, want DENIED", gerr)
+	}
+}
+
+func TestObjectionOverNetwork(t *testing.T) {
+	_, c := startServer(t, core.Strict(""))
+	setupPrincipals(t, c)
+	c.Auth("controller")
+	c.Purpose("billing")
+	c.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "alice", Purposes: "billing,ads", TTLSeconds: 60})
+	if err := c.Auth("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Object("alice", "ads"); err != nil {
+		t.Fatal(err)
+	}
+	c.Auth("controller")
+	c.Purpose("ads")
+	if _, err := c.GGet("k"); err == nil {
+		t.Fatal("objected purpose served")
+	}
+	c.Auth("alice")
+	if err := c.Unobject("alice", "ads"); err != nil {
+		t.Fatal(err)
+	}
+	c.Auth("controller")
+	if _, err := c.GGet("k"); err != nil {
+		t.Fatalf("after unobject: %v", err)
+	}
+}
+
+func TestPipelinedCommands(t *testing.T) {
+	_, c := startServer(t, core.Baseline())
+	p := c.Pipeline()
+	for i := 0; i < 100; i++ {
+		if err := p.DoArgs("SET", []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replies, err := p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 100 {
+		t.Fatalf("replies = %d", len(replies))
+	}
+	for i, r := range replies {
+		if r.Text() != "OK" {
+			t.Fatalf("reply %d = %+v", i, r)
+		}
+	}
+	v, _ := c.Do("DBSIZE")
+	if v.Int != 100 {
+		t.Fatalf("dbsize = %d", v.Int)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, c := startServer(t, core.Baseline())
+	_, err := c.Do("BOGUS")
+	var se client.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWrongArity(t *testing.T) {
+	_, c := startServer(t, core.Baseline())
+	for _, cmd := range [][]string{
+		{"GET"}, {"SET", "k"}, {"EXPIRE", "k"}, {"GETUSER"}, {"OBJECT", "o"},
+	} {
+		if _, err := c.Do(cmd...); err == nil {
+			t.Errorf("%v accepted", cmd)
+		}
+	}
+}
+
+func TestInfo(t *testing.T) {
+	_, c := startServer(t, core.Strict(""))
+	v, err := c.Do("INFO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"compliant:true", "timing:real-time", "capability:full"} {
+		if !strings.Contains(v.Text(), want) {
+			t.Fatalf("INFO missing %q:\n%s", want, v.Text())
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t, core.Baseline())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cc, err := client.Dial(srv.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cc.Close()
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("g%d-k%d", g, i)
+				if err := cc.Set(k, []byte("v")); err != nil {
+					t.Errorf("set: %v", err)
+					return
+				}
+				if _, err := cc.Get(k); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if srv.Commands() < 1600 {
+		t.Fatalf("commands = %d", srv.Commands())
+	}
+}
+
+func TestBreachOverNetwork(t *testing.T) {
+	_, c := startServer(t, core.Strict(""))
+	setupPrincipals(t, c)
+	c.Do("ACL", "ADDPRINCIPAL", "dpa", "regulator")
+	c.Auth("controller")
+	c.Purpose("billing")
+	c.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "alice", Purposes: "billing", TTLSeconds: 60})
+	c.GGet("k")
+	c.Auth("dpa")
+	from := time.Now().Add(-time.Hour).UTC().Format(time.RFC3339)
+	to := time.Now().Add(time.Hour).UTC().Format(time.RFC3339)
+	v, err := c.Do("BREACH", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(v.Str, []byte("alice")) {
+		t.Fatalf("breach report: %s", v.Str)
+	}
+}
+
+func TestBaselineRejectsGDPRCommands(t *testing.T) {
+	_, c := startServer(t, core.Baseline())
+	_, err := c.GetUser("alice")
+	var se client.ServerError
+	if !errors.As(err, &se) || !strings.HasPrefix(string(se), "BASELINE") {
+		t.Fatalf("err = %v", err)
+	}
+}

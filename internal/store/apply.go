@@ -1,0 +1,100 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+)
+
+// Apply replays one journaled operation without re-journaling it. The AOF
+// loader calls this for every record; unknown operation names are reported
+// so higher layers (which journal their own record types into the same
+// log) can claim them first.
+//
+// Deadlines that have already passed are applied as-is: the key becomes
+// present-but-expired and is reclaimed by the normal lazy/active paths,
+// mirroring how a restarted store re-discovers overdue keys.
+func (db *DB) Apply(name string, args [][]byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch name {
+	case "SET":
+		if len(args) < 2 {
+			return fmt.Errorf("store: apply SET: need 2+ args, got %d", len(args))
+		}
+		key := string(args[0])
+		db.dict[key] = cloneBytes(args[1])
+		keepTTL := len(args) >= 3 && bytes.Equal(args[2], []byte("KEEPTTL"))
+		if !keepTTL {
+			db.removeExpireLocked(key)
+		}
+	case "SETEX":
+		if len(args) != 3 {
+			return fmt.Errorf("store: apply SETEX: need 3 args, got %d", len(args))
+		}
+		deadline, err := DecodeDeadline(args[1])
+		if err != nil {
+			return fmt.Errorf("store: apply SETEX: %w", err)
+		}
+		key := string(args[0])
+		db.dict[key] = cloneBytes(args[2])
+		db.setExpireLocked(key, deadline)
+	case "EXPIREAT":
+		if len(args) != 2 {
+			return fmt.Errorf("store: apply EXPIREAT: need 2 args, got %d", len(args))
+		}
+		deadline, err := DecodeDeadline(args[1])
+		if err != nil {
+			return fmt.Errorf("store: apply EXPIREAT: %w", err)
+		}
+		key := string(args[0])
+		if _, ok := db.dict[key]; ok {
+			db.setExpireLocked(key, deadline)
+		}
+	case "PERSIST":
+		if len(args) != 1 {
+			return fmt.Errorf("store: apply PERSIST: need 1 arg, got %d", len(args))
+		}
+		db.removeExpireLocked(string(args[0]))
+	case "READ":
+		// Monitoring records from JournalReads mode: no state change.
+	case "DEL":
+		for _, a := range args {
+			db.deleteLocked(string(a))
+		}
+	case "FLUSHALL":
+		db.dict = make(map[string][]byte)
+		db.expires = make(map[string]time.Time)
+		db.expireKeys = db.expireKeys[:0]
+		db.expireIdx = make(map[string]int)
+		db.heap = db.heap[:0]
+	default:
+		return fmt.Errorf("store: apply: unknown op %q", name)
+	}
+	return nil
+}
+
+// Snapshot emits the minimal command sequence that reconstructs the current
+// dataset, for AOF rewrite: one SET or SETEX per live key. Expired
+// unreclaimed keys are dropped — after a rewrite, deleted and expired data
+// no longer persists in the log (§4.3's requirement).
+func (db *DB) Snapshot(emit func(name string, args ...[]byte) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clk.Now()
+	for k, v := range db.dict {
+		if t, ok := db.expires[k]; ok {
+			if !t.After(now) {
+				continue // expired: do not resurrect
+			}
+			if err := emit("SETEX", []byte(k), encodeDeadline(t), v); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := emit("SET", []byte(k), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

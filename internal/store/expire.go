@@ -1,0 +1,300 @@
+package store
+
+import "time"
+
+// TTLStatus classifies a TTL query result, mirroring Redis's -2/-1/≥0
+// convention.
+type TTLStatus int
+
+// TTL query results.
+const (
+	// TTLMissing means the key does not exist (Redis returns -2).
+	TTLMissing TTLStatus = iota
+	// TTLNone means the key exists without an expiry (Redis returns -1).
+	TTLNone
+	// TTLSet means the key has the returned time-to-live remaining.
+	TTLSet
+)
+
+// Expire sets a relative TTL on an existing key. It reports whether the key
+// existed.
+func (db *DB) Expire(key string, ttl time.Duration) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.expireAtLocked(key, db.clk.Now().Add(ttl))
+}
+
+// ExpireAt sets an absolute deadline on an existing key. It reports whether
+// the key existed. A deadline in the past deletes the key immediately, as
+// Redis does.
+func (db *DB) ExpireAt(key string, deadline time.Time) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.expireAtLocked(key, deadline)
+}
+
+func (db *DB) expireAtLocked(key string, deadline time.Time) bool {
+	if db.expireIfNeededLocked(key) {
+		return false
+	}
+	if _, ok := db.dict[key]; !ok {
+		return false
+	}
+	if !deadline.After(db.clk.Now()) {
+		db.deleteLocked(key)
+		db.expiredCount++
+		db.logOp("DEL", []byte(key))
+		return true
+	}
+	db.setExpireLocked(key, deadline)
+	db.logOp("EXPIREAT", []byte(key), encodeDeadline(deadline))
+	return true
+}
+
+// Persist removes the TTL from key, reporting whether a TTL was removed.
+func (db *DB) Persist(key string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.expireIfNeededLocked(key) {
+		return false
+	}
+	if _, ok := db.expires[key]; !ok {
+		return false
+	}
+	db.removeExpireLocked(key)
+	db.logOp("PERSIST", []byte(key))
+	return true
+}
+
+// TTL returns the remaining time-to-live of key.
+func (db *DB) TTL(key string) (time.Duration, TTLStatus) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.expireIfNeededLocked(key) {
+		return 0, TTLMissing
+	}
+	if _, ok := db.dict[key]; !ok {
+		return 0, TTLMissing
+	}
+	t, ok := db.expires[key]
+	if !ok {
+		return 0, TTLNone
+	}
+	return t.Sub(db.clk.Now()), TTLSet
+}
+
+// Deadline returns the absolute expiry deadline for key, if one is set.
+func (db *DB) Deadline(key string) (time.Time, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.expires[key]
+	return t, ok
+}
+
+func (db *DB) setExpireLocked(key string, deadline time.Time) {
+	if _, exists := db.expires[key]; !exists {
+		db.expireIdx[key] = len(db.expireKeys)
+		db.expireKeys = append(db.expireKeys, key)
+	}
+	db.expires[key] = deadline
+	if db.strategy == ExpiryHeap {
+		// Stale heap entries for the same key are tolerated: pop validates
+		// against the expires dict before deleting.
+		db.heap.push(heapEntry{deadline: deadline, key: key})
+	}
+}
+
+func (db *DB) removeExpireLocked(key string) {
+	if _, ok := db.expires[key]; !ok {
+		return
+	}
+	delete(db.expires, key)
+	// swap-remove from the sampling slice
+	i := db.expireIdx[key]
+	last := len(db.expireKeys) - 1
+	if i != last {
+		moved := db.expireKeys[last]
+		db.expireKeys[i] = moved
+		db.expireIdx[moved] = i
+	}
+	db.expireKeys = db.expireKeys[:last]
+	delete(db.expireIdx, key)
+	// heap entries are invalidated lazily
+}
+
+// CycleStats reports what one active-expire cycle did.
+type CycleStats struct {
+	// Sampled is the number of keys examined.
+	Sampled int
+	// Expired is the number of keys deleted.
+	Expired int
+	// Loops is the number of sampling iterations performed (the
+	// probabilistic cycle repeats while ≥25% of a sample was expired).
+	Loops int
+}
+
+// ActiveExpireCycle runs one invocation of the configured expiry strategy.
+// Callers are expected to invoke it once per ActiveExpireCyclePeriod, which
+// is what Expirer does.
+func (db *DB) ActiveExpireCycle() CycleStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch db.strategy {
+	case ExpiryFastScan:
+		return db.fastScanCycleLocked()
+	case ExpiryHeap:
+		return db.heapCycleLocked()
+	default:
+		return db.probabilisticCycleLocked()
+	}
+}
+
+// probabilisticCycleLocked is Redis 4.0's activeExpireCycle as described in
+// the paper: sample 20 random keys from the expires dict, delete the
+// expired ones, and repeat immediately while at least 5 of the 20 sampled
+// keys were expired.
+func (db *DB) probabilisticCycleLocked() CycleStats {
+	var st CycleStats
+	for {
+		st.Loops++
+		n := len(db.expireKeys)
+		if n == 0 {
+			return st
+		}
+		lookups := ActiveExpireLookupsPerLoop
+		if n < lookups {
+			lookups = n
+		}
+		expiredThisLoop := 0
+		now := db.clk.Now()
+		for i := 0; i < lookups; i++ {
+			if len(db.expireKeys) == 0 {
+				break
+			}
+			k := db.expireKeys[db.rnd.Intn(len(db.expireKeys))]
+			st.Sampled++
+			if !db.expires[k].After(now) {
+				db.deleteLocked(k)
+				db.expiredCount++
+				db.logOp("DEL", []byte(k))
+				expiredThisLoop++
+				st.Expired++
+			}
+		}
+		if expiredThisLoop < ActiveExpireRepeatThreshold {
+			return st
+		}
+	}
+}
+
+// fastScanCycleLocked is the paper's modification (§4.3): iterate the whole
+// expires dict and erase every key that is due. One pass guarantees that no
+// expired key survives the cycle.
+func (db *DB) fastScanCycleLocked() CycleStats {
+	var st CycleStats
+	st.Loops = 1
+	now := db.clk.Now()
+	var due []string
+	for k, t := range db.expires {
+		st.Sampled++
+		if !t.After(now) {
+			due = append(due, k)
+		}
+	}
+	for _, k := range due {
+		db.deleteLocked(k)
+		db.expiredCount++
+		db.logOp("DEL", []byte(k))
+		st.Expired++
+	}
+	return st
+}
+
+// heapCycleLocked pops due entries off the deadline-ordered min-heap. Heap
+// entries may be stale (the key was deleted or its TTL changed); they are
+// validated against the expires dict before deletion.
+func (db *DB) heapCycleLocked() CycleStats {
+	var st CycleStats
+	st.Loops = 1
+	now := db.clk.Now()
+	for len(db.heap) > 0 {
+		top := db.heap[0]
+		if top.deadline.After(now) {
+			break
+		}
+		db.heap.pop()
+		st.Sampled++
+		cur, ok := db.expires[top.key]
+		if !ok || !cur.Equal(top.deadline) {
+			continue // stale entry
+		}
+		db.deleteLocked(top.key)
+		db.expiredCount++
+		db.logOp("DEL", []byte(top.key))
+		st.Expired++
+	}
+	return st
+}
+
+// ExpiredUnreclaimed returns how many keys are past their deadline but
+// still physically present — the quantity whose decay Figure 2 plots.
+func (db *DB) ExpiredUnreclaimed() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clk.Now()
+	n := 0
+	for _, t := range db.expires {
+		if !t.After(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// heapEntry is one (deadline, key) pair in the expiry min-heap.
+type heapEntry struct {
+	deadline time.Time
+	key      string
+}
+
+// expiryHeap is a binary min-heap ordered by deadline. It is maintained
+// inline (container/heap would force interface boxing on the hot path).
+type expiryHeap []heapEntry
+
+func (h *expiryHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h)[i].deadline.Before((*h)[parent].deadline) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *expiryHeap) pop() heapEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h)[l].deadline.Before((*h)[smallest].deadline) {
+			smallest = l
+		}
+		if r < n && (*h)[r].deadline.Before((*h)[smallest].deadline) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}

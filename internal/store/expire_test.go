@@ -1,0 +1,225 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gdprstore/internal/clock"
+)
+
+// populate loads n keys; fraction shortFrac get shortTTL, the rest longTTL.
+// This is the Figure 2 population: 20% short-term (5 min), 80% long-term
+// (5 days).
+func populate(db *DB, n int, shortFrac float64, shortTTL, longTTL time.Duration) (short int) {
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("user%08d", i)
+		if float64(i%100)/100 < shortFrac {
+			db.SetEX(k, []byte("payload"), shortTTL)
+			short++
+		} else {
+			db.SetEX(k, []byte("payload"), longTTL)
+		}
+	}
+	return short
+}
+
+func TestProbabilisticCycleReclaimsSome(t *testing.T) {
+	db, vc := newTestDB()
+	populate(db, 1000, 0.2, 5*time.Minute, 5*24*time.Hour)
+	vc.Advance(5*time.Minute + time.Second)
+	st := db.ActiveExpireCycle()
+	if st.Expired == 0 {
+		t.Fatal("cycle reclaimed nothing despite 200 expired keys")
+	}
+	if st.Expired >= 200 {
+		t.Fatalf("one probabilistic cycle reclaimed all %d — too aggressive", st.Expired)
+	}
+}
+
+func TestProbabilisticCycleRepeatsWhenDense(t *testing.T) {
+	db, vc := newTestDB()
+	// 100% expired: the loop should repeat (≥5 of 20 expired per sample).
+	populate(db, 500, 1.0, time.Minute, time.Minute)
+	vc.Advance(2 * time.Minute)
+	st := db.ActiveExpireCycle()
+	if st.Loops < 2 {
+		t.Fatalf("loops = %d, want repeats under dense expiry", st.Loops)
+	}
+	// With everything expired the loop only exits once the sample finds
+	// <5 expired, i.e. when nearly everything is gone.
+	if db.ExpiredUnreclaimed() > 20 {
+		t.Fatalf("dense cycle left %d expired keys", db.ExpiredUnreclaimed())
+	}
+}
+
+func TestProbabilisticLagGrowsWithDBSize(t *testing.T) {
+	// The core claim of Figure 2: with a fixed 20% expired fraction, the
+	// number of 100 ms cycles needed to clear the expired keys grows with
+	// total DB size.
+	cyclesFor := func(n int) int {
+		vc := clock.NewVirtual(time.Unix(0, 0))
+		db := New(Options{Clock: vc, Seed: 7, Strategy: ExpiryLazyProbabilistic})
+		populate(db, n, 0.2, 5*time.Minute, 5*24*time.Hour)
+		vc.Advance(5*time.Minute + time.Second)
+		e := NewExpirer(db)
+		cycles := 0
+		for db.ExpiredUnreclaimed() > 0 {
+			e.Step()
+			cycles++
+			if cycles > 2_000_000 {
+				t.Fatal("expiry never completed")
+			}
+		}
+		return cycles
+	}
+	small := cyclesFor(1000)
+	large := cyclesFor(8000)
+	if large <= small {
+		t.Fatalf("erasure lag did not grow with DB size: 1k→%d cycles, 8k→%d cycles", small, large)
+	}
+}
+
+func TestFastScanReclaimsAllInOneCycle(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	db := New(Options{Clock: vc, Seed: 7, Strategy: ExpiryFastScan})
+	short := populate(db, 5000, 0.2, 5*time.Minute, 5*24*time.Hour)
+	vc.Advance(5*time.Minute + time.Second)
+	st := db.ActiveExpireCycle()
+	if st.Expired != short {
+		t.Fatalf("fast scan reclaimed %d, want %d", st.Expired, short)
+	}
+	if db.ExpiredUnreclaimed() != 0 {
+		t.Fatal("fast scan left expired keys")
+	}
+	if st.Loops != 1 {
+		t.Fatalf("fast scan loops = %d", st.Loops)
+	}
+}
+
+func TestHeapStrategyReclaimsAllInOneCycle(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	db := New(Options{Clock: vc, Seed: 7, Strategy: ExpiryHeap})
+	short := populate(db, 5000, 0.2, 5*time.Minute, 5*24*time.Hour)
+	vc.Advance(5*time.Minute + time.Second)
+	st := db.ActiveExpireCycle()
+	if st.Expired != short {
+		t.Fatalf("heap reclaimed %d, want %d", st.Expired, short)
+	}
+	// The heap must not have touched the long-term keys.
+	if db.RawLen() != 5000-short {
+		t.Fatalf("raw len = %d", db.RawLen())
+	}
+}
+
+func TestHeapStaleEntriesSkipped(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	db := New(Options{Clock: vc, Seed: 7, Strategy: ExpiryHeap})
+	db.SetEX("k", []byte("v"), time.Minute)
+	db.Expire("k", time.Hour) // heap now has a stale 1-minute entry
+	vc.Advance(2 * time.Minute)
+	st := db.ActiveExpireCycle()
+	if st.Expired != 0 {
+		t.Fatal("stale heap entry deleted a live key")
+	}
+	if !db.Exists("k") {
+		t.Fatal("key with extended TTL vanished")
+	}
+	vc.Advance(time.Hour)
+	st = db.ActiveExpireCycle()
+	if st.Expired != 1 {
+		t.Fatalf("heap missed the real deadline, expired=%d", st.Expired)
+	}
+}
+
+func TestSetStrategyRebuildsHeap(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	db := New(Options{Clock: vc, Seed: 7, Strategy: ExpiryLazyProbabilistic})
+	populate(db, 100, 1.0, time.Minute, time.Minute)
+	db.SetStrategy(ExpiryHeap)
+	vc.Advance(2 * time.Minute)
+	st := db.ActiveExpireCycle()
+	if st.Expired != 100 {
+		t.Fatalf("rebuilt heap reclaimed %d, want 100", st.Expired)
+	}
+}
+
+func TestHeapOrderProperty(t *testing.T) {
+	// Property: popping the expiry heap yields deadlines in nondecreasing
+	// order regardless of push order.
+	f := func(offsets []int16) bool {
+		var h expiryHeap
+		base := time.Unix(10000, 0)
+		for i, off := range offsets {
+			h.push(heapEntry{deadline: base.Add(time.Duration(off) * time.Second), key: fmt.Sprint(i)})
+		}
+		var got []time.Time
+		for len(h) > 0 {
+			got = append(got, h.pop().deadline)
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Before(got[j]) })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpirerStep(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	db := New(Options{Clock: vc, Seed: 7, Strategy: ExpiryFastScan})
+	db.SetEX("k", []byte("v"), 150*time.Millisecond)
+	e := NewExpirer(db)
+	e.Step() // advances to 100ms: not yet due
+	if db.RawLen() != 1 {
+		t.Fatal("expired too early")
+	}
+	e.Step() // 200ms: due
+	if db.RawLen() != 0 {
+		t.Fatal("fast scan step missed the key")
+	}
+	if e.Cycles() != 2 || e.Expired() != 1 {
+		t.Fatalf("cycles=%d expired=%d", e.Cycles(), e.Expired())
+	}
+}
+
+func TestExpirerStepPanicsOnWallClock(t *testing.T) {
+	db := New(Options{})
+	e := NewExpirer(db)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step on wall clock did not panic")
+		}
+	}()
+	e.Step()
+}
+
+func TestExpirerRunStop(t *testing.T) {
+	db := New(Options{Strategy: ExpiryFastScan})
+	db.SetEX("k", []byte("v"), 50*time.Millisecond)
+	e := NewExpirerPeriod(db, 10*time.Millisecond)
+	e.Run()
+	e.Run() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for db.RawLen() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	e.Stop()
+	e.Stop() // idempotent
+	if db.RawLen() != 0 {
+		t.Fatal("background expirer never reclaimed the key")
+	}
+}
+
+func TestDeadlineAccessor(t *testing.T) {
+	db, vc := newTestDB()
+	db.SetEX("k", []byte("v"), time.Minute)
+	d, ok := db.Deadline("k")
+	if !ok || !d.Equal(vc.Now().Add(time.Minute)) {
+		t.Fatalf("Deadline = %v, %v", d, ok)
+	}
+	if _, ok := db.Deadline("missing"); ok {
+		t.Fatal("Deadline for missing key")
+	}
+}

@@ -1,0 +1,393 @@
+// Package store implements the key-value storage engine that stands in for
+// Redis v4.0.11 in this reproduction. It models the pieces of Redis that the
+// paper's experiments depend on:
+//
+//   - a hash-table keyspace (dict) plus a separate expires dict, exactly
+//     Redis's two-table layout;
+//   - lazy expiration on access, plus Redis's probabilistic active-expire
+//     cycle (every 100 ms sample 20 keys with TTLs, delete the expired ones,
+//     and repeat immediately while ≥5 of the 20 were expired) — the
+//     algorithm whose erasure lag Figure 2 measures;
+//   - the paper's modification: a full-scan "fast active expiry" that erases
+//     every expired key in one pass, giving sub-second erasure up to 1M keys;
+//   - an expiry-heap strategy (our ablation) that achieves timely deletion
+//     without full scans;
+//   - deletion primitives DEL/UNLINK/FLUSHALL and TTL primitives
+//     EXPIRE/EXPIREAT/PERSIST/TTL.
+//
+// The engine takes a clock.Clock so expiry behaviour can be driven by
+// virtual time in tests and experiments.
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gdprstore/internal/clock"
+)
+
+// Journal receives every mutating operation the engine performs, including
+// deletions generated internally by expiry. The AOF and audit subsystems
+// attach here. Implementations must tolerate being called with the DB lock
+// held and must not call back into the DB.
+type Journal interface {
+	AppendOp(name string, args ...[]byte) error
+}
+
+// JournalFunc adapts a function to the Journal interface.
+type JournalFunc func(name string, args ...[]byte) error
+
+// AppendOp implements Journal.
+func (f JournalFunc) AppendOp(name string, args ...[]byte) error { return f(name, args...) }
+
+// ExpiryStrategy selects how the active-expire cycle finds expired keys.
+type ExpiryStrategy int
+
+// Available expiry strategies.
+const (
+	// ExpiryLazyProbabilistic is Redis's algorithm: periodic random
+	// sampling; expired keys may linger for hours (Figure 2).
+	ExpiryLazyProbabilistic ExpiryStrategy = iota
+	// ExpiryFastScan is the paper's modification: scan the entire expires
+	// dict each cycle and erase everything due.
+	ExpiryFastScan
+	// ExpiryHeap is this repository's extension: a min-heap ordered by
+	// deadline pops exactly the due keys in O(k log n).
+	ExpiryHeap
+)
+
+// String returns the strategy name.
+func (s ExpiryStrategy) String() string {
+	switch s {
+	case ExpiryLazyProbabilistic:
+		return "lazy-probabilistic"
+	case ExpiryFastScan:
+		return "fast-scan"
+	case ExpiryHeap:
+		return "expiry-heap"
+	default:
+		return "unknown"
+	}
+}
+
+// Constants of the Redis 4.0 active expire cycle, as described in §4.3 of
+// the paper: once every 100 ms sample 20 random keys from the expires set;
+// delete the expired ones; if ≥5 were deleted, repeat immediately.
+const (
+	// ActiveExpireCyclePeriod is the interval between cycle invocations.
+	ActiveExpireCyclePeriod = 100 * time.Millisecond
+	// ActiveExpireLookupsPerLoop is the sample size per loop iteration.
+	ActiveExpireLookupsPerLoop = 20
+	// ActiveExpireRepeatThreshold is the number of expired keys per sample
+	// at which the loop repeats without waiting for the next period.
+	ActiveExpireRepeatThreshold = ActiveExpireLookupsPerLoop / 4
+)
+
+// ErrNoKey is returned by operations that require an existing key.
+var ErrNoKey = errors.New("store: no such key")
+
+// DB is a single keyspace. All methods are safe for concurrent use; the
+// engine serialises access with one lock, mirroring Redis's single-threaded
+// command execution.
+type DB struct {
+	mu      sync.Mutex
+	dict    map[string][]byte
+	expires map[string]time.Time
+
+	// expireKeys/expireIdx mirror the expires dict as a slice so the
+	// probabilistic cycle can sample uniformly at random in O(1), the way
+	// dictGetRandomKey does in Redis.
+	expireKeys []string
+	expireIdx  map[string]int
+
+	heap expiryHeap // used only by ExpiryHeap strategy
+
+	clk          clock.Clock
+	rnd          *rand.Rand
+	strategy     ExpiryStrategy
+	journal      Journal
+	journalReads bool
+
+	// stats
+	expiredCount uint64 // keys removed by expiry (lazy or active)
+}
+
+// Options configures a DB.
+type Options struct {
+	// Clock supplies time; defaults to the wall clock.
+	Clock clock.Clock
+	// Seed seeds the sampling RNG for deterministic experiments; 0 means a
+	// fixed default seed (the engine is deterministic by default so that
+	// Figure 2 runs are repeatable).
+	Seed int64
+	// Strategy selects the active-expiry algorithm.
+	Strategy ExpiryStrategy
+	// JournalReads reproduces the paper's §4.1 modification: the AOF
+	// normally records only mutations, so the retrofit extends it to log
+	// every interaction — each Get/Exists emits a READ record to the
+	// journal, turning every read into a read followed by a logging write.
+	JournalReads bool
+}
+
+// New creates an empty DB.
+func New(opts Options) *DB {
+	if opts.Clock == nil {
+		opts.Clock = clock.NewWall()
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &DB{
+		dict:         make(map[string][]byte),
+		expires:      make(map[string]time.Time),
+		expireIdx:    make(map[string]int),
+		clk:          opts.Clock,
+		rnd:          rand.New(rand.NewSource(seed)),
+		strategy:     opts.Strategy,
+		journalReads: opts.JournalReads,
+	}
+}
+
+// SetJournal attaches a journal that observes every mutation. Pass nil to
+// detach.
+func (db *DB) SetJournal(j Journal) {
+	db.mu.Lock()
+	db.journal = j
+	db.mu.Unlock()
+}
+
+// Strategy returns the configured expiry strategy.
+func (db *DB) Strategy() ExpiryStrategy {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.strategy
+}
+
+// SetStrategy switches the expiry strategy. Switching to ExpiryHeap
+// rebuilds the heap from the expires dict.
+func (db *DB) SetStrategy(s ExpiryStrategy) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.strategy = s
+	if s == ExpiryHeap {
+		db.heap = db.heap[:0]
+		for k, t := range db.expires {
+			db.heap.push(heapEntry{deadline: t, key: k})
+		}
+	}
+}
+
+func (db *DB) logOp(name string, args ...[]byte) {
+	if db.journal != nil {
+		// Journal errors are surfaced by the journal's own health API (the
+		// AOF keeps its last error); the engine keeps serving, as Redis does
+		// with appendfsync errors.
+		_ = db.journal.AppendOp(name, args...)
+	}
+}
+
+// Set stores value under key, clearing any TTL (Redis SET semantics).
+func (db *DB) Set(key string, value []byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.dict[key] = cloneBytes(value)
+	db.removeExpireLocked(key)
+	db.logOp("SET", []byte(key), value)
+}
+
+// SetEX stores value under key with a relative TTL.
+func (db *DB) SetEX(key string, value []byte, ttl time.Duration) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.dict[key] = cloneBytes(value)
+	db.setExpireLocked(key, db.clk.Now().Add(ttl))
+	db.logOp("SETEX", []byte(key), encodeDeadline(db.expires[key]), value)
+}
+
+// SetKeepTTL stores value under key preserving an existing TTL (Redis SET
+// ... KEEPTTL).
+func (db *DB) SetKeepTTL(key string, value []byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.dict[key] = cloneBytes(value)
+	db.logOp("SET", []byte(key), value, []byte("KEEPTTL"))
+}
+
+// Get returns the value stored at key. Expired keys are lazily deleted on
+// access and reported as missing, exactly as Redis does.
+func (db *DB) Get(key string) ([]byte, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.expireIfNeededLocked(key) {
+		db.logReadLocked(key)
+		return nil, false
+	}
+	v, ok := db.dict[key]
+	db.logReadLocked(key)
+	if !ok {
+		return nil, false
+	}
+	return cloneBytes(v), true
+}
+
+// GetNoCopy is Get without the defensive copy; callers must not retain or
+// mutate the returned slice. It exists for the benchmark hot path.
+func (db *DB) GetNoCopy(key string) ([]byte, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.expireIfNeededLocked(key) {
+		db.logReadLocked(key)
+		return nil, false
+	}
+	v, ok := db.dict[key]
+	db.logReadLocked(key)
+	return v, ok
+}
+
+// logReadLocked emits a READ record when read-journaling is on (§4.1's
+// "every read operation now has to be followed by a logging-write").
+func (db *DB) logReadLocked(key string) {
+	if db.journalReads {
+		db.logOp("READ", []byte(key))
+	}
+}
+
+// Exists reports whether key exists (and is not expired).
+func (db *DB) Exists(key string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.expireIfNeededLocked(key) {
+		return false
+	}
+	_, ok := db.dict[key]
+	return ok
+}
+
+// Del removes the given keys and returns how many existed. It matches both
+// DEL and UNLINK (the engine frees memory synchronously either way; the
+// distinction matters only for real Redis's background reclamation).
+func (db *DB) Del(keys ...string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for _, k := range keys {
+		if db.expireIfNeededLocked(k) {
+			continue
+		}
+		if _, ok := db.dict[k]; ok {
+			db.deleteLocked(k)
+			db.logOp("DEL", []byte(k))
+			n++
+		}
+	}
+	return n
+}
+
+// FlushAll removes every key.
+func (db *DB) FlushAll() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.dict = make(map[string][]byte)
+	db.expires = make(map[string]time.Time)
+	db.expireKeys = db.expireKeys[:0]
+	db.expireIdx = make(map[string]int)
+	db.heap = db.heap[:0]
+	db.logOp("FLUSHALL")
+}
+
+// Len returns the number of live keys, not counting keys that have expired
+// but not yet been reclaimed (to observe the reclamation lag itself, use
+// RawLen).
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.clk.Now()
+	n := len(db.dict)
+	for _, t := range db.expires {
+		if !t.After(now) {
+			n--
+		}
+	}
+	return n
+}
+
+// RawLen returns the number of keys physically present in the dict,
+// including expired-but-unreclaimed keys. Figure 2 measures how long
+// RawLen stays above Len.
+func (db *DB) RawLen() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.dict)
+}
+
+// ExpireLen returns the number of keys carrying a TTL (expired or not).
+func (db *DB) ExpireLen() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.expires)
+}
+
+// ExpiredCount returns the cumulative number of keys reclaimed by expiry.
+func (db *DB) ExpiredCount() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.expiredCount
+}
+
+// RandomKey returns a uniformly random live key, or false if the DB is
+// empty. Used by workloads and by tests.
+func (db *DB) RandomKey() (string, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for k := range db.dict {
+		if db.expireIfNeededLocked(k) {
+			continue
+		}
+		return k, true
+	}
+	return "", false
+}
+
+// deleteLocked removes key from every internal structure.
+func (db *DB) deleteLocked(key string) {
+	delete(db.dict, key)
+	db.removeExpireLocked(key)
+}
+
+// expireIfNeededLocked lazily deletes key if its TTL has passed. It returns
+// true if the key was expired (and is now gone).
+func (db *DB) expireIfNeededLocked(key string) bool {
+	t, ok := db.expires[key]
+	if !ok {
+		return false
+	}
+	if t.After(db.clk.Now()) {
+		return false
+	}
+	db.deleteLocked(key)
+	db.expiredCount++
+	db.logOp("DEL", []byte(key))
+	return true
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func encodeDeadline(t time.Time) []byte {
+	return []byte(t.UTC().Format(time.RFC3339Nano))
+}
+
+// DecodeDeadline parses a deadline encoded by the journal (SETEX/EXPIREAT
+// records). It is exported for the AOF loader.
+func DecodeDeadline(b []byte) (time.Time, error) {
+	return time.Parse(time.RFC3339Nano, string(b))
+}

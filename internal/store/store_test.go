@@ -1,0 +1,277 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gdprstore/internal/clock"
+)
+
+func newTestDB() (*DB, *clock.Virtual) {
+	vc := clock.NewVirtual(time.Date(2019, 5, 16, 0, 0, 0, 0, time.UTC))
+	return New(Options{Clock: vc, Seed: 42}), vc
+}
+
+func TestSetGet(t *testing.T) {
+	db, _ := newTestDB()
+	db.Set("k", []byte("v"))
+	got, ok := db.Get("k")
+	if !ok || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	db, _ := newTestDB()
+	if _, ok := db.Get("nope"); ok {
+		t.Fatal("missing key reported present")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	db, _ := newTestDB()
+	db.Set("k", []byte("abc"))
+	v, _ := db.Get("k")
+	v[0] = 'X'
+	again, _ := db.Get("k")
+	if !bytes.Equal(again, []byte("abc")) {
+		t.Fatal("Get leaked internal buffer")
+	}
+}
+
+func TestSetClearsTTL(t *testing.T) {
+	db, vc := newTestDB()
+	db.SetEX("k", []byte("v"), time.Minute)
+	db.Set("k", []byte("v2")) // plain SET must clear TTL, as in Redis
+	vc.Advance(2 * time.Minute)
+	if _, ok := db.Get("k"); !ok {
+		t.Fatal("SET did not clear TTL")
+	}
+}
+
+func TestSetKeepTTL(t *testing.T) {
+	db, vc := newTestDB()
+	db.SetEX("k", []byte("v"), time.Minute)
+	db.SetKeepTTL("k", []byte("v2"))
+	if _, st := db.TTL("k"); st != TTLSet {
+		t.Fatal("KEEPTTL dropped the TTL")
+	}
+	vc.Advance(2 * time.Minute)
+	if _, ok := db.Get("k"); ok {
+		t.Fatal("key survived its kept TTL")
+	}
+}
+
+func TestDel(t *testing.T) {
+	db, _ := newTestDB()
+	db.Set("a", []byte("1"))
+	db.Set("b", []byte("2"))
+	if n := db.Del("a", "b", "c"); n != 2 {
+		t.Fatalf("Del = %d, want 2", n)
+	}
+	if db.Exists("a") || db.Exists("b") {
+		t.Fatal("deleted keys still exist")
+	}
+}
+
+func TestLazyExpiry(t *testing.T) {
+	db, vc := newTestDB()
+	db.SetEX("k", []byte("v"), time.Minute)
+	if !db.Exists("k") {
+		t.Fatal("key should exist before expiry")
+	}
+	vc.Advance(61 * time.Second)
+	if db.RawLen() != 1 {
+		t.Fatal("key should still be physically present (lazy)")
+	}
+	if _, ok := db.Get("k"); ok {
+		t.Fatal("expired key served")
+	}
+	if db.RawLen() != 0 {
+		t.Fatal("lazy expiry did not reclaim on access")
+	}
+	if db.ExpiredCount() != 1 {
+		t.Fatalf("expired count = %d", db.ExpiredCount())
+	}
+}
+
+func TestExpireOnMissingKey(t *testing.T) {
+	db, _ := newTestDB()
+	if db.Expire("nope", time.Minute) {
+		t.Fatal("Expire on missing key returned true")
+	}
+}
+
+func TestExpirePastDeadlineDeletesImmediately(t *testing.T) {
+	db, vc := newTestDB()
+	db.Set("k", []byte("v"))
+	if !db.ExpireAt("k", vc.Now().Add(-time.Second)) {
+		t.Fatal("ExpireAt returned false for existing key")
+	}
+	if db.RawLen() != 0 {
+		t.Fatal("past deadline must delete immediately")
+	}
+}
+
+func TestPersist(t *testing.T) {
+	db, vc := newTestDB()
+	db.SetEX("k", []byte("v"), time.Minute)
+	if !db.Persist("k") {
+		t.Fatal("Persist returned false")
+	}
+	vc.Advance(time.Hour)
+	if !db.Exists("k") {
+		t.Fatal("persisted key expired")
+	}
+	if db.Persist("k") {
+		t.Fatal("second Persist should return false (no TTL)")
+	}
+}
+
+func TestTTLStatuses(t *testing.T) {
+	db, _ := newTestDB()
+	if _, st := db.TTL("missing"); st != TTLMissing {
+		t.Fatalf("status = %v, want missing", st)
+	}
+	db.Set("plain", []byte("v"))
+	if _, st := db.TTL("plain"); st != TTLNone {
+		t.Fatalf("status = %v, want none", st)
+	}
+	db.SetEX("ttl", []byte("v"), time.Minute)
+	d, st := db.TTL("ttl")
+	if st != TTLSet || d != time.Minute {
+		t.Fatalf("TTL = %v, %v", d, st)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	db, _ := newTestDB()
+	db.Set("a", []byte("1"))
+	db.SetEX("b", []byte("2"), time.Minute)
+	db.FlushAll()
+	if db.RawLen() != 0 || db.ExpireLen() != 0 {
+		t.Fatal("FlushAll left residue")
+	}
+}
+
+func TestLenExcludesExpired(t *testing.T) {
+	db, vc := newTestDB()
+	db.Set("live", []byte("1"))
+	db.SetEX("dead", []byte("2"), time.Second)
+	vc.Advance(2 * time.Second)
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len())
+	}
+	if db.RawLen() != 2 {
+		t.Fatalf("RawLen = %d, want 2", db.RawLen())
+	}
+}
+
+func TestRandomKey(t *testing.T) {
+	db, _ := newTestDB()
+	if _, ok := db.RandomKey(); ok {
+		t.Fatal("RandomKey on empty DB")
+	}
+	db.Set("only", []byte("1"))
+	k, ok := db.RandomKey()
+	if !ok || k != "only" {
+		t.Fatalf("RandomKey = %q, %v", k, ok)
+	}
+}
+
+func TestJournalReceivesOps(t *testing.T) {
+	db, vc := newTestDB()
+	var ops []string
+	db.SetJournal(JournalFunc(func(name string, args ...[]byte) error {
+		ops = append(ops, name)
+		return nil
+	}))
+	db.Set("a", []byte("1"))
+	db.SetEX("b", []byte("2"), time.Second)
+	db.Del("a")
+	vc.Advance(2 * time.Second)
+	db.Get("b") // lazy expiry emits DEL
+	want := []string{"SET", "SETEX", "DEL", "DEL"}
+	if fmt.Sprint(ops) != fmt.Sprint(want) {
+		t.Fatalf("journal ops = %v, want %v", ops, want)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New(Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d-%d", g, i)
+				db.Set(k, []byte("v"))
+				db.Get(k)
+				db.Expire(k, time.Hour)
+				db.Del(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.RawLen() != 0 {
+		t.Fatalf("residue after concurrent churn: %d", db.RawLen())
+	}
+}
+
+func TestExpireSampleSliceConsistency(t *testing.T) {
+	// Property: after an arbitrary interleaving of SetEX/Del/Persist, the
+	// sampling slice and the expires dict must describe the same key set.
+	f := func(ops []uint8) bool {
+		db, _ := newTestDB()
+		for i, op := range ops {
+			k := fmt.Sprintf("k%d", int(op)%10)
+			switch i % 4 {
+			case 0:
+				db.SetEX(k, []byte("v"), time.Hour)
+			case 1:
+				db.Set(k, []byte("v"))
+			case 2:
+				db.Del(k)
+			case 3:
+				db.Persist(k)
+			}
+		}
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if len(db.expireKeys) != len(db.expires) {
+			return false
+		}
+		for _, k := range db.expireKeys {
+			if _, ok := db.expires[k]; !ok {
+				return false
+			}
+		}
+		for k, i := range db.expireIdx {
+			if db.expireKeys[i] != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[ExpiryStrategy]string{
+		ExpiryLazyProbabilistic: "lazy-probabilistic",
+		ExpiryFastScan:          "fast-scan",
+		ExpiryHeap:              "expiry-heap",
+		ExpiryStrategy(99):      "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package tlsproxy reproduces the paper's §4.2 in-transit encryption setup:
+// the authors wrapped Redis traffic in TLS with stunnel, a pair of proxies
+// that tunnel plaintext TCP through a TLS connection:
+//
+//	client app ──plain──▶ client proxy ══TLS══▶ server proxy ──plain──▶ server
+//
+// This package implements both proxy halves with crypto/tls and a
+// self-signed certificate generated at startup, plus an optional bandwidth
+// throttle that models the 44 Gbps → 4.9 Gbps collapse the authors measured
+// on their testbed network.
+package tlsproxy
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+)
+
+// GenerateCert creates a self-signed TLS certificate for 127.0.0.1,
+// standing in for the certificates the stunnel deployment would use.
+func GenerateCert() (tls.Certificate, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("tlsproxy: keygen: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "gdprstore-tunnel"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * 365 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IPAddresses:  []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+		DNSNames:     []string{"localhost"},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &priv.PublicKey, priv)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("tlsproxy: cert: %w", err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: priv}, nil
+}
+
+// Throttle limits tunnel bandwidth to model a constrained network path.
+// BytesPerSec <= 0 means unlimited.
+type Throttle struct {
+	BytesPerSec int64
+}
+
+// Proxy is one tunnel endpoint. Construct with NewServerProxy or
+// NewClientProxy and stop with Close.
+type Proxy struct {
+	ln       net.Listener
+	dialAddr string
+	dialTLS  *tls.Config // nil for plain dial (server side dials backend)
+	throttle Throttle
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	bytesUp   int64
+	bytesDown int64
+}
+
+// NewServerProxy listens for TLS connections on listenAddr and forwards the
+// decrypted stream to the plaintext backend at backendAddr (the storage
+// server). It is the stunnel "server mode" half.
+func NewServerProxy(listenAddr, backendAddr string, cert tls.Certificate, th Throttle) (*Proxy, error) {
+	cfg := &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
+	ln, err := tls.Listen("tcp", listenAddr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("tlsproxy: listen: %w", err)
+	}
+	p := &Proxy{ln: ln, dialAddr: backendAddr, throttle: th, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// NewClientProxy listens for plaintext connections on listenAddr and
+// forwards each through a TLS connection to the remote (server-proxy)
+// address. It is the stunnel "client mode" half. The root pool must trust
+// the server proxy's certificate; pass nil to skip verification only in
+// tests.
+func NewClientProxy(listenAddr, remoteAddr string, roots *x509.CertPool, th Throttle) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tlsproxy: listen: %w", err)
+	}
+	cfg := &tls.Config{MinVersion: tls.VersionTLS12}
+	if roots != nil {
+		cfg.RootCAs = roots
+		cfg.ServerName = "localhost"
+	} else {
+		cfg.InsecureSkipVerify = true
+	}
+	p := &Proxy{ln: ln, dialAddr: remoteAddr, dialTLS: cfg, throttle: th, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			return
+		}
+		p.conns[c] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.handle(c)
+	}
+}
+
+func (p *Proxy) handle(in net.Conn) {
+	defer p.wg.Done()
+	defer p.forget(in)
+	defer in.Close()
+
+	var out net.Conn
+	var err error
+	if p.dialTLS != nil {
+		out, err = tls.Dial("tcp", p.dialAddr, p.dialTLS)
+	} else {
+		out, err = net.Dial("tcp", p.dialAddr)
+	}
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		out.Close()
+		return
+	}
+	p.conns[out] = struct{}{}
+	p.mu.Unlock()
+	defer p.forget(out)
+	defer out.Close()
+
+	done := make(chan struct{}, 2)
+	go func() {
+		n := p.pipe(out, in)
+		p.addBytes(&p.bytesUp, n)
+		// half-close toward the backend so request streams terminate
+		if cw, ok := out.(interface{ CloseWrite() error }); ok {
+			cw.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		n := p.pipe(in, out)
+		p.addBytes(&p.bytesDown, n)
+		if cw, ok := in.(interface{ CloseWrite() error }); ok {
+			cw.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) addBytes(field *int64, n int64) {
+	p.mu.Lock()
+	*field += n
+	p.mu.Unlock()
+}
+
+// pipe copies src to dst, applying the bandwidth throttle, and returns the
+// byte count.
+func (p *Proxy) pipe(dst io.Writer, src io.Reader) int64 {
+	if p.throttle.BytesPerSec <= 0 {
+		n, _ := io.Copy(dst, src)
+		return n
+	}
+	// Token-bucket style pacing in 64 KiB chunks.
+	const chunk = 64 * 1024
+	buf := make([]byte, chunk)
+	var total int64
+	start := time.Now()
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return total
+			}
+			total += int64(n)
+			// Sleep until the pace catches up with the budget.
+			allowed := time.Duration(float64(total) / float64(p.throttle.BytesPerSec) * float64(time.Second))
+			if elapsed := time.Since(start); allowed > elapsed {
+				time.Sleep(allowed - elapsed)
+			}
+		}
+		if err != nil {
+			return total
+		}
+	}
+}
+
+// Stats returns bytes forwarded in each direction.
+func (p *Proxy) Stats() (up, down int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytesUp, p.bytesDown
+}
+
+// Close stops accepting, closes every active connection, and waits for
+// handlers to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// Tunnel is a ready-made stunnel pair: client proxy -> TLS -> server proxy
+// -> backend. It is what the Figure 1 "LUKS + TLS" configuration routes
+// traffic through.
+type Tunnel struct {
+	Server *Proxy
+	Client *Proxy
+}
+
+// NewTunnel builds a loopback tunnel in front of backendAddr and returns
+// it. Dial the returned Tunnel.Client.Addr() instead of the backend.
+func NewTunnel(backendAddr string, th Throttle) (*Tunnel, error) {
+	cert, err := GenerateCert()
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := x509.ParseCertificate(cert.Certificate[0])
+	if err != nil {
+		return nil, err
+	}
+	roots := x509.NewCertPool()
+	roots.AddCert(leaf)
+
+	srv, err := NewServerProxy("127.0.0.1:0", backendAddr, cert, th)
+	if err != nil {
+		return nil, err
+	}
+	cli, err := NewClientProxy("127.0.0.1:0", srv.Addr(), roots, th)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &Tunnel{Server: srv, Client: cli}, nil
+}
+
+// Addr returns the address applications should dial (the client proxy).
+func (t *Tunnel) Addr() string { return t.Client.Addr() }
+
+// Close shuts down both halves.
+func (t *Tunnel) Close() error {
+	err1 := t.Client.Close()
+	err2 := t.Server.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

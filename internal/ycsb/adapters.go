@@ -1,0 +1,149 @@
+package ycsb
+
+import (
+	"errors"
+
+	"gdprstore/internal/client"
+	"gdprstore/internal/core"
+)
+
+// EmbeddedDB drives a core.Store in-process through the baseline
+// (non-GDPR) path — Figure 1's "Unmodified" configuration when the store
+// is opened with core.Baseline().
+type EmbeddedDB struct {
+	store *core.Store
+}
+
+// NewEmbeddedDB wraps st. Close does not close the store (shared across
+// workers).
+func NewEmbeddedDB(st *core.Store) *EmbeddedDB { return &EmbeddedDB{store: st} }
+
+// Read implements DB. Missing keys are not errors: YCSB counts them as
+// completed reads, and zipfian+inserts make occasional misses expected.
+func (e *EmbeddedDB) Read(key string) error {
+	_, err := e.store.Get(core.Ctx{}, key)
+	if err != nil && !errors.Is(err, core.ErrNotFound) {
+		return err
+	}
+	return nil
+}
+
+// Update implements DB.
+func (e *EmbeddedDB) Update(key string, value []byte) error {
+	return e.store.Put(core.Ctx{}, key, value, core.PutOptions{})
+}
+
+// Insert implements DB.
+func (e *EmbeddedDB) Insert(key string, value []byte) error {
+	return e.store.Put(core.Ctx{}, key, value, core.PutOptions{})
+}
+
+// Scan implements DB using the engine's ordered scan.
+func (e *EmbeddedDB) Scan(startKey string, count int) error {
+	n := 0
+	e.store.Engine().RangeKeys(func(k string, v []byte) bool {
+		if k >= startKey {
+			n++
+		}
+		return n < count
+	})
+	return nil
+}
+
+// Close implements DB (no-op; the store is shared).
+func (e *EmbeddedDB) Close() error { return nil }
+
+// GDPRDB drives the compliance path of a core.Store: every operation
+// carries an actor and purpose, records carry owner/purpose/TTL metadata,
+// and the configured audit/encryption/expiry machinery is on the hot path.
+type GDPRDB struct {
+	store *core.Store
+	ctx   core.Ctx
+	opts  core.PutOptions
+}
+
+// NewGDPRDB wraps st with the given operation context and write metadata.
+func NewGDPRDB(st *core.Store, ctx core.Ctx, opts core.PutOptions) *GDPRDB {
+	return &GDPRDB{store: st, ctx: ctx, opts: opts}
+}
+
+// Read implements DB.
+func (g *GDPRDB) Read(key string) error {
+	_, err := g.store.Get(g.ctx, key)
+	if err != nil && !errors.Is(err, core.ErrNotFound) {
+		return err
+	}
+	return nil
+}
+
+// Update implements DB.
+func (g *GDPRDB) Update(key string, value []byte) error {
+	return g.store.Put(g.ctx, key, value, g.opts)
+}
+
+// Insert implements DB.
+func (g *GDPRDB) Insert(key string, value []byte) error {
+	return g.store.Put(g.ctx, key, value, g.opts)
+}
+
+// Scan implements DB.
+func (g *GDPRDB) Scan(startKey string, count int) error {
+	n := 0
+	g.store.Engine().RangeKeys(func(k string, v []byte) bool {
+		if k >= startKey {
+			n++
+		}
+		return n < count
+	})
+	return nil
+}
+
+// Close implements DB (no-op; the store is shared).
+func (g *GDPRDB) Close() error { return nil }
+
+// NetworkDB drives a gdprstore server over TCP (optionally through the
+// TLS tunnel), the topology the paper's YCSB deployment used against
+// Redis.
+type NetworkDB struct {
+	c *client.Client
+}
+
+// DialNetworkDB opens a connection to addr.
+func DialNetworkDB(addr string) (*NetworkDB, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &NetworkDB{c: c}, nil
+}
+
+// Read implements DB.
+func (n *NetworkDB) Read(key string) error {
+	_, err := n.c.Get(key)
+	if errors.Is(err, client.ErrNil) {
+		return nil
+	}
+	return err
+}
+
+// Update implements DB.
+func (n *NetworkDB) Update(key string, value []byte) error {
+	return n.c.Set(key, value)
+}
+
+// Insert implements DB.
+func (n *NetworkDB) Insert(key string, value []byte) error {
+	return n.c.Set(key, value)
+}
+
+// Scan implements DB.
+func (n *NetworkDB) Scan(startKey string, count int) error {
+	// SCAN-by-prefix from an arbitrary start key is approximated with a
+	// MATCH over the shared prefix; YCSB only measures the latency of
+	// fetching ~count keys, which this preserves.
+	_, _, err := n.c.Scan(0, "user*", count)
+	return err
+}
+
+// Close implements DB.
+func (n *NetworkDB) Close() error { return n.c.Close() }

@@ -1,0 +1,206 @@
+// Package ycsb reimplements the Yahoo! Cloud Serving Benchmark core
+// workloads (Cooper et al., SoCC '10) — the harness the paper uses for
+// every throughput number in Figure 1. It provides the standard key-choice
+// generators (zipfian with YCSB's scrambling, latest, uniform), the core
+// workload definitions A–F with their load phases, and a multi-worker
+// runner with per-operation latency histograms.
+package ycsb
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Generator produces the next item index for a request distribution.
+type Generator interface {
+	// Next returns an item in [0, n) where n is the generator's item count
+	// at the time of the call.
+	Next(r *rand.Rand) int64
+}
+
+// UniformGenerator picks uniformly from [0, N).
+type UniformGenerator struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// NewUniform creates a uniform generator over [0, n).
+func NewUniform(n int64) *UniformGenerator { return &UniformGenerator{n: n} }
+
+// Next implements Generator.
+func (g *UniformGenerator) Next(r *rand.Rand) int64 {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return r.Int63n(n)
+}
+
+// Grow extends the item space (after inserts).
+func (g *UniformGenerator) Grow() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// ZipfianConstant is YCSB's default skew (θ).
+const ZipfianConstant = 0.99
+
+// ZipfianGenerator implements the incremental zipfian algorithm from Gray
+// et al. "Quickly Generating Billion-Record Synthetic Databases", as used
+// by YCSB. Item 0 is the most popular.
+type ZipfianGenerator struct {
+	mu                         sync.Mutex
+	items                      int64
+	theta, zetan, zeta2, alpha float64
+	eta                        float64
+	countForZeta               int64
+	allowItemCountDecrease     bool
+}
+
+// NewZipfian creates a zipfian generator over [0, items) with the default
+// YCSB constant.
+func NewZipfian(items int64) *ZipfianGenerator {
+	return NewZipfianTheta(items, ZipfianConstant)
+}
+
+// NewZipfianTheta creates a zipfian generator with explicit skew θ.
+func NewZipfianTheta(items int64, theta float64) *ZipfianGenerator {
+	g := &ZipfianGenerator{items: items, theta: theta}
+	g.zeta2 = zetaStatic(2, theta)
+	g.zetan = zetaStatic(items, theta)
+	g.countForZeta = items
+	g.alpha = 1.0 / (1.0 - theta)
+	g.eta = g.etaLocked()
+	return g
+}
+
+func (g *ZipfianGenerator) etaLocked() float64 {
+	return (1 - math.Pow(2.0/float64(g.items), 1-g.theta)) / (1 - g.zeta2/g.zetan)
+}
+
+func zetaStatic(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(0); i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), theta)
+	}
+	return sum
+}
+
+// Next implements Generator.
+func (g *ZipfianGenerator) Next(r *rand.Rand) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.items != g.countForZeta {
+		// Incremental recomputation after Grow: extend zeta.
+		if g.items > g.countForZeta {
+			for i := g.countForZeta; i < g.items; i++ {
+				g.zetan += 1.0 / math.Pow(float64(i+1), g.theta)
+			}
+			g.countForZeta = g.items
+			g.eta = g.etaLocked()
+		}
+	}
+	u := r.Float64()
+	uz := u * g.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, g.theta) {
+		return 1
+	}
+	return int64(float64(g.items) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+}
+
+// Grow extends the item space by one (after an insert).
+func (g *ZipfianGenerator) Grow() {
+	g.mu.Lock()
+	g.items++
+	g.mu.Unlock()
+}
+
+// ScrambledZipfianGenerator spreads the zipfian popularity over the whole
+// keyspace by hashing, exactly as YCSB does, so the hottest keys are not
+// clustered at the low indexes.
+type ScrambledZipfianGenerator struct {
+	z  *ZipfianGenerator
+	mu sync.Mutex
+	n  int64
+}
+
+// NewScrambledZipfian creates the standard YCSB request chooser.
+func NewScrambledZipfian(items int64) *ScrambledZipfianGenerator {
+	return &ScrambledZipfianGenerator{z: NewZipfian(items), n: items}
+}
+
+// Next implements Generator.
+func (g *ScrambledZipfianGenerator) Next(r *rand.Rand) int64 {
+	v := g.z.Next(r)
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	return int64(fnvHash64(uint64(v)) % uint64(n))
+}
+
+// Grow extends the item space by one.
+func (g *ScrambledZipfianGenerator) Grow() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.z.Grow()
+}
+
+func fnvHash64(v uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// LatestGenerator skews toward recently inserted items (workload D: "read
+// latest"). It draws a zipfian offset back from the newest item.
+type LatestGenerator struct {
+	mu   sync.Mutex
+	last int64
+	z    *ZipfianGenerator
+}
+
+// NewLatest creates a latest-skewed generator where last is the highest
+// existing item index.
+func NewLatest(items int64) *LatestGenerator {
+	return &LatestGenerator{last: items - 1, z: NewZipfian(items)}
+}
+
+// Next implements Generator.
+func (g *LatestGenerator) Next(r *rand.Rand) int64 {
+	off := g.z.Next(r)
+	g.mu.Lock()
+	last := g.last
+	g.mu.Unlock()
+	v := last - off
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Grow registers a newly inserted item as the latest.
+func (g *LatestGenerator) Grow() {
+	g.mu.Lock()
+	g.last++
+	g.mu.Unlock()
+	g.z.Grow()
+}
+
+// Growable is the subset of generators that track inserts.
+type Growable interface {
+	Generator
+	Grow()
+}

@@ -1,0 +1,246 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdprstore/internal/metrics"
+)
+
+// DB is the storage interface the benchmark drives — the same four
+// operations the YCSB core workloads issue. Implementations live in
+// adapters.go (embedded engine, compliance layer, network client).
+type DB interface {
+	Read(key string) error
+	Update(key string, value []byte) error
+	Insert(key string, value []byte) error
+	Scan(startKey string, count int) error
+	Close() error
+}
+
+// Config parameterises one benchmark phase.
+type Config struct {
+	// Workload is the core workload to run.
+	Workload Workload
+	// RecordCount is the number of records loaded before the run phase
+	// (YCSB recordcount).
+	RecordCount int64
+	// OperationCount is the number of operations in the run phase (the
+	// paper uses 2M).
+	OperationCount int64
+	// ValueSize is the record payload size in bytes (YCSB's default
+	// record is ~1 KB; default 1000).
+	ValueSize int
+	// Workers is the number of concurrent clients (YCSB threads);
+	// default 1.
+	Workers int
+	// Seed makes the run deterministic; 0 means seed 1.
+	Seed int64
+	// Factory opens one DB handle per worker.
+	Factory func(worker int) (DB, error)
+}
+
+func (c *Config) defaults() {
+	if c.ValueSize <= 0 {
+		c.ValueSize = 1000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Result is one phase's measurements, in the shape of a YCSB report.
+type Result struct {
+	// Workload is the workload letter, Phase is "load" or "run".
+	Workload string
+	Phase    string
+	// Ops completed, wall-clock Elapsed, and derived Throughput (op/s).
+	Ops        uint64
+	Elapsed    time.Duration
+	Throughput float64
+	// PerOp holds latency summaries keyed by operation name.
+	PerOp map[string]metrics.Snapshot
+	// Errors counts failed operations (they also appear in PerOp).
+	Errors uint64
+}
+
+// String formats the result like a YCSB summary block.
+func (r Result) String() string {
+	s := fmt.Sprintf("[%s/%s] ops=%d elapsed=%v throughput=%.0f op/s errors=%d",
+		r.Workload, r.Phase, r.Ops, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Errors)
+	for name, snap := range r.PerOp {
+		s += fmt.Sprintf("\n  %-17s %s", name, snap.String())
+	}
+	return s
+}
+
+// Load runs the load phase: RecordCount sequential inserts split across
+// workers. It corresponds to Figure 1's "Load-A" and "Load-E" bars.
+func Load(cfg Config) (Result, error) {
+	cfg.defaults()
+	if cfg.Factory == nil {
+		return Result{}, fmt.Errorf("ycsb: no DB factory")
+	}
+	hist := metrics.NewHistogram()
+	var errs atomic.Uint64
+	var next atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	for wi := 0; wi < cfg.Workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			db, err := cfg.Factory(wi)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer db.Close()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(wi)))
+			val := make([]byte, cfg.ValueSize)
+			for {
+				i := next.Add(1) - 1
+				if i >= cfg.RecordCount {
+					return
+				}
+				rng.Read(val)
+				t0 := time.Now()
+				if err := db.Insert(KeyName(i), val); err != nil {
+					errs.Add(1)
+				}
+				hist.Record(time.Since(t0))
+			}
+		}(wi)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+	res := Result{
+		Workload:   cfg.Workload.Name,
+		Phase:      "load",
+		Ops:        uint64(cfg.RecordCount),
+		Elapsed:    elapsed,
+		Throughput: float64(cfg.RecordCount) / elapsed.Seconds(),
+		PerOp:      map[string]metrics.Snapshot{"INSERT": hist.Snapshot()},
+		Errors:     errs.Load(),
+	}
+	return res, nil
+}
+
+// Run executes the run phase: OperationCount operations drawn from the
+// workload's mix and key distribution.
+func Run(cfg Config) (Result, error) {
+	cfg.defaults()
+	if cfg.Factory == nil {
+		return Result{}, fmt.Errorf("ycsb: no DB factory")
+	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	var chooser Growable
+	switch cfg.Workload.RequestDistribution {
+	case DistUniform:
+		chooser = NewUniform(cfg.RecordCount)
+	case DistLatest:
+		chooser = NewLatest(cfg.RecordCount)
+	default:
+		chooser = NewScrambledZipfian(cfg.RecordCount)
+	}
+	var insertSeq atomic.Int64
+	insertSeq.Store(cfg.RecordCount)
+
+	hists := map[OpType]*metrics.Histogram{
+		OpRead: metrics.NewHistogram(), OpUpdate: metrics.NewHistogram(),
+		OpInsert: metrics.NewHistogram(), OpScan: metrics.NewHistogram(),
+		OpReadModifyWrite: metrics.NewHistogram(),
+	}
+	var errs, done atomic.Uint64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	for wi := 0; wi < cfg.Workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			db, err := cfg.Factory(wi)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer db.Close()
+			rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(wi)))
+			val := make([]byte, cfg.ValueSize)
+			for {
+				if done.Add(1) > uint64(cfg.OperationCount) {
+					return
+				}
+				op := cfg.Workload.chooseOp(rng)
+				var key string
+				if op == OpInsert {
+					key = KeyName(insertSeq.Add(1) - 1)
+				} else {
+					key = KeyName(chooser.Next(rng))
+				}
+				rng.Read(val[:16]) // cheap per-op variation
+				t0 := time.Now()
+				var oerr error
+				switch op {
+				case OpRead:
+					oerr = db.Read(key)
+				case OpUpdate:
+					oerr = db.Update(key, val)
+				case OpInsert:
+					oerr = db.Insert(key, val)
+				case OpScan:
+					n := 1 + rng.Intn(cfg.Workload.MaxScanLength)
+					oerr = db.Scan(key, n)
+				case OpReadModifyWrite:
+					if oerr = db.Read(key); oerr == nil {
+						oerr = db.Update(key, val)
+					}
+				}
+				hists[op].Record(time.Since(t0))
+				if oerr != nil {
+					errs.Add(1)
+				} else if op == OpInsert {
+					chooser.Grow()
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+
+	perOp := make(map[string]metrics.Snapshot)
+	for op, h := range hists {
+		if h.Count() > 0 {
+			perOp[op.String()] = h.Snapshot()
+		}
+	}
+	return Result{
+		Workload:   cfg.Workload.Name,
+		Phase:      "run",
+		Ops:        uint64(cfg.OperationCount),
+		Elapsed:    elapsed,
+		Throughput: float64(cfg.OperationCount) / elapsed.Seconds(),
+		PerOp:      perOp,
+		Errors:     errs.Load(),
+	}, nil
+}

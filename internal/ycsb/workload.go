@@ -1,0 +1,127 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpType is one YCSB operation kind.
+type OpType int
+
+// Operation kinds.
+const (
+	OpRead OpType = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// String returns the YCSB report name of the operation.
+func (o OpType) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpInsert:
+		return "INSERT"
+	case OpScan:
+		return "SCAN"
+	case OpReadModifyWrite:
+		return "READ-MODIFY-WRITE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Distribution names accepted by Workload.RequestDistribution.
+const (
+	DistZipfian = "zipfian"
+	DistUniform = "uniform"
+	DistLatest  = "latest"
+)
+
+// Workload is a YCSB core-workload definition.
+type Workload struct {
+	// Name is the workload letter ("A".."F").
+	Name string
+	// Proportions of each operation; they must sum to 1.
+	ReadProportion            float64
+	UpdateProportion          float64
+	InsertProportion          float64
+	ScanProportion            float64
+	ReadModifyWriteProportion float64
+	// RequestDistribution chooses keys: zipfian, uniform, or latest.
+	RequestDistribution string
+	// MaxScanLength bounds scan sizes (workload E); lengths are uniform
+	// in [1, MaxScanLength].
+	MaxScanLength int
+}
+
+// Core workloads A–F with YCSB's canonical parameters.
+var (
+	// WorkloadA: update heavy, 50/50 read/update, zipfian.
+	WorkloadA = Workload{Name: "A", ReadProportion: 0.5, UpdateProportion: 0.5, RequestDistribution: DistZipfian}
+	// WorkloadB: read mostly, 95/5, zipfian.
+	WorkloadB = Workload{Name: "B", ReadProportion: 0.95, UpdateProportion: 0.05, RequestDistribution: DistZipfian}
+	// WorkloadC: read only, zipfian.
+	WorkloadC = Workload{Name: "C", ReadProportion: 1.0, RequestDistribution: DistZipfian}
+	// WorkloadD: read latest, 95/5 read/insert.
+	WorkloadD = Workload{Name: "D", ReadProportion: 0.95, InsertProportion: 0.05, RequestDistribution: DistLatest}
+	// WorkloadE: short ranges, 95/5 scan/insert, max 100.
+	WorkloadE = Workload{Name: "E", ScanProportion: 0.95, InsertProportion: 0.05, RequestDistribution: DistZipfian, MaxScanLength: 100}
+	// WorkloadF: read-modify-write, 50/50 read/RMW, zipfian.
+	WorkloadF = Workload{Name: "F", ReadProportion: 0.5, ReadModifyWriteProportion: 0.5, RequestDistribution: DistZipfian}
+)
+
+// CoreWorkloads maps workload letters to definitions.
+var CoreWorkloads = map[string]Workload{
+	"A": WorkloadA, "B": WorkloadB, "C": WorkloadC,
+	"D": WorkloadD, "E": WorkloadE, "F": WorkloadF,
+}
+
+// Validate checks the proportions sum to 1 (±1e-9).
+func (w Workload) Validate() error {
+	sum := w.ReadProportion + w.UpdateProportion + w.InsertProportion +
+		w.ScanProportion + w.ReadModifyWriteProportion
+	if diff := sum - 1.0; diff > 1e-9 || diff < -1e-9 {
+		return fmt.Errorf("ycsb: workload %s proportions sum to %v", w.Name, sum)
+	}
+	if w.ScanProportion > 0 && w.MaxScanLength <= 0 {
+		return fmt.Errorf("ycsb: workload %s scans but MaxScanLength unset", w.Name)
+	}
+	switch w.RequestDistribution {
+	case DistZipfian, DistUniform, DistLatest:
+	default:
+		return fmt.Errorf("ycsb: workload %s unknown distribution %q", w.Name, w.RequestDistribution)
+	}
+	return nil
+}
+
+// chooseOp picks the next operation type per the proportions.
+func (w Workload) chooseOp(r *rand.Rand) OpType {
+	f := r.Float64()
+	if f < w.ReadProportion {
+		return OpRead
+	}
+	f -= w.ReadProportion
+	if f < w.UpdateProportion {
+		return OpUpdate
+	}
+	f -= w.UpdateProportion
+	if f < w.InsertProportion {
+		return OpInsert
+	}
+	f -= w.InsertProportion
+	if f < w.ScanProportion {
+		return OpScan
+	}
+	return OpReadModifyWrite
+}
+
+// KeyName formats item index i as a YCSB key ("user" + zero-padded
+// number), so keys sort in insertion order for scans.
+func KeyName(i int64) string {
+	return fmt.Sprintf("user%012d", i)
+}
