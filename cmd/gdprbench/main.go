@@ -28,6 +28,7 @@ func main() {
 		roleStr  = flag.String("role", "all", "customer|controller|processor|regulator|all")
 		timing   = flag.String("timing", "realtime", "eventual|realtime")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
+		batch    = flag.Int("batch", 1, "group data-path operations into PutBatch/GetBatch calls of N keys")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 
 	bcfg := gdprbench.Config{
 		Subjects: *subjects, RecordsPerSubject: *records,
-		Operations: *ops, Seed: *seed,
+		Operations: *ops, Seed: *seed, Batch: *batch,
 	}
 	ctl := core.Ctx{Actor: "controller", Purpose: "populate"}
 	start := time.Now()

@@ -70,6 +70,9 @@ func printValue(v resp.Value, indent string) {
 	switch v.Type {
 	case resp.SimpleString:
 		fmt.Printf("%s%s\n", indent, v.Text())
+	case resp.Error:
+		// GMGET reports per-key failures as in-array errors.
+		fmt.Printf("%s(error) %s\n", indent, v.Text())
 	case resp.Integer:
 		fmt.Printf("%s(integer) %d\n", indent, v.Int)
 	case resp.BulkString:

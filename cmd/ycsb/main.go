@@ -39,6 +39,7 @@ func main() {
 		auditPath  = flag.String("audit", "", "gdpr mode: audit trail path")
 		loadOnly   = flag.Bool("load-only", false, "run only the load phase")
 		skipLoad   = flag.Bool("skip-load", false, "skip the load phase")
+		batch      = flag.Int("batch", 1, "group operations into batches of N (MSET/MGET over the network, PutBatch/GetBatch in-process)")
 	)
 	flag.Parse()
 
@@ -52,7 +53,11 @@ func main() {
 
 	switch *mode {
 	case "network":
-		factory = func(int) (ycsb.DB, error) { return ycsb.DialNetworkDB(*addr) }
+		if *batch > 1 {
+			factory = func(int) (ycsb.DB, error) { return ycsb.DialBatchNetworkDB(*addr, *batch) }
+		} else {
+			factory = func(int) (ycsb.DB, error) { return ycsb.DialNetworkDB(*addr) }
+		}
 		cleanup = func() {}
 	case "embedded", "gdpr":
 		cfg := core.Baseline()
@@ -97,7 +102,15 @@ func main() {
 			st.ACL().AddPrincipal(acl.Principal{ID: "bench", Role: acl.RoleController})
 			ctx := core.Ctx{Actor: "bench", Purpose: "benchmark"}
 			opts := core.PutOptions{Owner: "subject", Purposes: []string{"benchmark"}}
-			factory = func(int) (ycsb.DB, error) { return ycsb.NewGDPRDB(st, ctx, opts), nil }
+			if *batch > 1 {
+				factory = func(int) (ycsb.DB, error) { return ycsb.NewBatchDB(st, ctx, opts, *batch), nil }
+			} else {
+				factory = func(int) (ycsb.DB, error) { return ycsb.NewGDPRDB(st, ctx, opts), nil }
+			}
+		} else if *batch > 1 {
+			factory = func(int) (ycsb.DB, error) {
+				return ycsb.NewBatchDB(st, core.Ctx{}, core.PutOptions{}, *batch), nil
+			}
 		} else {
 			factory = func(int) (ycsb.DB, error) { return ycsb.NewEmbeddedDB(st), nil }
 		}

@@ -6,8 +6,14 @@
 // compliance spectrum it defines, and the benchmark harnesses (YCSB and
 // GDPR-persona workloads) that regenerate its tables and figures.
 //
+// The RESP surface is served from a declarative command registry with a
+// middleware pipeline (internal/server), and a batch command family
+// (MSET/MGET, GMPUT/GMGET) amortises the per-operation compliance
+// overhead the paper measures — one lock acquisition, one AOF append and
+// one audit record per batch instead of per key.
+//
 // The root package carries the repository-level benchmarks (bench_test.go,
 // one per table/figure); the implementation lives under internal/ — see
-// DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results.
+// DESIGN.md for the system inventory (command table, middleware order,
+// batch API) and EXPERIMENTS.md for paper-vs-measured results.
 package gdprstore

@@ -1,0 +1,3 @@
+module gdprstore
+
+go 1.22

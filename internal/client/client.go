@@ -1,7 +1,9 @@
 // Package client is the Go client for the gdprstore RESP server. It covers
-// both the vanilla Redis-style surface (Set/Get/Del/Expire/...) and the
-// GDPR command family, and supports pipelining — the batching technique
-// YCSB-style load generators rely on to saturate a server.
+// the vanilla Redis-style surface (Set/Get/Del/Expire/...), the GDPR
+// command family, and the amortising batch family (MSet/MGet/GMPut/GMGet,
+// which pay the per-operation compliance overhead once per batch), and
+// supports pipelining — the batching technique YCSB-style load generators
+// rely on to saturate a server.
 package client
 
 import (
@@ -136,6 +138,50 @@ func (c *Client) Get(key string) ([]byte, error) {
 	return v.Str, nil
 }
 
+// MSet writes every key/value pair in one MSET command — one network
+// round trip and one server-side lock acquisition + AOF append for the
+// whole batch. keys and values must have equal length.
+func (c *Client) MSet(keys []string, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("client: MSet: %d keys, %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	args := make([][]byte, 0, 2*len(keys))
+	for i, k := range keys {
+		args = append(args, []byte(k), values[i])
+	}
+	_, err := c.DoArgs("MSET", args...)
+	return err
+}
+
+// MGet reads every key in one MGET command. The result is positional; a
+// missing key yields a nil entry.
+func (c *Client) MGet(keys ...string) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	args := make([][]byte, len(keys))
+	for i, k := range keys {
+		args[i] = []byte(k)
+	}
+	v, err := c.DoArgs("MGET", args...)
+	if err != nil {
+		return nil, err
+	}
+	if len(v.Array) != len(keys) {
+		return nil, fmt.Errorf("client: malformed MGET reply: %d entries for %d keys", len(v.Array), len(keys))
+	}
+	out := make([][]byte, len(keys))
+	for i, e := range v.Array {
+		if !e.Null {
+			out[i] = e.Str
+		}
+	}
+	return out, nil
+}
+
 // Del removes keys, returning how many existed.
 func (c *Client) Del(keys ...string) (int64, error) {
 	args := append([]string{"DEL"}, keys...)
@@ -197,9 +243,9 @@ type GDPRPutArgs struct {
 	AutoDecide bool
 }
 
-// GPut writes personal data with metadata.
-func (c *Client) GPut(key string, value []byte, m GDPRPutArgs) error {
-	args := [][]byte{[]byte(key), value}
+// optionArgs renders the metadata flags as GPUT/GMPUT option tokens.
+func (m GDPRPutArgs) optionArgs() [][]byte {
+	var args [][]byte
 	if m.Owner != "" {
 		args = append(args, []byte("OWNER"), []byte(m.Owner))
 	}
@@ -221,8 +267,74 @@ func (c *Client) GPut(key string, value []byte, m GDPRPutArgs) error {
 	if m.AutoDecide {
 		args = append(args, []byte("AUTODECIDE"))
 	}
+	return args
+}
+
+// GPut writes personal data with metadata.
+func (c *Client) GPut(key string, value []byte, m GDPRPutArgs) error {
+	args := append([][]byte{[]byte(key), value}, m.optionArgs()...)
 	_, err := c.DoArgs("GPUT", args...)
 	return err
+}
+
+// GMPut writes a batch of personal-data records sharing one set of
+// metadata flags in a single GMPUT command: the server takes its lock
+// once, appends to the AOF once, and audits once for the whole batch.
+func (c *Client) GMPut(keys []string, values [][]byte, m GDPRPutArgs) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("client: GMPut: %d keys, %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	args := make([][]byte, 0, 1+2*len(keys)+14)
+	args = append(args, []byte(strconv.Itoa(len(keys))))
+	for i, k := range keys {
+		args = append(args, []byte(k), values[i])
+	}
+	args = append(args, m.optionArgs()...)
+	_, err := c.DoArgs("GMPUT", args...)
+	return err
+}
+
+// BatchValue is one positional result of GMGet: the value on success, or
+// the per-key error (ErrNil for a missing key, a ServerError carrying the
+// DENIED/PURPOSEDENIED/ERASED/... code for a refused one).
+type BatchValue struct {
+	Value []byte
+	Err   error
+}
+
+// GMGet reads a batch of personal-data records in one GMGET command. A
+// refused or missing key is reported in its slot without failing the rest
+// of the batch.
+func (c *Client) GMGet(keys ...string) ([]BatchValue, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	args := make([][]byte, len(keys))
+	for i, k := range keys {
+		args[i] = []byte(k)
+	}
+	v, err := c.DoArgs("GMGET", args...)
+	if err != nil {
+		return nil, err
+	}
+	if len(v.Array) != len(keys) {
+		return nil, fmt.Errorf("client: malformed GMGET reply: %d entries for %d keys", len(v.Array), len(keys))
+	}
+	out := make([]BatchValue, len(keys))
+	for i, e := range v.Array {
+		switch {
+		case e.IsError():
+			out[i].Err = ServerError(e.Text())
+		case e.Null:
+			out[i].Err = ErrNil
+		default:
+			out[i].Value = e.Str
+		}
+	}
+	return out, nil
 }
 
 // GGet reads personal data under the connection's purpose.

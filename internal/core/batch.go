@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/audit"
+	"gdprstore/internal/cryptoutil"
+)
+
+// The batch operations amortise the per-operation compliance overhead the
+// paper measures (metadata writes, audit records, AOF appends, lock
+// round-trips): a batch of N keys takes the store lock once, appends to the
+// AOF once (MSET/MSETEX for the data, GMETAB for the metadata), and emits
+// one audit record, instead of paying each cost N times.
+
+// BatchEntry is one key/value pair of a batch write.
+type BatchEntry struct {
+	Key   string
+	Value []byte
+}
+
+// BatchGetResult is one positional result of GetBatch. Err is nil for a
+// successful read, ErrNotFound for a missing key, and a policy error
+// (ErrPurposeDenied, ErrDenied, ErrErased) when that key was refused.
+type BatchGetResult struct {
+	Value []byte
+	Err   error
+}
+
+// PutBatch stores every entry under the supplied GDPR metadata (shared by
+// the whole batch, like a bulk import of records for one data subject). It
+// is the amortised form of calling Put once per entry: one lock
+// acquisition, one ACL decision, one retention/location resolution, one
+// AOF data record, one metadata record, one audit record.
+func (s *Store) PutBatch(ctx Ctx, entries []BatchEntry, opts PutOptions) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	keys := make([]string, len(entries))
+	vals := make([][]byte, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+		vals[i] = e.Value
+	}
+	if !s.cfg.Compliant {
+		s.db.SetBatch(keys, vals)
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.check(ctx, acl.OpWrite, opts.Owner, "MPUT", keys[0]); err != nil {
+		return err
+	}
+
+	full := s.cfg.Capability == CapabilityFull
+	if full && opts.Owner == "" {
+		return ErrNoOwner
+	}
+
+	purposes := opts.Purposes
+	if len(purposes) == 0 && ctx.Purpose != "" {
+		purposes = []string{ctx.Purpose}
+	}
+
+	deadline := s.effectiveDeadlineLocked(opts, purposes)
+	if s.cfg.requireTTL && deadline.IsZero() {
+		return ErrNoTTL
+	}
+
+	loc := opts.Location
+	if loc == "" {
+		loc = s.cfg.DefaultLocation
+	}
+	if len(s.cfg.AllowedLocations) > 0 && full {
+		ok := false
+		for _, a := range s.cfg.AllowedLocations {
+			if a == loc {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			s.auditOp(audit.Record{
+				Actor: ctx.Actor, Op: "MPUT", Key: keys[0], Owner: opts.Owner,
+				Purpose: ctx.Purpose, Outcome: audit.OutcomeDenied,
+				Detail: "location " + loc + " not permitted",
+			})
+			return fmt.Errorf("%w: %q", ErrLocationDenied, loc)
+		}
+	}
+
+	meta := Metadata{
+		Owner:              opts.Owner,
+		Purposes:           purposes,
+		Origin:             opts.Origin,
+		SharedWith:         append([]string(nil), opts.SharedWith...),
+		Expiry:             deadline,
+		Location:           loc,
+		AutomatedDecisions: opts.AutomatedDecisions,
+		Created:            s.cfg.Config.Clock.Now(),
+	}
+	for p := range s.objections[opts.Owner] {
+		meta.Objections = append(meta.Objections, p)
+	}
+
+	stored := vals
+	if s.keyring != nil && opts.Owner != "" {
+		k, wrapped, created, err := s.keyring.Ensure(opts.Owner)
+		if err != nil {
+			if err == cryptoutil.ErrUnknownKey {
+				return fmt.Errorf("%w: %s", ErrErased, opts.Owner)
+			}
+			return err
+		}
+		if created {
+			if err := s.appendLog(opKey, []byte(opts.Owner), wrapped); err != nil {
+				return err
+			}
+		}
+		stored = make([][]byte, len(vals))
+		for i, v := range vals {
+			sealed, err := cryptoutil.Seal(k, v, []byte(keys[i]))
+			if err != nil {
+				return err
+			}
+			stored[i] = sealed
+		}
+	}
+
+	if deadline.IsZero() {
+		s.db.SetBatch(keys, stored)
+	} else {
+		s.db.SetBatchEX(keys, stored, deadline)
+	}
+	mb, err := meta.encode()
+	if err != nil {
+		return err
+	}
+	// One GMETAB record covers the whole batch: the shared metadata once,
+	// then the key list.
+	logArgs := make([][]byte, 0, len(keys)+1)
+	logArgs = append(logArgs, mb)
+	for _, k := range keys {
+		s.ix.put(k, meta.clone())
+		logArgs = append(logArgs, []byte(k))
+	}
+	if err := s.appendLog(opMetaBatch, logArgs...); err != nil {
+		return err
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: "MPUT", Key: keys[0], Owner: opts.Owner,
+		Purpose: ctx.Purpose, Outcome: audit.OutcomeOK,
+		Detail: fmt.Sprintf("batch=%d", len(keys)),
+	})
+	return nil
+}
+
+// GetBatch reads every key under one lock acquisition, enforcing purpose
+// limitation and access control per key. Results are positional; a refused
+// or missing key does not fail the rest of the batch. Denials are audited
+// individually (they are evidence); successful reads are audited once for
+// the whole batch when read auditing is on.
+func (s *Store) GetBatch(ctx Ctx, keys []string) ([]BatchGetResult, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	out := make([]BatchGetResult, len(keys))
+	if !s.cfg.Compliant {
+		vals, present := s.db.GetBatch(keys)
+		for i := range keys {
+			if present[i] {
+				out[i].Value = vals[i]
+			} else {
+				out[i].Err = ErrNotFound
+			}
+		}
+		return out, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	served, missing := 0, 0
+	for i, key := range keys {
+		v, _, err := s.getLocked(ctx, key)
+		out[i] = BatchGetResult{Value: v, Err: err}
+		switch {
+		case err == nil:
+			served++
+		case errors.Is(err, ErrNotFound):
+			missing++
+		}
+	}
+	if s.cfg.auditReads {
+		// Denials were already audited per key by getLocked; this record
+		// summarises the data that was actually served (or found missing).
+		outcome := audit.OutcomeOK
+		if served == 0 {
+			outcome = audit.OutcomeMissing
+		}
+		s.auditOp(audit.Record{
+			Actor: ctx.Actor, Op: "MGET", Key: keys[0],
+			Purpose: ctx.Purpose, Outcome: outcome,
+			Detail: fmt.Sprintf("batch=%d served=%d missing=%d denied=%d",
+				len(keys), served, missing, len(keys)-served-missing),
+		})
+	}
+	return out, nil
+}
+
+// getLocked is the shared single-key read body — ACL check, purpose
+// limitation, ghost-metadata cleanup, decryption — used by both Get and
+// GetBatch. Callers hold s.mu and handle read auditing; denials are
+// audited here (they are evidence regardless of the calling path). The
+// owner is returned for the caller's audit records.
+func (s *Store) getLocked(ctx Ctx, key string) (value []byte, owner string, err error) {
+	meta, hasMeta := s.metaLive(key)
+	owner = meta.Owner
+	if err := s.check(ctx, acl.OpRead, owner, "GET", key); err != nil {
+		return nil, owner, err
+	}
+	if hasMeta && s.cfg.Capability == CapabilityFull {
+		if !meta.PermitsPurpose(ctx.Purpose) {
+			s.auditOp(audit.Record{
+				Actor: ctx.Actor, Op: "GET", Key: key, Owner: owner,
+				Purpose: ctx.Purpose, Outcome: audit.OutcomeDenied,
+				Detail: "purpose not permitted",
+			})
+			return nil, owner, fmt.Errorf("%w: %q", ErrPurposeDenied, ctx.Purpose)
+		}
+	}
+	v, ok := s.db.Get(key)
+	if !ok {
+		s.ix.del(key) // ghost metadata from lazy expiry
+		return nil, owner, ErrNotFound
+	}
+	if s.keyring != nil && owner != "" {
+		k, err := s.keyring.KeyFor(owner)
+		if err != nil {
+			return nil, owner, fmt.Errorf("%w: %s", ErrErased, owner)
+		}
+		pt, err := cryptoutil.Open(k, v, []byte(key))
+		if err != nil {
+			return nil, owner, err
+		}
+		v = pt
+	}
+	return v, owner, nil
+}

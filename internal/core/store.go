@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -17,12 +18,13 @@ import (
 // Journal record types appended by the compliance layer alongside the
 // engine's SET/SETEX/DEL records. They reconstruct GDPR state on replay.
 const (
-	opMeta   = "GMETA"   // GMETA key metadataJSON
-	opObject = "GOBJ"    // GOBJ owner purpose
-	opUnobj  = "GUNOBJ"  // GUNOBJ owner purpose
-	opKey    = "GKEY"    // GKEY owner wrappedDataKey
-	opShred  = "GSHRED"  // GSHRED owner
-	opReinst = "GREINST" // GREINST owner
+	opMeta      = "GMETA"   // GMETA key metadataJSON
+	opMetaBatch = "GMETAB"  // GMETAB metadataJSON key1 key2 ... (batch writes)
+	opObject    = "GOBJ"    // GOBJ owner purpose
+	opUnobj     = "GUNOBJ"  // GUNOBJ owner purpose
+	opKey       = "GKEY"    // GKEY owner wrappedDataKey
+	opShred     = "GSHRED"  // GSHRED owner
+	opReinst    = "GREINST" // GREINST owner
 )
 
 // Ctx identifies who is performing an operation and why — the two
@@ -161,6 +163,18 @@ func (s *Store) replay(path string, key []byte) error {
 				return err
 			}
 			s.ix.put(string(args[0]), m)
+			return nil
+		case opMetaBatch:
+			if len(args) < 2 {
+				return fmt.Errorf("core: replay GMETAB: need 2+ args")
+			}
+			m, err := decodeMetadata(args[0])
+			if err != nil {
+				return err
+			}
+			for _, k := range args[1:] {
+				s.ix.put(string(k), m.clone())
+			}
 			return nil
 		case opObject:
 			if len(args) != 2 {
@@ -365,7 +379,8 @@ func (s *Store) Put(ctx Ctx, key string, value []byte, opts PutOptions) error {
 }
 
 // Get reads the value at key, enforcing purpose limitation and access
-// control, and auditing the read when the configuration demands it.
+// control, and auditing the read when the configuration demands it. The
+// enforcement body is getLocked, shared with GetBatch.
 func (s *Store) Get(ctx Ctx, key string) ([]byte, error) {
 	if !s.cfg.Compliant {
 		v, ok := s.db.Get(key)
@@ -379,42 +394,15 @@ func (s *Store) Get(ctx Ctx, key string) ([]byte, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	meta, hasMeta := s.metaLive(key)
-	owner := meta.Owner
-	if err := s.check(ctx, acl.OpRead, owner, "GET", key); err != nil {
-		return nil, err
-	}
-	if hasMeta && s.cfg.Capability == CapabilityFull {
-		if !meta.PermitsPurpose(ctx.Purpose) {
-			s.auditOp(audit.Record{
-				Actor: ctx.Actor, Op: "GET", Key: key, Owner: owner,
-				Purpose: ctx.Purpose, Outcome: audit.OutcomeDenied,
-				Detail: "purpose not permitted",
-			})
-			return nil, fmt.Errorf("%w: %q", ErrPurposeDenied, ctx.Purpose)
-		}
-	}
-	v, ok := s.db.Get(key)
-	if !ok {
-		s.ix.del(key) // ghost metadata from lazy expiry
-		if s.cfg.auditReads {
+	v, owner, err := s.getLocked(ctx, key)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) && s.cfg.auditReads {
 			s.auditOp(audit.Record{
 				Actor: ctx.Actor, Op: "GET", Key: key, Owner: owner,
 				Purpose: ctx.Purpose, Outcome: audit.OutcomeMissing,
 			})
 		}
-		return nil, ErrNotFound
-	}
-	if s.keyring != nil && owner != "" {
-		k, err := s.keyring.KeyFor(owner)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %s", ErrErased, owner)
-		}
-		pt, err := cryptoutil.Open(k, v, []byte(key))
-		if err != nil {
-			return nil, err
-		}
-		v = pt
+		return nil, err
 	}
 	if s.cfg.auditReads {
 		s.auditOp(audit.Record{

@@ -100,11 +100,19 @@ type Config struct {
 	Purposes []string
 	// TTL is the retention bound written on records (default 24h).
 	TTL time.Duration
+	// Batch groups data-path operations (reads, writes) into
+	// PutBatch/GetBatch calls of this size, amortising the per-operation
+	// compliance overhead. 0 or 1 keeps the one-key-at-a-time path; the
+	// per-op latency then covers Batch keys per observation.
+	Batch int
 }
 
 func (c *Config) defaults() {
 	if c.ValueSize <= 0 {
 		c.ValueSize = 100
+	}
+	if c.Batch < 1 {
+		c.Batch = 1
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -209,12 +217,24 @@ func Run(st *core.Store, cfg Config) (Result, error) {
 		var err error
 		switch op {
 		case OpReadOwn:
-			_, err = st.Get(core.Ctx{Actor: owner, Purpose: purposeOf(rec, cfg)}, rec)
+			if cfg.Batch > 1 {
+				keys, p := batchKeys(subj, rng.Intn(cfg.RecordsPerSubject), cfg)
+				err = firstBatchErr(st.GetBatch(core.Ctx{Actor: owner, Purpose: p}, keys))
+			} else {
+				_, err = st.Get(core.Ctx{Actor: owner, Purpose: purposeOf(rec, cfg)}, rec)
+			}
 		case OpUpdateOwn:
 			rng.Read(val)
-			err = st.Put(core.Ctx{Actor: owner, Purpose: purposeOf(rec, cfg)}, rec, val, core.PutOptions{
-				Owner: owner, Purposes: []string{purposeOf(rec, cfg)}, TTL: cfg.TTL,
-			})
+			if cfg.Batch > 1 {
+				keys, p := batchKeys(subj, rng.Intn(cfg.RecordsPerSubject), cfg)
+				err = st.PutBatch(core.Ctx{Actor: owner, Purpose: p}, batchEntries(keys, val), core.PutOptions{
+					Owner: owner, Purposes: []string{p}, TTL: cfg.TTL,
+				})
+			} else {
+				err = st.Put(core.Ctx{Actor: owner, Purpose: purposeOf(rec, cfg)}, rec, val, core.PutOptions{
+					Owner: owner, Purposes: []string{purposeOf(rec, cfg)}, TTL: cfg.TTL,
+				})
+			}
 		case OpAccess:
 			_, err = st.Access(core.Ctx{Actor: owner}, owner)
 		case OpPortab:
@@ -228,15 +248,27 @@ func Run(st *core.Store, cfg Config) (Result, error) {
 			}
 		case OpPut:
 			rng.Read(val)
-			err = st.Put(core.Ctx{Actor: "controller", Purpose: purpose}, rec, val, core.PutOptions{
-				Owner: owner, Purposes: []string{purposeOf(rec, cfg)}, TTL: cfg.TTL,
-			})
+			if cfg.Batch > 1 {
+				keys, p := batchKeys(subj, rng.Intn(cfg.RecordsPerSubject), cfg)
+				err = st.PutBatch(core.Ctx{Actor: "controller", Purpose: p}, batchEntries(keys, val), core.PutOptions{
+					Owner: owner, Purposes: []string{p}, TTL: cfg.TTL,
+				})
+			} else {
+				err = st.Put(core.Ctx{Actor: "controller", Purpose: purpose}, rec, val, core.PutOptions{
+					Owner: owner, Purposes: []string{purposeOf(rec, cfg)}, TTL: cfg.TTL,
+				})
+			}
 		case OpRetune:
 			err = st.Expire(core.Ctx{Actor: "controller"}, rec, cfg.TTL+time.Duration(rng.Intn(3600))*time.Second)
 		case OpPurposeQ:
 			_, err = st.KeysByPurpose(core.Ctx{Actor: "controller"}, purpose)
 		case OpprocRead:
-			_, err = st.Get(core.Ctx{Actor: "processor", Purpose: purposeOf(rec, cfg)}, rec)
+			if cfg.Batch > 1 {
+				keys, p := batchKeys(subj, rng.Intn(cfg.RecordsPerSubject), cfg)
+				err = firstBatchErr(st.GetBatch(core.Ctx{Actor: "processor", Purpose: p}, keys))
+			} else {
+				_, err = st.Get(core.Ctx{Actor: "processor", Purpose: purposeOf(rec, cfg)}, rec)
+			}
 		case OpBreach:
 			_, err = st.Breach(core.Ctx{Actor: "regulator"}, start.Add(-time.Hour), time.Now().Add(time.Hour))
 		case OpMetaRead:
@@ -260,6 +292,48 @@ func Run(st *core.Store, cfg Config) (Result, error) {
 		Throughput: float64(cfg.Operations) / elapsed.Seconds(),
 		PerOp:      perOp, Errors: errs,
 	}, nil
+}
+
+// batchKeys selects cfg.Batch record keys of the subject that share one
+// populated purpose (record purposes are round-robin by index, so only
+// indices congruent mod len(Purposes) can legally be read in one batch
+// under a single declared purpose). Keys repeat when the subject has fewer
+// congruent records than the batch size.
+func batchKeys(subj, j0 int, cfg Config) ([]string, string) {
+	stride := len(cfg.Purposes)
+	class := j0 % stride
+	members := make([]int, 0, (cfg.RecordsPerSubject+stride-1)/stride)
+	for j := class; j < cfg.RecordsPerSubject; j += stride {
+		members = append(members, j)
+	}
+	keys := make([]string, cfg.Batch)
+	for i := range keys {
+		keys[i] = RecordKey(subj, members[i%len(members)])
+	}
+	return keys, cfg.Purposes[class]
+}
+
+// batchEntries pairs every key with the shared payload.
+func batchEntries(keys []string, val []byte) []core.BatchEntry {
+	entries := make([]core.BatchEntry, len(keys))
+	for i, k := range keys {
+		entries[i] = core.BatchEntry{Key: k, Value: val}
+	}
+	return entries
+}
+
+// firstBatchErr reduces a GetBatch result to the first non-benign per-key
+// error, matching how the one-at-a-time path reports.
+func firstBatchErr(results []core.BatchGetResult, err error) error {
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Err != nil && !isBenign(r.Err) {
+			return r.Err
+		}
+	}
+	return nil
 }
 
 // purposeOf recovers the purpose a record was populated with (round-robin

@@ -2,6 +2,8 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"strconv"
 	"strings"
 	"time"
@@ -12,14 +14,303 @@ import (
 	"gdprstore/internal/store"
 )
 
+// This file registers every command in the table. Handlers return
+// (resp.Value, error); errors are mapped to wire codes by errReply in one
+// place, so the vanilla, GDPR and batch families emit consistent
+// ERR/DENIED/POLICY/PURPOSEDENIED/ERASED/BASELINE prefixes.
+
 func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+func init() {
+	// --- session / connection ---
+	register(Command{Name: "PING", MinArgs: 0, MaxArgs: 1, Flags: FlagReadonly,
+		Summary: "liveness probe; echoes an optional argument",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			if len(ctx.Args) == 1 {
+				return resp.BulkValue(ctx.Args[0]), nil
+			}
+			return resp.SimpleStringValue("PONG"), nil
+		}})
+	register(Command{Name: "ECHO", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly,
+		Summary: "echo the argument",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			return resp.BulkValue(ctx.Args[0]), nil
+		}})
+	register(Command{Name: "AUTH", MinArgs: 1, MaxArgs: 1,
+		Summary: "set the connection's authenticated principal",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			ctx.Sess.actor = string(ctx.Args[0])
+			return resp.SimpleStringValue("OK"), nil
+		}})
+	register(Command{Name: "PURPOSE", MinArgs: 1, MaxArgs: 1,
+		Summary: "declare the connection's processing purpose (Art. 5)",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			ctx.Sess.purpose = string(ctx.Args[0])
+			return resp.SimpleStringValue("OK"), nil
+		}})
+
+	// --- vanilla engine surface (baseline benchmarks) ---
+	register(Command{Name: "SET", MinArgs: 2, MaxArgs: -1, Flags: FlagWrite | FlagNoCompliance,
+		Summary: "SET key value [EX seconds] [KEEPTTL] on the raw engine",
+		Handler: cmdSet})
+	register(Command{Name: "GET", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagNoCompliance,
+		Summary: "read a raw value",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			v, ok := ctx.Srv.store.Engine().Get(string(ctx.Args[0]))
+			if !ok {
+				return resp.NullValue(), nil
+			}
+			return resp.BulkValue(v), nil
+		}})
+	register(Command{Name: "MSET", MinArgs: 2, MaxArgs: -1, Flags: FlagWrite | FlagNoCompliance,
+		Summary: "MSET key value [key value ...]: batch write, one lock + one AOF record",
+		Handler: cmdMSet})
+	register(Command{Name: "MGET", MinArgs: 1, MaxArgs: -1, Flags: FlagReadonly | FlagNoCompliance,
+		Summary: "MGET key [key ...]: batch read, one lock acquisition",
+		Handler: cmdMGet})
+	register(Command{Name: "DEL", MinArgs: 1, MaxArgs: -1, Flags: FlagWrite | FlagNoCompliance,
+		Summary: "delete keys, returning how many existed",
+		Handler: cmdDel})
+	register(Command{Name: "UNLINK", MinArgs: 1, MaxArgs: -1, Flags: FlagWrite | FlagNoCompliance,
+		Summary: "alias of DEL (reclamation is synchronous either way)",
+		Handler: cmdDel})
+	register(Command{Name: "EXISTS", MinArgs: 1, MaxArgs: -1, Flags: FlagReadonly | FlagNoCompliance,
+		Summary: "count how many of the given keys exist",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			n := 0
+			for _, k := range ctx.Args {
+				if ctx.Srv.store.Engine().Exists(string(k)) {
+					n++
+				}
+			}
+			return resp.IntegerValue(int64(n)), nil
+		}})
+	register(Command{Name: "EXPIRE", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagNoCompliance,
+		Summary: "set a TTL in seconds",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			secs, err := strconv.ParseInt(string(ctx.Args[1]), 10, 64)
+			if err != nil {
+				return resp.Value{}, errors.New("value is not an integer")
+			}
+			if ctx.Srv.store.Engine().Expire(string(ctx.Args[0]), time.Duration(secs)*time.Second) {
+				return resp.IntegerValue(1), nil
+			}
+			return resp.IntegerValue(0), nil
+		}})
+	register(Command{Name: "EXPIREAT", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagNoCompliance,
+		Summary: "set an absolute unix-seconds retention deadline",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			unix, err := strconv.ParseInt(string(ctx.Args[1]), 10, 64)
+			if err != nil {
+				return resp.Value{}, errors.New("value is not an integer")
+			}
+			if ctx.Srv.store.Engine().ExpireAt(string(ctx.Args[0]), time.Unix(unix, 0)) {
+				return resp.IntegerValue(1), nil
+			}
+			return resp.IntegerValue(0), nil
+		}})
+	register(Command{Name: "PERSIST", MinArgs: 1, MaxArgs: 1, Flags: FlagWrite | FlagNoCompliance,
+		Summary: "drop a key's TTL",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			if ctx.Srv.store.Engine().Persist(string(ctx.Args[0])) {
+				return resp.IntegerValue(1), nil
+			}
+			return resp.IntegerValue(0), nil
+		}})
+	register(Command{Name: "TTL", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagNoCompliance,
+		Summary: "remaining TTL in seconds (-1 none, -2 missing)",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			d, st := ctx.Srv.store.Engine().TTL(string(ctx.Args[0]))
+			switch st {
+			case store.TTLMissing:
+				return resp.IntegerValue(-2), nil
+			case store.TTLNone:
+				return resp.IntegerValue(-1), nil
+			default:
+				return resp.IntegerValue(int64(d / time.Second)), nil
+			}
+		}})
+	register(Command{Name: "KEYS", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagNoCompliance,
+		Summary: "glob-match the whole keyspace",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			return stringsArray(ctx.Srv.store.Engine().Keys(string(ctx.Args[0]))), nil
+		}})
+	register(Command{Name: "SCAN", MinArgs: 1, MaxArgs: -1, Flags: FlagReadonly | FlagNoCompliance,
+		Summary: "SCAN cursor [MATCH pattern] [COUNT n]: incremental keyspace iteration",
+		Handler: cmdScan})
+	register(Command{Name: "DBSIZE", MinArgs: 0, MaxArgs: 0, Flags: FlagReadonly | FlagNoCompliance,
+		Summary: "number of live keys",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			return resp.IntegerValue(int64(ctx.Srv.store.Engine().Len())), nil
+		}})
+	register(Command{Name: "FLUSHALL", MinArgs: 0, MaxArgs: 0, Flags: FlagWrite | FlagAdmin | FlagNoCompliance,
+		Summary: "remove every key",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			ctx.Srv.store.Engine().FlushAll()
+			return resp.SimpleStringValue("OK"), nil
+		}})
+	register(Command{Name: "INFO", MinArgs: 0, MaxArgs: 0, Flags: FlagReadonly | FlagAdmin,
+		Summary: "server and store health, Redis INFO style, plus commandstats",
+		Handler: cmdInfo})
+
+	// --- GDPR command family (compliance path) ---
+	register(Command{Name: "GPUT", MinArgs: 2, MaxArgs: -1, Flags: FlagWrite | FlagGDPR,
+		Summary: "GPUT key value OWNER o [PURPOSES p,..] [TTL s] [ORIGIN x] [LOCATION l] [SHAREDWITH a,..] [AUTODECIDE]",
+		Handler: cmdGPut})
+	register(Command{Name: "GGET", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+		Summary: "read personal data under the session's actor and purpose",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			v, err := ctx.Srv.store.Get(ctx.Core, string(ctx.Args[0]))
+			if err != nil {
+				return resp.Value{}, err
+			}
+			return resp.BulkValue(v), nil
+		}})
+	register(Command{Name: "GDEL", MinArgs: 1, MaxArgs: 1, Flags: FlagWrite | FlagGDPR,
+		Summary: "delete personal data (real-time timing compacts the AOF)",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			if err := ctx.Srv.store.Delete(ctx.Core, string(ctx.Args[0])); err != nil {
+				return resp.Value{}, err
+			}
+			return resp.IntegerValue(1), nil
+		}})
+	register(Command{Name: "GMPUT", MinArgs: 3, MaxArgs: -1, Flags: FlagWrite | FlagGDPR,
+		Summary: "GMPUT npairs k1 v1 ... kN vN [put options]: batch write with shared metadata, one AOF append + one audit record",
+		Handler: cmdGMPut})
+	register(Command{Name: "GMGET", MinArgs: 1, MaxArgs: -1, Flags: FlagReadonly | FlagGDPR,
+		Summary: "GMGET key [key ...]: batch compliance-path read; per-key errors reported in-array",
+		Handler: cmdGMGet})
+	register(Command{Name: "GETMETA", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+		Summary: "read a record's GDPR metadata as JSON",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			m, err := ctx.Srv.store.Metadata(ctx.Core, string(ctx.Args[0]))
+			if err != nil {
+				return resp.Value{}, err
+			}
+			return jsonValue(m)
+		}})
+	register(Command{Name: "GETUSER", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+		Summary: "Art. 15 right of access: every record of a data subject",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			recs, err := ctx.Srv.store.GetUser(ctx.Core, string(ctx.Args[0]))
+			if err != nil {
+				return resp.Value{}, err
+			}
+			vs := make([]resp.Value, 0, 2*len(recs))
+			for _, r := range recs {
+				vs = append(vs, resp.BulkStringValue(r.Key), resp.BulkValue(r.Value))
+			}
+			return resp.ArrayValue(vs...), nil
+		}})
+	register(Command{Name: "ACCESS", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+		Summary: "Art. 15 disclosure report (purposes, recipients, storage periods)",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			rep, err := ctx.Srv.store.Access(ctx.Core, string(ctx.Args[0]))
+			if err != nil {
+				return resp.Value{}, err
+			}
+			return jsonValue(rep)
+		}})
+	register(Command{Name: "EXPORTUSER", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+		Summary: "Art. 20 portability payload (JSON)",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			b, err := ctx.Srv.store.Export(ctx.Core, string(ctx.Args[0]))
+			if err != nil {
+				return resp.Value{}, err
+			}
+			return resp.BulkValue(b), nil
+		}})
+	register(Command{Name: "FORGETUSER", MinArgs: 1, MaxArgs: 1, Flags: FlagWrite | FlagGDPR,
+		Summary: "Art. 17 erasure of a data subject; returns records erased",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			n, err := ctx.Srv.store.Forget(ctx.Core, string(ctx.Args[0]))
+			if err != nil {
+				return resp.Value{}, err
+			}
+			return resp.IntegerValue(int64(n)), nil
+		}})
+	register(Command{Name: "OBJECT", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagGDPR,
+		Summary: "Art. 21 objection: OBJECT owner purpose",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			if err := ctx.Srv.store.Object(ctx.Core, string(ctx.Args[0]), string(ctx.Args[1])); err != nil {
+				return resp.Value{}, err
+			}
+			return resp.SimpleStringValue("OK"), nil
+		}})
+	register(Command{Name: "UNOBJECT", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagGDPR,
+		Summary: "withdraw an Art. 21 objection",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			if err := ctx.Srv.store.Unobject(ctx.Core, string(ctx.Args[0]), string(ctx.Args[1])); err != nil {
+				return resp.Value{}, err
+			}
+			return resp.SimpleStringValue("OK"), nil
+		}})
+	register(Command{Name: "OWNERKEYS", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+		Summary: "keys owned by a data subject (metadata index lookup)",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			keys, err := ctx.Srv.store.OwnerKeys(ctx.Core, string(ctx.Args[0]))
+			if err != nil {
+				return resp.Value{}, err
+			}
+			return stringsArray(keys), nil
+		}})
+	register(Command{Name: "KEYSBYPURPOSE", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+		Summary: "keys processable under a purpose, objections applied",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			keys, err := ctx.Srv.store.KeysByPurpose(ctx.Core, string(ctx.Args[0]))
+			if err != nil {
+				return resp.Value{}, err
+			}
+			return stringsArray(keys), nil
+		}})
+	register(Command{Name: "BREACH", MinArgs: 2, MaxArgs: 2, Flags: FlagReadonly | FlagGDPR,
+		Summary: "Art. 33/34 breach report over [from, to) (RFC3339 timestamps)",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			from, err1 := time.Parse(time.RFC3339, string(ctx.Args[0]))
+			to, err2 := time.Parse(time.RFC3339, string(ctx.Args[1]))
+			if err1 != nil || err2 != nil {
+				return resp.Value{}, errors.New("timestamps must be RFC3339")
+			}
+			rep, err := ctx.Srv.store.Breach(ctx.Core, from, to)
+			if err != nil {
+				return resp.Value{}, err
+			}
+			return jsonValue(rep)
+		}})
+
+	// --- operations ---
+	register(Command{Name: "COMPACT", MinArgs: 0, MaxArgs: 0, Flags: FlagWrite | FlagAdmin,
+		Summary: "force an AOF compaction now",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			if err := ctx.Srv.store.Compact(ctx.Core); err != nil {
+				return resp.Value{}, err
+			}
+			return resp.SimpleStringValue("OK"), nil
+		}})
+	register(Command{Name: "MAINTAIN", MinArgs: 0, MaxArgs: 0, Flags: FlagWrite | FlagAdmin,
+		Summary: "run one maintenance pass (ghost metadata, grants, deferred compaction)",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			st := ctx.Srv.store.Maintain()
+			return resp.SimpleStringValue(fmt.Sprintf(
+				"ghosts=%d grants=%d rewrote=%v", st.GhostMetaPruned, st.GrantsPurged, st.Rewrote)), nil
+		}})
+	register(Command{Name: "ACL", MinArgs: 1, MaxArgs: -1, Flags: FlagWrite | FlagAdmin,
+		Summary: "ACL ADDPRINCIPAL|DELPRINCIPAL|GRANT|REVOKE: principal and grant management",
+		Handler: cmdACL})
+}
+
+func jsonValue(v any) (resp.Value, error) {
+	b, err := jsonMarshal(v)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	return resp.BulkValue(b), nil
+}
 
 // cmdSet implements SET key value [EX seconds] [KEEPTTL] against the raw
 // engine (the non-GDPR path, used by baseline benchmarks).
-func (s *Server) cmdSet(a [][]byte) resp.Value {
-	if len(a) < 2 {
-		return wrongArity("SET")
-	}
+func cmdSet(ctx *Ctx) (resp.Value, error) {
+	a := ctx.Args
 	key, val := string(a[0]), a[1]
 	var ex time.Duration
 	keepTTL := false
@@ -27,51 +318,81 @@ func (s *Server) cmdSet(a [][]byte) resp.Value {
 		switch strings.ToUpper(string(a[i])) {
 		case "EX":
 			if i+1 >= len(a) {
-				return resp.ErrorValue("ERR syntax error")
+				return resp.Value{}, errSyntax
 			}
 			secs, err := strconv.ParseInt(string(a[i+1]), 10, 64)
 			if err != nil || secs <= 0 {
-				return resp.ErrorValue("ERR invalid expire time")
+				return resp.Value{}, errors.New("invalid expire time")
 			}
 			ex = time.Duration(secs) * time.Second
 			i++
 		case "KEEPTTL":
 			keepTTL = true
 		default:
-			return resp.ErrorValue("ERR syntax error")
+			return resp.Value{}, errSyntax
 		}
 	}
+	eng := ctx.Srv.store.Engine()
 	switch {
 	case ex > 0:
-		s.store.Engine().SetEX(key, val, ex)
+		eng.SetEX(key, val, ex)
 	case keepTTL:
-		s.store.Engine().SetKeepTTL(key, val)
+		eng.SetKeepTTL(key, val)
 	default:
-		s.store.Engine().Set(key, val)
+		eng.Set(key, val)
 	}
-	return resp.SimpleStringValue("OK")
+	return resp.SimpleStringValue("OK"), nil
 }
 
-func cmdTTLReply(s *Server, key string) resp.Value {
-	d, st := s.store.Engine().TTL(key)
-	switch st {
-	case store.TTLMissing:
-		return resp.IntegerValue(-2)
-	case store.TTLNone:
-		return resp.IntegerValue(-1)
-	default:
-		return resp.IntegerValue(int64(d / time.Second))
+// cmdMSet implements MSET key value [key value ...]: the whole batch is
+// applied under one engine lock and journaled as a single AOF record.
+func cmdMSet(ctx *Ctx) (resp.Value, error) {
+	if len(ctx.Args)%2 != 0 {
+		return resp.Value{}, wrongArityErr("MSET")
 	}
+	n := len(ctx.Args) / 2
+	keys := make([]string, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = string(ctx.Args[2*i])
+		vals[i] = ctx.Args[2*i+1]
+	}
+	ctx.Srv.store.Engine().SetBatch(keys, vals)
+	return resp.SimpleStringValue("OK"), nil
+}
+
+// cmdMGet implements MGET key [key ...]; missing keys reply null.
+func cmdMGet(ctx *Ctx) (resp.Value, error) {
+	keys := make([]string, len(ctx.Args))
+	for i, k := range ctx.Args {
+		keys[i] = string(k)
+	}
+	vals, present := ctx.Srv.store.Engine().GetBatch(keys)
+	vs := make([]resp.Value, len(keys))
+	for i := range keys {
+		if present[i] {
+			vs[i] = resp.BulkValue(vals[i])
+		} else {
+			vs[i] = resp.NullValue()
+		}
+	}
+	return resp.ArrayValue(vs...), nil
+}
+
+func cmdDel(ctx *Ctx) (resp.Value, error) {
+	keys := make([]string, len(ctx.Args))
+	for i, k := range ctx.Args {
+		keys[i] = string(k)
+	}
+	return resp.IntegerValue(int64(ctx.Srv.store.Engine().Del(keys...))), nil
 }
 
 // cmdScan implements SCAN cursor [MATCH pattern] [COUNT n].
-func (s *Server) cmdScan(a [][]byte) resp.Value {
-	if len(a) < 1 {
-		return wrongArity("SCAN")
-	}
+func cmdScan(ctx *Ctx) (resp.Value, error) {
+	a := ctx.Args
 	cursor, err := strconv.ParseUint(string(a[0]), 10, 64)
 	if err != nil {
-		return resp.ErrorValue("ERR invalid cursor")
+		return resp.Value{}, errors.New("invalid cursor")
 	}
 	pattern := "*"
 	count := 10
@@ -79,95 +400,162 @@ func (s *Server) cmdScan(a [][]byte) resp.Value {
 		switch strings.ToUpper(string(a[i])) {
 		case "MATCH":
 			if i+1 >= len(a) {
-				return resp.ErrorValue("ERR syntax error")
+				return resp.Value{}, errSyntax
 			}
 			pattern = string(a[i+1])
 			i++
 		case "COUNT":
 			if i+1 >= len(a) {
-				return resp.ErrorValue("ERR syntax error")
+				return resp.Value{}, errSyntax
 			}
 			n, err := strconv.Atoi(string(a[i+1]))
 			if err != nil || n <= 0 {
-				return resp.ErrorValue("ERR invalid count")
+				return resp.Value{}, errors.New("invalid count")
 			}
 			count = n
 			i++
 		default:
-			return resp.ErrorValue("ERR syntax error")
+			return resp.Value{}, errSyntax
 		}
 	}
-	keys, next := s.store.Engine().Scan(cursor, pattern, count)
+	keys, next := ctx.Srv.store.Engine().Scan(cursor, pattern, count)
 	return resp.ArrayValue(
 		resp.BulkStringValue(strconv.FormatUint(next, 10)),
 		stringsArray(keys),
-	)
+	), nil
 }
 
-// cmdGPut implements
+// parsePutOptions parses the GPUT/GMPUT option tail:
 //
-//	GPUT key value OWNER o [PURPOSES p1,p2] [TTL secs] [ORIGIN x]
-//	     [LOCATION l] [SHAREDWITH a,b] [AUTODECIDE]
-func (s *Server) cmdGPut(ctx core.Ctx, a [][]byte) resp.Value {
-	if len(a) < 2 {
-		return wrongArity("GPUT")
-	}
-	key, val := string(a[0]), a[1]
+//	[OWNER o] [PURPOSES p1,p2] [TTL secs] [ORIGIN x] [LOCATION l]
+//	[SHAREDWITH a,b] [AUTODECIDE]
+func parsePutOptions(a [][]byte) (core.PutOptions, error) {
 	var opts core.PutOptions
-	for i := 2; i < len(a); i++ {
+	for i := 0; i < len(a); i++ {
 		tok := strings.ToUpper(string(a[i]))
 		need := func() bool { return i+1 < len(a) }
 		switch tok {
 		case "OWNER":
 			if !need() {
-				return resp.ErrorValue("ERR syntax error")
+				return opts, errSyntax
 			}
 			opts.Owner = string(a[i+1])
 			i++
 		case "PURPOSES":
 			if !need() {
-				return resp.ErrorValue("ERR syntax error")
+				return opts, errSyntax
 			}
 			opts.Purposes = splitNonEmpty(string(a[i+1]))
 			i++
 		case "TTL":
 			if !need() {
-				return resp.ErrorValue("ERR syntax error")
+				return opts, errSyntax
 			}
 			secs, err := strconv.ParseInt(string(a[i+1]), 10, 64)
 			if err != nil || secs <= 0 {
-				return resp.ErrorValue("ERR invalid ttl")
+				return opts, errors.New("invalid ttl")
 			}
 			opts.TTL = time.Duration(secs) * time.Second
 			i++
 		case "ORIGIN":
 			if !need() {
-				return resp.ErrorValue("ERR syntax error")
+				return opts, errSyntax
 			}
 			opts.Origin = string(a[i+1])
 			i++
 		case "LOCATION":
 			if !need() {
-				return resp.ErrorValue("ERR syntax error")
+				return opts, errSyntax
 			}
 			opts.Location = string(a[i+1])
 			i++
 		case "SHAREDWITH":
 			if !need() {
-				return resp.ErrorValue("ERR syntax error")
+				return opts, errSyntax
 			}
 			opts.SharedWith = splitNonEmpty(string(a[i+1]))
 			i++
 		case "AUTODECIDE":
 			opts.AutomatedDecisions = true
 		default:
-			return resp.ErrorValue("ERR syntax error near '" + string(a[i]) + "'")
+			return opts, fmt.Errorf("syntax error near '%s'", string(a[i]))
 		}
 	}
-	if err := s.store.Put(ctx, key, val, opts); err != nil {
-		return errReply(err)
+	return opts, nil
+}
+
+// cmdGPut implements
+//
+//	GPUT key value [put options]
+func cmdGPut(ctx *Ctx) (resp.Value, error) {
+	key, val := string(ctx.Args[0]), ctx.Args[1]
+	opts, err := parsePutOptions(ctx.Args[2:])
+	if err != nil {
+		return resp.Value{}, err
 	}
-	return resp.SimpleStringValue("OK")
+	if err := ctx.Srv.store.Put(ctx.Core, key, val, opts); err != nil {
+		return resp.Value{}, err
+	}
+	return resp.SimpleStringValue("OK"), nil
+}
+
+// cmdGMPut implements
+//
+//	GMPUT npairs key1 value1 ... keyN valueN [put options]
+//
+// The metadata options are shared by the whole batch; the store applies
+// them with one lock acquisition, one AOF append and one audit record.
+func cmdGMPut(ctx *Ctx) (resp.Value, error) {
+	n, err := strconv.Atoi(string(ctx.Args[0]))
+	if err != nil || n <= 0 {
+		return resp.Value{}, errors.New("invalid pair count")
+	}
+	// Compare against the argument count without multiplying n, which a
+	// huge pair count could overflow.
+	if n > (len(ctx.Args)-1)/2 {
+		return resp.Value{}, wrongArityErr("GMPUT")
+	}
+	entries := make([]core.BatchEntry, n)
+	for i := 0; i < n; i++ {
+		entries[i] = core.BatchEntry{Key: string(ctx.Args[1+2*i]), Value: ctx.Args[2+2*i]}
+	}
+	opts, err := parsePutOptions(ctx.Args[1+2*n:])
+	if err != nil {
+		return resp.Value{}, err
+	}
+	if err := ctx.Srv.store.PutBatch(ctx.Core, entries, opts); err != nil {
+		return resp.Value{}, err
+	}
+	return resp.SimpleStringValue("OK"), nil
+}
+
+// cmdGMGet implements GMGET key [key ...]: one reply per key, positional.
+// Missing keys reply null; refused keys reply their usual error code
+// in-array, so one denial does not mask the rest of the batch.
+func cmdGMGet(ctx *Ctx) (resp.Value, error) {
+	keys := make([]string, len(ctx.Args))
+	for i, k := range ctx.Args {
+		keys[i] = string(k)
+	}
+	results, err := ctx.Srv.store.GetBatch(ctx.Core, keys)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	vs := make([]resp.Value, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			vs[i] = errReply(r.Err) // NullValue for not-found, coded error otherwise
+		} else {
+			vs[i] = resp.BulkValue(r.Value)
+		}
+	}
+	return resp.ArrayValue(vs...), nil
+}
+
+// wrongArityErr lets a handler that discovers an arity violation after
+// deeper parsing (GMPUT's pair count) emit the standard message.
+func wrongArityErr(cmd string) error {
+	return fmt.Errorf("wrong number of arguments for '%s'", strings.ToLower(cmd))
 }
 
 func splitNonEmpty(s string) []string {
@@ -187,72 +575,71 @@ func splitNonEmpty(s string) []string {
 //	ACL DELPRINCIPAL id
 //	ACL GRANT principal purpose [OWNER o] [TTL secs]
 //	ACL REVOKE principal purpose [OWNER o]
-func (s *Server) cmdACL(a [][]byte) resp.Value {
-	if len(a) < 1 {
-		return wrongArity("ACL")
-	}
+func cmdACL(ctx *Ctx) (resp.Value, error) {
+	s := ctx.Srv
+	a := ctx.Args
 	sub := strings.ToUpper(string(a[0]))
 	rest := a[1:]
 	switch sub {
 	case "ADDPRINCIPAL":
 		if len(rest) != 2 {
-			return wrongArity("ACL ADDPRINCIPAL")
+			return wrongArity("ACL ADDPRINCIPAL"), nil
 		}
 		role, ok := parseRole(string(rest[1]))
 		if !ok {
-			return resp.ErrorValue("ERR unknown role '" + string(rest[1]) + "'")
+			return resp.Value{}, fmt.Errorf("unknown role '%s'", string(rest[1]))
 		}
 		s.store.ACL().AddPrincipal(acl.Principal{ID: string(rest[0]), Role: role})
-		return resp.SimpleStringValue("OK")
+		return resp.SimpleStringValue("OK"), nil
 	case "DELPRINCIPAL":
 		if len(rest) != 1 {
-			return wrongArity("ACL DELPRINCIPAL")
+			return wrongArity("ACL DELPRINCIPAL"), nil
 		}
 		s.store.ACL().RemovePrincipal(string(rest[0]))
-		return resp.SimpleStringValue("OK")
+		return resp.SimpleStringValue("OK"), nil
 	case "GRANT":
 		if len(rest) < 2 {
-			return wrongArity("ACL GRANT")
+			return wrongArity("ACL GRANT"), nil
 		}
 		g := acl.Grant{Principal: string(rest[0]), Purpose: string(rest[1])}
 		for i := 2; i < len(rest); i++ {
 			switch strings.ToUpper(string(rest[i])) {
 			case "OWNER":
 				if i+1 >= len(rest) {
-					return resp.ErrorValue("ERR syntax error")
+					return resp.Value{}, errSyntax
 				}
 				g.Owner = string(rest[i+1])
 				i++
 			case "TTL":
 				if i+1 >= len(rest) {
-					return resp.ErrorValue("ERR syntax error")
+					return resp.Value{}, errSyntax
 				}
 				secs, err := strconv.ParseInt(string(rest[i+1]), 10, 64)
 				if err != nil || secs <= 0 {
-					return resp.ErrorValue("ERR invalid ttl")
+					return resp.Value{}, errors.New("invalid ttl")
 				}
 				g.Expires = time.Now().Add(time.Duration(secs) * time.Second)
 				i++
 			default:
-				return resp.ErrorValue("ERR syntax error")
+				return resp.Value{}, errSyntax
 			}
 		}
 		if err := s.store.ACL().AddGrant(g); err != nil {
-			return resp.ErrorValue("ERR " + err.Error())
+			return resp.Value{}, err
 		}
-		return resp.SimpleStringValue("OK")
+		return resp.SimpleStringValue("OK"), nil
 	case "REVOKE":
 		if len(rest) < 2 {
-			return wrongArity("ACL REVOKE")
+			return wrongArity("ACL REVOKE"), nil
 		}
 		owner := ""
 		if len(rest) >= 4 && strings.ToUpper(string(rest[2])) == "OWNER" {
 			owner = string(rest[3])
 		}
 		n := s.store.ACL().RevokeGrants(string(rest[0]), string(rest[1]), owner)
-		return resp.IntegerValue(int64(n))
+		return resp.IntegerValue(int64(n)), nil
 	default:
-		return resp.ErrorValue("ERR unknown ACL subcommand '" + string(a[0]) + "'")
+		return resp.Value{}, fmt.Errorf("unknown ACL subcommand '%s'", string(a[0]))
 	}
 }
 
@@ -271,14 +658,17 @@ func parseRole(s string) (acl.Role, bool) {
 	}
 }
 
-// cmdInfo reports server and store health in Redis INFO style.
-func (s *Server) cmdInfo() resp.Value {
+// cmdInfo reports server and store health in Redis INFO style, including
+// the per-command metrics the middleware pipeline records.
+func cmdInfo(ctx *Ctx) (resp.Value, error) {
+	s := ctx.Srv
 	var b strings.Builder
 	cfg := s.store.Config()
 	b.WriteString("# gdprstore\r\n")
 	b.WriteString("compliant:" + strconv.FormatBool(cfg.Compliant) + "\r\n")
 	b.WriteString("timing:" + cfg.Timing.String() + "\r\n")
 	b.WriteString("capability:" + cfg.Capability.String() + "\r\n")
+	b.WriteString("commands:" + strconv.FormatUint(s.Commands(), 10) + "\r\n")
 	b.WriteString("dbsize:" + strconv.Itoa(s.store.Engine().Len()) + "\r\n")
 	b.WriteString("expires:" + strconv.Itoa(s.store.Engine().ExpireLen()) + "\r\n")
 	b.WriteString("expired_total:" + strconv.FormatUint(s.store.Engine().ExpiredCount(), 10) + "\r\n")
@@ -291,5 +681,20 @@ func (s *Server) cmdInfo() resp.Value {
 		b.WriteString("audit_seq:" + strconv.FormatUint(t.Seq(), 10) + "\r\n")
 		b.WriteString("audit_syncs:" + strconv.FormatUint(t.Syncs(), 10) + "\r\n")
 	}
-	return resp.BulkStringValue(b.String())
+	snaps := s.cmdStats.Snapshots()
+	if len(snaps) > 0 {
+		b.WriteString("# commandstats\r\n")
+		for _, name := range s.cmdStats.Names() {
+			snap, ok := snaps[name]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "cmdstat_%s:calls=%d,usec=%d,usec_per_call=%.2f,p99_usec=%d\r\n",
+				strings.ToLower(name), snap.Count,
+				int64(snap.Mean)*int64(snap.Count)/1000,
+				float64(snap.Mean)/float64(time.Microsecond),
+				snap.P99.Microseconds())
+		}
+	}
+	return resp.BulkStringValue(b.String()), nil
 }

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"gdprstore/internal/core"
+	"gdprstore/internal/resp"
+)
+
+// This file is the command registry: the declarative table every RESP
+// command is served from, and the middleware pipeline each invocation runs
+// through. Commands are registered at package init (see commands.go);
+// the table is immutable afterwards, so lookups are lock-free. The old
+// monolithic dispatch switch is gone — COMMAND, COMMAND COUNT and
+// COMMAND DOCS are generated from the same table, so the introspection
+// surface can never drift from the implementation.
+
+// Flag classifies a command for the middleware pipeline and for COMMAND
+// introspection.
+type Flag uint8
+
+// Command flags.
+const (
+	// FlagReadonly marks commands that do not mutate the store.
+	FlagReadonly Flag = 1 << iota
+	// FlagWrite marks commands that mutate the store.
+	FlagWrite
+	// FlagGDPR marks the compliance-path family: rejected with BASELINE on
+	// a non-compliant store, and with DENIED before AUTH when the store
+	// enforces access control.
+	FlagGDPR
+	// FlagAdmin marks operational commands (ACL, FLUSHALL, COMPACT, ...).
+	FlagAdmin
+	// FlagNoCompliance marks commands that bypass the compliance layer and
+	// hit the raw engine (the baseline benchmark surface).
+	FlagNoCompliance
+)
+
+var flagNames = []struct {
+	f    Flag
+	name string
+}{
+	{FlagReadonly, "readonly"},
+	{FlagWrite, "write"},
+	{FlagGDPR, "gdpr"},
+	{FlagAdmin, "admin"},
+	{FlagNoCompliance, "nocompliance"},
+}
+
+// Names lists the set flags as their COMMAND-reply names.
+func (f Flag) Names() []string {
+	var out []string
+	for _, fn := range flagNames {
+		if f&fn.f != 0 {
+			out = append(out, fn.name)
+		}
+	}
+	return out
+}
+
+// Ctx is the per-invocation context a handler receives: the server, the
+// connection's session state, the command's declaration, the arguments
+// (after the command name), and the resolved core context.
+type Ctx struct {
+	Srv  *Server
+	Sess *connState
+	Cmd  *Command
+	Args [][]byte
+	// Core carries the session's actor and purpose, resolved by the
+	// session middleware before the handler runs.
+	Core core.Ctx
+}
+
+// Handler executes one command. Returning an error routes it through the
+// single errReply mapping, so every command family emits the same
+// ERR/DENIED/POLICY/PURPOSEDENIED/ERASED/BASELINE code prefixes.
+type Handler func(*Ctx) (resp.Value, error)
+
+// Middleware wraps a Handler with cross-cutting behaviour.
+type Middleware func(next Handler) Handler
+
+// Command is one row of the registry.
+type Command struct {
+	// Name is the canonical (upper-case) command name.
+	Name string
+	// MinArgs/MaxArgs bound the argument count after the name; MaxArgs -1
+	// means variadic. Violations get the standard wrong-arity error before
+	// the pipeline runs.
+	MinArgs, MaxArgs int
+	// Flags classify the command (see Flag).
+	Flags Flag
+	// Summary is the one-line description COMMAND DOCS reports.
+	Summary string
+	// Handler is the command body.
+	Handler Handler
+}
+
+// arity reports the Redis-convention arity (command name included;
+// negative means "at least").
+func (c *Command) arity() int64 {
+	if c.MaxArgs < 0 || c.MaxArgs != c.MinArgs {
+		return -int64(c.MinArgs + 1)
+	}
+	return int64(c.MinArgs + 1)
+}
+
+// commandTable is the registry. Populated by register() at init; read-only
+// afterwards.
+var commandTable = make(map[string]*Command)
+
+// register adds a command to the table; duplicate names are a programming
+// error and panic at init.
+func register(c Command) {
+	if c.Name != strings.ToUpper(c.Name) {
+		panic("server: command name must be upper-case: " + c.Name)
+	}
+	if _, dup := commandTable[c.Name]; dup {
+		panic("server: duplicate command " + c.Name)
+	}
+	cc := c
+	commandTable[c.Name] = &cc
+}
+
+// commandNames returns every registered name, sorted.
+func commandNames() []string {
+	out := make([]string, 0, len(commandTable))
+	for n := range commandTable {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// errSyntax is the generic syntax-error sentinel; errReply maps it (like
+// every non-core error) to the ERR prefix.
+var errSyntax = errors.New("syntax error")
+
+// errReply is the single place a handler error becomes a RESP reply, so
+// the error-code prefixes are consistent across the whole surface: the
+// vanilla family, the GDPR family and the batch family all route here.
+func errReply(err error) resp.Value {
+	switch {
+	case errors.Is(err, core.ErrNotFound):
+		return resp.NullValue()
+	case errors.Is(err, core.ErrDenied):
+		return resp.ErrorValue("DENIED " + err.Error())
+	case errors.Is(err, core.ErrPurposeDenied):
+		return resp.ErrorValue("PURPOSEDENIED " + err.Error())
+	case errors.Is(err, core.ErrNoOwner), errors.Is(err, core.ErrNoTTL),
+		errors.Is(err, core.ErrLocationDenied):
+		return resp.ErrorValue("POLICY " + err.Error())
+	case errors.Is(err, core.ErrErased):
+		return resp.ErrorValue("ERASED " + err.Error())
+	case errors.Is(err, core.ErrNotCompliant):
+		return resp.ErrorValue("BASELINE " + err.Error())
+	default:
+		return resp.ErrorValue("ERR " + err.Error())
+	}
+}
+
+func wrongArity(cmd string) resp.Value {
+	return resp.ErrorValue("ERR wrong number of arguments for '" + strings.ToLower(cmd) + "'")
+}
+
+// CommandHook observes every executed command after its middleware ran:
+// name, arguments, the reply (post-errReply), and the handler latency.
+// Deployments attach audit/tracing sinks here.
+type CommandHook func(name string, args [][]byte, reply resp.Value, d time.Duration)
+
+// --- middleware pipeline ---
+//
+// Order (outermost first):
+//  1. recover      — a panicking handler becomes an ERR reply, not a dead
+//     connection
+//  2. metrics      — per-command call count + latency histogram
+//  3. hook         — the pluggable audit/tracing observation point; sits
+//     outside compliance so enforcement rejections are observed too
+//  4. compliance   — FlagGDPR enforcement (BASELINE on non-compliant
+//     stores, DENIED before AUTH under ACL enforcement)
+//  5. the handler itself; its error return is mapped by errReply
+func (s *Server) buildPipeline() Handler {
+	h := func(ctx *Ctx) (resp.Value, error) { return ctx.Cmd.Handler(ctx) }
+	h = complianceMiddleware(h)
+	h = s.hookMiddleware(h)
+	h = s.metricsMiddleware(h)
+	h = recoverMiddleware(h)
+	return h
+}
+
+// recoverMiddleware converts a handler panic into an ERR reply so one bad
+// command cannot take down the connection (or the server).
+func recoverMiddleware(next Handler) Handler {
+	return func(ctx *Ctx) (v resp.Value, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				v = resp.Value{}
+				err = fmt.Errorf("internal error in '%s': %v", strings.ToLower(ctx.Cmd.Name), r)
+			}
+		}()
+		return next(ctx)
+	}
+}
+
+// metricsMiddleware records per-command latency and call counts into the
+// server's OpSet (INFO's commandstats section reports them).
+func (s *Server) metricsMiddleware(next Handler) Handler {
+	return func(ctx *Ctx) (resp.Value, error) {
+		t0 := time.Now()
+		v, err := next(ctx)
+		s.cmdStats.Get(ctx.Cmd.Name).Record(time.Since(t0))
+		return v, err
+	}
+}
+
+// complianceMiddleware enforces FlagGDPR before the handler runs: the
+// whole GDPR family shares one gate instead of each handler re-checking.
+func complianceMiddleware(next Handler) Handler {
+	return func(ctx *Ctx) (resp.Value, error) {
+		if ctx.Cmd.Flags&FlagGDPR != 0 {
+			if !ctx.Srv.store.Config().Compliant {
+				return resp.Value{}, fmt.Errorf("%w: %s needs the compliance layer", core.ErrNotCompliant, ctx.Cmd.Name)
+			}
+			if ctx.Core.Actor == "" && ctx.Srv.store.ACL().Enforcing() {
+				return resp.Value{}, fmt.Errorf("%w: AUTH required before %s", core.ErrDenied, ctx.Cmd.Name)
+			}
+		}
+		return next(ctx)
+	}
+}
+
+// hookMiddleware invokes the server's CommandHook, if set, with the final
+// reply (errors already mapped) and the handler latency.
+func (s *Server) hookMiddleware(next Handler) Handler {
+	return func(ctx *Ctx) (resp.Value, error) {
+		hook := s.hook.Load()
+		if hook == nil {
+			return next(ctx)
+		}
+		t0 := time.Now()
+		v, err := next(ctx)
+		reply := v
+		if err != nil {
+			reply = errReply(err)
+		}
+		(*hook)(ctx.Cmd.Name, ctx.Args, reply, time.Since(t0))
+		return v, err
+	}
+}
+
+// execute runs one parsed command through the registry: lookup, arity
+// check, middleware pipeline, error mapping.
+func (s *Server) execute(sess *connState, args [][]byte) resp.Value {
+	name := strings.ToUpper(string(args[0]))
+	cmd, ok := commandTable[name]
+	if !ok {
+		return resp.ErrorValue("ERR unknown command '" + strings.ToLower(name) + "'")
+	}
+	a := args[1:]
+	if len(a) < cmd.MinArgs || (cmd.MaxArgs >= 0 && len(a) > cmd.MaxArgs) {
+		return wrongArity(cmd.Name)
+	}
+	ctx := &Ctx{
+		Srv:  s,
+		Sess: sess,
+		Cmd:  cmd,
+		Args: a,
+		Core: core.Ctx{Actor: sess.actor, Purpose: sess.purpose},
+	}
+	v, err := s.pipeline(ctx)
+	if err != nil {
+		return errReply(err)
+	}
+	return v
+}
+
+// --- COMMAND introspection, generated from the table ---
+
+func init() {
+	register(Command{
+		Name: "COMMAND", MinArgs: 0, MaxArgs: -1, Flags: FlagReadonly,
+		Summary: "introspect the command table (COMMAND [COUNT|DOCS [name ...]|INFO name ...])",
+		Handler: cmdCommand,
+	})
+}
+
+func cmdCommand(ctx *Ctx) (resp.Value, error) {
+	if len(ctx.Args) == 0 {
+		vs := make([]resp.Value, 0, len(commandTable))
+		for _, name := range commandNames() {
+			vs = append(vs, commandInfoValue(commandTable[name]))
+		}
+		return resp.ArrayValue(vs...), nil
+	}
+	switch strings.ToUpper(string(ctx.Args[0])) {
+	case "COUNT":
+		if len(ctx.Args) != 1 {
+			return resp.Value{}, errSyntax
+		}
+		return resp.IntegerValue(int64(len(commandTable))), nil
+	case "INFO":
+		vs := make([]resp.Value, 0, len(ctx.Args)-1)
+		for _, a := range ctx.Args[1:] {
+			c, ok := commandTable[strings.ToUpper(string(a))]
+			if !ok {
+				vs = append(vs, resp.NullArrayValue())
+				continue
+			}
+			vs = append(vs, commandInfoValue(c))
+		}
+		return resp.ArrayValue(vs...), nil
+	case "DOCS":
+		names := commandNames()
+		if len(ctx.Args) > 1 {
+			names = names[:0]
+			for _, a := range ctx.Args[1:] {
+				if _, ok := commandTable[strings.ToUpper(string(a))]; ok {
+					names = append(names, strings.ToUpper(string(a)))
+				}
+			}
+		}
+		vs := make([]resp.Value, 0, 2*len(names))
+		for _, name := range names {
+			c := commandTable[name]
+			vs = append(vs,
+				resp.BulkStringValue(strings.ToLower(c.Name)),
+				resp.ArrayValue(
+					resp.BulkStringValue("summary"),
+					resp.BulkStringValue(c.Summary),
+					resp.BulkStringValue("arity"),
+					resp.IntegerValue(c.arity()),
+					resp.BulkStringValue("flags"),
+					stringsArray(c.Flags.Names()),
+				))
+		}
+		return resp.ArrayValue(vs...), nil
+	default:
+		return resp.Value{}, fmt.Errorf("unknown COMMAND subcommand '%s'", string(ctx.Args[0]))
+	}
+}
+
+// commandInfoValue renders one table row in Redis COMMAND reply shape:
+// [name, arity, [flags...]].
+func commandInfoValue(c *Command) resp.Value {
+	return resp.ArrayValue(
+		resp.BulkStringValue(strings.ToLower(c.Name)),
+		resp.IntegerValue(c.arity()),
+		stringsArray(c.Flags.Names()),
+	)
+}

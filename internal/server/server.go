@@ -2,8 +2,14 @@
 // the benchmark harness can exercise the same network path the paper's YCSB
 // setup did against Redis. Alongside the familiar Redis command set (GET,
 // SET, DEL, EXPIRE, TTL, SCAN, ...) it adds the GDPR command family
-// (GPUT/GGET/GETUSER/FORGETUSER/OBJECT/...), with per-connection actor and
-// purpose state established by AUTH and PURPOSE.
+// (GPUT/GGET/GETUSER/FORGETUSER/OBJECT/...) and the amortising batch family
+// (MSET/MGET/GMPUT/GMGET), with per-connection actor and purpose state
+// established by AUTH and PURPOSE.
+//
+// Every command is served from a declarative registry (registry.go) through
+// a middleware pipeline — panic recovery, per-command metrics, GDPR flag
+// enforcement, a pluggable command hook, and a single error-to-reply
+// mapping. See DESIGN.md for the architecture.
 package server
 
 import (
@@ -11,12 +17,11 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"strconv"
-	"strings"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"gdprstore/internal/core"
+	"gdprstore/internal/metrics"
 	"gdprstore/internal/resp"
 )
 
@@ -30,8 +35,17 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// pipeline is the composed middleware chain every command runs
+	// through; built once at Listen.
+	pipeline Handler
+	// cmdStats holds per-command latency histograms and call counts
+	// (INFO commandstats).
+	cmdStats *metrics.OpSet
+	// hook is the pluggable command observation point (audit/tracing).
+	hook atomic.Pointer[CommandHook]
+
 	// stats
-	commands uint64
+	commands atomic.Uint64
 }
 
 // Listen starts a server on addr (e.g. "127.0.0.1:0").
@@ -40,7 +54,13 @@ func Listen(addr string, st *core.Store) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listen: %w", err)
 	}
-	s := &Server{store: st, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		store:    st,
+		ln:       ln,
+		conns:    make(map[net.Conn]struct{}),
+		cmdStats: metrics.NewOpSet(),
+	}
+	s.pipeline = s.buildPipeline()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -53,10 +73,20 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Store() *core.Store { return s.store }
 
 // Commands returns the number of commands served.
-func (s *Server) Commands() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.commands
+func (s *Server) Commands() uint64 { return s.commands.Load() }
+
+// CommandStats exposes the per-command metrics the pipeline records.
+func (s *Server) CommandStats() *metrics.OpSet { return s.cmdStats }
+
+// SetCommandHook installs (or, with nil, removes) the hook invoked after
+// every executed command with its name, arguments, final reply and
+// latency. The hook runs on the connection's goroutine; keep it fast.
+func (s *Server) SetCommandHook(h CommandHook) {
+	if h == nil {
+		s.hook.Store(nil)
+		return
+	}
+	s.hook.Store(&h)
 }
 
 func (s *Server) acceptLoop() {
@@ -117,7 +147,7 @@ func (s *Server) handle(c net.Conn) {
 	}()
 	r := resp.NewReader(c)
 	w := resp.NewWriter(c)
-	st := &connState{}
+	sess := &connState{}
 	for {
 		args, err := r.ReadCommand()
 		if err != nil {
@@ -128,10 +158,8 @@ func (s *Server) handle(c net.Conn) {
 			}
 			return
 		}
-		reply := s.dispatch(st, args)
-		s.mu.Lock()
-		s.commands++
-		s.mu.Unlock()
+		reply := s.execute(sess, args)
+		s.commands.Add(1)
 		if err := w.WriteValue(reply); err != nil {
 			return
 		}
@@ -142,290 +170,6 @@ func (s *Server) handle(c net.Conn) {
 				return
 			}
 		}
-	}
-}
-
-func errReply(err error) resp.Value {
-	switch {
-	case errors.Is(err, core.ErrNotFound):
-		return resp.NullValue()
-	case errors.Is(err, core.ErrDenied):
-		return resp.ErrorValue("DENIED " + err.Error())
-	case errors.Is(err, core.ErrPurposeDenied):
-		return resp.ErrorValue("PURPOSEDENIED " + err.Error())
-	case errors.Is(err, core.ErrNoOwner), errors.Is(err, core.ErrNoTTL),
-		errors.Is(err, core.ErrLocationDenied):
-		return resp.ErrorValue("POLICY " + err.Error())
-	case errors.Is(err, core.ErrErased):
-		return resp.ErrorValue("ERASED " + err.Error())
-	case errors.Is(err, core.ErrNotCompliant):
-		return resp.ErrorValue("BASELINE " + err.Error())
-	default:
-		return resp.ErrorValue("ERR " + err.Error())
-	}
-}
-
-func wrongArity(cmd string) resp.Value {
-	return resp.ErrorValue("ERR wrong number of arguments for '" + strings.ToLower(cmd) + "'")
-}
-
-func (s *Server) dispatch(st *connState, args [][]byte) resp.Value {
-	cmd := strings.ToUpper(string(args[0]))
-	a := args[1:]
-	ctx := core.Ctx{Actor: st.actor, Purpose: st.purpose}
-	switch cmd {
-	case "PING":
-		if len(a) == 1 {
-			return resp.BulkValue(a[0])
-		}
-		return resp.SimpleStringValue("PONG")
-	case "ECHO":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		return resp.BulkValue(a[0])
-	case "AUTH":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		st.actor = string(a[0])
-		return resp.SimpleStringValue("OK")
-	case "PURPOSE":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		st.purpose = string(a[0])
-		return resp.SimpleStringValue("OK")
-	case "SET":
-		return s.cmdSet(a)
-	case "GET":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		v, ok := s.store.Engine().Get(string(a[0]))
-		if !ok {
-			return resp.NullValue()
-		}
-		return resp.BulkValue(v)
-	case "DEL", "UNLINK":
-		if len(a) == 0 {
-			return wrongArity(cmd)
-		}
-		keys := make([]string, len(a))
-		for i, k := range a {
-			keys[i] = string(k)
-		}
-		return resp.IntegerValue(int64(s.store.Engine().Del(keys...)))
-	case "EXISTS":
-		if len(a) == 0 {
-			return wrongArity(cmd)
-		}
-		n := 0
-		for _, k := range a {
-			if s.store.Engine().Exists(string(k)) {
-				n++
-			}
-		}
-		return resp.IntegerValue(int64(n))
-	case "EXPIRE":
-		if len(a) != 2 {
-			return wrongArity(cmd)
-		}
-		secs, err := strconv.ParseInt(string(a[1]), 10, 64)
-		if err != nil {
-			return resp.ErrorValue("ERR value is not an integer")
-		}
-		if s.store.Engine().Expire(string(a[0]), time.Duration(secs)*time.Second) {
-			return resp.IntegerValue(1)
-		}
-		return resp.IntegerValue(0)
-	case "EXPIREAT":
-		if len(a) != 2 {
-			return wrongArity(cmd)
-		}
-		unix, err := strconv.ParseInt(string(a[1]), 10, 64)
-		if err != nil {
-			return resp.ErrorValue("ERR value is not an integer")
-		}
-		if s.store.Engine().ExpireAt(string(a[0]), time.Unix(unix, 0)) {
-			return resp.IntegerValue(1)
-		}
-		return resp.IntegerValue(0)
-	case "PERSIST":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		if s.store.Engine().Persist(string(a[0])) {
-			return resp.IntegerValue(1)
-		}
-		return resp.IntegerValue(0)
-	case "TTL":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		return cmdTTLReply(s, string(a[0]))
-	case "KEYS":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		keys := s.store.Engine().Keys(string(a[0]))
-		vs := make([]resp.Value, len(keys))
-		for i, k := range keys {
-			vs[i] = resp.BulkStringValue(k)
-		}
-		return resp.ArrayValue(vs...)
-	case "SCAN":
-		return s.cmdScan(a)
-	case "DBSIZE":
-		return resp.IntegerValue(int64(s.store.Engine().Len()))
-	case "FLUSHALL":
-		s.store.Engine().FlushAll()
-		return resp.SimpleStringValue("OK")
-	case "INFO":
-		return s.cmdInfo()
-
-	// --- GDPR command family ---
-	case "GPUT":
-		return s.cmdGPut(ctx, a)
-	case "GGET":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		v, err := s.store.Get(ctx, string(a[0]))
-		if err != nil {
-			return errReply(err)
-		}
-		return resp.BulkValue(v)
-	case "GDEL":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		if err := s.store.Delete(ctx, string(a[0])); err != nil {
-			return errReply(err)
-		}
-		return resp.IntegerValue(1)
-	case "GETMETA":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		m, err := s.store.Metadata(ctx, string(a[0]))
-		if err != nil {
-			return errReply(err)
-		}
-		b, err := jsonMarshal(m)
-		if err != nil {
-			return errReply(err)
-		}
-		return resp.BulkValue(b)
-	case "GETUSER":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		recs, err := s.store.GetUser(ctx, string(a[0]))
-		if err != nil {
-			return errReply(err)
-		}
-		vs := make([]resp.Value, 0, 2*len(recs))
-		for _, r := range recs {
-			vs = append(vs, resp.BulkStringValue(r.Key), resp.BulkValue(r.Value))
-		}
-		return resp.ArrayValue(vs...)
-	case "ACCESS":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		rep, err := s.store.Access(ctx, string(a[0]))
-		if err != nil {
-			return errReply(err)
-		}
-		b, err := jsonMarshal(rep)
-		if err != nil {
-			return errReply(err)
-		}
-		return resp.BulkValue(b)
-	case "EXPORTUSER":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		b, err := s.store.Export(ctx, string(a[0]))
-		if err != nil {
-			return errReply(err)
-		}
-		return resp.BulkValue(b)
-	case "FORGETUSER":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		n, err := s.store.Forget(ctx, string(a[0]))
-		if err != nil {
-			return errReply(err)
-		}
-		return resp.IntegerValue(int64(n))
-	case "OBJECT":
-		if len(a) != 2 {
-			return wrongArity(cmd)
-		}
-		if err := s.store.Object(ctx, string(a[0]), string(a[1])); err != nil {
-			return errReply(err)
-		}
-		return resp.SimpleStringValue("OK")
-	case "UNOBJECT":
-		if len(a) != 2 {
-			return wrongArity(cmd)
-		}
-		if err := s.store.Unobject(ctx, string(a[0]), string(a[1])); err != nil {
-			return errReply(err)
-		}
-		return resp.SimpleStringValue("OK")
-	case "OWNERKEYS":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		keys, err := s.store.OwnerKeys(ctx, string(a[0]))
-		if err != nil {
-			return errReply(err)
-		}
-		return stringsArray(keys)
-	case "KEYSBYPURPOSE":
-		if len(a) != 1 {
-			return wrongArity(cmd)
-		}
-		keys, err := s.store.KeysByPurpose(ctx, string(a[0]))
-		if err != nil {
-			return errReply(err)
-		}
-		return stringsArray(keys)
-	case "BREACH":
-		if len(a) != 2 {
-			return wrongArity(cmd)
-		}
-		from, err1 := time.Parse(time.RFC3339, string(a[0]))
-		to, err2 := time.Parse(time.RFC3339, string(a[1]))
-		if err1 != nil || err2 != nil {
-			return resp.ErrorValue("ERR timestamps must be RFC3339")
-		}
-		rep, err := s.store.Breach(ctx, from, to)
-		if err != nil {
-			return errReply(err)
-		}
-		b, err := jsonMarshal(rep)
-		if err != nil {
-			return errReply(err)
-		}
-		return resp.BulkValue(b)
-	case "COMPACT":
-		if err := s.store.Compact(ctx); err != nil {
-			return errReply(err)
-		}
-		return resp.SimpleStringValue("OK")
-	case "MAINTAIN":
-		st := s.store.Maintain()
-		return resp.SimpleStringValue(fmt.Sprintf(
-			"ghosts=%d grants=%d rewrote=%v", st.GhostMetaPruned, st.GrantsPurged, st.Rewrote))
-	case "ACL":
-		return s.cmdACL(a)
-	default:
-		return resp.ErrorValue("ERR unknown command '" + strings.ToLower(cmd) + "'")
 	}
 }
 

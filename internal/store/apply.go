@@ -39,6 +39,28 @@ func (db *DB) Apply(name string, args [][]byte) error {
 		key := string(args[0])
 		db.dict[key] = cloneBytes(args[2])
 		db.setExpireLocked(key, deadline)
+	case "MSET":
+		if len(args) == 0 || len(args)%2 != 0 {
+			return fmt.Errorf("store: apply MSET: need even args, got %d", len(args))
+		}
+		for i := 0; i+1 < len(args); i += 2 {
+			key := string(args[i])
+			db.dict[key] = cloneBytes(args[i+1])
+			db.removeExpireLocked(key)
+		}
+	case "MSETEX":
+		if len(args) < 3 || len(args)%2 != 1 {
+			return fmt.Errorf("store: apply MSETEX: need deadline + even pairs, got %d args", len(args))
+		}
+		deadline, err := DecodeDeadline(args[0])
+		if err != nil {
+			return fmt.Errorf("store: apply MSETEX: %w", err)
+		}
+		for i := 1; i+1 < len(args); i += 2 {
+			key := string(args[i])
+			db.dict[key] = cloneBytes(args[i+1])
+			db.setExpireLocked(key, deadline)
+		}
 	case "EXPIREAT":
 		if len(args) != 2 {
 			return fmt.Errorf("store: apply EXPIREAT: need 2 args, got %d", len(args))

@@ -207,6 +207,66 @@ func (db *DB) SetEX(key string, value []byte, ttl time.Duration) {
 	db.logOp("SETEX", []byte(key), encodeDeadline(db.expires[key]), value)
 }
 
+// SetBatch stores every key/value pair under a single lock acquisition and
+// journals one MSET record for the whole batch — the amortisation the batch
+// command family (MSET, GMPUT) is built on. Any TTLs on the keys are
+// cleared, matching Set. keys and values must have equal length.
+func (db *DB) SetBatch(keys []string, values [][]byte) {
+	if len(keys) == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	args := make([][]byte, 0, 2*len(keys))
+	for i, k := range keys {
+		db.dict[k] = cloneBytes(values[i])
+		db.removeExpireLocked(k)
+		args = append(args, []byte(k), values[i])
+	}
+	db.logOp("MSET", args...)
+}
+
+// SetBatchEX is SetBatch with one shared absolute retention deadline. It
+// journals a single MSETEX record carrying the deadline once.
+func (db *DB) SetBatchEX(keys []string, values [][]byte, deadline time.Time) {
+	if len(keys) == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	args := make([][]byte, 0, 2*len(keys)+1)
+	args = append(args, encodeDeadline(deadline))
+	for i, k := range keys {
+		db.dict[k] = cloneBytes(values[i])
+		db.setExpireLocked(k, deadline)
+		args = append(args, []byte(k), values[i])
+	}
+	db.logOp("MSETEX", args...)
+}
+
+// GetBatch reads every key under a single lock acquisition. The returned
+// slices are positional: present[i] reports whether keys[i] existed (lazy
+// expiry applies per key, as in Get).
+func (db *DB) GetBatch(keys []string) (values [][]byte, present []bool) {
+	values = make([][]byte, len(keys))
+	present = make([]bool, len(keys))
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i, k := range keys {
+		if db.expireIfNeededLocked(k) {
+			db.logReadLocked(k)
+			continue
+		}
+		v, ok := db.dict[k]
+		db.logReadLocked(k)
+		if ok {
+			values[i] = cloneBytes(v)
+			present[i] = true
+		}
+	}
+	return values, present
+}
+
 // SetKeepTTL stores value under key preserving an existing TTL (Redis SET
 // ... KEEPTTL).
 func (db *DB) SetKeepTTL(key string, value []byte) {

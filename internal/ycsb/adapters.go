@@ -147,3 +147,191 @@ func (n *NetworkDB) Scan(startKey string, count int) error {
 
 // Close implements DB.
 func (n *NetworkDB) Close() error { return n.c.Close() }
+
+// --- batching adapters (-batch N) ---
+//
+// The batch adapters group operations into the batch command family
+// (MSET/MGET over the wire, PutBatch/GetBatch in-process) so the
+// benchmarks can quantify how much of the paper's 2–5× per-operation
+// compliance overhead amortises away. Reads and writes are buffered
+// separately and flushed when a buffer reaches the batch size (and on
+// Close); the flushing operation carries the whole batch's latency, so
+// per-op histograms report amortised cost while throughput stays exact.
+
+// BatchDB drives a core.Store through the batch API, grouping up to N
+// operations per store call. With a baseline store this exercises the raw
+// engine's SetBatch/GetBatch; with a compliant store, the amortised
+// compliance path (one lock, one ACL decision, one AOF append, one audit
+// record per batch).
+type BatchDB struct {
+	store *core.Store
+	ctx   core.Ctx
+	opts  core.PutOptions
+	n     int
+
+	wbuf []core.BatchEntry
+	rbuf []string
+}
+
+// NewBatchDB wraps st with batch size n (n < 2 behaves like batch 1).
+func NewBatchDB(st *core.Store, ctx core.Ctx, opts core.PutOptions, n int) *BatchDB {
+	if n < 1 {
+		n = 1
+	}
+	return &BatchDB{store: st, ctx: ctx, opts: opts, n: n}
+}
+
+// Read implements DB, buffering the key and flushing a GetBatch when the
+// buffer is full.
+func (b *BatchDB) Read(key string) error {
+	b.rbuf = append(b.rbuf, key)
+	if len(b.rbuf) < b.n {
+		return nil
+	}
+	return b.flushReads()
+}
+
+func (b *BatchDB) flushReads() error {
+	if len(b.rbuf) == 0 {
+		return nil
+	}
+	results, err := b.store.GetBatch(b.ctx, b.rbuf)
+	b.rbuf = b.rbuf[:0]
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Err != nil && !errors.Is(r.Err, core.ErrNotFound) {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Update implements DB, buffering the pair and flushing a PutBatch when
+// the buffer is full.
+func (b *BatchDB) Update(key string, value []byte) error {
+	b.wbuf = append(b.wbuf, core.BatchEntry{Key: key, Value: append([]byte(nil), value...)})
+	if len(b.wbuf) < b.n {
+		return nil
+	}
+	return b.flushWrites()
+}
+
+func (b *BatchDB) flushWrites() error {
+	if len(b.wbuf) == 0 {
+		return nil
+	}
+	err := b.store.PutBatch(b.ctx, b.wbuf, b.opts)
+	b.wbuf = b.wbuf[:0]
+	return err
+}
+
+// Insert implements DB.
+func (b *BatchDB) Insert(key string, value []byte) error { return b.Update(key, value) }
+
+// Scan implements DB.
+func (b *BatchDB) Scan(startKey string, count int) error {
+	n := 0
+	b.store.Engine().RangeKeys(func(k string, v []byte) bool {
+		if k >= startKey {
+			n++
+		}
+		return n < count
+	})
+	return nil
+}
+
+// Close flushes both buffers (the store itself is shared, not closed).
+func (b *BatchDB) Close() error {
+	if err := b.flushWrites(); err != nil {
+		return err
+	}
+	return b.flushReads()
+}
+
+// BatchNetworkDB drives a gdprstore server over TCP through MSET/MGET,
+// grouping up to N operations per round trip.
+type BatchNetworkDB struct {
+	c *client.Client
+	n int
+
+	wkeys []string
+	wvals [][]byte
+	rkeys []string
+}
+
+// DialBatchNetworkDB opens a connection to addr with batch size n.
+func DialBatchNetworkDB(addr string, n int) (*BatchNetworkDB, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		n = 1
+	}
+	return &BatchNetworkDB{c: c, n: n}, nil
+}
+
+// Read implements DB, buffering the key and flushing an MGET when the
+// buffer is full.
+func (b *BatchNetworkDB) Read(key string) error {
+	b.rkeys = append(b.rkeys, key)
+	if len(b.rkeys) < b.n {
+		return nil
+	}
+	return b.flushReads()
+}
+
+func (b *BatchNetworkDB) flushReads() error {
+	if len(b.rkeys) == 0 {
+		return nil
+	}
+	_, err := b.c.MGet(b.rkeys...)
+	b.rkeys = b.rkeys[:0]
+	return err
+}
+
+// Update implements DB, buffering the pair and flushing an MSET when the
+// buffer is full.
+func (b *BatchNetworkDB) Update(key string, value []byte) error {
+	b.wkeys = append(b.wkeys, key)
+	b.wvals = append(b.wvals, append([]byte(nil), value...))
+	if len(b.wkeys) < b.n {
+		return nil
+	}
+	return b.flushWrites()
+}
+
+func (b *BatchNetworkDB) flushWrites() error {
+	if len(b.wkeys) == 0 {
+		return nil
+	}
+	err := b.c.MSet(b.wkeys, b.wvals)
+	b.wkeys = b.wkeys[:0]
+	b.wvals = b.wvals[:0]
+	return err
+}
+
+// Insert implements DB.
+func (b *BatchNetworkDB) Insert(key string, value []byte) error { return b.Update(key, value) }
+
+// Scan implements DB.
+func (b *BatchNetworkDB) Scan(startKey string, count int) error {
+	_, _, err := b.c.Scan(0, "user*", count)
+	return err
+}
+
+// Close flushes both buffers and releases the connection.
+func (b *BatchNetworkDB) Close() error {
+	werr := b.flushWrites()
+	rerr := b.flushReads()
+	cerr := b.c.Close()
+	if werr != nil {
+		return werr
+	}
+	if rerr != nil {
+		return rerr
+	}
+	return cerr
+}

@@ -103,7 +103,13 @@ func Load(cfg Config) (Result, error) {
 				errCh <- err
 				return
 			}
-			defer db.Close()
+			// Close flushes any partial batch a batching adapter still
+			// buffers; a failure there is lost writes, not cleanup noise.
+			defer func() {
+				if cerr := db.Close(); cerr != nil {
+					errs.Add(1)
+				}
+			}()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(wi)))
 			val := make([]byte, cfg.ValueSize)
 			for {
@@ -180,7 +186,12 @@ func Run(cfg Config) (Result, error) {
 				errCh <- err
 				return
 			}
-			defer db.Close()
+			// As in Load: Close may flush a batching adapter's tail.
+			defer func() {
+				if cerr := db.Close(); cerr != nil {
+					errs.Add(1)
+				}
+			}()
 			rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(wi)))
 			val := make([]byte, cfg.ValueSize)
 			for {
