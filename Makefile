@@ -1,6 +1,7 @@
 GO ?= go
+STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: all build test bench vet fmt ci
+.PHONY: all build test race bench bench-ci vet fmt lint ci
 
 all: build
 
@@ -10,8 +11,23 @@ build:
 test:
 	$(GO) test ./...
 
+# race mirrors the CI `race` job: the sharded engine and striped compliance
+# layer must stay race-clean.
+race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...
+
+# bench-ci mirrors the CI `bench-smoke` job: the quick microbenchmarks with
+# machine-readable output in BENCH_ci.json. Output goes straight to the
+# file (not through tee) so a failing `go test` fails the target.
+bench-ci:
+	$(GO) test -run '^$$' \
+		-bench 'Engine_|Core_G|RESPRoundTrip|FsyncSpectrum|ComplianceSpectrum' \
+		-benchtime 100x -benchmem -json . > BENCH_ci.json
+	$(GO) test -run '^$$' -bench . -benchtime 100x -benchmem -json \
+		./internal/server >> BENCH_ci.json
 
 vet:
 	$(GO) vet ./...
@@ -19,4 +35,8 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-ci: fmt vet build test
+# lint mirrors the CI `staticcheck` job (pinned version; installed on demand).
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+ci: fmt vet build test race lint

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -576,6 +577,131 @@ func BenchmarkAblation_RightsOps(b *testing.B) {
 }
 
 // --- engine microbenchmarks ---
+
+// benchGoroutines raises the goroutine count of the *Parallel benchmarks
+// to at least 8: RunParallel spawns GOMAXPROCS×SetParallelism goroutines,
+// so the actual count is the smallest multiple of GOMAXPROCS ≥ 8 (exactly
+// 8 when GOMAXPROCS divides 8). Worker ids wrap modulo 8 onto the
+// preloaded key ranges, so on other core counts some ranges carry one
+// extra goroutine — fine for a contention benchmark, but compare numbers
+// across machines with the same GOMAXPROCS.
+func benchGoroutines(b *testing.B) int {
+	procs := runtime.GOMAXPROCS(0)
+	n := (8 + procs - 1) / procs
+	b.SetParallelism(n)
+	return n * procs
+}
+
+// BenchmarkEngine_SetParallel hammers SET from 8 goroutines over disjoint
+// key ranges — the workload the sharded engine is built for: independent
+// keys must proceed in parallel instead of convoying on one global mutex.
+func BenchmarkEngine_SetParallel(b *testing.B) {
+	db := store.New(store.Options{})
+	val := make([]byte, benchValueSize)
+	var worker atomic.Int64
+	benchGoroutines(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := worker.Add(1)
+		i := 0
+		for pb.Next() {
+			db.Set(fmt.Sprintf("w%d-%d", id, i%benchRecords), val)
+			i++
+		}
+	})
+}
+
+// BenchmarkEngine_GetParallel is the read-side contention benchmark.
+func BenchmarkEngine_GetParallel(b *testing.B) {
+	db := store.New(store.Options{})
+	val := make([]byte, benchValueSize)
+	for w := 1; w <= 8; w++ {
+		for i := 0; i < benchRecords; i++ {
+			db.Set(fmt.Sprintf("w%d-%d", w, i), val)
+		}
+	}
+	var worker atomic.Int64
+	benchGoroutines(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := worker.Add(1)%8 + 1
+		i := 0
+		for pb.Next() {
+			db.GetNoCopy(fmt.Sprintf("w%d-%d", id, i%benchRecords))
+			i++
+		}
+	})
+}
+
+// BenchmarkCore_GPutParallel drives the compliance layer's GPUT path from 8
+// goroutines, each writing records for a different data subject — the
+// per-owner striping case: different owners must not contend.
+func BenchmarkCore_GPutParallel(b *testing.B) {
+	cfg := core.Config{Compliant: true, Timing: core.TimingEventual, Capability: core.CapabilityFull}
+	cfg.DefaultTTL = 24 * time.Hour
+	st, err := core.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	st.ACL().AddPrincipal(acl.Principal{ID: "bench", Role: acl.RoleController})
+	ctx := core.Ctx{Actor: "bench", Purpose: "benchmark"}
+	val := make([]byte, benchValueSize)
+	var worker atomic.Int64
+	benchGoroutines(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := worker.Add(1)
+		owner := fmt.Sprintf("subject%d", id)
+		opts := core.PutOptions{Owner: owner, Purposes: []string{"benchmark"}}
+		i := 0
+		for pb.Next() {
+			if err := st.Put(ctx, fmt.Sprintf("%s:rec%d", owner, i%benchRecords), val, opts); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkCore_GGetParallel is the owner-striped read path.
+func BenchmarkCore_GGetParallel(b *testing.B) {
+	cfg := core.Config{Compliant: true, Timing: core.TimingEventual, Capability: core.CapabilityFull}
+	cfg.DefaultTTL = 24 * time.Hour
+	st, err := core.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	st.ACL().AddPrincipal(acl.Principal{ID: "bench", Role: acl.RoleController})
+	ctx := core.Ctx{Actor: "bench", Purpose: "benchmark"}
+	val := make([]byte, benchValueSize)
+	for w := 1; w <= 8; w++ {
+		owner := fmt.Sprintf("subject%d", w)
+		opts := core.PutOptions{Owner: owner, Purposes: []string{"benchmark"}}
+		for i := 0; i < 256; i++ {
+			if err := st.Put(ctx, fmt.Sprintf("%s:rec%d", owner, i), val, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var worker atomic.Int64
+	benchGoroutines(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := worker.Add(1)%8 + 1
+		owner := fmt.Sprintf("subject%d", id)
+		i := 0
+		for pb.Next() {
+			if _, err := st.Get(ctx, fmt.Sprintf("%s:rec%d", owner, i%256)); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
 
 func BenchmarkEngine_Set(b *testing.B) {
 	db := store.New(store.Options{})

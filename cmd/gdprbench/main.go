@@ -29,6 +29,7 @@ func main() {
 		timing   = flag.String("timing", "realtime", "eventual|realtime")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		batch    = flag.Int("batch", 1, "group data-path operations into PutBatch/GetBatch calls of N keys")
+		shards   = flag.Int("shards", 0, "engine lock-stripe count, power of two (0 = default; 1 = single mutex)")
 	)
 	flag.Parse()
 
@@ -37,6 +38,7 @@ func main() {
 		cfg = core.EventualFull("")
 	}
 	cfg.DefaultTTL = 24 * time.Hour
+	cfg.Shards = *shards
 	st, err := core.Open(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -17,6 +17,7 @@
 //	-default-ttl dur    default retention bound for writes (e.g. 720h)
 //	-locations string   comma-separated allowed storage regions
 //	-expirer            run the background active-expiry loop (default true)
+//	-shards int         engine lock-stripe count, power of two (0 = default; 1 = single mutex)
 package main
 
 import (
@@ -51,6 +52,7 @@ func main() {
 		defaultTTL   = flag.Duration("default-ttl", 0, "default retention bound for writes")
 		locations    = flag.String("locations", "", "comma-separated allowed storage regions")
 		expirer      = flag.Bool("expirer", true, "run the background active-expiry loop")
+		shards       = flag.Int("shards", 0, "engine lock-stripe count, rounded up to a power of two (0 = default; 1 = single mutex)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,7 @@ func main() {
 		AuditEnabled: *compliant,
 		AuditPath:    *auditPath,
 		DefaultTTL:   *defaultTTL,
+		Shards:       *shards,
 	}
 	switch *timing {
 	case "realtime":

@@ -40,6 +40,7 @@ func main() {
 		loadOnly   = flag.Bool("load-only", false, "run only the load phase")
 		skipLoad   = flag.Bool("skip-load", false, "skip the load phase")
 		batch      = flag.Int("batch", 1, "group operations into batches of N (MSET/MGET over the network, PutBatch/GetBatch in-process)")
+		shards     = flag.Int("shards", 0, "embedded/gdpr mode: engine lock-stripe count, power of two (0 = default; 1 = single mutex)")
 	)
 	flag.Parse()
 
@@ -93,6 +94,7 @@ func main() {
 		default:
 			log.Fatalf("unknown -aof-sync %q", *aofSyncStr)
 		}
+		cfg.Shards = *shards
 		st, err := core.Open(cfg)
 		if err != nil {
 			log.Fatal(err)

@@ -12,8 +12,19 @@
 // overhead the paper measures — one lock acquisition, one AOF append and
 // one audit record per batch instead of per key.
 //
+// The storage engine is lock-striped into power-of-two shards (FNV-1a key
+// routing), each owning its own dict, expires dict and expiry machinery,
+// with journal records group-committed outside the shard locks; the
+// compliance layer mirrors the design with per-owner and per-key lock
+// stripes, so operations on independent keys and data subjects scale with
+// GOMAXPROCS instead of serialising on a global mutex. Cross-shard
+// operations (FLUSHALL, snapshot, batch writes) follow a deterministic
+// lock order — see DESIGN.md §5.
+//
 // The root package carries the repository-level benchmarks (bench_test.go,
-// one per table/figure); the implementation lives under internal/ — see
-// DESIGN.md for the system inventory (command table, middleware order,
-// batch API) and EXPERIMENTS.md for paper-vs-measured results.
+// one per table/figure, plus the multi-goroutine contention pair
+// BenchmarkEngine_SetParallel/BenchmarkCore_GPutParallel); the
+// implementation lives under internal/ — see DESIGN.md for the system
+// inventory (command table, middleware order, batch API, sharding) and
+// EXPERIMENTS.md for paper-vs-measured results.
 package gdprstore

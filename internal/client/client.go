@@ -217,7 +217,7 @@ func (c *Client) Scan(cursor uint64, match string, count int) ([]string, uint64,
 		return nil, 0, err
 	}
 	if len(v.Array) != 2 {
-		return nil, 0, fmt.Errorf("client: malformed SCAN reply")
+		return nil, 0, errors.New("client: malformed SCAN reply")
 	}
 	next, err := strconv.ParseUint(v.Array[0].Text(), 10, 64)
 	if err != nil {

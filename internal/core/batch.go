@@ -48,9 +48,17 @@ func (s *Store) PutBatch(ctx Ctx, entries []BatchEntry, opts PutOptions) error {
 		s.db.SetBatch(keys, vals)
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	// Owner stripe first, then every distinct key stripe in ascending
+	// order — the multi-key acquisition protocol of locks.go. Holding all
+	// the batch's key stripes keeps the batch atomic with respect to
+	// per-key operations on its keys.
+	os := s.ownerStripeFor(opts.Owner)
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	stripes := s.keyStripesFor(keys)
+	s.lockKeyStripes(stripes)
+	defer s.unlockKeyStripes(stripes)
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if err := s.check(ctx, acl.OpWrite, opts.Owner, "MPUT", keys[0]); err != nil {
@@ -67,7 +75,7 @@ func (s *Store) PutBatch(ctx Ctx, entries []BatchEntry, opts PutOptions) error {
 		purposes = []string{ctx.Purpose}
 	}
 
-	deadline := s.effectiveDeadlineLocked(opts, purposes)
+	deadline := s.effectiveDeadline(opts, purposes)
 	if s.cfg.requireTTL && deadline.IsZero() {
 		return ErrNoTTL
 	}
@@ -104,9 +112,7 @@ func (s *Store) PutBatch(ctx Ctx, entries []BatchEntry, opts PutOptions) error {
 		AutomatedDecisions: opts.AutomatedDecisions,
 		Created:            s.cfg.Config.Clock.Now(),
 	}
-	for p := range s.objections[opts.Owner] {
-		meta.Objections = append(meta.Objections, p)
-	}
+	meta.Objections = append(meta.Objections, s.objectionsOfLocked(os, opts.Owner)...)
 
 	stored := vals
 	if s.keyring != nil && opts.Owner != "" {
@@ -181,14 +187,20 @@ func (s *Store) GetBatch(ctx Ctx, keys []string) ([]BatchGetResult, error) {
 		}
 		return out, nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, ErrClosed
-	}
 	served, missing := 0, 0
 	for i, key := range keys {
+		// Each key is read under its own stripe; the batch as a whole is
+		// not an atomic snapshot (per-key reads never were, either). The
+		// closed check happens under the stripe so Close's lockAll
+		// barrier can wait this read out, like every other data-path op.
+		ks := s.keyStripeFor(key)
+		ks.Lock()
+		if s.closed.Load() {
+			ks.Unlock()
+			return nil, ErrClosed
+		}
 		v, _, err := s.getLocked(ctx, key)
+		ks.Unlock()
 		out[i] = BatchGetResult{Value: v, Err: err}
 		switch {
 		case err == nil:
@@ -216,8 +228,8 @@ func (s *Store) GetBatch(ctx Ctx, keys []string) ([]BatchGetResult, error) {
 
 // getLocked is the shared single-key read body — ACL check, purpose
 // limitation, ghost-metadata cleanup, decryption — used by both Get and
-// GetBatch. Callers hold s.mu and handle read auditing; denials are
-// audited here (they are evidence regardless of the calling path). The
+// GetBatch. Callers hold key's stripe and handle read auditing; denials
+// are audited here (they are evidence regardless of the calling path). The
 // owner is returned for the caller's audit records.
 func (s *Store) getLocked(ctx Ctx, key string) (value []byte, owner string, err error) {
 	meta, hasMeta := s.metaLive(key)

@@ -56,24 +56,39 @@ func TestConcurrentMixedOperations(t *testing.T) {
 	s.Maintain()
 
 	// Invariant 1: no ghost metadata after maintenance.
-	s.mu.Lock()
-	for k := range s.ix.meta {
+	var ghost string
+	s.ix.rangeMeta(func(k string, _ Metadata) bool {
 		if !s.db.Exists(k) {
-			s.mu.Unlock()
-			t.Fatalf("ghost metadata for %q after Maintain", k)
+			ghost = k
+			return false
 		}
+		return true
+	})
+	if ghost != "" {
+		t.Fatalf("ghost metadata for %q after Maintain", ghost)
 	}
-	// Invariant 2: owner index agrees with metadata.
-	for owner, set := range s.ix.byOwner {
-		for k := range set {
-			m, ok := s.ix.meta[k]
+	// Invariant 2: owner index agrees with metadata, in both directions.
+	s.ix.rangeMeta(func(k string, m Metadata) bool {
+		if m.Owner == "" {
+			return true
+		}
+		for _, ok := range s.ix.ownerKeys(m.Owner) {
+			if ok == k {
+				return true
+			}
+		}
+		t.Errorf("key %q (owner %q) missing from owner index", k, m.Owner)
+		return true
+	})
+	for i := 0; i < owners; i++ {
+		owner := fmt.Sprintf("owner%d", i)
+		for _, k := range s.ix.ownerKeys(owner) {
+			m, ok := s.ix.get(k)
 			if !ok || m.Owner != owner {
-				s.mu.Unlock()
 				t.Fatalf("owner index inconsistent: %q -> %q", owner, k)
 			}
 		}
 	}
-	s.mu.Unlock()
 
 	// Invariant 3: forgetting an owner leaves nothing behind.
 	if _, err := s.Forget(ctlCtx, "owner0"); err != nil {

@@ -138,6 +138,10 @@ type Config struct {
 	Clock clock.Clock
 	// Seed makes expiry sampling deterministic (0 = fixed default).
 	Seed int64
+	// Shards is the engine's lock-stripe count (rounded up to a power of
+	// two); 0 means the engine default, 1 reproduces the old single-mutex
+	// engine for baseline comparisons.
+	Shards int
 }
 
 // normalized is Config with every derived knob resolved.

@@ -1,0 +1,118 @@
+package core
+
+import "sync"
+
+// The compliance layer used to serialise every operation on one Store-wide
+// mutex; GPUT/GGET for different data subjects contended even though they
+// share no state. It now uses striped locking at two granularities, chosen
+// per operation:
+//
+//   - ownerStripes serialise owner-scoped state: the standing objections
+//     map, the keyring entry, and the owner's key set (Put/PutBatch,
+//     Forget, Object, GetUser, ...). Operations for different owners take
+//     different stripes and proceed in parallel.
+//   - keyStripes serialise the per-key compound invariant "engine value and
+//     metadata-index entry agree" (Put, Get, Delete, Expire, ...). An
+//     operation that knows its owner takes the owner stripe first, then
+//     the key stripe(s); key-only operations (Get, Delete — the owner is
+//     discovered from the metadata) take just the key stripe.
+//
+// Whole-store operations (AOF rewrite/snapshot, Maintain, Close, replay)
+// take gmu and then every stripe, in index order — the deterministic
+// lock-ordering protocol that makes cross-stripe operations deadlock-free:
+//
+//	gmu → ownerStripes (ascending) → keyStripes (ascending) → subsystem locks
+//
+// No operation takes more than one owner stripe, key stripes are always
+// acquired after the (single) owner stripe and in ascending index order
+// when more than one is held, and the engine/AOF/audit/ACL/keyring locks
+// are leaves. The engine below has its own shard locks; the audit trail,
+// AOF, ACL and keyring have their own internal locks.
+const stripeCount = 64 // power of two
+
+// ownerStripe guards one stripe of owner-scoped compliance state. The
+// standing objections of owners hashing to this stripe live here, so
+// different stripes never share a map.
+type ownerStripe struct {
+	mu sync.Mutex
+	// objections holds standing per-owner objections applied to future
+	// records (Art. 21 "object at any time"), for owners in this stripe.
+	objections map[string]map[string]struct{}
+}
+
+func stripeIndex(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h & (stripeCount - 1)
+}
+
+func (s *Store) ownerStripeFor(owner string) *ownerStripe {
+	return s.owners[stripeIndex(owner)]
+}
+
+func (s *Store) keyStripeFor(key string) *sync.Mutex {
+	return &s.keys[stripeIndex(key)]
+}
+
+// keyStripesFor returns the distinct key-stripe indexes covering keys, in
+// ascending order — the acquisition order for multi-key operations.
+func (s *Store) keyStripesFor(keys []string) []int {
+	var seen [stripeCount]bool
+	for _, k := range keys {
+		seen[stripeIndex(k)] = true
+	}
+	idxs := make([]int, 0, len(keys))
+	for i, hit := range seen {
+		if hit {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+func (s *Store) lockKeyStripes(idxs []int) {
+	for _, i := range idxs {
+		s.keys[i].Lock()
+	}
+}
+
+func (s *Store) unlockKeyStripes(idxs []int) {
+	for i := len(idxs) - 1; i >= 0; i-- {
+		s.keys[idxs[i]].Unlock()
+	}
+}
+
+// lockAll acquires the whole-store write lock: gmu, every owner stripe,
+// every key stripe, in the global order. It is the stop-the-world half of
+// the protocol, used by snapshot/rewrite, Maintain, Close and replay-time
+// state swaps.
+func (s *Store) lockAll() {
+	s.gmu.Lock()
+	for _, os := range s.owners {
+		os.mu.Lock()
+	}
+	for i := range s.keys {
+		s.keys[i].Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for i := len(s.keys) - 1; i >= 0; i-- {
+		s.keys[i].Unlock()
+	}
+	for i := len(s.owners) - 1; i >= 0; i-- {
+		s.owners[i].mu.Unlock()
+	}
+	s.gmu.Unlock()
+}
+
+func newOwnerStripes() []*ownerStripe {
+	out := make([]*ownerStripe, stripeCount)
+	for i := range out {
+		out[i] = &ownerStripe{objections: make(map[string]map[string]struct{})}
+	}
+	return out
+}

@@ -14,27 +14,37 @@ func openSealed(key, sealed []byte, recordKey string) ([]byte, error) {
 
 // snapshotAll emits the commands that reconstruct the full compliance
 // state: the dataset (SET/SETEX), metadata (GMETA), standing objections
-// (GOBJ), and the envelope keyring (GKEY/GSHRED). Callers hold s.mu.
+// (GOBJ), and the envelope keyring (GKEY/GSHRED). Callers hold the
+// whole-store lock (lockAll), so the cut is globally consistent.
 func (s *Store) snapshotAll(emit func(name string, args ...[]byte) error) error {
 	if err := s.db.Snapshot(emit); err != nil {
 		return err
 	}
-	for k, m := range s.ix.meta {
+	var emitErr error
+	s.ix.rangeMeta(func(k string, m Metadata) bool {
 		if !s.db.Exists(k) {
-			continue
+			return true
 		}
 		mb, err := m.encode()
 		if err != nil {
-			return err
+			emitErr = err
+			return false
 		}
 		if err := emit(opMeta, []byte(k), mb); err != nil {
-			return err
+			emitErr = err
+			return false
 		}
+		return true
+	})
+	if emitErr != nil {
+		return emitErr
 	}
-	for owner, set := range s.objections {
-		for p := range set {
-			if err := emit(opObject, []byte(owner), []byte(p)); err != nil {
-				return err
+	for _, os := range s.owners {
+		for owner, set := range os.objections {
+			for p := range set {
+				if err := emit(opObject, []byte(owner), []byte(p)); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -58,17 +68,17 @@ func (s *Store) snapshotAll(emit func(name string, args ...[]byte) error) error 
 }
 
 // rewriteLocked compacts the AOF so deleted/erased personal data stops
-// persisting in the log. Callers hold s.mu.
+// persisting in the log. Callers hold the whole-store lock (lockAll).
 func (s *Store) rewriteLocked(ctx Ctx) error {
 	if s.log == nil {
-		s.pendingRewrite = false
+		s.pendingRewrite.Store(false)
 		return nil
 	}
 	before := s.log.Size()
 	if err := s.log.Rewrite(s.snapshotAll); err != nil {
 		return fmt.Errorf("core: aof compaction: %w", err)
 	}
-	s.pendingRewrite = false
+	s.pendingRewrite.Store(false)
 	s.auditOp(audit.Record{
 		Actor: ctx.Actor, Op: "REWRITE", Outcome: audit.OutcomeOK,
 		Detail: fmt.Sprintf("bytes=%d->%d", before, s.log.Size()),
@@ -78,9 +88,9 @@ func (s *Store) rewriteLocked(ctx Ctx) error {
 
 // Compact forces an AOF compaction now, regardless of timing mode.
 func (s *Store) Compact(ctx Ctx) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	return s.rewriteLocked(ctx)
@@ -106,20 +116,25 @@ type MaintStats struct {
 func (s *Store) Maintain() MaintStats {
 	start := time.Now()
 	var st MaintStats
-	s.mu.Lock()
-	for k := range s.ix.meta {
+	s.lockAll()
+	var ghosts []string
+	s.ix.rangeMeta(func(k string, _ Metadata) bool {
 		if !s.db.Exists(k) {
-			s.ix.del(k)
-			st.GhostMetaPruned++
+			ghosts = append(ghosts, k)
 		}
+		return true
+	})
+	for _, k := range ghosts {
+		s.ix.del(k)
+		st.GhostMetaPruned++
 	}
 	st.GrantsPurged = s.acl.PurgeExpired()
-	if s.pendingRewrite {
+	if s.pendingRewrite.Load() {
 		if err := s.propagateErasureLocked(Ctx{Actor: "system:maintenance"}); err == nil {
 			st.Rewrote = true
 		}
 	}
-	s.mu.Unlock()
+	s.unlockAll()
 	st.Took = time.Since(start)
 	return st
 }
@@ -127,15 +142,11 @@ func (s *Store) Maintain() MaintStats {
 // PendingRewrite reports whether an AOF compaction is owed (eventual
 // timing defers it to Maintain).
 func (s *Store) PendingRewrite() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pendingRewrite
+	return s.pendingRewrite.Load()
 }
 
 // MetaCount returns the number of metadata entries currently indexed
 // (including ghosts not yet pruned); for tests and introspection.
 func (s *Store) MetaCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.ix.len()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -82,91 +83,169 @@ func decodeMetadata(b []byte) (Metadata, error) {
 // metaIndex maintains the secondary indexes the paper's "metadata
 // indexing" feature calls for: find all keys of a subject (Art. 15/17/20)
 // and all keys processable under a purpose (Art. 21) without scanning the
-// keyspace. It is owned by Store and guarded by Store.mu.
+// keyspace.
+//
+// The index is internally lock-striped so metadata writes for unrelated
+// keys/owners never contend: the primary key→Metadata map is sharded by
+// key, the owner and purpose association sets by owner/purpose. Each shard
+// lock is held only for the individual map operation. The index therefore
+// guarantees memory safety and per-map consistency on its own; compound
+// read-modify-write invariants (e.g. "engine value and metadata agree for
+// key k") are the caller's job, which Store provides via its key/owner
+// stripe locks. Between put's primary-map update and its association
+// updates, a reader of a *different* owner/purpose set may briefly miss an
+// entry being re-indexed — callers that need a stable owner view hold that
+// owner's stripe, which serialises all re-indexing for the owner's keys.
 type metaIndex struct {
-	meta      map[string]Metadata
-	byOwner   map[string]map[string]struct{}
-	byPurpose map[string]map[string]struct{}
+	meta      []metaShard
+	byOwner   []assocShard
+	byPurpose []assocShard
+}
+
+// metaShard is one stripe of the key→Metadata map.
+type metaShard struct {
+	mu sync.Mutex
+	m  map[string]Metadata
+}
+
+// assocShard is one stripe of a string→key-set association index.
+type assocShard struct {
+	mu sync.Mutex
+	m  map[string]map[string]struct{}
 }
 
 func newMetaIndex() *metaIndex {
-	return &metaIndex{
-		meta:      make(map[string]Metadata),
-		byOwner:   make(map[string]map[string]struct{}),
-		byPurpose: make(map[string]map[string]struct{}),
+	ix := &metaIndex{
+		meta:      make([]metaShard, stripeCount),
+		byOwner:   make([]assocShard, stripeCount),
+		byPurpose: make([]assocShard, stripeCount),
 	}
+	for i := 0; i < stripeCount; i++ {
+		ix.meta[i].m = make(map[string]Metadata)
+		ix.byOwner[i].m = make(map[string]map[string]struct{})
+		ix.byPurpose[i].m = make(map[string]map[string]struct{})
+	}
+	return ix
+}
+
+func (ix *metaIndex) metaShardFor(key string) *metaShard {
+	return &ix.meta[stripeIndex(key)]
+}
+
+func (sh *assocShard) add(name, key string) {
+	if name == "" {
+		return
+	}
+	sh.mu.Lock()
+	set, ok := sh.m[name]
+	if !ok {
+		set = make(map[string]struct{})
+		sh.m[name] = set
+	}
+	set[key] = struct{}{}
+	sh.mu.Unlock()
+}
+
+func (sh *assocShard) remove(name, key string) {
+	sh.mu.Lock()
+	if set, ok := sh.m[name]; ok {
+		delete(set, key)
+		if len(set) == 0 {
+			delete(sh.m, name)
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// keys returns the member keys of name's set, in unspecified order.
+func (sh *assocShard) keys(name string) []string {
+	sh.mu.Lock()
+	set := sh.m[name]
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sh.mu.Unlock()
+	return out
 }
 
 func (ix *metaIndex) put(key string, m Metadata) {
-	if old, ok := ix.meta[key]; ok {
+	ms := ix.metaShardFor(key)
+	ms.mu.Lock()
+	old, had := ms.m[key]
+	ms.m[key] = m
+	ms.mu.Unlock()
+	if had {
 		ix.unindex(key, old)
 	}
-	ix.meta[key] = m
-	if m.Owner != "" {
-		set, ok := ix.byOwner[m.Owner]
-		if !ok {
-			set = make(map[string]struct{})
-			ix.byOwner[m.Owner] = set
-		}
-		set[key] = struct{}{}
-	}
+	ix.byOwner[stripeIndex(m.Owner)].add(m.Owner, key)
 	for _, p := range m.Purposes {
-		set, ok := ix.byPurpose[p]
-		if !ok {
-			set = make(map[string]struct{})
-			ix.byPurpose[p] = set
-		}
-		set[key] = struct{}{}
+		ix.byPurpose[stripeIndex(p)].add(p, key)
 	}
 }
 
 func (ix *metaIndex) get(key string) (Metadata, bool) {
-	m, ok := ix.meta[key]
+	ms := ix.metaShardFor(key)
+	ms.mu.Lock()
+	m, ok := ms.m[key]
+	ms.mu.Unlock()
 	return m, ok
 }
 
 func (ix *metaIndex) del(key string) {
-	if m, ok := ix.meta[key]; ok {
+	ms := ix.metaShardFor(key)
+	ms.mu.Lock()
+	m, ok := ms.m[key]
+	delete(ms.m, key)
+	ms.mu.Unlock()
+	if ok {
 		ix.unindex(key, m)
-		delete(ix.meta, key)
 	}
 }
 
 func (ix *metaIndex) unindex(key string, m Metadata) {
-	if set, ok := ix.byOwner[m.Owner]; ok {
-		delete(set, key)
-		if len(set) == 0 {
-			delete(ix.byOwner, m.Owner)
-		}
+	if m.Owner != "" {
+		ix.byOwner[stripeIndex(m.Owner)].remove(m.Owner, key)
 	}
 	for _, p := range m.Purposes {
-		if set, ok := ix.byPurpose[p]; ok {
-			delete(set, key)
-			if len(set) == 0 {
-				delete(ix.byPurpose, p)
-			}
-		}
+		ix.byPurpose[stripeIndex(p)].remove(p, key)
 	}
 }
 
 // ownerKeys returns the keys owned by owner, in unspecified order.
 func (ix *metaIndex) ownerKeys(owner string) []string {
-	set := ix.byOwner[owner]
-	out := make([]string, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	return out
+	return ix.byOwner[stripeIndex(owner)].keys(owner)
 }
 
 // purposeKeys returns the keys whitelisted for purpose.
 func (ix *metaIndex) purposeKeys(purpose string) []string {
-	set := ix.byPurpose[purpose]
-	out := make([]string, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	return out
+	return ix.byPurpose[stripeIndex(purpose)].keys(purpose)
 }
 
-func (ix *metaIndex) len() int { return len(ix.meta) }
+// rangeMeta calls fn for every (key, metadata) entry, one shard at a time.
+// fn must not call back into the index for the same shard (it may read
+// other entries via get). Entries added or removed concurrently may or may
+// not be visited — callers that need a stable view hold Store.lockAll.
+func (ix *metaIndex) rangeMeta(fn func(key string, m Metadata) bool) {
+	for i := range ix.meta {
+		sh := &ix.meta[i]
+		sh.mu.Lock()
+		for k, m := range sh.m {
+			if !fn(k, m) {
+				sh.mu.Unlock()
+				return
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func (ix *metaIndex) len() int {
+	n := 0
+	for i := range ix.meta {
+		ix.meta[i].mu.Lock()
+		n += len(ix.meta[i].m)
+		ix.meta[i].mu.Unlock()
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"gdprstore/internal/audit"
@@ -13,13 +14,13 @@ import (
 // it after the AOF, so every engine mutation — including expiry-generated
 // deletions — streams to replicas. Call before attaching replicas.
 func (s *Store) EnableReplication(mode replica.Mode) (*replica.Primary, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	if s.primary != nil {
-		return nil, fmt.Errorf("core: replication already enabled")
+		return nil, errors.New("core: replication already enabled")
 	}
 	s.primary = replica.NewPrimary(mode, 0)
 	var legs []store.Journal
@@ -39,10 +40,10 @@ func (s *Store) EnableReplication(mode replica.Mode) (*replica.Primary, error) {
 // it to the stream. Writes concurrent with attachment may be applied
 // twice, which the replica tolerates (ops are idempotent).
 func (s *Store) AddReplica() (*replica.Replica, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
 	if s.primary == nil {
-		return nil, fmt.Errorf("core: replication not enabled")
+		return nil, errors.New("core: replication not enabled")
 	}
 	rdb := store.New(store.Options{Clock: s.cfg.Config.Clock, Seed: s.cfg.Seed + 1})
 	r, err := s.primary.Attach(s.db, rdb)
@@ -57,8 +58,8 @@ func (s *Store) AddReplica() (*replica.Replica, error) {
 
 // Primary returns the replication fan-out, or nil if replication is off.
 func (s *Store) Primary() *replica.Primary {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
 	return s.primary
 }
 
@@ -66,18 +67,18 @@ func (s *Store) Primary() *replica.Primary {
 // keeps consistent with erasure: real-time Forget refreshes the backups
 // synchronously; eventual timing defers the refresh to Maintain.
 func (s *Store) SetBackupManager(m *backup.Manager) {
-	s.mu.Lock()
+	s.gmu.Lock()
 	s.backups = m
-	s.mu.Unlock()
+	s.gmu.Unlock()
 }
 
 // Backup writes a new backup generation now.
 func (s *Store) Backup() (string, error) {
-	s.mu.Lock()
+	s.gmu.Lock()
 	m := s.backups
-	s.mu.Unlock()
+	s.gmu.Unlock()
 	if m == nil {
-		return "", fmt.Errorf("core: no backup manager registered")
+		return "", errors.New("core: no backup manager registered")
 	}
 	path, err := m.Create(s.db)
 	if err != nil {
@@ -89,11 +90,24 @@ func (s *Store) Backup() (string, error) {
 	return path, nil
 }
 
-// propagateErasureLocked completes an Article 17 erasure across the
-// subsystems beyond the main engine: the AOF (compaction), the replicas
-// (drain the stream), and the backups (refresh generations). Callers hold
-// s.mu. In eventual timing the work is deferred to Maintain via
-// pendingRewrite.
+// propagateErasure completes an Article 17 erasure across the subsystems
+// beyond the main engine: the AOF (compaction), the replicas (drain the
+// stream), and the backups (refresh generations). It is whole-store work:
+// the caller must hold no stripe locks, because it acquires them all. In
+// eventual timing the work is deferred to Maintain via pendingRewrite.
+func (s *Store) propagateErasure(ctx Ctx) error {
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Load() {
+		// Close won the race to the global locks; the erasure's data-path
+		// work is done, and the owed compaction stays in pendingRewrite.
+		return nil
+	}
+	return s.propagateErasureLocked(ctx)
+}
+
+// propagateErasureLocked is propagateErasure's body; callers hold the
+// whole-store lock (lockAll).
 func (s *Store) propagateErasureLocked(ctx Ctx) error {
 	if err := s.rewriteLocked(ctx); err != nil {
 		return err

@@ -59,11 +59,11 @@ func (p *RetentionPolicy) Effective(purposes []string, requested time.Duration) 
 
 // SetRetentionPolicy installs (or clears, with nil) the purpose-based
 // retention policy. It affects subsequent writes; existing deadlines are
-// not retrofitted (use Expire for that).
+// not retrofitted (use Expire for that). The policy pointer is swapped
+// atomically, so in-flight writes use either the old or the new policy in
+// full — never a mix.
 func (s *Store) SetRetentionPolicy(p *RetentionPolicy) {
-	s.mu.Lock()
-	s.retention = p
-	s.mu.Unlock()
+	s.retention.Store(p)
 }
 
 // RetentionFor reports the bound the current configuration would apply to
@@ -71,23 +71,21 @@ func (s *Store) SetRetentionPolicy(p *RetentionPolicy) {
 // screens that must tell the subject "the period for which the personal
 // data will be stored" (Art. 13).
 func (s *Store) RetentionFor(purposes []string, requested time.Duration) time.Duration {
-	s.mu.Lock()
-	p := s.retention
-	s.mu.Unlock()
-	d := p.Effective(purposes, requested)
+	d := s.retention.Load().Effective(purposes, requested)
 	if d == 0 {
 		d = s.cfg.DefaultTTL
 	}
 	return d
 }
 
-// effectiveDeadlineLocked resolves a write's retention deadline under the
-// policy, the request, and the config default. Callers hold s.mu.
-func (s *Store) effectiveDeadlineLocked(opts PutOptions, purposes []string) time.Time {
+// effectiveDeadline resolves a write's retention deadline under the
+// policy, the request, and the config default.
+func (s *Store) effectiveDeadline(opts PutOptions, purposes []string) time.Time {
+	p := s.retention.Load()
 	if !opts.ExpireAt.IsZero() {
 		// An absolute deadline still respects the policy cap.
-		if s.retention != nil {
-			if d := s.retention.Effective(purposes, 0); d > 0 {
+		if p != nil {
+			if d := p.Effective(purposes, 0); d > 0 {
 				capped := s.cfg.Config.Clock.Now().Add(d)
 				if capped.Before(opts.ExpireAt) {
 					return capped
@@ -96,7 +94,7 @@ func (s *Store) effectiveDeadlineLocked(opts PutOptions, purposes []string) time
 		}
 		return opts.ExpireAt
 	}
-	d := s.retention.Effective(purposes, opts.TTL)
+	d := p.Effective(purposes, opts.TTL)
 	if d == 0 {
 		d = s.cfg.DefaultTTL
 	}

@@ -24,9 +24,10 @@ func (s *Store) GetUser(ctx Ctx, owner string) ([]UserRecord, error) {
 	if !s.cfg.Compliant {
 		return nil, ErrNotCompliant
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	os := s.ownerStripeFor(owner)
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	if err := s.check(ctx, acl.OpRights, owner, "GETUSER", ""); err != nil {
@@ -43,16 +44,27 @@ func (s *Store) GetUser(ctx Ctx, owner string) ([]UserRecord, error) {
 	return recs, nil
 }
 
+// collectOwnerLocked gathers the owner's records. Callers hold the owner's
+// stripe (which freezes the owner's key set); each record is read under
+// its key stripe, taken one at a time per the lock-ordering protocol.
 func (s *Store) collectOwnerLocked(owner string) ([]UserRecord, error) {
 	keys := s.ix.ownerKeys(owner)
 	sort.Strings(keys)
 	recs := make([]UserRecord, 0, len(keys))
 	for _, k := range keys {
+		ks := s.keyStripeFor(k)
+		ks.Lock()
 		m, ok := s.metaLive(k)
-		if !ok {
+		if !ok || m.Owner != owner {
+			// Re-validate ownership under the stripe: the key may have
+			// been re-Put by a different subject since the index
+			// snapshot, and their record must not leak into this
+			// owner's Article 15 report.
+			ks.Unlock()
 			continue
 		}
 		v, ok := s.db.Get(k)
+		ks.Unlock()
 		if !ok {
 			continue
 		}
@@ -101,12 +113,10 @@ func (s *Store) Access(ctx Ctx, owner string) (AccessReport, error) {
 	if err != nil {
 		return AccessReport{}, err
 	}
-	s.mu.Lock()
-	var objections []string
-	for p := range s.objections[owner] {
-		objections = append(objections, p)
-	}
-	s.mu.Unlock()
+	os := s.ownerStripeFor(owner)
+	os.mu.Lock()
+	objections := s.objectionsOfLocked(os, owner)
+	os.mu.Unlock()
 	sort.Strings(objections)
 
 	rep := AccessReport{
@@ -218,22 +228,37 @@ func (s *Store) Forget(ctx Ctx, owner string) (int, error) {
 	if !s.cfg.Compliant {
 		return 0, ErrNotCompliant
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	os := s.ownerStripeFor(owner)
+	os.mu.Lock()
+	if s.closed.Load() {
+		os.mu.Unlock()
 		return 0, ErrClosed
 	}
 	if err := s.check(ctx, acl.OpRights, owner, "FORGETUSER", ""); err != nil {
+		os.mu.Unlock()
 		return 0, err
 	}
+	// The owner stripe freezes the owner's key set (no new Puts for this
+	// owner can land); each key is erased under its key stripe, acquired
+	// in ascending order per the lock-ordering protocol. Ownership is
+	// re-validated under the stripes: between the index snapshot and the
+	// stripe acquisition another subject may have re-Put one of these
+	// keys, and erasing it here would destroy *their* record.
 	keys := s.ix.ownerKeys(owner)
-	n := s.db.Del(keys...)
+	stripes := s.keyStripesFor(keys)
+	s.lockKeyStripes(stripes)
+	n := 0
 	for _, k := range keys {
-		s.ix.del(k)
+		if m, ok := s.ix.get(k); ok && m.Owner == owner {
+			n += s.db.Del(k)
+			s.ix.del(k)
+		}
 	}
+	s.unlockKeyStripes(stripes)
 	if s.keyring != nil {
 		s.keyring.Shred(owner)
 		if err := s.appendLog(opShred, []byte(owner)); err != nil {
+			os.mu.Unlock()
 			return n, err
 		}
 	}
@@ -241,9 +266,10 @@ func (s *Store) Forget(ctx Ctx, owner string) (int, error) {
 		Actor: ctx.Actor, Op: "FORGETUSER", Owner: owner, Purpose: ctx.Purpose,
 		Outcome: audit.OutcomeOK, Detail: fmt.Sprintf("erased=%d", n),
 	})
-	s.pendingRewrite = true
+	os.mu.Unlock()
+	s.pendingRewrite.Store(true)
 	if s.cfg.Timing == TimingRealTime {
-		if err := s.propagateErasureLocked(ctx); err != nil {
+		if err := s.propagateErasure(ctx); err != nil {
 			return n, err
 		}
 	}
@@ -256,8 +282,9 @@ func (s *Store) Reinstate(ctx Ctx, owner string) error {
 	if !s.cfg.Compliant {
 		return ErrNotCompliant
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	os := s.ownerStripeFor(owner)
+	os.mu.Lock()
+	defer os.mu.Unlock()
 	if err := s.check(ctx, acl.OpAdmin, owner, "REINSTATE", ""); err != nil {
 		return err
 	}
@@ -291,9 +318,10 @@ func (s *Store) setObjection(ctx Ctx, owner, purpose string, add bool) error {
 	if !s.cfg.Compliant {
 		return ErrNotCompliant
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	os := s.ownerStripeFor(owner)
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	opName := "OBJECT"
@@ -306,9 +334,9 @@ func (s *Store) setObjection(ctx Ctx, owner, purpose string, add bool) error {
 		return err
 	}
 	if add {
-		s.applyObjection(owner, purpose)
+		s.applyObjectionLocked(os, owner, purpose)
 	} else {
-		s.applyUnobjection(owner, purpose)
+		s.applyUnobjectionLocked(os, owner, purpose)
 	}
 	if err := s.appendLog(logOp, []byte(owner), []byte(purpose)); err != nil {
 		return err
@@ -316,7 +344,11 @@ func (s *Store) setObjection(ctx Ctx, owner, purpose string, add bool) error {
 	// Re-journal the affected records' metadata so replay converges even
 	// if the GOBJ record were compacted away.
 	for _, k := range s.ix.ownerKeys(owner) {
-		if m, ok := s.ix.get(k); ok {
+		ks := s.keyStripeFor(k)
+		ks.Lock()
+		m, ok := s.ix.get(k)
+		ks.Unlock()
+		if ok && m.Owner == owner {
 			if mb, err := m.encode(); err == nil {
 				if err := s.appendLog(opMeta, []byte(k), mb); err != nil {
 					return err
@@ -331,18 +363,42 @@ func (s *Store) setObjection(ctx Ctx, owner, purpose string, add bool) error {
 	return nil
 }
 
-// applyObjection mutates objection state; callers hold s.mu (or are in
-// single-threaded replay).
+// applyObjection locks the owner stripe and records the objection; it is
+// the AOF-replay entry point (replay is single-threaded, but the stripes
+// keep the state containers consistent either way).
 func (s *Store) applyObjection(owner, purpose string) {
-	set, ok := s.objections[owner]
+	os := s.ownerStripeFor(owner)
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	s.applyObjectionLocked(os, owner, purpose)
+}
+
+func (s *Store) applyUnobjection(owner, purpose string) {
+	os := s.ownerStripeFor(owner)
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	s.applyUnobjectionLocked(os, owner, purpose)
+}
+
+// applyObjectionLocked mutates objection state and stamps the objection
+// onto the owner's existing records. Callers hold the owner's stripe; each
+// record's metadata is rewritten under its key stripe.
+func (s *Store) applyObjectionLocked(os *ownerStripe, owner, purpose string) {
+	set, ok := os.objections[owner]
 	if !ok {
 		set = make(map[string]struct{})
-		s.objections[owner] = set
+		os.objections[owner] = set
 	}
 	set[purpose] = struct{}{}
 	for _, k := range s.ix.ownerKeys(owner) {
+		ks := s.keyStripeFor(k)
+		ks.Lock()
 		m, ok := s.ix.get(k)
-		if !ok {
+		if !ok || m.Owner != owner {
+			// The key may have been re-Put by another subject since the
+			// index snapshot; their record must not inherit this
+			// owner's objection.
+			ks.Unlock()
 			continue
 		}
 		found := false
@@ -356,19 +412,23 @@ func (s *Store) applyObjection(owner, purpose string) {
 			m.Objections = append(m.Objections, purpose)
 			s.ix.put(k, m)
 		}
+		ks.Unlock()
 	}
 }
 
-func (s *Store) applyUnobjection(owner, purpose string) {
-	if set, ok := s.objections[owner]; ok {
+func (s *Store) applyUnobjectionLocked(os *ownerStripe, owner, purpose string) {
+	if set, ok := os.objections[owner]; ok {
 		delete(set, purpose)
 		if len(set) == 0 {
-			delete(s.objections, owner)
+			delete(os.objections, owner)
 		}
 	}
 	for _, k := range s.ix.ownerKeys(owner) {
+		ks := s.keyStripeFor(k)
+		ks.Lock()
 		m, ok := s.ix.get(k)
-		if !ok {
+		if !ok || m.Owner != owner {
+			ks.Unlock()
 			continue
 		}
 		kept := m.Objections[:0]
@@ -379,17 +439,16 @@ func (s *Store) applyUnobjection(owner, purpose string) {
 		}
 		m.Objections = kept
 		s.ix.put(k, m)
+		ks.Unlock()
 	}
 }
 
 // Objections returns the subject's standing objections.
 func (s *Store) Objections(owner string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []string
-	for p := range s.objections[owner] {
-		out = append(out, p)
-	}
+	os := s.ownerStripeFor(owner)
+	os.mu.Lock()
+	out := s.objectionsOfLocked(os, owner)
+	os.mu.Unlock()
 	sort.Strings(out)
 	return out
 }
@@ -400,15 +459,16 @@ func (s *Store) KeysByPurpose(ctx Ctx, purpose string) ([]string, error) {
 	if !s.cfg.Compliant {
 		return nil, ErrNotCompliant
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.check(ctx, acl.OpRead, "", "KEYSBYPURPOSE", ""); err != nil {
 		return nil, err
 	}
 	keys := s.ix.purposeKeys(purpose)
 	out := make([]string, 0, len(keys))
 	for _, k := range keys {
+		ks := s.keyStripeFor(k)
+		ks.Lock()
 		m, ok := s.metaLive(k)
+		ks.Unlock()
 		if !ok {
 			continue
 		}
@@ -425,15 +485,20 @@ func (s *Store) OwnerKeys(ctx Ctx, owner string) ([]string, error) {
 	if !s.cfg.Compliant {
 		return nil, ErrNotCompliant
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	os := s.ownerStripeFor(owner)
+	os.mu.Lock()
+	defer os.mu.Unlock()
 	if err := s.check(ctx, acl.OpRead, owner, "OWNERKEYS", ""); err != nil {
 		return nil, err
 	}
 	keys := s.ix.ownerKeys(owner)
 	out := keys[:0]
 	for _, k := range keys {
-		if _, ok := s.metaLive(k); ok {
+		ks := s.keyStripeFor(k)
+		ks.Lock()
+		m, ok := s.metaLive(k)
+		ks.Unlock()
+		if ok && m.Owner == owner {
 			out = append(out, k)
 		}
 	}

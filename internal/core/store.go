@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gdprstore/internal/acl"
@@ -62,53 +63,59 @@ type PutOptions struct {
 // Store is a GDPR-compliant key-value store: the engine plus metadata
 // indexing, auditing, access control, encryption, retention and location
 // policy, configured to a point on the compliance spectrum.
+//
+// Concurrency: the store uses striped locking (see locks.go) so operations
+// for different data subjects, and key operations in different stripes,
+// proceed in parallel; whole-store operations (compaction, maintenance,
+// close) quiesce every stripe in deterministic order.
 type Store struct {
 	cfg normalized
 
-	// mu serialises compliance-layer state transitions (metadata indexes,
-	// objections, rewrite scheduling). The engine, AOF and audit trail have
-	// their own locks; lock order is always mu → engine/log/trail.
-	mu sync.Mutex
+	// gmu orders whole-store operations (rewrite/snapshot, replication
+	// topology, backup manager, close) ahead of the stripes; see locks.go
+	// for the full lock-ordering protocol.
+	gmu    sync.Mutex
+	owners []*ownerStripe
+	keys   [stripeCount]sync.Mutex
 
-	db        *store.DB
-	ix        *metaIndex
-	trail     *audit.Trail
-	log       *aof.Log
-	acl       *acl.List
-	keyring   *cryptoutil.Keyring
-	expirer   *store.Expirer
-	primary   *replica.Primary
-	backups   *backup.Manager
-	retention *RetentionPolicy
+	db      *store.DB
+	ix      *metaIndex
+	trail   *audit.Trail
+	log     *aof.Log
+	acl     *acl.List
+	keyring *cryptoutil.Keyring
+	expirer *store.Expirer
 
-	// objections holds standing per-owner objections applied to future
-	// records (Art. 21 "object at any time").
-	objections map[string]map[string]struct{}
+	// primary and backups are guarded by gmu.
+	primary *replica.Primary
+	backups *backup.Manager
 
-	pendingRewrite bool
-	closed         bool
+	retention      atomic.Pointer[RetentionPolicy]
+	pendingRewrite atomic.Bool
+	closed         atomic.Bool
 }
 
 // Open builds a Store from the configuration, replaying any existing AOF.
 func Open(cfg Config) (*Store, error) {
 	n := cfg.normalize()
 	s := &Store{
-		cfg:        n,
-		ix:         newMetaIndex(),
-		objections: make(map[string]map[string]struct{}),
+		cfg:    n,
+		ix:     newMetaIndex(),
+		owners: newOwnerStripes(),
 	}
 	s.db = store.New(store.Options{
 		Clock:        n.Config.Clock,
 		Seed:         n.Seed,
 		Strategy:     n.strategy,
 		JournalReads: n.JournalReads,
+		Shards:       n.Shards,
 	})
 	s.acl = acl.New(n.Config.Clock)
 	s.acl.SetEnforce(n.Config.Compliant && n.enforceACL)
 
 	if n.Envelope {
 		if len(n.MasterKey) != cryptoutil.BlockCipherKeySize {
-			return nil, fmt.Errorf("core: envelope encryption requires a 32-byte MasterKey")
+			return nil, errors.New("core: envelope encryption requires a 32-byte MasterKey")
 		}
 		kr, err := cryptoutil.NewKeyring(n.MasterKey)
 		if err != nil {
@@ -151,12 +158,15 @@ func Open(cfg Config) (*Store, error) {
 	return s, nil
 }
 
+// replay runs before the store is shared, so it needs no stripe locks; the
+// index and objection stripes are still internally consistent because
+// replay is single-threaded.
 func (s *Store) replay(path string, key []byte) error {
 	_, err := aof.Load(path, key, func(name string, args [][]byte) error {
 		switch name {
 		case opMeta:
 			if len(args) != 2 {
-				return fmt.Errorf("core: replay GMETA: need 2 args")
+				return errors.New("core: replay GMETA: need 2 args")
 			}
 			m, err := decodeMetadata(args[1])
 			if err != nil {
@@ -166,7 +176,7 @@ func (s *Store) replay(path string, key []byte) error {
 			return nil
 		case opMetaBatch:
 			if len(args) < 2 {
-				return fmt.Errorf("core: replay GMETAB: need 2+ args")
+				return errors.New("core: replay GMETAB: need 2+ args")
 			}
 			m, err := decodeMetadata(args[0])
 			if err != nil {
@@ -178,19 +188,19 @@ func (s *Store) replay(path string, key []byte) error {
 			return nil
 		case opObject:
 			if len(args) != 2 {
-				return fmt.Errorf("core: replay GOBJ: need 2 args")
+				return errors.New("core: replay GOBJ: need 2 args")
 			}
 			s.applyObjection(string(args[0]), string(args[1]))
 			return nil
 		case opUnobj:
 			if len(args) != 2 {
-				return fmt.Errorf("core: replay GUNOBJ: need 2 args")
+				return errors.New("core: replay GUNOBJ: need 2 args")
 			}
 			s.applyUnobjection(string(args[0]), string(args[1]))
 			return nil
 		case opKey:
 			if len(args) != 2 {
-				return fmt.Errorf("core: replay GKEY: need 2 args")
+				return errors.New("core: replay GKEY: need 2 args")
 			}
 			if s.keyring == nil {
 				return nil // envelope disabled this run; ignore
@@ -198,7 +208,7 @@ func (s *Store) replay(path string, key []byte) error {
 			return s.keyring.Import(string(args[0]), args[1])
 		case opShred:
 			if len(args) != 1 {
-				return fmt.Errorf("core: replay GSHRED: need 1 arg")
+				return errors.New("core: replay GSHRED: need 1 arg")
 			}
 			if s.keyring != nil {
 				s.keyring.Shred(string(args[0]))
@@ -206,7 +216,7 @@ func (s *Store) replay(path string, key []byte) error {
 			return nil
 		case opReinst:
 			if len(args) != 1 {
-				return fmt.Errorf("core: replay GREINST: need 1 arg")
+				return errors.New("core: replay GREINST: need 1 arg")
 			}
 			if s.keyring != nil {
 				s.keyring.Reinstate(string(args[0]))
@@ -228,10 +238,15 @@ func (s *Store) replay(path string, key []byte) error {
 		return err
 	}
 	// Drop metadata for keys that did not survive the replay.
-	for k := range s.ix.meta {
+	var ghosts []string
+	s.ix.rangeMeta(func(k string, _ Metadata) bool {
 		if !s.db.Exists(k) {
-			s.ix.del(k)
+			ghosts = append(ghosts, k)
 		}
+		return true
+	})
+	for _, k := range ghosts {
+		s.ix.del(k)
 	}
 	return nil
 }
@@ -267,15 +282,29 @@ func (s *Store) check(ctx Ctx, op acl.OpClass, owner, opName, key string) error 
 	return fmt.Errorf("%w: %s", ErrDenied, d.Reason)
 }
 
+// objectionsOfLocked returns the standing objections of owner. Callers
+// hold owner's stripe.
+func (s *Store) objectionsOfLocked(os *ownerStripe, owner string) []string {
+	var out []string
+	for p := range os.objections[owner] {
+		out = append(out, p)
+	}
+	return out
+}
+
 // Put stores personal data under key with the supplied GDPR metadata.
 func (s *Store) Put(ctx Ctx, key string, value []byte, opts PutOptions) error {
 	if !s.cfg.Compliant {
 		s.db.Set(key, value)
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	os := s.ownerStripeFor(opts.Owner)
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	ks := s.keyStripeFor(key)
+	ks.Lock()
+	defer ks.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if err := s.check(ctx, acl.OpWrite, opts.Owner, "PUT", key); err != nil {
@@ -294,7 +323,7 @@ func (s *Store) Put(ctx Ctx, key string, value []byte, opts PutOptions) error {
 
 	// Retention bound (Art. 5 storage limitation): the tightest of the
 	// requested TTL, the purpose-based retention policy, and the default.
-	deadline := s.effectiveDeadlineLocked(opts, purposes)
+	deadline := s.effectiveDeadline(opts, purposes)
 	if s.cfg.requireTTL && deadline.IsZero() {
 		return ErrNoTTL
 	}
@@ -333,9 +362,7 @@ func (s *Store) Put(ctx Ctx, key string, value []byte, opts PutOptions) error {
 		Created:            s.cfg.Config.Clock.Now(),
 	}
 	// Standing objections of this owner apply to new records immediately.
-	for p := range s.objections[opts.Owner] {
-		meta.Objections = append(meta.Objections, p)
-	}
+	meta.Objections = append(meta.Objections, s.objectionsOfLocked(os, opts.Owner)...)
 
 	stored := value
 	if s.keyring != nil && opts.Owner != "" {
@@ -389,9 +416,10 @@ func (s *Store) Get(ctx Ctx, key string) ([]byte, error) {
 		}
 		return v, nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	ks := s.keyStripeFor(key)
+	ks.Lock()
+	defer ks.Unlock()
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	v, owner, err := s.getLocked(ctx, key)
@@ -413,8 +441,8 @@ func (s *Store) Get(ctx Ctx, key string) ([]byte, error) {
 	return v, nil
 }
 
-// Delete removes key. Under real-time timing the AOF is scheduled for
-// compaction so the deleted data does not persist in the log (§4.3).
+// Delete removes key. Under real-time timing the AOF is compacted before
+// returning, so the deleted data does not persist in the log (§4.3).
 func (s *Store) Delete(ctx Ctx, key string) error {
 	if !s.cfg.Compliant {
 		if s.db.Del(key) == 0 {
@@ -422,13 +450,15 @@ func (s *Store) Delete(ctx Ctx, key string) error {
 		}
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	ks := s.keyStripeFor(key)
+	ks.Lock()
+	if s.closed.Load() {
+		ks.Unlock()
 		return ErrClosed
 	}
 	meta, _ := s.metaLive(key)
 	if err := s.check(ctx, acl.OpWrite, meta.Owner, "DEL", key); err != nil {
+		ks.Unlock()
 		return err
 	}
 	n := s.db.Del(key)
@@ -441,18 +471,32 @@ func (s *Store) Delete(ctx Ctx, key string) error {
 		Actor: ctx.Actor, Op: "DEL", Key: key, Owner: meta.Owner,
 		Purpose: ctx.Purpose, Outcome: outcome,
 	})
+	ks.Unlock()
 	if n == 0 {
 		return ErrNotFound
 	}
-	s.pendingRewrite = true
+	s.pendingRewrite.Store(true)
 	if s.cfg.Timing == TimingRealTime {
+		// The compaction is whole-store work: it re-acquires the global
+		// locks itself, after the key stripe is released. Unlike Forget,
+		// a single-key delete compacts only the AOF (the pre-stripe
+		// behavior); backup refresh and replica drains stay with the
+		// owner-wide erasure path and Maintain.
+		s.lockAll()
+		defer s.unlockAll()
+		if s.closed.Load() {
+			// Close won the race to the global locks; the delete itself
+			// succeeded, and the owed compaction stays in pendingRewrite.
+			return nil
+		}
 		return s.rewriteLocked(ctx)
 	}
 	return nil
 }
 
 // metaLive returns key's metadata if the key still exists in the engine;
-// ghost metadata (key expired underneath) is pruned.
+// ghost metadata (key expired underneath) is pruned. Callers hold key's
+// stripe.
 func (s *Store) metaLive(key string) (Metadata, bool) {
 	m, ok := s.ix.get(key)
 	if !ok {
@@ -470,8 +514,9 @@ func (s *Store) Metadata(ctx Ctx, key string) (Metadata, error) {
 	if !s.cfg.Compliant {
 		return Metadata{}, ErrNotCompliant
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ks := s.keyStripeFor(key)
+	ks.Lock()
+	defer ks.Unlock()
 	m, ok := s.metaLive(key)
 	if !ok {
 		return Metadata{}, ErrNotFound
@@ -495,8 +540,9 @@ func (s *Store) Expire(ctx Ctx, key string, ttl time.Duration) error {
 		}
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ks := s.keyStripeFor(key)
+	ks.Lock()
+	defer ks.Unlock()
 	m, _ := s.metaLive(key)
 	if err := s.check(ctx, acl.OpWrite, m.Owner, "EXPIRE", key); err != nil {
 		return err
@@ -565,16 +611,17 @@ func (s *Store) ExpiryCycle() store.CycleStats {
 	return st
 }
 
-// Close flushes and releases every subsystem.
+// Close flushes and releases every subsystem. closed is flipped first so
+// new operations bounce; the lockAll barrier then waits out the operations
+// already holding stripes, after which no goroutine can reach the log or
+// trail.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
+	s.lockAll()
 	primary := s.primary
-	s.mu.Unlock()
+	s.unlockAll()
 	s.expirer.Stop()
 	if primary != nil {
 		primary.Close()

@@ -62,7 +62,7 @@ func TestFigure2PaperScalePoint(t *testing.T) {
 	if r.LazyEraseDelay < 30*time.Minute {
 		t.Errorf("128k lazy delay = %v, want hours-scale lag", r.LazyEraseDelay)
 	}
-	if r.FastEraseWall > time.Second {
+	if !raceEnabled && r.FastEraseWall > time.Second {
 		t.Errorf("128k fast scan = %v, want sub-second", r.FastEraseWall)
 	}
 }
@@ -70,6 +70,9 @@ func TestFigure2PaperScalePoint(t *testing.T) {
 func TestFastExpirySweepSubSecondAtMillion(t *testing.T) {
 	if testing.Short() {
 		t.Skip("1M-key population is slow")
+	}
+	if raceEnabled {
+		t.Skip("race detector slowdown invalidates the wall-clock bound")
 	}
 	out, err := FastExpirySweep([]int{1_000_000}, 1)
 	if err != nil {

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose 5–20× slowdown invalidates the wall-clock assertions of
+// the paper-scale experiments (the CI `race` job runs the whole module).
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -117,7 +118,7 @@ func measureStream(addr string, total int64) (float64, error) {
 	}
 	elapsed := time.Since(start).Seconds()
 	if elapsed <= 0 {
-		return 0, fmt.Errorf("transfer too fast to measure")
+		return 0, errors.New("transfer too fast to measure")
 	}
 	return float64(sent) / elapsed, nil
 }

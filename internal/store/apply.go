@@ -9,25 +9,28 @@ import (
 // Apply replays one journaled operation without re-journaling it. The AOF
 // loader calls this for every record; unknown operation names are reported
 // so higher layers (which journal their own record types into the same
-// log) can claim them first.
+// log) can claim them first. Each key is applied under its owning shard's
+// lock, so Apply is safe to call concurrently with reads (the replica
+// streaming path does).
 //
 // Deadlines that have already passed are applied as-is: the key becomes
 // present-but-expired and is reclaimed by the normal lazy/active paths,
 // mirroring how a restarted store re-discovers overdue keys.
 func (db *DB) Apply(name string, args [][]byte) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	switch name {
 	case "SET":
 		if len(args) < 2 {
 			return fmt.Errorf("store: apply SET: need 2+ args, got %d", len(args))
 		}
 		key := string(args[0])
-		db.dict[key] = cloneBytes(args[1])
 		keepTTL := len(args) >= 3 && bytes.Equal(args[2], []byte("KEEPTTL"))
+		sh := db.shardFor(key)
+		sh.mu.Lock()
+		sh.dict[key] = cloneBytes(args[1])
 		if !keepTTL {
-			db.removeExpireLocked(key)
+			sh.removeExpireLocked(key)
 		}
+		sh.mu.Unlock()
 	case "SETEX":
 		if len(args) != 3 {
 			return fmt.Errorf("store: apply SETEX: need 3 args, got %d", len(args))
@@ -37,16 +40,22 @@ func (db *DB) Apply(name string, args [][]byte) error {
 			return fmt.Errorf("store: apply SETEX: %w", err)
 		}
 		key := string(args[0])
-		db.dict[key] = cloneBytes(args[2])
-		db.setExpireLocked(key, deadline)
+		sh := db.shardFor(key)
+		sh.mu.Lock()
+		sh.dict[key] = cloneBytes(args[2])
+		db.setExpireLocked(sh, key, deadline)
+		sh.mu.Unlock()
 	case "MSET":
 		if len(args) == 0 || len(args)%2 != 0 {
 			return fmt.Errorf("store: apply MSET: need even args, got %d", len(args))
 		}
 		for i := 0; i+1 < len(args); i += 2 {
 			key := string(args[i])
-			db.dict[key] = cloneBytes(args[i+1])
-			db.removeExpireLocked(key)
+			sh := db.shardFor(key)
+			sh.mu.Lock()
+			sh.dict[key] = cloneBytes(args[i+1])
+			sh.removeExpireLocked(key)
+			sh.mu.Unlock()
 		}
 	case "MSETEX":
 		if len(args) < 3 || len(args)%2 != 1 {
@@ -58,8 +67,11 @@ func (db *DB) Apply(name string, args [][]byte) error {
 		}
 		for i := 1; i+1 < len(args); i += 2 {
 			key := string(args[i])
-			db.dict[key] = cloneBytes(args[i+1])
-			db.setExpireLocked(key, deadline)
+			sh := db.shardFor(key)
+			sh.mu.Lock()
+			sh.dict[key] = cloneBytes(args[i+1])
+			db.setExpireLocked(sh, key, deadline)
+			sh.mu.Unlock()
 		}
 	case "EXPIREAT":
 		if len(args) != 2 {
@@ -70,26 +82,41 @@ func (db *DB) Apply(name string, args [][]byte) error {
 			return fmt.Errorf("store: apply EXPIREAT: %w", err)
 		}
 		key := string(args[0])
-		if _, ok := db.dict[key]; ok {
-			db.setExpireLocked(key, deadline)
+		sh := db.shardFor(key)
+		sh.mu.Lock()
+		if _, ok := sh.dict[key]; ok {
+			db.setExpireLocked(sh, key, deadline)
 		}
+		sh.mu.Unlock()
 	case "PERSIST":
 		if len(args) != 1 {
 			return fmt.Errorf("store: apply PERSIST: need 1 arg, got %d", len(args))
 		}
-		db.removeExpireLocked(string(args[0]))
+		key := string(args[0])
+		sh := db.shardFor(key)
+		sh.mu.Lock()
+		sh.removeExpireLocked(key)
+		sh.mu.Unlock()
 	case "READ":
 		// Monitoring records from JournalReads mode: no state change.
 	case "DEL":
 		for _, a := range args {
-			db.deleteLocked(string(a))
+			key := string(a)
+			sh := db.shardFor(key)
+			sh.mu.Lock()
+			sh.deleteLocked(key)
+			sh.mu.Unlock()
 		}
 	case "FLUSHALL":
-		db.dict = make(map[string][]byte)
-		db.expires = make(map[string]time.Time)
-		db.expireKeys = db.expireKeys[:0]
-		db.expireIdx = make(map[string]int)
-		db.heap = db.heap[:0]
+		db.lockAll()
+		for _, sh := range db.shards {
+			sh.dict = make(map[string][]byte)
+			sh.expires = make(map[string]time.Time)
+			sh.expireKeys = sh.expireKeys[:0]
+			sh.expireIdx = make(map[string]int)
+			sh.heap = sh.heap[:0]
+		}
+		db.unlockAll()
 	default:
 		return fmt.Errorf("store: apply: unknown op %q", name)
 	}
@@ -100,22 +127,30 @@ func (db *DB) Apply(name string, args [][]byte) error {
 // dataset, for AOF rewrite: one SET or SETEX per live key. Expired
 // unreclaimed keys are dropped — after a rewrite, deleted and expired data
 // no longer persists in the log (§4.3's requirement).
+//
+// Snapshot is the engine's one stop-the-world operation: it locks every
+// shard (in index order, like all cross-shard operations) for the duration
+// of the emit loop, so the snapshot is a globally consistent cut of the
+// keyspace — an AOF rewrite or replica seed taken from it can be replayed
+// against the journal stream without losing or resurrecting keys.
 func (db *DB) Snapshot(emit func(name string, args ...[]byte) error) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lockAll()
+	defer db.unlockAll()
 	now := db.clk.Now()
-	for k, v := range db.dict {
-		if t, ok := db.expires[k]; ok {
-			if !t.After(now) {
-				continue // expired: do not resurrect
+	for _, sh := range db.shards {
+		for k, v := range sh.dict {
+			if t, ok := sh.expires[k]; ok {
+				if !t.After(now) {
+					continue // expired: do not resurrect
+				}
+				if err := emit("SETEX", []byte(k), encodeDeadline(t), v); err != nil {
+					return err
+				}
+				continue
 			}
-			if err := emit("SETEX", []byte(k), encodeDeadline(t), v); err != nil {
+			if err := emit("SET", []byte(k), v); err != nil {
 				return err
 			}
-			continue
-		}
-		if err := emit("SET", []byte(k), v); err != nil {
-			return err
 		}
 	}
 	return nil

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// journalRec is one buffered journal record awaiting its group commit.
+type journalRec struct {
+	name string
+	args [][]byte
+}
+
+// journalQueue decouples journal I/O from the shard locks. Mutating
+// operations enqueue their records while still holding the shard lock —
+// that is what fixes the per-key record order — and drain the queue to the
+// attached Journal only after the shard lock is released.
+//
+// The drain is a group commit: whichever caller acquires writeMu first
+// writes every pending record (its own and any enqueued concurrently by
+// other shards); callers that lose the race block on writeMu until their
+// record has been written, so by the time a mutating method returns, its
+// record has been handed to the Journal — the same guarantee the old
+// single-mutex engine gave, without holding any shard lock across I/O.
+//
+// Lock order: shard.mu → mu. writeMu is only taken with no shard lock
+// held, and mu is never held across a Journal call.
+type journalQueue struct {
+	// attached mirrors sink != nil so the no-journal fast path can skip
+	// the queue's locks entirely — with no journal, the engine must not
+	// funnel every shard through a shared mutex.
+	attached atomic.Bool
+
+	// pendingN counts records enqueued but not yet handed to the sink. It
+	// is decremented only AFTER a drain has written its batch, so a
+	// flusher that observes pendingN == 0 knows every record it enqueued
+	// earlier has already been written — that is what lets flush be a
+	// lock-free no-op on the common read path.
+	pendingN atomic.Int64
+
+	mu      sync.Mutex // guards pending and sink
+	pending []journalRec
+	sink    Journal
+
+	writeMu sync.Mutex // serialises drains (held across Journal I/O)
+}
+
+// enqueue buffers one record. Callers hold the shard lock of the mutated
+// shard (or every shard lock, for cross-shard records such as FLUSHALL),
+// which fixes the order of records for any given key.
+func (q *journalQueue) enqueue(name string, args ...[]byte) {
+	if !q.attached.Load() {
+		return
+	}
+	q.mu.Lock()
+	if q.sink != nil {
+		q.pending = append(q.pending, journalRec{name: name, args: args})
+		q.pendingN.Add(1)
+	}
+	q.mu.Unlock()
+}
+
+// active reports whether a journal is attached; mutating paths use it to
+// skip enqueueing, flushing, and building record payloads when nobody is
+// listening.
+func (q *journalQueue) active() bool { return q.attached.Load() }
+
+// flush drains every pending record to the sink, in enqueue order. Callers
+// must not hold any shard lock. Journal errors are dropped, as before: the
+// journal's own health API (e.g. the AOF's last-error) reports them, and
+// the engine keeps serving, as Redis does with appendfsync errors.
+func (q *journalQueue) flush() {
+	if !q.attached.Load() || q.pendingN.Load() == 0 {
+		return
+	}
+	q.writeMu.Lock()
+	defer q.writeMu.Unlock()
+	q.mu.Lock()
+	batch := q.pending
+	q.pending = nil
+	sink := q.sink
+	q.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	if sink != nil {
+		for _, r := range batch {
+			_ = sink.AppendOp(r.name, r.args...)
+		}
+	}
+	q.pendingN.Add(-int64(len(batch)))
+}
+
+// set attaches (or detaches, with nil) the journal. It waits out any
+// in-flight drain, then drains records still buffered for the previous
+// sink to that sink — a mutation whose enqueue won the race against the
+// swap must not lose its record (its flush may observe pendingN == 0 and
+// trust that someone wrote it).
+func (q *journalQueue) set(j Journal) {
+	q.writeMu.Lock()
+	defer q.writeMu.Unlock()
+	q.mu.Lock()
+	batch := q.pending
+	old := q.sink
+	q.pending = nil
+	q.sink = j
+	q.attached.Store(j != nil)
+	q.mu.Unlock()
+	if old != nil {
+		for _, r := range batch {
+			_ = old.AppendOp(r.name, r.args...)
+		}
+	}
+	q.pendingN.Add(-int64(len(batch)))
+}

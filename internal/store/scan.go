@@ -3,19 +3,24 @@ package store
 import "sort"
 
 // Keys returns all live keys matching the Redis-style glob pattern, in
-// unspecified order. Pattern "*" matches everything.
+// unspecified order. Pattern "*" matches everything. Shards are visited one
+// at a time, so the result is per-shard consistent rather than a global
+// atomic snapshot — the same guarantee Redis KEYS gives under concurrent
+// writers.
 func (db *DB) Keys(pattern string) []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	now := db.clk.Now()
 	var out []string
-	for k := range db.dict {
-		if t, ok := db.expires[k]; ok && !t.After(now) {
-			continue // expired but unreclaimed: invisible, as in Redis
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		for k := range sh.dict {
+			if t, ok := sh.expires[k]; ok && !t.After(now) {
+				continue // expired but unreclaimed: invisible, as in Redis
+			}
+			if MatchGlob(pattern, k) {
+				out = append(out, k)
+			}
 		}
-		if MatchGlob(pattern, k) {
-			out = append(out, k)
-		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -25,25 +30,35 @@ func (db *DB) Keys(pattern string) []string {
 // complete. Unlike Redis's reverse-binary cursor this implementation
 // iterates a sorted snapshot of the keyspace, which gives the same
 // guarantee the engine needs (every key present for the whole scan is
-// returned at least once) with simpler semantics.
+// returned at least once) with simpler semantics. The snapshot is collected
+// shard by shard and then sorted, so keys moving between cursor positions
+// under concurrent writers are possible — the usual SCAN caveat.
 func (db *DB) Scan(cursor uint64, pattern string, count int) (keys []string, next uint64) {
 	if count <= 0 {
 		count = 10
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	now := db.clk.Now()
-	all := make([]string, 0, len(db.dict))
-	for k := range db.dict {
-		if t, ok := db.expires[k]; ok && !t.After(now) {
-			continue
+	var all []string
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		// Grow once per shard (the dict size is known under the lock)
+		// instead of paying append's doubling reallocations per key.
+		if need := len(all) + len(sh.dict); need > cap(all) {
+			grown := make([]string, len(all), need)
+			copy(grown, all)
+			all = grown
 		}
-		all = append(all, k)
+		for k := range sh.dict {
+			if t, ok := sh.expires[k]; ok && !t.After(now) {
+				continue
+			}
+			all = append(all, k)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(all)
-	// cursor is the index of the first key not yet returned, found by
-	// binary search on the sorted snapshot using the stored boundary key
-	// position; since the snapshot is rebuilt per call, the cursor is an
+	// cursor is the index of the first key not yet returned on the sorted
+	// snapshot; since the snapshot is rebuilt per call, the cursor is an
 	// ordinal position which remains correct under insertions before it
 	// only approximately — acceptable for the workloads here, and
 	// documented as snapshot-ordinal semantics.
@@ -66,19 +81,23 @@ func (db *DB) Scan(cursor uint64, pattern string, count int) (keys []string, nex
 	return keys, uint64(end)
 }
 
-// RangeKeys calls fn for every live key until fn returns false. The lock is
-// held for the duration; fn must not call back into the DB.
+// RangeKeys calls fn for every live key until fn returns false. Each
+// shard's lock is held while its keys are visited; fn must not call back
+// into the DB.
 func (db *DB) RangeKeys(fn func(key string, value []byte) bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	now := db.clk.Now()
-	for k, v := range db.dict {
-		if t, ok := db.expires[k]; ok && !t.After(now) {
-			continue
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		for k, v := range sh.dict {
+			if t, ok := sh.expires[k]; ok && !t.After(now) {
+				continue
+			}
+			if !fn(k, v) {
+				sh.mu.Unlock()
+				return
+			}
 		}
-		if !fn(k, v) {
-			return
-		}
+		sh.mu.Unlock()
 	}
 }
 

@@ -3,7 +3,8 @@
 // paper's experiments depend on:
 //
 //   - a hash-table keyspace (dict) plus a separate expires dict, exactly
-//     Redis's two-table layout;
+//     Redis's two-table layout — here split across N lock-striped shards so
+//     operations on independent keys proceed in parallel;
 //   - lazy expiration on access, plus Redis's probabilistic active-expire
 //     cycle (every 100 ms sample 20 keys with TTLs, delete the expired ones,
 //     and repeat immediately while ≥5 of the 20 were expired) — the
@@ -15,6 +16,16 @@
 //   - deletion primitives DEL/UNLINK/FLUSHALL and TTL primitives
 //     EXPIRE/EXPIREAT/PERSIST/TTL.
 //
+// Concurrency model: keys are routed to shards by FNV-1a hash; each shard
+// owns its own dict, expires dict, sampling slice, and expiry heap, guarded
+// by one mutex. Journal records are enqueued under the owning shard's lock
+// (fixing per-key order) but written to the Journal outside any shard lock
+// via a group-commit queue (see journalQueue). Cross-shard operations
+// (FLUSHALL, Snapshot) lock every shard in index order — the one
+// deterministic multi-shard protocol — and Scan/Keys/Len lock one shard at
+// a time, giving per-shard-consistent (not globally atomic) views, as
+// Redis's SCAN guarantees do.
+//
 // The engine takes a clock.Clock so expiry behaviour can be driven by
 // virtual time in tests and experiments.
 package store
@@ -23,6 +34,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gdprstore/internal/clock"
@@ -30,8 +42,8 @@ import (
 
 // Journal receives every mutating operation the engine performs, including
 // deletions generated internally by expiry. The AOF and audit subsystems
-// attach here. Implementations must tolerate being called with the DB lock
-// held and must not call back into the DB.
+// attach here. Records are appended outside the shard locks, but
+// implementations must still not call back into the DB.
 type Journal interface {
 	AppendOp(name string, args ...[]byte) error
 }
@@ -74,7 +86,10 @@ func (s ExpiryStrategy) String() string {
 
 // Constants of the Redis 4.0 active expire cycle, as described in §4.3 of
 // the paper: once every 100 ms sample 20 random keys from the expires set;
-// delete the expired ones; if ≥5 were deleted, repeat immediately.
+// delete the expired ones; if ≥5 were deleted, repeat immediately. The
+// budget is global, not per shard: the sharded engine samples 20 keys per
+// loop across all shards combined, so the reclamation rate (and the
+// Figure 2 erasure lag it produces) matches unsharded Redis.
 const (
 	// ActiveExpireCyclePeriod is the interval between cycle invocations.
 	ActiveExpireCyclePeriod = 100 * time.Millisecond
@@ -85,13 +100,16 @@ const (
 	ActiveExpireRepeatThreshold = ActiveExpireLookupsPerLoop / 4
 )
 
+// DefaultShards is the shard count used when Options.Shards is zero.
+const DefaultShards = 16
+
 // ErrNoKey is returned by operations that require an existing key.
 var ErrNoKey = errors.New("store: no such key")
 
-// DB is a single keyspace. All methods are safe for concurrent use; the
-// engine serialises access with one lock, mirroring Redis's single-threaded
-// command execution.
-type DB struct {
+// shard is one lock stripe of the keyspace: a dict plus expires pair with
+// the sampling slice and expiry heap that serve it. Every field is guarded
+// by mu.
+type shard struct {
 	mu      sync.Mutex
 	dict    map[string][]byte
 	expires map[string]time.Time
@@ -104,14 +122,29 @@ type DB struct {
 
 	heap expiryHeap // used only by ExpiryHeap strategy
 
+	expired uint64 // keys removed by expiry (lazy or active)
+}
+
+// DB is a single keyspace, lock-striped across shards. All methods are safe
+// for concurrent use; operations on keys in different shards proceed in
+// parallel.
+type DB struct {
+	shards []*shard
+	mask   uint32
+
 	clk          clock.Clock
-	rnd          *rand.Rand
-	strategy     ExpiryStrategy
-	journal      Journal
+	jq           journalQueue
 	journalReads bool
 
-	// stats
-	expiredCount uint64 // keys removed by expiry (lazy or active)
+	// strategy is DB-wide; it is atomic so shard-locked paths
+	// (setExpireLocked) and the cycle dispatcher read it without a
+	// DB-level lock.
+	strategy atomic.Int32
+
+	// rnd drives the probabilistic cycle's shard-weighted sampling; it has
+	// its own lock because cycles may run concurrently with everything.
+	rndMu sync.Mutex
+	rnd   *rand.Rand
 }
 
 // Options configures a DB.
@@ -129,6 +162,9 @@ type Options struct {
 	// every interaction — each Get/Exists emits a READ record to the
 	// journal, turning every read into a read followed by a logging write.
 	JournalReads bool
+	// Shards is the lock-stripe count, rounded up to a power of two;
+	// 0 means DefaultShards. 1 reproduces the old single-mutex engine.
+	Shards int
 }
 
 // New creates an empty DB.
@@ -140,170 +176,272 @@ func New(opts Options) *DB {
 	if seed == 0 {
 		seed = 1
 	}
-	return &DB{
-		dict:         make(map[string][]byte),
-		expires:      make(map[string]time.Time),
-		expireIdx:    make(map[string]int),
+	n := nextPow2(opts.Shards)
+	if opts.Shards <= 0 {
+		n = DefaultShards
+	}
+	db := &DB{
+		shards:       make([]*shard, n),
+		mask:         uint32(n - 1),
 		clk:          opts.Clock,
-		rnd:          rand.New(rand.NewSource(seed)),
-		strategy:     opts.Strategy,
 		journalReads: opts.JournalReads,
+		rnd:          rand.New(rand.NewSource(seed)),
+	}
+	db.strategy.Store(int32(opts.Strategy))
+	for i := range db.shards {
+		db.shards[i] = &shard{
+			dict:      make(map[string][]byte),
+			expires:   make(map[string]time.Time),
+			expireIdx: make(map[string]int),
+		}
+	}
+	return db
+}
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// fnv32a is FNV-1a over the key bytes — the shard router.
+func fnv32a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// shardFor routes a key to its owning shard.
+func (db *DB) shardFor(key string) *shard {
+	return db.shards[fnv32a(key)&db.mask]
+}
+
+// ShardCount returns the number of lock stripes.
+func (db *DB) ShardCount() int { return len(db.shards) }
+
+// lockAll acquires every shard lock in index order — the deterministic
+// ordering every cross-shard operation uses, so two concurrent cross-shard
+// operations can never deadlock.
+func (db *DB) lockAll() {
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (db *DB) unlockAll() {
+	for i := len(db.shards) - 1; i >= 0; i-- {
+		db.shards[i].mu.Unlock()
 	}
 }
 
 // SetJournal attaches a journal that observes every mutation. Pass nil to
 // detach.
-func (db *DB) SetJournal(j Journal) {
-	db.mu.Lock()
-	db.journal = j
-	db.mu.Unlock()
-}
+func (db *DB) SetJournal(j Journal) { db.jq.set(j) }
 
 // Strategy returns the configured expiry strategy.
 func (db *DB) Strategy() ExpiryStrategy {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.strategy
+	return ExpiryStrategy(db.strategy.Load())
 }
 
 // SetStrategy switches the expiry strategy. Switching to ExpiryHeap
-// rebuilds the heap from the expires dict.
+// rebuilds each shard's heap from its expires dict; the strategy flips
+// first so TTL writes concurrent with the rebuild push their heap entries
+// (a duplicate entry is harmless — pops validate against the expires
+// dict), and a cycle racing the switch may miss not-yet-rebuilt shards
+// for that one cycle.
 func (db *DB) SetStrategy(s ExpiryStrategy) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.strategy = s
-	if s == ExpiryHeap {
-		db.heap = db.heap[:0]
-		for k, t := range db.expires {
-			db.heap.push(heapEntry{deadline: t, key: k})
-		}
+	db.strategy.Store(int32(s))
+	if s != ExpiryHeap {
+		return
 	}
-}
-
-func (db *DB) logOp(name string, args ...[]byte) {
-	if db.journal != nil {
-		// Journal errors are surfaced by the journal's own health API (the
-		// AOF keeps its last error); the engine keeps serving, as Redis does
-		// with appendfsync errors.
-		_ = db.journal.AppendOp(name, args...)
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		sh.heap = sh.heap[:0]
+		for k, t := range sh.expires {
+			sh.heap.push(heapEntry{deadline: t, key: k})
+		}
+		sh.mu.Unlock()
 	}
 }
 
 // Set stores value under key, clearing any TTL (Redis SET semantics).
 func (db *DB) Set(key string, value []byte) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.dict[key] = cloneBytes(value)
-	db.removeExpireLocked(key)
-	db.logOp("SET", []byte(key), value)
+	sh := db.shardFor(key)
+	sh.mu.Lock()
+	sh.dict[key] = cloneBytes(value)
+	sh.removeExpireLocked(key)
+	db.jq.enqueue("SET", []byte(key), value)
+	sh.mu.Unlock()
+	db.jq.flush()
 }
 
 // SetEX stores value under key with a relative TTL.
 func (db *DB) SetEX(key string, value []byte, ttl time.Duration) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.dict[key] = cloneBytes(value)
-	db.setExpireLocked(key, db.clk.Now().Add(ttl))
-	db.logOp("SETEX", []byte(key), encodeDeadline(db.expires[key]), value)
-}
-
-// SetBatch stores every key/value pair under a single lock acquisition and
-// journals one MSET record for the whole batch — the amortisation the batch
-// command family (MSET, GMPUT) is built on. Any TTLs on the keys are
-// cleared, matching Set. keys and values must have equal length.
-func (db *DB) SetBatch(keys []string, values [][]byte) {
-	if len(keys) == 0 {
-		return
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	args := make([][]byte, 0, 2*len(keys))
-	for i, k := range keys {
-		db.dict[k] = cloneBytes(values[i])
-		db.removeExpireLocked(k)
-		args = append(args, []byte(k), values[i])
-	}
-	db.logOp("MSET", args...)
-}
-
-// SetBatchEX is SetBatch with one shared absolute retention deadline. It
-// journals a single MSETEX record carrying the deadline once.
-func (db *DB) SetBatchEX(keys []string, values [][]byte, deadline time.Time) {
-	if len(keys) == 0 {
-		return
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	args := make([][]byte, 0, 2*len(keys)+1)
-	args = append(args, encodeDeadline(deadline))
-	for i, k := range keys {
-		db.dict[k] = cloneBytes(values[i])
-		db.setExpireLocked(k, deadline)
-		args = append(args, []byte(k), values[i])
-	}
-	db.logOp("MSETEX", args...)
-}
-
-// GetBatch reads every key under a single lock acquisition. The returned
-// slices are positional: present[i] reports whether keys[i] existed (lazy
-// expiry applies per key, as in Get).
-func (db *DB) GetBatch(keys []string) (values [][]byte, present []bool) {
-	values = make([][]byte, len(keys))
-	present = make([]bool, len(keys))
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	for i, k := range keys {
-		if db.expireIfNeededLocked(k) {
-			db.logReadLocked(k)
-			continue
-		}
-		v, ok := db.dict[k]
-		db.logReadLocked(k)
-		if ok {
-			values[i] = cloneBytes(v)
-			present[i] = true
-		}
-	}
-	return values, present
+	deadline := db.clk.Now().Add(ttl)
+	sh := db.shardFor(key)
+	sh.mu.Lock()
+	sh.dict[key] = cloneBytes(value)
+	db.setExpireLocked(sh, key, deadline)
+	db.jq.enqueue("SETEX", []byte(key), encodeDeadline(deadline), value)
+	sh.mu.Unlock()
+	db.jq.flush()
 }
 
 // SetKeepTTL stores value under key preserving an existing TTL (Redis SET
 // ... KEEPTTL).
 func (db *DB) SetKeepTTL(key string, value []byte) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.dict[key] = cloneBytes(value)
-	db.logOp("SET", []byte(key), value, []byte("KEEPTTL"))
+	sh := db.shardFor(key)
+	sh.mu.Lock()
+	sh.dict[key] = cloneBytes(value)
+	db.jq.enqueue("SET", []byte(key), value, []byte("KEEPTTL"))
+	sh.mu.Unlock()
+	db.jq.flush()
+}
+
+// batchGroup splits batch indices by owning shard, preserving input order
+// within each shard.
+func (db *DB) batchGroup(keys []string) map[*shard][]int {
+	groups := make(map[*shard][]int, len(db.shards))
+	for i, k := range keys {
+		sh := db.shardFor(k)
+		groups[sh] = append(groups[sh], i)
+	}
+	return groups
+}
+
+// SetBatch stores every key/value pair, grouping work by shard: one lock
+// acquisition and one MSET journal record per touched shard — the
+// amortisation the batch command family (MSET, GMPUT) is built on. Any TTLs
+// on the keys are cleared, matching Set. keys and values must have equal
+// length. The batch is atomic per shard, not globally: a concurrent reader
+// may observe a cross-shard batch partially applied.
+func (db *DB) SetBatch(keys []string, values [][]byte) {
+	if len(keys) == 0 {
+		return
+	}
+	journal := db.jq.active()
+	for sh, idxs := range db.batchGroup(keys) {
+		sh.mu.Lock()
+		var args [][]byte
+		if journal {
+			args = make([][]byte, 0, 2*len(idxs))
+		}
+		for _, i := range idxs {
+			sh.dict[keys[i]] = cloneBytes(values[i])
+			sh.removeExpireLocked(keys[i])
+			if journal {
+				args = append(args, []byte(keys[i]), values[i])
+			}
+		}
+		if journal {
+			db.jq.enqueue("MSET", args...)
+		}
+		sh.mu.Unlock()
+	}
+	db.jq.flush()
+}
+
+// SetBatchEX is SetBatch with one shared absolute retention deadline. It
+// journals one MSETEX record (carrying the deadline once) per touched
+// shard.
+func (db *DB) SetBatchEX(keys []string, values [][]byte, deadline time.Time) {
+	if len(keys) == 0 {
+		return
+	}
+	journal := db.jq.active()
+	encoded := encodeDeadline(deadline)
+	for sh, idxs := range db.batchGroup(keys) {
+		sh.mu.Lock()
+		var args [][]byte
+		if journal {
+			args = append(make([][]byte, 0, 2*len(idxs)+1), encoded)
+		}
+		for _, i := range idxs {
+			sh.dict[keys[i]] = cloneBytes(values[i])
+			db.setExpireLocked(sh, keys[i], deadline)
+			if journal {
+				args = append(args, []byte(keys[i]), values[i])
+			}
+		}
+		if journal {
+			db.jq.enqueue("MSETEX", args...)
+		}
+		sh.mu.Unlock()
+	}
+	db.jq.flush()
+}
+
+// GetBatch reads every key, grouping work by shard (one lock acquisition
+// per touched shard). The returned slices are positional: present[i]
+// reports whether keys[i] existed (lazy expiry applies per key, as in Get).
+func (db *DB) GetBatch(keys []string) (values [][]byte, present []bool) {
+	values = make([][]byte, len(keys))
+	present = make([]bool, len(keys))
+	for sh, idxs := range db.batchGroup(keys) {
+		sh.mu.Lock()
+		for _, i := range idxs {
+			k := keys[i]
+			if db.expireIfNeededLocked(sh, k) {
+				db.logReadLocked(k)
+				continue
+			}
+			v, ok := sh.dict[k]
+			db.logReadLocked(k)
+			if ok {
+				values[i] = cloneBytes(v)
+				present[i] = true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	db.jq.flush()
+	return values, present
 }
 
 // Get returns the value stored at key. Expired keys are lazily deleted on
 // access and reported as missing, exactly as Redis does.
 func (db *DB) Get(key string) ([]byte, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.expireIfNeededLocked(key) {
+	sh := db.shardFor(key)
+	sh.mu.Lock()
+	if db.expireIfNeededLocked(sh, key) {
 		db.logReadLocked(key)
+		sh.mu.Unlock()
+		db.jq.flush()
 		return nil, false
 	}
-	v, ok := db.dict[key]
+	v, ok := sh.dict[key]
 	db.logReadLocked(key)
-	if !ok {
-		return nil, false
+	if ok {
+		v = cloneBytes(v)
 	}
-	return cloneBytes(v), true
+	sh.mu.Unlock()
+	db.jq.flush()
+	return v, ok
 }
 
 // GetNoCopy is Get without the defensive copy; callers must not retain or
 // mutate the returned slice. It exists for the benchmark hot path.
 func (db *DB) GetNoCopy(key string) ([]byte, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.expireIfNeededLocked(key) {
+	sh := db.shardFor(key)
+	sh.mu.Lock()
+	if db.expireIfNeededLocked(sh, key) {
 		db.logReadLocked(key)
+		sh.mu.Unlock()
+		db.jq.flush()
 		return nil, false
 	}
-	v, ok := db.dict[key]
+	v, ok := sh.dict[key]
 	db.logReadLocked(key)
+	sh.mu.Unlock()
+	db.jq.flush()
 	return v, ok
 }
 
@@ -311,18 +449,22 @@ func (db *DB) GetNoCopy(key string) ([]byte, bool) {
 // "every read operation now has to be followed by a logging-write").
 func (db *DB) logReadLocked(key string) {
 	if db.journalReads {
-		db.logOp("READ", []byte(key))
+		db.jq.enqueue("READ", []byte(key))
 	}
 }
 
 // Exists reports whether key exists (and is not expired).
 func (db *DB) Exists(key string) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.expireIfNeededLocked(key) {
+	sh := db.shardFor(key)
+	sh.mu.Lock()
+	if db.expireIfNeededLocked(sh, key) {
+		sh.mu.Unlock()
+		db.jq.flush()
 		return false
 	}
-	_, ok := db.dict[key]
+	_, ok := sh.dict[key]
+	sh.mu.Unlock()
+	db.jq.flush()
 	return ok
 }
 
@@ -330,46 +472,57 @@ func (db *DB) Exists(key string) bool {
 // DEL and UNLINK (the engine frees memory synchronously either way; the
 // distinction matters only for real Redis's background reclamation).
 func (db *DB) Del(keys ...string) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	n := 0
 	for _, k := range keys {
-		if db.expireIfNeededLocked(k) {
+		sh := db.shardFor(k)
+		sh.mu.Lock()
+		if db.expireIfNeededLocked(sh, k) {
+			sh.mu.Unlock()
 			continue
 		}
-		if _, ok := db.dict[k]; ok {
-			db.deleteLocked(k)
-			db.logOp("DEL", []byte(k))
+		if _, ok := sh.dict[k]; ok {
+			sh.deleteLocked(k)
+			db.jq.enqueue("DEL", []byte(k))
 			n++
 		}
+		sh.mu.Unlock()
 	}
+	db.jq.flush()
 	return n
 }
 
-// FlushAll removes every key.
+// FlushAll removes every key. It locks all shards (in index order) so the
+// flush is a single atomic point in the journal stream.
 func (db *DB) FlushAll() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.dict = make(map[string][]byte)
-	db.expires = make(map[string]time.Time)
-	db.expireKeys = db.expireKeys[:0]
-	db.expireIdx = make(map[string]int)
-	db.heap = db.heap[:0]
-	db.logOp("FLUSHALL")
+	db.lockAll()
+	for _, sh := range db.shards {
+		sh.dict = make(map[string][]byte)
+		sh.expires = make(map[string]time.Time)
+		sh.expireKeys = sh.expireKeys[:0]
+		sh.expireIdx = make(map[string]int)
+		sh.heap = sh.heap[:0]
+	}
+	db.jq.enqueue("FLUSHALL")
+	db.unlockAll()
+	db.jq.flush()
 }
 
 // Len returns the number of live keys, not counting keys that have expired
 // but not yet been reclaimed (to observe the reclamation lag itself, use
-// RawLen).
+// RawLen). Shards are counted one at a time; concurrent writers make the
+// total approximate, as in any sharded store.
 func (db *DB) Len() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	now := db.clk.Now()
-	n := len(db.dict)
-	for _, t := range db.expires {
-		if !t.After(now) {
-			n--
+	n := 0
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		n += len(sh.dict)
+		for _, t := range sh.expires {
+			if !t.After(now) {
+				n--
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -378,58 +531,90 @@ func (db *DB) Len() int {
 // including expired-but-unreclaimed keys. Figure 2 measures how long
 // RawLen stays above Len.
 func (db *DB) RawLen() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return len(db.dict)
+	n := 0
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		n += len(sh.dict)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ExpireLen returns the number of keys carrying a TTL (expired or not).
 func (db *DB) ExpireLen() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return len(db.expires)
+	n := 0
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		n += len(sh.expires)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ExpiredCount returns the cumulative number of keys reclaimed by expiry.
 func (db *DB) ExpiredCount() uint64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.expiredCount
+	var n uint64
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		n += sh.expired
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// RandomKey returns a uniformly random live key, or false if the DB is
-// empty. Used by workloads and by tests.
+// RandomKey returns a live key, or false if the DB is empty. The shard is
+// chosen at random (so all shards are reachable); within the shard, Go's
+// map iteration supplies the randomness, as dictGetRandomKey does in
+// Redis. Used by workloads and by tests.
 func (db *DB) RandomKey() (string, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	for k := range db.dict {
-		if db.expireIfNeededLocked(k) {
-			continue
+	start := db.randIntn(len(db.shards))
+	for i := 0; i < len(db.shards); i++ {
+		sh := db.shards[(start+i)%len(db.shards)]
+		sh.mu.Lock()
+		for k := range sh.dict {
+			if db.expireIfNeededLocked(sh, k) {
+				continue
+			}
+			sh.mu.Unlock()
+			db.jq.flush()
+			return k, true
 		}
-		return k, true
+		sh.mu.Unlock()
 	}
+	db.jq.flush()
 	return "", false
 }
 
-// deleteLocked removes key from every internal structure.
-func (db *DB) deleteLocked(key string) {
-	delete(db.dict, key)
-	db.removeExpireLocked(key)
+// randIntn returns a sample from the DB-level RNG, which has its own lock
+// so sampling never piggybacks on a shard lock.
+func (db *DB) randIntn(n int) int {
+	db.rndMu.Lock()
+	v := db.rnd.Intn(n)
+	db.rndMu.Unlock()
+	return v
+}
+
+// deleteLocked removes key from every structure of its shard. Callers hold
+// sh.mu.
+func (sh *shard) deleteLocked(key string) {
+	delete(sh.dict, key)
+	sh.removeExpireLocked(key)
 }
 
 // expireIfNeededLocked lazily deletes key if its TTL has passed. It returns
-// true if the key was expired (and is now gone).
-func (db *DB) expireIfNeededLocked(key string) bool {
-	t, ok := db.expires[key]
+// true if the key was expired (and is now gone). Callers hold sh.mu and
+// must flush the journal queue after releasing it.
+func (db *DB) expireIfNeededLocked(sh *shard, key string) bool {
+	t, ok := sh.expires[key]
 	if !ok {
 		return false
 	}
 	if t.After(db.clk.Now()) {
 		return false
 	}
-	db.deleteLocked(key)
-	db.expiredCount++
-	db.logOp("DEL", []byte(key))
+	sh.deleteLocked(key)
+	sh.expired++
+	db.jq.enqueue("DEL", []byte(key))
 	return true
 }
 

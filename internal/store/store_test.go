@@ -241,18 +241,27 @@ func TestExpireSampleSliceConsistency(t *testing.T) {
 				db.Persist(k)
 			}
 		}
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		if len(db.expireKeys) != len(db.expires) {
-			return false
-		}
-		for _, k := range db.expireKeys {
-			if _, ok := db.expires[k]; !ok {
-				return false
+		for _, sh := range db.shards {
+			sh.mu.Lock()
+			ok := len(sh.expireKeys) == len(sh.expires)
+			if ok {
+				for _, k := range sh.expireKeys {
+					if _, present := sh.expires[k]; !present {
+						ok = false
+						break
+					}
+				}
 			}
-		}
-		for k, i := range db.expireIdx {
-			if db.expireKeys[i] != k {
+			if ok {
+				for k, i := range sh.expireIdx {
+					if sh.expireKeys[i] != k {
+						ok = false
+						break
+					}
+				}
+			}
+			sh.mu.Unlock()
+			if !ok {
 				return false
 			}
 		}

@@ -1,6 +1,7 @@
 package ycsb
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -85,7 +86,7 @@ func (r Result) String() string {
 func Load(cfg Config) (Result, error) {
 	cfg.defaults()
 	if cfg.Factory == nil {
-		return Result{}, fmt.Errorf("ycsb: no DB factory")
+		return Result{}, errors.New("ycsb: no DB factory")
 	}
 	hist := metrics.NewHistogram()
 	var errs atomic.Uint64
@@ -149,7 +150,7 @@ func Load(cfg Config) (Result, error) {
 func Run(cfg Config) (Result, error) {
 	cfg.defaults()
 	if cfg.Factory == nil {
-		return Result{}, fmt.Errorf("ycsb: no DB factory")
+		return Result{}, errors.New("ycsb: no DB factory")
 	}
 	if err := cfg.Workload.Validate(); err != nil {
 		return Result{}, err
