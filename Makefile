@@ -1,7 +1,9 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
+COVER_THRESHOLD ?= 75.0
+FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-ci vet fmt lint ci
+.PHONY: all build test race bench bench-ci cover fuzz vet fmt lint ci
 
 all: build
 
@@ -28,6 +30,19 @@ bench-ci:
 		-benchtime 100x -benchmem -json . > BENCH_ci.json
 	$(GO) test -run '^$$' -bench . -benchtime 100x -benchmem -json \
 		./internal/server >> BENCH_ci.json
+
+# cover mirrors the CI `cover` job: coverage profile + ratchet threshold.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{sub(/%/, "", $$3); print $$3}'); \
+	awk -v t="$$total" -v min="$(COVER_THRESHOLD)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' \
+		|| { echo "coverage $$total% fell below the $(COVER_THRESHOLD)% ratchet"; exit 1; }
+
+# fuzz mirrors the CI `fuzz-smoke` job: a bounded mutation run per target.
+fuzz:
+	$(GO) test ./internal/resp -run '^$$' -fuzz '^FuzzReadValue$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/resp -run '^$$' -fuzz '^FuzzReadCommand$$' -fuzztime $(FUZZTIME)
 
 vet:
 	$(GO) vet ./...

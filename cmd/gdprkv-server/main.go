@@ -18,6 +18,8 @@
 //	-locations string   comma-separated allowed storage regions
 //	-expirer            run the background active-expiry loop (default true)
 //	-shards int         engine lock-stripe count, power of two (0 = default; 1 = single mutex)
+//	-replicaof string   replicate from the primary at host:port (server starts read-only)
+//	-repl-actor string  actor presented during the replication handshake (AUTH)
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 
 	"gdprstore/internal/aof"
 	"gdprstore/internal/core"
+	"gdprstore/internal/replica"
 	"gdprstore/internal/server"
 	"gdprstore/internal/tlsproxy"
 )
@@ -53,6 +56,8 @@ func main() {
 		locations    = flag.String("locations", "", "comma-separated allowed storage regions")
 		expirer      = flag.Bool("expirer", true, "run the background active-expiry loop")
 		shards       = flag.Int("shards", 0, "engine lock-stripe count, rounded up to a power of two (0 = default; 1 = single mutex)")
+		replicaof    = flag.String("replicaof", "", "replicate from the primary at host:port (server starts read-only)")
+		replActor    = flag.String("repl-actor", "", "actor presented during the replication handshake (AUTH)")
 	)
 	flag.Parse()
 
@@ -109,7 +114,10 @@ func main() {
 		log.Fatalf("open store: %v", err)
 	}
 	defer st.Close()
-	if *expirer {
+	// A replica receives its deletions (including retention expiry) from
+	// the primary's journal stream; running a local active expirer too
+	// would only race it, so replicas keep lazy expiry only.
+	if *expirer && *replicaof == "" {
 		st.StartExpirer()
 		defer st.StopExpirer()
 	}
@@ -121,6 +129,15 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("gdprkv-server listening on %s (compliant=%v timing=%s capability=%s)\n",
 		srv.Addr(), cfg.Compliant, cfg.Timing, cfg.Capability)
+	if *replicaof != "" {
+		srv.ReplicaOf(*replicaof, replica.NodeOptions{Actor: *replActor})
+		if *expirer {
+			// The expirer was withheld above while replicating; a promotion
+			// (REPLICAOF NO ONE) resumes the primary's retention duties.
+			srv.SetPromoteHook(st.StartExpirer)
+		}
+		fmt.Printf("replicating from %s (read-only until REPLICAOF NO ONE)\n", *replicaof)
+	}
 
 	var tun *tlsproxy.Tunnel
 	if *withTLS {

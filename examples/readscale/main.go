@@ -1,0 +1,138 @@
+// Readscale: networked primary/replica replication with GDPR-aware
+// erasure propagation. A primary server and a read replica run in-process
+// over real TCP: the replica attaches with REPLICAOF (REPLCONF/PSYNC
+// handshake, full-sync snapshot, live journal stream), serves reads, and
+// rejects writes. FORGETUSER on the primary erases the subject on every
+// copy — the Article 17 guarantee extended across machines. Run with:
+//
+//	go run ./examples/readscale
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"gdprstore/internal/client"
+	"gdprstore/internal/core"
+	"gdprstore/internal/server"
+)
+
+func waitFor(what string, cond func() bool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func main() {
+	cfg := core.Config{Compliant: true, Capability: core.CapabilityPartial, AuditEnabled: true}
+
+	primaryStore, err := core.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer primaryStore.Close()
+	replicaStore, err := core.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer replicaStore.Close()
+
+	primary, err := server.Listen("127.0.0.1:0", primaryStore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer primary.Close()
+	replica, err := server.Listen("127.0.0.1:0", replicaStore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer replica.Close()
+	fmt.Printf("primary  %s\nreplica  %s\n\n", primary.Addr(), replica.Addr())
+
+	pc, err := client.Dial(primary.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pc.Close()
+	rc, err := client.Dial(replica.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rc.Close()
+
+	// Write some subjects' records on the primary, then attach the replica:
+	// the pre-attach data arrives via the full-sync snapshot, everything
+	// afterwards via the live stream.
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("user:alice:doc%d", i)
+		if err := pc.GPut(key, []byte(fmt.Sprintf("alice-doc-%d", i)),
+			client.GDPRPutArgs{Owner: "alice", Purposes: "service"}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	host, port, _ := net.SplitHostPort(primary.Addr())
+	if err := rc.ReplicaOf(host, port); err != nil {
+		log.Fatal(err)
+	}
+	waitFor("full sync", func() bool {
+		v, err := rc.GGet("user:alice:doc2")
+		return err == nil && string(v) == "alice-doc-2"
+	})
+	fmt.Println("full sync: replica serves alice's pre-attach records")
+
+	if err := pc.GPut("user:bob:doc0", []byte("bob-doc"),
+		client.GDPRPutArgs{Owner: "bob", Purposes: "service"}); err != nil {
+		log.Fatal(err)
+	}
+	waitFor("live stream", func() bool {
+		v, err := rc.GGet("user:bob:doc0")
+		return err == nil && string(v) == "bob-doc"
+	})
+	fmt.Println("live stream: replica sees bob's post-attach write")
+
+	// The replica is read-only: scale reads out, route writes to the
+	// primary.
+	if err := rc.GPut("user:eve:doc0", []byte("x"),
+		client.GDPRPutArgs{Owner: "eve", Purposes: "service"}); err != nil &&
+		strings.Contains(err.Error(), "READONLY") {
+		fmt.Println("read-only: write on the replica rejected with READONLY")
+	} else {
+		log.Fatalf("replica accepted a write: %v", err)
+	}
+
+	// Article 17 on the primary reaches the replica: keys, metadata, and
+	// an audit record evidencing the replicated erasure.
+	n, err := pc.ForgetUser("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	waitFor("erasure propagation", func() bool {
+		_, err := rc.GGet("user:alice:doc0")
+		return err != nil
+	})
+	fmt.Printf("erasure: FORGETUSER removed %d records on the primary and converged on the replica\n", n)
+
+	info, err := rc.Info("replication")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nreplica INFO replication:")
+	for _, line := range strings.Split(strings.TrimSpace(info), "\r\n") {
+		fmt.Println("  " + line)
+	}
+	info, err = pc.Info("replication")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("primary INFO replication:")
+	for _, line := range strings.Split(strings.TrimSpace(info), "\r\n") {
+		fmt.Println("  " + line)
+	}
+}

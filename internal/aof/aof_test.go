@@ -9,6 +9,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"gdprstore/internal/testutil"
 )
 
 func tempPath(t *testing.T) string {
@@ -260,17 +262,9 @@ func TestEverySecFlusherSyncs(t *testing.T) {
 	l, _ := Open(tempPath(t), Options{Policy: SyncEverySec})
 	defer l.Close()
 	l.Append("SET", []byte("a"), []byte("1"))
-	deadlineExceeded := true
-	for i := 0; i < 30; i++ {
-		if l.Syncs() > 0 {
-			deadlineExceeded = false
-			break
-		}
-		sleep100ms()
-	}
-	if deadlineExceeded {
-		t.Fatal("background flusher never synced")
-	}
+	testutil.Eventually(t, 3*time.Second, 20*time.Millisecond, func() bool {
+		return l.Syncs() > 0
+	}, "background flusher never synced")
 }
 
 func TestConcurrentAppends(t *testing.T) {
@@ -346,5 +340,3 @@ func TestPolicyString(t *testing.T) {
 		t.Fatal("policy names wrong")
 	}
 }
-
-func sleep100ms() { time.Sleep(100 * time.Millisecond) }

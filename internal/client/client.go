@@ -230,6 +230,33 @@ func (c *Client) Scan(cursor uint64, match string, count int) ([]string, uint64,
 	return keys, next, nil
 }
 
+// Info returns the server's INFO report; section may be empty for the
+// full report, or one of "gdprstore", "replication", "commandstats".
+func (c *Client) Info(section string) (string, error) {
+	args := []string{"INFO"}
+	if section != "" {
+		args = append(args, section)
+	}
+	v, err := c.Do(args...)
+	if err != nil {
+		return "", err
+	}
+	return v.Text(), nil
+}
+
+// ReplicaOf makes the server replicate from the primary at host:port.
+func (c *Client) ReplicaOf(host, port string) error {
+	_, err := c.Do("REPLICAOF", host, port)
+	return err
+}
+
+// PromoteToPrimary stops the server's replication and makes it writable
+// (REPLICAOF NO ONE).
+func (c *Client) PromoteToPrimary() error {
+	_, err := c.Do("REPLICAOF", "NO", "ONE")
+	return err
+}
+
 // --- GDPR command helpers ---
 
 // GDPRPutArgs carries the metadata flags for GPut.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gdprstore/internal/acl"
+	"gdprstore/internal/testutil"
 )
 
 // TestConcurrentMixedOperations hammers the compliance layer from many
@@ -159,16 +160,12 @@ func TestConcurrentExpiryAndAccess(t *testing.T) {
 	}
 	s.StartExpirer()
 	defer s.StopExpirer()
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
+	testutil.Eventually(t, 10*time.Second, 0, func() bool {
 		for i := 0; i < 100; i++ {
 			s.Get(ctlCtx, fmt.Sprintf("k%d", i))
 		}
-		if s.Engine().ExpiredCount() >= 250 {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+		return s.Engine().ExpiredCount() >= 250
+	}, "expirer never reclaimed the short-TTL keys")
 	st := s.Maintain()
 	_ = st
 	// All short-TTL keys must eventually be gone; long-TTL ones intact.

@@ -240,6 +240,24 @@ func (ix *metaIndex) rangeMeta(fn func(key string, m Metadata) bool) {
 	}
 }
 
+// clear empties every shard in place. Unlike swapping in a fresh index,
+// clearing keeps the *metaIndex pointer stable, so a live replication
+// apply of FLUSHALL is safe against concurrent readers holding the store's
+// ix field.
+func (ix *metaIndex) clear() {
+	for i := 0; i < stripeCount; i++ {
+		ix.meta[i].mu.Lock()
+		ix.meta[i].m = make(map[string]Metadata)
+		ix.meta[i].mu.Unlock()
+		ix.byOwner[i].mu.Lock()
+		ix.byOwner[i].m = make(map[string]map[string]struct{})
+		ix.byOwner[i].mu.Unlock()
+		ix.byPurpose[i].mu.Lock()
+		ix.byPurpose[i].m = make(map[string]map[string]struct{})
+		ix.byPurpose[i].mu.Unlock()
+	}
+}
+
 func (ix *metaIndex) len() int {
 	n := 0
 	for i := range ix.meta {

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gdprstore/internal/audit"
+)
+
+// This file is the record-apply surface shared by the two consumers of the
+// journal stream: AOF replay at Open (single-threaded, before the store is
+// shared) and the live network replication link (one applier goroutine,
+// concurrent with local reads). Both must interpret every record type the
+// primary can emit — the engine's data-plane records (SET/SETEX/DEL/...)
+// and the compliance layer's control records (GMETA/GOBJ/GSHRED/GFORGET/...)
+// — identically, or a replica's state would drift from what a primary
+// restart reconstructs.
+
+// applyRecord applies one journal record without re-journaling it. It is
+// safe for a single applier goroutine running concurrently with readers:
+// the metadata index is internally lock-striped, objection state takes the
+// owner stripe, and the engine applies under its shard locks.
+func (s *Store) applyRecord(name string, args [][]byte) error {
+	switch name {
+	case opMeta:
+		if len(args) != 2 {
+			return errors.New("core: replay GMETA: need 2 args")
+		}
+		m, err := decodeMetadata(args[1])
+		if err != nil {
+			return err
+		}
+		s.ix.put(string(args[0]), m)
+		return nil
+	case opMetaBatch:
+		if len(args) < 2 {
+			return errors.New("core: replay GMETAB: need 2+ args")
+		}
+		m, err := decodeMetadata(args[0])
+		if err != nil {
+			return err
+		}
+		for _, k := range args[1:] {
+			s.ix.put(string(k), m.clone())
+		}
+		return nil
+	case opObject:
+		if len(args) != 2 {
+			return errors.New("core: replay GOBJ: need 2 args")
+		}
+		s.applyObjection(string(args[0]), string(args[1]))
+		return nil
+	case opUnobj:
+		if len(args) != 2 {
+			return errors.New("core: replay GUNOBJ: need 2 args")
+		}
+		s.applyUnobjection(string(args[0]), string(args[1]))
+		return nil
+	case opKey:
+		if len(args) != 2 {
+			return errors.New("core: replay GKEY: need 2 args")
+		}
+		if s.keyring == nil {
+			return nil // envelope disabled this run; ignore
+		}
+		return s.keyring.Import(string(args[0]), args[1])
+	case opShred:
+		if len(args) != 1 {
+			return errors.New("core: replay GSHRED: need 1 arg")
+		}
+		if s.keyring != nil {
+			s.keyring.Shred(string(args[0]))
+		}
+		return nil
+	case opReinst:
+		if len(args) != 1 {
+			return errors.New("core: replay GREINST: need 1 arg")
+		}
+		if s.keyring != nil {
+			s.keyring.Reinstate(string(args[0]))
+		}
+		return nil
+	case opForget:
+		if len(args) != 1 {
+			return errors.New("core: replay GFORGET: need 1 arg")
+		}
+		// The erasure's DELs precede this marker in the stream; pruning the
+		// owner's remaining index entries here is defensive (e.g. metadata
+		// whose DEL was compacted away) and makes the marker idempotent.
+		owner := string(args[0])
+		for _, k := range s.ix.ownerKeys(owner) {
+			if m, ok := s.ix.get(k); ok && m.Owner == owner {
+				s.ix.del(k)
+			}
+		}
+		return nil
+	case "DEL":
+		for _, a := range args {
+			s.ix.del(string(a))
+		}
+		return s.db.Apply(name, args)
+	case "FLUSHALL":
+		s.ix.clear()
+		return s.db.Apply(name, args)
+	default:
+		return s.db.Apply(name, args)
+	}
+}
+
+// ApplyReplicated implements replica.Applier: it applies one record
+// received over a replication link, and audits the erasure-relevant
+// control records so the replica's own audit trail evidences that Article
+// 17 erasure reached this copy — the convergence auditors ask for.
+func (s *Store) ApplyReplicated(name string, args [][]byte) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	err := s.applyRecord(name, args)
+	if err != nil {
+		return fmt.Errorf("core: apply replicated %s: %w", name, err)
+	}
+	switch name {
+	case opForget:
+		s.auditOp(audit.Record{
+			Actor: "system:replication", Op: "FORGETUSER", Owner: string(args[0]),
+			Outcome: audit.OutcomeOK, Detail: "erasure replicated from primary",
+		})
+	case opShred:
+		s.auditOp(audit.Record{
+			Actor: "system:replication", Op: "SHRED", Owner: string(args[0]),
+			Outcome: audit.OutcomeOK, Detail: "crypto-shred replicated from primary",
+		})
+	case "FLUSHALL":
+		s.auditOp(audit.Record{
+			Actor: "system:replication", Op: "FLUSHALL", Outcome: audit.OutcomeOK,
+			Detail: "keyspace reset by replication stream",
+		})
+	}
+	return nil
+}

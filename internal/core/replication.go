@@ -10,6 +10,23 @@ import (
 	"gdprstore/internal/store"
 )
 
+// rechainJournal rebuilds the engine's journal chain from the attached
+// legs: the AOF, the in-process replica fan-out, and the network
+// replication hub, in that order. Callers hold gmu.
+func (s *Store) rechainJournal() {
+	var legs []store.Journal
+	if s.log != nil {
+		legs = append(legs, store.JournalFunc(s.log.Append))
+	}
+	if s.primary != nil {
+		legs = append(legs, s.primary)
+	}
+	if s.hub != nil {
+		legs = append(legs, s.hub)
+	}
+	s.db.SetJournal(store.NewMultiJournal(legs...))
+}
+
 // EnableReplication creates a journal fan-out in the given mode and chains
 // it after the AOF, so every engine mutation — including expiry-generated
 // deletions — streams to replicas. Call before attaching replicas.
@@ -23,17 +40,62 @@ func (s *Store) EnableReplication(mode replica.Mode) (*replica.Primary, error) {
 		return nil, errors.New("core: replication already enabled")
 	}
 	s.primary = replica.NewPrimary(mode, 0)
-	var legs []store.Journal
-	if s.log != nil {
-		legs = append(legs, store.JournalFunc(s.log.Append))
-	}
-	legs = append(legs, s.primary)
-	j, err := replica.Chain(legs...)
-	if err != nil {
-		return nil, err
-	}
-	s.db.SetJournal(j)
+	s.rechainJournal()
 	return s.primary, nil
+}
+
+// EnableStreamReplication attaches (or returns the already attached)
+// network replication hub: from this call on, every engine mutation and
+// every compliance control record is RESP-encoded into the hub's stream,
+// ready for replicas to PSYNC. Enabled lazily — a server that never serves
+// a replica keeps the engine's no-journal fast path (when it also has no
+// AOF). Idempotent.
+func (s *Store) EnableStreamReplication(opts replica.HubOptions) (*replica.Hub, error) {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if s.hub != nil {
+		return s.hub, nil
+	}
+	s.hub = replica.NewHub(opts)
+	s.streamJ.Store(s.hub)
+	s.rechainJournal()
+	s.auditOp(audit.Record{
+		Actor: "system:replication", Op: "ENABLESTREAM", Outcome: audit.OutcomeOK,
+	})
+	return s.hub, nil
+}
+
+// Hub returns the network replication hub, or nil if stream replication
+// has not been enabled.
+func (s *Store) Hub() *replica.Hub {
+	return s.streamJ.Load()
+}
+
+// StreamSnapshot implements replica.SnapshotProvider over the full
+// compliance state: it quiesces the whole store, invokes cut() at the
+// consistent point (where the hub registers the new link), then emits a
+// FLUSHALL followed by the complete record sequence — dataset, metadata,
+// objections, keyring — in the AOF record format. A replica that applies
+// the payload and then tails the stream from the cut offset converges on
+// the primary's state, including everything Article 17 has erased (the
+// snapshot is generated from post-erasure state, so erased data never
+// crosses the wire).
+func (s *Store) StreamSnapshot(emit func(name string, args ...[]byte) error, cut func()) error {
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if cut != nil {
+		cut()
+	}
+	if err := emit("FLUSHALL"); err != nil {
+		return err
+	}
+	return s.snapshotAll(emit)
 }
 
 // AddReplica seeds a fresh replica from the current dataset and attaches

@@ -262,6 +262,13 @@ func (s *Store) Forget(ctx Ctx, owner string) (int, error) {
 			return n, err
 		}
 	}
+	// The erasure marker follows the per-key DELs in the journal stream:
+	// replicas replay it after the deletions, prune any residual metadata,
+	// and audit that the Article 17 erasure reached their copy.
+	if err := s.appendLog(opForget, []byte(owner)); err != nil {
+		os.mu.Unlock()
+		return n, err
+	}
 	s.auditOp(audit.Record{
 		Actor: ctx.Actor, Op: "FORGETUSER", Owner: owner, Purpose: ctx.Purpose,
 		Outcome: audit.OutcomeOK, Detail: fmt.Sprintf("erased=%d", n),

@@ -26,6 +26,7 @@ const (
 	opKey       = "GKEY"    // GKEY owner wrappedDataKey
 	opShred     = "GSHRED"  // GSHRED owner
 	opReinst    = "GREINST" // GREINST owner
+	opForget    = "GFORGET" // GFORGET owner (Article 17 erasure marker)
 )
 
 // Ctx identifies who is performing an operation and why — the two
@@ -86,8 +87,12 @@ type Store struct {
 	keyring *cryptoutil.Keyring
 	expirer *store.Expirer
 
-	// primary and backups are guarded by gmu.
+	// primary, hub and backups are guarded by gmu. streamJ mirrors hub
+	// behind an atomic pointer so the hot appendLog path can reach the
+	// replication stream without taking gmu.
 	primary *replica.Primary
+	hub     *replica.Hub
+	streamJ atomic.Pointer[replica.Hub]
 	backups *backup.Manager
 
 	retention      atomic.Pointer[RetentionPolicy]
@@ -160,80 +165,10 @@ func Open(cfg Config) (*Store, error) {
 
 // replay runs before the store is shared, so it needs no stripe locks; the
 // index and objection stripes are still internally consistent because
-// replay is single-threaded.
+// replay is single-threaded. The record interpretation is applyRecord
+// (replicated.go), shared with the live replication link.
 func (s *Store) replay(path string, key []byte) error {
-	_, err := aof.Load(path, key, func(name string, args [][]byte) error {
-		switch name {
-		case opMeta:
-			if len(args) != 2 {
-				return errors.New("core: replay GMETA: need 2 args")
-			}
-			m, err := decodeMetadata(args[1])
-			if err != nil {
-				return err
-			}
-			s.ix.put(string(args[0]), m)
-			return nil
-		case opMetaBatch:
-			if len(args) < 2 {
-				return errors.New("core: replay GMETAB: need 2+ args")
-			}
-			m, err := decodeMetadata(args[0])
-			if err != nil {
-				return err
-			}
-			for _, k := range args[1:] {
-				s.ix.put(string(k), m.clone())
-			}
-			return nil
-		case opObject:
-			if len(args) != 2 {
-				return errors.New("core: replay GOBJ: need 2 args")
-			}
-			s.applyObjection(string(args[0]), string(args[1]))
-			return nil
-		case opUnobj:
-			if len(args) != 2 {
-				return errors.New("core: replay GUNOBJ: need 2 args")
-			}
-			s.applyUnobjection(string(args[0]), string(args[1]))
-			return nil
-		case opKey:
-			if len(args) != 2 {
-				return errors.New("core: replay GKEY: need 2 args")
-			}
-			if s.keyring == nil {
-				return nil // envelope disabled this run; ignore
-			}
-			return s.keyring.Import(string(args[0]), args[1])
-		case opShred:
-			if len(args) != 1 {
-				return errors.New("core: replay GSHRED: need 1 arg")
-			}
-			if s.keyring != nil {
-				s.keyring.Shred(string(args[0]))
-			}
-			return nil
-		case opReinst:
-			if len(args) != 1 {
-				return errors.New("core: replay GREINST: need 1 arg")
-			}
-			if s.keyring != nil {
-				s.keyring.Reinstate(string(args[0]))
-			}
-			return nil
-		case "DEL":
-			for _, a := range args {
-				s.ix.del(string(a))
-			}
-			return s.db.Apply(name, args)
-		case "FLUSHALL":
-			s.ix = newMetaIndex()
-			return s.db.Apply(name, args)
-		default:
-			return s.db.Apply(name, args)
-		}
-	})
+	_, err := aof.Load(path, key, s.applyRecord)
 	if err != nil {
 		return err
 	}
@@ -251,8 +186,15 @@ func (s *Store) replay(path string, key []byte) error {
 	return nil
 }
 
-// appendLog journals a compliance-layer record; a nil log is a no-op.
+// appendLog journals a compliance-layer record to the AOF and mirrors it
+// to the replication stream, so control-plane records (metadata, shreds,
+// erasure markers) reach replicas in the same per-key order as the engine
+// records they follow — both are emitted while the caller still holds the
+// key/owner stripe. A nil log with no stream attached is a no-op.
 func (s *Store) appendLog(name string, args ...[]byte) error {
+	if h := s.streamJ.Load(); h != nil {
+		_ = h.AppendOp(name, args...)
+	}
 	if s.log == nil {
 		return nil
 	}
@@ -566,6 +508,18 @@ func (s *Store) Expire(ctx Ctx, key string, ttl time.Duration) error {
 	return nil
 }
 
+// FlushAll removes every key and all compliance metadata as one atomic
+// cut: the engine journals a single FLUSHALL record (replicas and AOF
+// replay observe the same reset via applyRecord), and the metadata index
+// is cleared in the same critical section so the live store never serves
+// ghost metadata for a flushed keyspace.
+func (s *Store) FlushAll() {
+	s.lockAll()
+	defer s.unlockAll()
+	s.db.FlushAll()
+	s.ix.clear()
+}
+
 // Exists reports whether key is present and unexpired.
 func (s *Store) Exists(key string) bool { return s.db.Exists(key) }
 
@@ -621,10 +575,14 @@ func (s *Store) Close() error {
 	}
 	s.lockAll()
 	primary := s.primary
+	hub := s.hub
 	s.unlockAll()
 	s.expirer.Stop()
 	if primary != nil {
 		primary.Close()
+	}
+	if hub != nil {
+		hub.Close()
 	}
 	var first error
 	if s.log != nil {

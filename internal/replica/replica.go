@@ -6,11 +6,17 @@
 // asynchronously (ops queue and apply in the background — eventual
 // compliance, with measurable erasure lag on the replicas).
 //
-// Replication here is in-process — replicas are store.DB instances fed
-// through the same journal interface the AOF uses — standing in for
-// networked replicas; the consistency and erasure-propagation semantics
-// under test are identical, and the wire transport would reuse
-// internal/resp exactly as the AOF does.
+// Two transports share those semantics:
+//
+//   - In-process (this file): replicas are store.DB instances fed through
+//     the same journal interface the AOF uses — Primary/Replica with
+//     sync/async modes, used for the paper's compliance-spectrum
+//     experiments.
+//   - Networked (stream.go / node.go): a Hub on the primary RESP-encodes
+//     the journal stream and fans it out over TCP to Nodes that dialed in
+//     with the REPLCONF/PSYNC handshake, with full-sync snapshots, a
+//     bounded backlog for partial resync, and offset acknowledgement —
+//     the read-scale-out path.
 package replica
 
 import (
@@ -261,23 +267,12 @@ var ErrNilJournal = errors.New("replica: no journals to chain")
 
 // Chain composes journals so the engine can feed the AOF and the replica
 // fan-out simultaneously: db.SetJournal(replica.Chain(aofLog, primary)).
+// It is a thin wrapper over store.NewMultiJournal that rejects the
+// all-nil case.
 func Chain(js ...store.Journal) (store.Journal, error) {
-	nonNil := make([]store.Journal, 0, len(js))
-	for _, j := range js {
-		if j != nil {
-			nonNil = append(nonNil, j)
-		}
-	}
-	if len(nonNil) == 0 {
+	j := store.NewMultiJournal(js...)
+	if j == nil {
 		return nil, ErrNilJournal
 	}
-	return store.JournalFunc(func(name string, args ...[]byte) error {
-		var first error
-		for _, j := range nonNil {
-			if err := j.AppendOp(name, args...); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}), nil
+	return j, nil
 }

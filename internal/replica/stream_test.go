@@ -1,0 +1,311 @@
+package replica
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gdprstore/internal/clock"
+	"gdprstore/internal/store"
+	"gdprstore/internal/testutil"
+)
+
+// fakeApplier is a minimal replica state machine: enough record semantics
+// to assert convergence without importing core (which imports this
+// package).
+type fakeApplier struct {
+	mu      sync.Mutex
+	m       map[string]string
+	records []string
+}
+
+func newFakeApplier() *fakeApplier { return &fakeApplier{m: make(map[string]string)} }
+
+func (f *fakeApplier) ApplyReplicated(name string, args [][]byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch name {
+	case "SET":
+		f.m[string(args[0])] = string(args[1])
+	case "SETEX":
+		f.m[string(args[0])] = string(args[2])
+	case "DEL":
+		for _, a := range args {
+			delete(f.m, string(a))
+		}
+	case "FLUSHALL":
+		f.m = make(map[string]string)
+	}
+	f.records = append(f.records, name)
+	return nil
+}
+
+func (f *fakeApplier) get(k string) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.m[k]
+	return v, ok
+}
+
+func (f *fakeApplier) size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}
+
+// testPrimary wires a raw engine to a hub with a snapshot provider, the
+// way core.Store does for the full compliance state.
+type testPrimary struct {
+	db  *store.DB
+	hub *Hub
+}
+
+func newTestPrimary(t *testing.T, opts HubOptions) *testPrimary {
+	t.Helper()
+	db := store.New(store.Options{Clock: clock.NewVirtual(time.Unix(0, 0)), Seed: 1})
+	hub := NewHub(opts)
+	db.SetJournal(hub)
+	t.Cleanup(hub.Close)
+	return &testPrimary{db: db, hub: hub}
+}
+
+// snap is the test SnapshotProvider: FLUSHALL + engine snapshot, with the
+// cut taken first (tests do not write concurrently with attachment).
+func (p *testPrimary) snap(emit func(name string, args ...[]byte) error, cut func()) error {
+	cut()
+	if err := emit("FLUSHALL"); err != nil {
+		return err
+	}
+	return p.db.Snapshot(emit)
+}
+
+func (p *testPrimary) listen(t *testing.T, auth func(string) bool) *Listener {
+	t.Helper()
+	l, err := p.hub.ListenAndServe("127.0.0.1:0", p.snap, auth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func dialNode(t *testing.T, f *fakeApplier, addr string, opts NodeOptions) *Node {
+	t.Helper()
+	if opts.ReconnectMin == 0 {
+		opts.ReconnectMin = 5 * time.Millisecond
+	}
+	if opts.ReconnectMax == 0 {
+		opts.ReconnectMax = 50 * time.Millisecond
+	}
+	n := DialPrimary(f, addr, opts)
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestFullSyncThenLiveStream(t *testing.T) {
+	p := newTestPrimary(t, HubOptions{})
+	p.db.Set("seed", []byte("v0"))
+	l := p.listen(t, nil)
+	f := newFakeApplier()
+	n := dialNode(t, f, l.Addr(), NodeOptions{})
+
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		_, ok := f.get("seed")
+		return ok
+	}, "full sync did not deliver seeded key")
+
+	p.db.Set("live", []byte("v1"))
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		v, ok := f.get("live")
+		return ok && v == "v1"
+	}, "live stream did not deliver write")
+
+	p.db.Del("seed")
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		_, ok := f.get("seed")
+		return !ok
+	}, "live stream did not deliver delete")
+
+	st := n.Status()
+	if st.FullSyncs != 1 {
+		t.Fatalf("full syncs = %d, want 1", st.FullSyncs)
+	}
+	if st.Link != LinkUp {
+		t.Fatalf("link = %s, want up", st.Link)
+	}
+}
+
+func TestAcksConvergeToMasterOffset(t *testing.T) {
+	p := newTestPrimary(t, HubOptions{})
+	l := p.listen(t, nil)
+	f := newFakeApplier()
+	dialNode(t, f, l.Addr(), NodeOptions{})
+
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		return len(p.hub.Links()) == 1
+	}, "replica link not registered")
+	for i := 0; i < 50; i++ {
+		p.db.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		links := p.hub.Links()
+		return len(links) == 1 && links[0].AckOffset == p.hub.Offset()
+	}, "ack offset never caught up to master offset")
+}
+
+func TestPartialResyncAfterLinkDrop(t *testing.T) {
+	p := newTestPrimary(t, HubOptions{})
+	l := p.listen(t, nil)
+	f := newFakeApplier()
+	n := dialNode(t, f, l.Addr(), NodeOptions{})
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		return len(p.hub.Links()) == 1
+	}, "initial attach")
+	p.db.Set("before", []byte("1"))
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		_, ok := f.get("before")
+		return ok
+	}, "pre-drop write")
+
+	p.hub.DisconnectReplicas()
+	p.db.Set("during", []byte("2"))
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		v, ok := f.get("during")
+		return ok && v == "2"
+	}, "write during disconnect never arrived")
+
+	st := n.Status()
+	if st.FullSyncs != 1 {
+		t.Fatalf("full syncs = %d, want 1 (reconnect should partial-resync)", st.FullSyncs)
+	}
+	if st.Reconnects == 0 {
+		t.Fatal("reconnects not counted")
+	}
+}
+
+func TestBacklogOverflowFallsBackToFullResync(t *testing.T) {
+	p := newTestPrimary(t, HubOptions{BacklogSize: 128})
+	l := p.listen(t, nil)
+	f := newFakeApplier()
+	n := dialNode(t, f, l.Addr(), NodeOptions{})
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		return len(p.hub.Links()) == 1
+	}, "initial attach")
+
+	p.hub.DisconnectReplicas()
+	// Push far more than 128 bytes of stream while the link is down.
+	for i := 0; i < 100; i++ {
+		p.db.Set(fmt.Sprintf("big%03d", i), []byte(strings.Repeat("x", 32)))
+	}
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		return f.size() >= 100
+	}, "replica never reconverged after overflow")
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		return n.Status().FullSyncs == 2
+	}, "overflowed reconnect should have full-resynced")
+}
+
+func TestSlowReplicaIsDisconnectedNotBlocking(t *testing.T) {
+	p := newTestPrimary(t, HubOptions{LinkQueue: 4})
+	l := p.listen(t, nil)
+	f := newFakeApplier()
+	dialNode(t, f, l.Addr(), NodeOptions{})
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		return len(p.hub.Links()) == 1
+	}, "initial attach")
+
+	// A burst beyond the tiny link queue must never block the primary's
+	// journal path; the link is killed and resyncs.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 500; i++ {
+			p.db.Set(fmt.Sprintf("burst%03d", i), []byte("v"))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("primary write path blocked by slow replica")
+	}
+	testutil.Eventually(t, 10*time.Second, 0, func() bool {
+		v, ok := f.get("burst499")
+		return ok && v == "v"
+	}, "replica never converged after overflow kill")
+}
+
+func TestListenerAuthGatesPSYNC(t *testing.T) {
+	p := newTestPrimary(t, HubOptions{})
+	l := p.listen(t, func(actor string) bool { return actor == "dpo" })
+	p.db.Set("k", []byte("v"))
+
+	// Wrong actor: PSYNC refused; the node keeps retrying but never syncs.
+	f1 := newFakeApplier()
+	n1 := dialNode(t, f1, l.Addr(), NodeOptions{Actor: "intruder"})
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		err := n1.Status().LastErr
+		return err != nil && strings.Contains(err.Error(), "DENIED")
+	}, "unauthorised PSYNC not refused")
+	if f1.size() != 0 {
+		t.Fatal("unauthorised replica received data")
+	}
+
+	// Authorised actor converges.
+	f2 := newFakeApplier()
+	dialNode(t, f2, l.Addr(), NodeOptions{Actor: "dpo"})
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		_, ok := f2.get("k")
+		return ok
+	}, "authorised replica did not sync")
+}
+
+func TestListenerCloseWithStalledHandshake(t *testing.T) {
+	p := newTestPrimary(t, HubOptions{})
+	l, err := p.hub.ListenAndServe("127.0.0.1:0", p.snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A connection that completes no handshake is not a hub link; Close
+	// must still reach it instead of waiting on its serve goroutine.
+	conn, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	done := make(chan struct{})
+	go func() {
+		l.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Listener.Close deadlocked on a stalled handshake connection")
+	}
+}
+
+func TestEncodeRecordRoundTripsOffsets(t *testing.T) {
+	// Primary and replica must agree on record length byte-for-byte —
+	// offsets depend on it.
+	rec := EncodeRecord("SETEX", []byte("k"), []byte("2020-01-01T00:00:00Z"), []byte("v"))
+	want := "*4\r\n$5\r\nSETEX\r\n$1\r\nk\r\n$20\r\n2020-01-01T00:00:00Z\r\n$1\r\nv\r\n"
+	if string(rec) != want {
+		t.Fatalf("encoding changed:\n got %q\nwant %q", rec, want)
+	}
+}
+
+func TestParsePSYNCArgs(t *testing.T) {
+	id, off, err := ParsePSYNCArgs([][]byte{[]byte("?"), []byte("-1")})
+	if err != nil || id != "?" || off != -1 {
+		t.Fatalf("got %q %d %v", id, off, err)
+	}
+	if _, _, err := ParsePSYNCArgs([][]byte{[]byte("x")}); err == nil {
+		t.Fatal("short args accepted")
+	}
+	if _, _, err := ParsePSYNCArgs([][]byte{[]byte("x"), []byte("nope")}); err == nil {
+		t.Fatal("bad offset accepted")
+	}
+}

@@ -55,6 +55,20 @@ const MaxBulkLen = 512 << 20
 // MaxArrayLen bounds a multibulk request, matching Redis's 1M element cap.
 const MaxArrayLen = 1 << 20
 
+// MaxLineLen bounds a simple-string/error/integer line, matching Redis's
+// 64 KB inline limit. Without it, a malicious peer could stream an
+// unterminated line and grow the reader's buffer without bound.
+const MaxLineLen = 64 << 10
+
+// Allocation guards: declared lengths are only trusted up to these sizes;
+// larger payloads grow buffers incrementally as bytes actually arrive, so
+// a forged "$536870912" or "*1000000" header alone cannot make the server
+// allocate gigabytes (the attacker must send the bytes to cost the bytes).
+const (
+	bulkPreallocLimit  = 64 << 10
+	arrayPreallocLimit = 1 << 10
+)
+
 // SimpleStringValue constructs a simple-string value.
 func SimpleStringValue(s string) Value { return Value{Type: SimpleString, Str: []byte(s)} }
 
@@ -149,8 +163,8 @@ func (r *Reader) readValue(depth int) (Value, error) {
 		if n < 0 || n > MaxBulkLen {
 			return Value{}, errBulkTooLong
 		}
-		buf := make([]byte, n+2)
-		if _, err := io.ReadFull(r.br, buf); err != nil {
+		buf, err := r.readN(n + 2)
+		if err != nil {
 			return Value{}, err
 		}
 		if buf[n] != '\r' || buf[n+1] != '\n' {
@@ -168,12 +182,20 @@ func (r *Reader) readValue(depth int) (Value, error) {
 		if n < 0 || n > MaxArrayLen {
 			return Value{}, fmt.Errorf("%w: invalid array length %d", ErrProtocol, n)
 		}
-		vs := make([]Value, n)
-		for i := range vs {
-			vs[i], err = r.readValue(depth + 1)
+		// Trust the declared element count only up to the prealloc limit:
+		// beyond it the slice grows as elements actually parse, so a forged
+		// header cannot reserve a million Value slots up front.
+		prealloc := n
+		if prealloc > arrayPreallocLimit {
+			prealloc = arrayPreallocLimit
+		}
+		vs := make([]Value, 0, prealloc)
+		for i := int64(0); i < n; i++ {
+			v, err := r.readValue(depth + 1)
 			if err != nil {
 				return Value{}, err
 			}
+			vs = append(vs, v)
 		}
 		return Value{Type: Array, Array: vs}, nil
 	default:
@@ -202,10 +224,61 @@ func (r *Reader) ReadCommand() ([][]byte, error) {
 	return args, nil
 }
 
+// readN reads exactly n declared bytes, growing the buffer incrementally
+// (doubling from bulkPreallocLimit) so the allocation tracks bytes actually
+// received, never the declared length alone.
+func (r *Reader) readN(n int64) ([]byte, error) {
+	if n <= bulkPreallocLimit {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, bulkPreallocLimit)
+	read := int64(0)
+	for read < n {
+		if read == int64(len(buf)) {
+			grown := int64(len(buf)) * 2
+			if grown > n {
+				grown = n
+			}
+			nb := make([]byte, grown)
+			copy(nb, buf)
+			buf = nb
+		}
+		m, err := r.br.Read(buf[read:])
+		read += int64(m)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return buf[:n], nil
+}
+
 func (r *Reader) readLine() ([]byte, error) {
-	line, err := r.br.ReadBytes('\n')
-	if err != nil {
+	// Accumulate buffer-sized fragments so an unterminated line fails at
+	// MaxLineLen instead of growing memory for as long as the peer streams.
+	var line []byte
+	for {
+		frag, err := r.br.ReadSlice('\n')
+		line = append(line, frag...)
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			if len(line) > MaxLineLen {
+				return nil, fmt.Errorf("%w: line exceeds %d bytes", ErrProtocol, MaxLineLen)
+			}
+			continue
+		}
 		return nil, err
+	}
+	if len(line) > MaxLineLen+2 {
+		return nil, fmt.Errorf("%w: line exceeds %d bytes", ErrProtocol, MaxLineLen)
 	}
 	if len(line) < 2 || line[len(line)-2] != '\r' {
 		return nil, fmt.Errorf("%w: line missing CRLF", ErrProtocol)

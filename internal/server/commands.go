@@ -144,13 +144,16 @@ func init() {
 			return resp.IntegerValue(int64(ctx.Srv.store.Engine().Len())), nil
 		}})
 	register(Command{Name: "FLUSHALL", MinArgs: 0, MaxArgs: 0, Flags: FlagWrite | FlagAdmin | FlagNoCompliance,
-		Summary: "remove every key",
+		Summary: "remove every key (and all GDPR metadata)",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
-			ctx.Srv.store.Engine().FlushAll()
+			// Store-level flush: clears the engine AND the metadata index in
+			// one cut, so the live primary agrees with replicas and with
+			// replay (which both reset metadata on the FLUSHALL record).
+			ctx.Srv.store.FlushAll()
 			return resp.SimpleStringValue("OK"), nil
 		}})
-	register(Command{Name: "INFO", MinArgs: 0, MaxArgs: 0, Flags: FlagReadonly | FlagAdmin,
-		Summary: "server and store health, Redis INFO style, plus commandstats",
+	register(Command{Name: "INFO", MinArgs: 0, MaxArgs: 1, Flags: FlagReadonly | FlagAdmin,
+		Summary: "INFO [section]: server and store health, Redis INFO style (sections: gdprstore, replication, commandstats)",
 		Handler: cmdInfo})
 
 	// --- GDPR command family (compliance path) ---
@@ -659,9 +662,36 @@ func parseRole(s string) (acl.Role, bool) {
 }
 
 // cmdInfo reports server and store health in Redis INFO style, including
-// the per-command metrics the middleware pipeline records.
+// the replication topology and the per-command metrics the middleware
+// pipeline records. An optional section argument (gdprstore, replication,
+// commandstats) restricts the report.
 func cmdInfo(ctx *Ctx) (resp.Value, error) {
 	s := ctx.Srv
+	section := ""
+	if len(ctx.Args) == 1 {
+		section = strings.ToLower(string(ctx.Args[0]))
+	}
+	switch section {
+	case "", "gdprstore", "replication", "commandstats":
+	default:
+		return resp.Value{}, fmt.Errorf("unknown INFO section '%s'", section)
+	}
+	want := func(name string) bool { return section == "" || section == name }
+	var b strings.Builder
+	if want("gdprstore") {
+		b.WriteString(s.gdprstoreInfo())
+	}
+	if want("replication") {
+		b.WriteString(s.replicationInfo())
+	}
+	if want("commandstats") {
+		b.WriteString(s.commandStatsInfo())
+	}
+	return resp.BulkStringValue(b.String()), nil
+}
+
+// gdprstoreInfo renders the store-health section.
+func (s *Server) gdprstoreInfo() string {
 	var b strings.Builder
 	cfg := s.store.Config()
 	b.WriteString("# gdprstore\r\n")
@@ -681,20 +711,28 @@ func cmdInfo(ctx *Ctx) (resp.Value, error) {
 		b.WriteString("audit_seq:" + strconv.FormatUint(t.Seq(), 10) + "\r\n")
 		b.WriteString("audit_syncs:" + strconv.FormatUint(t.Syncs(), 10) + "\r\n")
 	}
+	return b.String()
+}
+
+// commandStatsInfo renders the commandstats section (empty when no
+// commands have run).
+func (s *Server) commandStatsInfo() string {
 	snaps := s.cmdStats.Snapshots()
-	if len(snaps) > 0 {
-		b.WriteString("# commandstats\r\n")
-		for _, name := range s.cmdStats.Names() {
-			snap, ok := snaps[name]
-			if !ok {
-				continue
-			}
-			fmt.Fprintf(&b, "cmdstat_%s:calls=%d,usec=%d,usec_per_call=%.2f,p99_usec=%d\r\n",
-				strings.ToLower(name), snap.Count,
-				int64(snap.Mean)*int64(snap.Count)/1000,
-				float64(snap.Mean)/float64(time.Microsecond),
-				snap.P99.Microseconds())
-		}
+	if len(snaps) == 0 {
+		return ""
 	}
-	return resp.BulkStringValue(b.String()), nil
+	var b strings.Builder
+	b.WriteString("# commandstats\r\n")
+	for _, name := range s.cmdStats.Names() {
+		snap, ok := snaps[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "cmdstat_%s:calls=%d,usec=%d,usec_per_call=%.2f,p99_usec=%d\r\n",
+			strings.ToLower(name), snap.Count,
+			int64(snap.Mean)*int64(snap.Count)/1000,
+			float64(snap.Mean)/float64(time.Microsecond),
+			snap.P99.Microseconds())
+	}
+	return b.String()
 }

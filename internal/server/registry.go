@@ -144,6 +144,9 @@ var errSyntax = errors.New("syntax error")
 // vanilla family, the GDPR family and the batch family all route here.
 func errReply(err error) resp.Value {
 	switch {
+	case errors.Is(err, errReadOnly):
+		// Carries its own READONLY code prefix.
+		return resp.ErrorValue(err.Error())
 	case errors.Is(err, core.ErrNotFound):
 		return resp.NullValue()
 	case errors.Is(err, core.ErrDenied):
@@ -179,12 +182,15 @@ type CommandHook func(name string, args [][]byte, reply resp.Value, d time.Durat
 //  2. metrics      — per-command call count + latency histogram
 //  3. hook         — the pluggable audit/tracing observation point; sits
 //     outside compliance so enforcement rejections are observed too
-//  4. compliance   — FlagGDPR enforcement (BASELINE on non-compliant
+//  4. read-only    — rejects writes while the server is a replica (the
+//     replication link applies records directly, below the registry)
+//  5. compliance   — FlagGDPR enforcement (BASELINE on non-compliant
 //     stores, DENIED before AUTH under ACL enforcement)
-//  5. the handler itself; its error return is mapped by errReply
+//  6. the handler itself; its error return is mapped by errReply
 func (s *Server) buildPipeline() Handler {
 	h := func(ctx *Ctx) (resp.Value, error) { return ctx.Cmd.Handler(ctx) }
 	h = complianceMiddleware(h)
+	h = s.readOnlyMiddleware(h)
 	h = s.hookMiddleware(h)
 	h = s.metricsMiddleware(h)
 	h = recoverMiddleware(h)

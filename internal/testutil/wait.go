@@ -1,0 +1,38 @@
+// Package testutil holds shared test helpers. Its headline export is
+// Eventually, the bounded-polling replacement for sleep-based waits:
+// sleeps calibrated for a fast machine flake on slow CI runners (and
+// under -race, which can slow code 10×), while a bounded poll waits
+// exactly as long as the condition needs, up to an explicit deadline.
+package testutil
+
+import (
+	"time"
+)
+
+// TB is the subset of testing.TB Eventually needs; declared locally so the
+// package stays importable from non-test code without linking "testing".
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Eventually polls cond every interval until it returns true, failing t if
+// timeout elapses first. Use it instead of time.Sleep when waiting for a
+// background goroutine (replication apply, server accept, audit flush) to
+// reach an observable state.
+func Eventually(t TB, timeout, interval time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v: "+format, append([]any{timeout}, args...)...)
+		}
+		time.Sleep(interval)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"gdprstore/internal/testutil"
 )
 
 // echoServer is a plaintext TCP backend that echoes lines.
@@ -226,12 +228,11 @@ func TestProxyStats(t *testing.T) {
 	io.WriteString(c, "ping\n")
 	bufio.NewReader(c).ReadString('\n')
 	c.Close()
-	// Give the pipes a moment to account.
-	time.Sleep(50 * time.Millisecond)
-	up, down := tun.Client.Stats()
-	if up == 0 && down == 0 {
-		t.Fatal("no bytes accounted")
-	}
+	// The pipes account asynchronously; poll rather than sleep.
+	testutil.Eventually(t, 5*time.Second, 0, func() bool {
+		up, down := tun.Client.Stats()
+		return up != 0 || down != 0
+	}, "no bytes accounted")
 }
 
 func TestServerProxyRejectsPlainTCP(t *testing.T) {
