@@ -3,7 +3,7 @@ STATICCHECK_VERSION ?= 2023.1.7
 COVER_THRESHOLD ?= 75.0
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-ci cover fuzz vet fmt lint ci
+.PHONY: all build test race bench bench-ci cover fuzz vet fmt lint apicheck api ci
 
 all: build
 
@@ -33,7 +33,7 @@ bench-ci:
 
 # cover mirrors the CI `cover` job: coverage profile + ratchet threshold.
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) test -coverprofile=cover.out ./internal/... ./pkg/...
 	@$(GO) tool cover -func=cover.out | tail -1
 	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{sub(/%/, "", $$3); print $$3}'); \
 	awk -v t="$$total" -v min="$(COVER_THRESHOLD)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' \
@@ -47,6 +47,17 @@ fuzz:
 vet:
 	$(GO) vet ./...
 
+# apicheck mirrors the CI `api surface` step: the exported surface of the
+# public SDK must match the checked-in golden, so accidental breaking
+# changes are caught in review. After an INTENDED surface change, run
+# `make api` to regenerate the golden and commit it with the change.
+apicheck:
+	$(GO) run ./tools/apidump ./pkg/gdprkv | diff -u api/gdprkv.golden - \
+		|| { echo "public API surface of pkg/gdprkv changed; if intended, run 'make api' and commit the golden"; exit 1; }
+
+api:
+	$(GO) run ./tools/apidump ./pkg/gdprkv > api/gdprkv.golden
+
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
@@ -54,4 +65,4 @@ fmt:
 lint:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
-ci: fmt vet build test race lint
+ci: fmt vet apicheck build test race lint

@@ -31,6 +31,7 @@ func main() {
 		records = flag.Int64("records", 5000, "fig1/fsync/spectrum record count")
 		ops     = flag.Int64("ops", 20000, "fig1/fsync/spectrum operation count")
 		workers = flag.Int("workers", 8, "client parallelism")
+		pool    = flag.Int("pool", 0, "fig1: share one pooled pkg/gdprkv client of N connections across workers (0 = one connection per worker)")
 		dir     = flag.String("dir", "", "working directory for AOF/audit files")
 	)
 	flag.Parse()
@@ -75,6 +76,7 @@ func main() {
 		section("Figure 1 — YCSB throughput: Unmodified vs AOF-w/-sync vs LUKS+TLS")
 		rows, err := experiments.Figure1(experiments.Figure1Config{
 			RecordCount: *records, OperationCount: *ops, Workers: *workers, Dir: *dir,
+			PoolSize: *pool,
 		})
 		if err != nil {
 			log.Fatal(err)

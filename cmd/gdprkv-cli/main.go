@@ -6,27 +6,36 @@
 //
 // Usage:
 //
-//	gdprkv-cli [-addr host:port] [command args...]
+//	gdprkv-cli [-addr host:port] [-timeout 10s] [command args...]
 //
-// With a command, it runs once and exits; without, it reads a REPL.
+// With a command, it runs once and exits; without, it reads a REPL. The
+// REPL intentionally uses a pool of exactly one connection so stateful
+// session commands typed interactively (AUTH, PURPOSE) keep affecting
+// every subsequent command, as they would on a raw connection.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
-	"gdprstore/internal/client"
 	"gdprstore/internal/resp"
+	"gdprstore/pkg/gdprkv"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6380", "server address")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-command I/O timeout")
 	flag.Parse()
 
-	c, err := client.Dial(*addr)
+	ctx := context.Background()
+	c, err := gdprkv.Dial(ctx, *addr,
+		gdprkv.WithPoolSize(1), gdprkv.WithIOTimeout(*timeout))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "connect: %v\n", err)
 		os.Exit(1)
@@ -34,11 +43,12 @@ func main() {
 	defer c.Close()
 
 	if args := flag.Args(); len(args) > 0 {
-		runOnce(c, args)
+		runOnce(ctx, c, args)
 		return
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
+	redials := c.Stats().Redials
 	fmt.Printf("%s> ", *addr)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -47,17 +57,25 @@ func main() {
 			if strings.EqualFold(args[0], "quit") || strings.EqualFold(args[0], "exit") {
 				return
 			}
-			runOnce(c, args)
+			runOnce(ctx, c, args)
+			// A redial replaces the REPL's only connection with a fresh,
+			// unauthenticated one: AUTH/PURPOSE typed earlier are gone.
+			// Say so instead of letting the next command fail mysteriously.
+			if r := c.Stats().Redials; r != redials {
+				redials = r
+				fmt.Println("(reconnected — session state reset; re-issue AUTH/PURPOSE if you had set them)")
+			}
 		}
 		fmt.Printf("%s> ", *addr)
 	}
 }
 
-func runOnce(c *client.Client, args []string) {
-	v, err := c.Do(args...)
+func runOnce(ctx context.Context, c *gdprkv.Client, args []string) {
+	v, err := c.Do(ctx, args...)
 	if err != nil {
-		if _, ok := err.(client.ServerError); ok {
-			fmt.Printf("(error) %s\n", v.Text())
+		var se *gdprkv.ServerError
+		if errors.As(err, &se) {
+			fmt.Printf("(error) %s %s\n", se.Code, se.Message)
 			return
 		}
 		fmt.Fprintf(os.Stderr, "io error: %v\n", err)

@@ -7,20 +7,25 @@
 //	ycsb -workload A -records 100000 -ops 2000000            # embedded baseline
 //	ycsb -workload A -mode gdpr -timing realtime              # compliance path
 //	ycsb -workload C -mode network -addr 127.0.0.1:6380       # over the wire
+//	ycsb -workload C -mode network -pool 8 \
+//	     -replicas 127.0.0.1:6381,127.0.0.1:6382              # pooled + replica reads
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"gdprstore/internal/acl"
 	"gdprstore/internal/aof"
 	"gdprstore/internal/core"
 	"gdprstore/internal/ycsb"
+	"gdprstore/pkg/gdprkv"
 )
 
 func main() {
@@ -41,6 +46,8 @@ func main() {
 		skipLoad   = flag.Bool("skip-load", false, "skip the load phase")
 		batch      = flag.Int("batch", 1, "group operations into batches of N (MSET/MGET over the network, PutBatch/GetBatch in-process)")
 		shards     = flag.Int("shards", 0, "embedded/gdpr mode: engine lock-stripe count, power of two (0 = default; 1 = single mutex)")
+		poolSize   = flag.Int("pool", 0, "network mode: share one pooled client of N connections across all workers (0 = one connection per worker)")
+		replicas   = flag.String("replicas", "", "network mode: comma-separated replica addresses for read routing (requires -pool)")
 	)
 	flag.Parse()
 
@@ -54,12 +61,48 @@ func main() {
 
 	switch *mode {
 	case "network":
-		if *batch > 1 {
+		cleanup = func() {}
+		if *replicas != "" && *poolSize == 0 {
+			// Refuse rather than silently benchmark an all-primary setup
+			// the operator believes is replica-routed.
+			log.Fatal("-replicas requires -pool N (replica routing is a shared-pooled-client feature)")
+		}
+		if *poolSize > 0 {
+			// One shared pooled, replica-aware client saturated by every
+			// worker — the pkg/gdprkv deployment shape.
+			opts := []gdprkv.Option{gdprkv.WithPoolSize(*poolSize)}
+			if *replicas != "" {
+				// Trim shell-natural spacing and drop empties: a bogus
+				// replica entry would silently poison every routed read
+				// with a dial failure plus retry backoff.
+				var addrs []string
+				for _, a := range strings.Split(*replicas, ",") {
+					if a = strings.TrimSpace(a); a != "" {
+						addrs = append(addrs, a)
+					}
+				}
+				opts = append(opts, gdprkv.WithReplicas(addrs...))
+			}
+			shared, err := gdprkv.Dial(context.Background(), *addr, opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cleanup = func() {
+				st := shared.Stats()
+				fmt.Printf("[client] pool=%d primary_reads=%d replica_reads=%d writes=%d retries=%d redials=%d\n",
+					*poolSize, st.PrimaryReads, st.ReplicaReads, st.Writes, st.Retries, st.Redials)
+				shared.Close()
+			}
+			if *batch > 1 {
+				factory = func(int) (ycsb.DB, error) { return ycsb.NewBatchNetworkDB(shared, *batch), nil }
+			} else {
+				factory = func(int) (ycsb.DB, error) { return ycsb.NewNetworkDB(shared), nil }
+			}
+		} else if *batch > 1 {
 			factory = func(int) (ycsb.DB, error) { return ycsb.DialBatchNetworkDB(*addr, *batch) }
 		} else {
 			factory = func(int) (ycsb.DB, error) { return ycsb.DialNetworkDB(*addr) }
 		}
-		cleanup = func() {}
 	case "embedded", "gdpr":
 		cfg := core.Baseline()
 		if *mode == "gdpr" {

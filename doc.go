@@ -21,6 +21,11 @@
 // operations (FLUSHALL, snapshot, batch writes) follow a deterministic
 // lock order — see DESIGN.md §5.
 //
+// Client applications import pkg/gdprkv, the public SDK: a
+// context-first, connection-pooled, replica-aware client whose server
+// rejections decode to typed sentinels (errors.Is) — see DESIGN.md §9
+// for the architecture and api/gdprkv.golden for the frozen surface.
+//
 // The root package carries the repository-level benchmarks (bench_test.go,
 // one per table/figure, plus the multi-goroutine contention pair
 // BenchmarkEngine_SetParallel/BenchmarkCore_GPutParallel); the

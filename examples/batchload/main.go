@@ -1,7 +1,7 @@
 // Example batchload contrasts the per-operation compliance cost the paper
 // measures with the amortised batch command family: it loads the same
-// records through sequential GPUTs and through GMPUT batches over one TCP
-// connection, then reads them back with GMGET, printing the throughput of
+// records through sequential GPUTs and through GMPUT batches over the
+// public SDK, then reads them back with GMGET, printing the throughput of
 // each path.
 //
 // Run with:
@@ -10,14 +10,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"gdprstore/internal/acl"
-	"gdprstore/internal/client"
 	"gdprstore/internal/core"
 	"gdprstore/internal/server"
+	"gdprstore/pkg/gdprkv"
 )
 
 const (
@@ -39,24 +40,25 @@ func main() {
 	}
 	defer srv.Close()
 
-	c, err := client.Dial(srv.Addr())
+	// The AUTH/PURPOSE handshake is a construction-time option: every
+	// pooled connection speaks as the importer under the migration
+	// purpose.
+	ctx := context.Background()
+	c, err := gdprkv.Dial(ctx, srv.Addr(),
+		gdprkv.WithActor("importer"),
+		gdprkv.WithPurpose("migration"),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Auth("importer"); err != nil {
-		log.Fatal(err)
-	}
-	if err := c.Purpose("migration"); err != nil {
-		log.Fatal(err)
-	}
-	meta := client.GDPRPutArgs{Owner: "subject42", Purposes: "migration", TTLSeconds: 3600}
+	meta := gdprkv.PutOptions{Owner: "subject42", Purposes: []string{"migration"}, TTL: time.Hour}
 
 	// Sequential: one GPUT per record, each paying the full compliance
 	// round trip (ACL decision, metadata write, AOF append, audit record).
 	t0 := time.Now()
 	for i := 0; i < records; i++ {
-		if err := c.GPut(fmt.Sprintf("seq:%04d", i), []byte("payload"), meta); err != nil {
+		if err := c.GPut(ctx, fmt.Sprintf("seq:%04d", i), []byte("payload"), meta); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -72,14 +74,14 @@ func main() {
 			keys[i] = fmt.Sprintf("bat:%04d", base+i)
 			vals[i] = []byte("payload")
 		}
-		if err := c.GMPut(keys, vals, meta); err != nil {
+		if err := c.GMPut(ctx, keys, vals, meta); err != nil {
 			log.Fatal(err)
 		}
 	}
 	bat := time.Since(t0)
 
 	// Read a batch back to show the positional result shape.
-	got, err := c.GMGet(keys...)
+	got, err := c.GMGet(ctx, keys...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,23 +1,28 @@
-// Readscale: networked primary/replica replication with GDPR-aware
-// erasure propagation. A primary server and a read replica run in-process
-// over real TCP: the replica attaches with REPLICAOF (REPLCONF/PSYNC
-// handshake, full-sync snapshot, live journal stream), serves reads, and
-// rejects writes. FORGETUSER on the primary erases the subject on every
-// copy — the Article 17 guarantee extended across machines. Run with:
+// Readscale: networked primary/replica replication driven through the
+// public SDK. A primary and two read replicas run in-process over real
+// TCP; one pkg/gdprkv client pools connections to all three, routes
+// writes and rights operations to the primary, and load-balances reads
+// across the replicas with primary fallback. FORGETUSER on the primary
+// erases the subject on every copy — the Article 17 guarantee extended
+// across machines — and per-node INFO counters plus client stats show
+// exactly where each command ran. Run with:
 //
 //	go run ./examples/readscale
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
-	"net"
+	"strconv"
 	"strings"
 	"time"
 
-	"gdprstore/internal/client"
 	"gdprstore/internal/core"
+	"gdprstore/internal/replica"
 	"gdprstore/internal/server"
+	"gdprstore/pkg/gdprkv"
 )
 
 func waitFor(what string, cond func() bool) {
@@ -31,108 +36,157 @@ func waitFor(what string, cond func() bool) {
 }
 
 func main() {
+	ctx := context.Background()
 	cfg := core.Config{Compliant: true, Capability: core.CapabilityPartial, AuditEnabled: true}
 
+	// One primary, two replicas, attached over TCP (REPLCONF/PSYNC
+	// handshake, full-sync snapshot, live journal stream).
 	primaryStore, err := core.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer primaryStore.Close()
-	replicaStore, err := core.Open(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer replicaStore.Close()
-
 	primary, err := server.Listen("127.0.0.1:0", primaryStore)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer primary.Close()
-	replica, err := server.Listen("127.0.0.1:0", replicaStore)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer replica.Close()
-	fmt.Printf("primary  %s\nreplica  %s\n\n", primary.Addr(), replica.Addr())
 
-	pc, err := client.Dial(primary.Addr())
-	if err != nil {
-		log.Fatal(err)
+	var replicaAddrs []string
+	var replicaSrvs []*server.Server
+	for i := 0; i < 2; i++ {
+		st, err := core.Open(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		srv, err := server.Listen("127.0.0.1:0", st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		srv.ReplicaOf(primary.Addr(), replica.NodeOptions{})
+		replicaAddrs = append(replicaAddrs, srv.Addr())
+		replicaSrvs = append(replicaSrvs, srv)
 	}
-	defer pc.Close()
-	rc, err := client.Dial(replica.Addr())
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("primary  %s\nreplicas %s\n\n", primary.Addr(), strings.Join(replicaAddrs, " "))
+	for _, srv := range replicaSrvs {
+		srv := srv
+		waitFor("replica link", func() bool {
+			n := srv.ReplNode()
+			return n != nil && n.Status().Link == replica.LinkUp
+		})
 	}
-	defer rc.Close()
 
-	// Write some subjects' records on the primary, then attach the replica:
-	// the pre-attach data arrives via the full-sync snapshot, everything
-	// afterwards via the live stream.
+	// One client for the whole fleet: pooled, replica-aware, typed errors.
+	c, err := gdprkv.Dial(ctx, primary.Addr(),
+		gdprkv.WithPoolSize(4),
+		gdprkv.WithReplicas(replicaAddrs...),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Writes go to the primary and replicate out.
 	for i := 0; i < 3; i++ {
 		key := fmt.Sprintf("user:alice:doc%d", i)
-		if err := pc.GPut(key, []byte(fmt.Sprintf("alice-doc-%d", i)),
-			client.GDPRPutArgs{Owner: "alice", Purposes: "service"}); err != nil {
+		if err := c.GPut(ctx, key, []byte(fmt.Sprintf("alice-doc-%d", i)),
+			gdprkv.PutOptions{Owner: "alice", Purposes: []string{"service"}}); err != nil {
 			log.Fatal(err)
 		}
 	}
-	host, port, _ := net.SplitHostPort(primary.Addr())
-	if err := rc.ReplicaOf(host, port); err != nil {
-		log.Fatal(err)
+	// Per-node inspection clients: convergence checks and the INFO
+	// counter printout below must ask each node directly, not the
+	// round-robin client (which would only prove one replica caught up).
+	nodeClients := make(map[string]*gdprkv.Client, len(replicaAddrs))
+	for _, addr := range replicaAddrs {
+		nc, err := gdprkv.Dial(ctx, addr, gdprkv.WithPoolSize(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer nc.Close()
+		nodeClients[addr] = nc
 	}
-	waitFor("full sync", func() bool {
-		v, err := rc.GGet("user:alice:doc2")
-		return err == nil && string(v) == "alice-doc-2"
-	})
-	fmt.Println("full sync: replica serves alice's pre-attach records")
-
-	if err := pc.GPut("user:bob:doc0", []byte("bob-doc"),
-		client.GDPRPutArgs{Owner: "bob", Purposes: "service"}); err != nil {
-		log.Fatal(err)
-	}
-	waitFor("live stream", func() bool {
-		v, err := rc.GGet("user:bob:doc0")
-		return err == nil && string(v) == "bob-doc"
-	})
-	fmt.Println("live stream: replica sees bob's post-attach write")
-
-	// The replica is read-only: scale reads out, route writes to the
-	// primary.
-	if err := rc.GPut("user:eve:doc0", []byte("x"),
-		client.GDPRPutArgs{Owner: "eve", Purposes: "service"}); err != nil &&
-		strings.Contains(err.Error(), "READONLY") {
-		fmt.Println("read-only: write on the replica rejected with READONLY")
-	} else {
-		log.Fatalf("replica accepted a write: %v", err)
+	for _, addr := range replicaAddrs {
+		nc := nodeClients[addr]
+		waitFor("replication to "+addr, func() bool {
+			return nodeDBSize(ctx, nc) >= 3
+		})
 	}
 
-	// Article 17 on the primary reaches the replica: keys, metadata, and
-	// an audit record evidencing the replicated erasure.
-	n, err := pc.ForgetUser("alice")
+	// Reads are served by the replicas: spread 12 GGETs and let each
+	// node's own INFO commandstats testify where they ran.
+	for i := 0; i < 12; i++ {
+		if _, err := c.GGet(ctx, fmt.Sprintf("user:alice:doc%d", i%3)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("per-node GGET counts after the reads:")
+	fmt.Printf("  primary   %s\n", ggetCalls(ctx, primary.Addr()))
+	for i, addr := range replicaAddrs {
+		fmt.Printf("  replica%d  %s\n", i, ggetCalls(ctx, addr))
+	}
+	st := c.Stats()
+	fmt.Printf("client stats: primary_reads=%d replica_reads=%d writes=%d\n\n",
+		st.PrimaryReads, st.ReplicaReads, st.Writes)
+
+	// Article 17 through the same client: FORGETUSER routes to the
+	// primary and converges on every replica.
+	n, err := c.ForgetUser(ctx, "alice")
 	if err != nil {
 		log.Fatal(err)
 	}
-	waitFor("erasure propagation", func() bool {
-		_, err := rc.GGet("user:alice:doc0")
-		return err != nil
-	})
-	fmt.Printf("erasure: FORGETUSER removed %d records on the primary and converged on the replica\n", n)
+	for _, addr := range replicaAddrs {
+		nc := nodeClients[addr]
+		waitFor("erasure propagation to "+addr, func() bool {
+			return nodeDBSize(ctx, nc) == 0
+		})
+	}
+	if _, err := c.GGet(ctx, "user:alice:doc0"); !errors.Is(err, gdprkv.ErrNotFound) {
+		log.Fatalf("post-erasure read = %v, want ErrNotFound", err)
+	}
+	fmt.Printf("erasure: FORGETUSER removed %d records on the primary and converged on the replicas\n", n)
+	fmt.Println("typed errors: post-erasure read is errors.Is(err, gdprkv.ErrNotFound)")
+}
 
-	info, err := rc.Info("replication")
+// nodeDBSize reads the node's live key count from INFO gdprstore over an
+// already-dialed per-node client (deliberately not a GGET, so the
+// per-node cmdstat_gget counters printed above reflect only the routed
+// reads; and one client per node, not per poll, so the wait loops don't
+// churn connections).
+func nodeDBSize(ctx context.Context, c *gdprkv.Client) int {
+	info, err := c.Info(ctx, "gdprstore")
 	if err != nil {
-		log.Fatal(err)
+		return -1
 	}
-	fmt.Println("\nreplica INFO replication:")
-	for _, line := range strings.Split(strings.TrimSpace(info), "\r\n") {
-		fmt.Println("  " + line)
+	for _, line := range strings.Split(info, "\r\n") {
+		if rest, ok := strings.CutPrefix(line, "dbsize:"); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil {
+				return -1
+			}
+			return n
+		}
 	}
-	info, err = pc.Info("replication")
+	return -1
+}
+
+// ggetCalls fetches one node's cmdstat_gget line (or reports none).
+func ggetCalls(ctx context.Context, addr string) string {
+	c, err := gdprkv.Dial(ctx, addr)
 	if err != nil {
-		log.Fatal(err)
+		return "unreachable: " + err.Error()
 	}
-	fmt.Println("primary INFO replication:")
-	for _, line := range strings.Split(strings.TrimSpace(info), "\r\n") {
-		fmt.Println("  " + line)
+	defer c.Close()
+	info, err := c.Info(ctx, "commandstats")
+	if err != nil {
+		return err.Error()
 	}
+	for _, line := range strings.Split(info, "\r\n") {
+		if strings.HasPrefix(line, "cmdstat_gget:") {
+			return line
+		}
+	}
+	return "cmdstat_gget: no calls"
 }

@@ -1,9 +1,18 @@
-// Package client is the Go client for the gdprstore RESP server. It covers
-// the vanilla Redis-style surface (Set/Get/Del/Expire/...), the GDPR
-// command family, and the amortising batch family (MSet/MGet/GMPut/GMGet,
-// which pay the per-operation compliance overhead once per batch), and
-// supports pipelining — the batching technique YCSB-style load generators
-// rely on to saturate a server.
+// Package client is the old single-connection Go client for the gdprstore
+// RESP server.
+//
+// DEPRECATED — superseded by the public SDK pkg/gdprkv, which is
+// context-first (per-call deadlines and cancellation), safe for
+// concurrent use through a per-node connection pool, replica-aware, and
+// reports server rejections as typed sentinels instead of string
+// prefixes. This package survives one release as a compatibility shim
+// for in-tree tests and is then removed; see the migration notes in
+// pkg/gdprkv's package documentation. (The marker deliberately isn't the
+// machine-parsed "Deprecated:" form: the shim's own tests must keep
+// linting clean until the removal PR.) Unlike pkg/gdprkv, a Client here
+// owns exactly one connection, has no I/O deadlines (a dead server hangs
+// its caller), and must not be shared across goroutines (concurrent
+// calls interleave replies).
 package client
 
 import (
@@ -29,6 +38,7 @@ func (e ServerError) Error() string { return "client: server: " + string(e) }
 
 // Client is a single-connection client. It is not safe for concurrent use;
 // benchmarks open one client per worker, like YCSB threads do.
+// DEPRECATED — use gdprkv.Client from pkg/gdprkv.
 type Client struct {
 	conn net.Conn
 	r    *resp.Reader
@@ -36,6 +46,7 @@ type Client struct {
 }
 
 // Dial connects to a gdprstore server.
+// DEPRECATED — use gdprkv.Dial, which takes a context and options.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,6 +16,7 @@ import (
 	"gdprstore/internal/server"
 	"gdprstore/internal/tlsproxy"
 	"gdprstore/internal/ycsb"
+	"gdprstore/pkg/gdprkv"
 )
 
 // Figure1Config selects Figure 1's benchmark scale. The paper uses 2M
@@ -34,6 +36,10 @@ type Figure1Config struct {
 	// ThrottleBytesPerSec throttles the TLS tunnel to model the paper's
 	// 44→4.9 Gbps proxy bandwidth collapse; 0 leaves it unthrottled.
 	ThrottleBytesPerSec int64
+	// PoolSize > 0 shares one pooled pkg/gdprkv client of that many
+	// connections across all workers instead of the classic one
+	// connection per worker.
+	PoolSize int
 }
 
 func (c *Figure1Config) defaults() error {
@@ -178,6 +184,15 @@ func newFig1Env(setup string, cfg Figure1Config) (*fig1Env, error) {
 
 func runFig1Workloads(env *fig1Env, cfg Figure1Config, rows []Figure1Row, setup string) error {
 	factory := func(int) (ycsb.DB, error) { return ycsb.DialNetworkDB(env.addr) }
+	if cfg.PoolSize > 0 {
+		shared, err := gdprkv.Dial(context.Background(), env.addr,
+			gdprkv.WithPoolSize(cfg.PoolSize))
+		if err != nil {
+			return err
+		}
+		defer shared.Close()
+		factory = func(int) (ycsb.DB, error) { return ycsb.NewNetworkDB(shared), nil }
+	}
 	record := func(label string, thr float64) {
 		for i := range rows {
 			if rows[i].Workload == label {

@@ -9,6 +9,7 @@ import (
 
 	"gdprstore/internal/core"
 	"gdprstore/internal/resp"
+	"gdprstore/internal/wirecode"
 )
 
 // This file is the command registry: the declarative table every RESP
@@ -142,26 +143,18 @@ var errSyntax = errors.New("syntax error")
 // errReply is the single place a handler error becomes a RESP reply, so
 // the error-code prefixes are consistent across the whole surface: the
 // vanilla family, the GDPR family and the batch family all route here.
+// The code table itself lives in internal/wirecode, shared with the
+// public SDK's decoder (pkg/gdprkv), so the two ends cannot drift.
 func errReply(err error) resp.Value {
 	switch {
 	case errors.Is(err, errReadOnly):
-		// Carries its own READONLY code prefix.
+		// Carries its own READONLY code prefix (Redis's exact text).
 		return resp.ErrorValue(err.Error())
 	case errors.Is(err, core.ErrNotFound):
+		// Missing keys are null bulk strings, not error replies.
 		return resp.NullValue()
-	case errors.Is(err, core.ErrDenied):
-		return resp.ErrorValue("DENIED " + err.Error())
-	case errors.Is(err, core.ErrPurposeDenied):
-		return resp.ErrorValue("PURPOSEDENIED " + err.Error())
-	case errors.Is(err, core.ErrNoOwner), errors.Is(err, core.ErrNoTTL),
-		errors.Is(err, core.ErrLocationDenied):
-		return resp.ErrorValue("POLICY " + err.Error())
-	case errors.Is(err, core.ErrErased):
-		return resp.ErrorValue("ERASED " + err.Error())
-	case errors.Is(err, core.ErrNotCompliant):
-		return resp.ErrorValue("BASELINE " + err.Error())
 	default:
-		return resp.ErrorValue("ERR " + err.Error())
+		return resp.ErrorValue(wirecode.Code(err) + " " + err.Error())
 	}
 }
 

@@ -1,10 +1,11 @@
 package ycsb
 
 import (
+	"context"
 	"errors"
 
-	"gdprstore/internal/client"
 	"gdprstore/internal/core"
+	"gdprstore/pkg/gdprkv"
 )
 
 // EmbeddedDB drives a core.Store in-process through the baseline
@@ -103,24 +104,32 @@ func (g *GDPRDB) Close() error { return nil }
 
 // NetworkDB drives a gdprstore server over TCP (optionally through the
 // TLS tunnel), the topology the paper's YCSB deployment used against
-// Redis.
+// Redis. It wraps a pkg/gdprkv client, which may be private to this
+// adapter (DialNetworkDB — one connection per worker, the classic YCSB
+// thread model) or shared across workers (NewNetworkDB — one pooled,
+// replica-aware client saturated by all workers).
 type NetworkDB struct {
-	c *client.Client
+	c      *gdprkv.Client
+	shared bool
 }
 
-// DialNetworkDB opens a connection to addr.
+// DialNetworkDB opens a dedicated single-connection client to addr.
 func DialNetworkDB(addr string) (*NetworkDB, error) {
-	c, err := client.Dial(addr)
+	c, err := gdprkv.Dial(context.Background(), addr, gdprkv.WithPoolSize(1))
 	if err != nil {
 		return nil, err
 	}
 	return &NetworkDB{c: c}, nil
 }
 
+// NewNetworkDB wraps a shared client; Close leaves it open (the caller
+// owns its lifecycle).
+func NewNetworkDB(c *gdprkv.Client) *NetworkDB { return &NetworkDB{c: c, shared: true} }
+
 // Read implements DB.
 func (n *NetworkDB) Read(key string) error {
-	_, err := n.c.Get(key)
-	if errors.Is(err, client.ErrNil) {
+	_, err := n.c.Get(context.Background(), key)
+	if errors.Is(err, gdprkv.ErrNotFound) {
 		return nil
 	}
 	return err
@@ -128,12 +137,12 @@ func (n *NetworkDB) Read(key string) error {
 
 // Update implements DB.
 func (n *NetworkDB) Update(key string, value []byte) error {
-	return n.c.Set(key, value)
+	return n.c.Set(context.Background(), key, value)
 }
 
 // Insert implements DB.
 func (n *NetworkDB) Insert(key string, value []byte) error {
-	return n.c.Set(key, value)
+	return n.c.Set(context.Background(), key, value)
 }
 
 // Scan implements DB.
@@ -141,12 +150,17 @@ func (n *NetworkDB) Scan(startKey string, count int) error {
 	// SCAN-by-prefix from an arbitrary start key is approximated with a
 	// MATCH over the shared prefix; YCSB only measures the latency of
 	// fetching ~count keys, which this preserves.
-	_, _, err := n.c.Scan(0, "user*", count)
+	_, _, err := n.c.Scan(context.Background(), 0, "user*", count)
 	return err
 }
 
 // Close implements DB.
-func (n *NetworkDB) Close() error { return n.c.Close() }
+func (n *NetworkDB) Close() error {
+	if n.shared {
+		return nil
+	}
+	return n.c.Close()
+}
 
 // --- batching adapters (-batch N) ---
 //
@@ -253,17 +267,19 @@ func (b *BatchDB) Close() error {
 // BatchNetworkDB drives a gdprstore server over TCP through MSET/MGET,
 // grouping up to N operations per round trip.
 type BatchNetworkDB struct {
-	c *client.Client
-	n int
+	c      *gdprkv.Client
+	n      int
+	shared bool
 
 	wkeys []string
 	wvals [][]byte
 	rkeys []string
 }
 
-// DialBatchNetworkDB opens a connection to addr with batch size n.
+// DialBatchNetworkDB opens a dedicated connection to addr with batch
+// size n.
 func DialBatchNetworkDB(addr string, n int) (*BatchNetworkDB, error) {
-	c, err := client.Dial(addr)
+	c, err := gdprkv.Dial(context.Background(), addr, gdprkv.WithPoolSize(1))
 	if err != nil {
 		return nil, err
 	}
@@ -271,6 +287,15 @@ func DialBatchNetworkDB(addr string, n int) (*BatchNetworkDB, error) {
 		n = 1
 	}
 	return &BatchNetworkDB{c: c, n: n}, nil
+}
+
+// NewBatchNetworkDB wraps a shared client with batch size n; Close
+// flushes the buffers but leaves the client open.
+func NewBatchNetworkDB(c *gdprkv.Client, n int) *BatchNetworkDB {
+	if n < 1 {
+		n = 1
+	}
+	return &BatchNetworkDB{c: c, n: n, shared: true}
 }
 
 // Read implements DB, buffering the key and flushing an MGET when the
@@ -287,7 +312,7 @@ func (b *BatchNetworkDB) flushReads() error {
 	if len(b.rkeys) == 0 {
 		return nil
 	}
-	_, err := b.c.MGet(b.rkeys...)
+	_, err := b.c.MGet(context.Background(), b.rkeys...)
 	b.rkeys = b.rkeys[:0]
 	return err
 }
@@ -307,7 +332,7 @@ func (b *BatchNetworkDB) flushWrites() error {
 	if len(b.wkeys) == 0 {
 		return nil
 	}
-	err := b.c.MSet(b.wkeys, b.wvals)
+	err := b.c.MSet(context.Background(), b.wkeys, b.wvals)
 	b.wkeys = b.wkeys[:0]
 	b.wvals = b.wvals[:0]
 	return err
@@ -318,15 +343,18 @@ func (b *BatchNetworkDB) Insert(key string, value []byte) error { return b.Updat
 
 // Scan implements DB.
 func (b *BatchNetworkDB) Scan(startKey string, count int) error {
-	_, _, err := b.c.Scan(0, "user*", count)
+	_, _, err := b.c.Scan(context.Background(), 0, "user*", count)
 	return err
 }
 
-// Close flushes both buffers and releases the connection.
+// Close flushes both buffers and, for a dedicated client, releases it.
 func (b *BatchNetworkDB) Close() error {
 	werr := b.flushWrites()
 	rerr := b.flushReads()
-	cerr := b.c.Close()
+	var cerr error
+	if !b.shared {
+		cerr = b.c.Close()
+	}
 	if werr != nil {
 		return werr
 	}

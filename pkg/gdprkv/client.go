@@ -1,0 +1,212 @@
+package gdprkv
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"gdprstore/internal/resp"
+)
+
+// Client is a concurrency-safe, pooled, replica-aware client for a
+// gdprkv deployment. It is safe for use from any number of goroutines:
+// every call checks a connection out of a per-node pool for exactly the
+// call's duration, so replies can never interleave.
+//
+// Routing: writes, GDPR rights operations (GETUSER, EXPORTUSER,
+// FORGETUSER, OBJECT, ...), and generic Do calls go to the primary.
+// Idempotent reads (Get, MGet, GGet, GMGet, TTL) are load-balanced
+// round-robin across the replica set and fall back to the primary when
+// no replica is reachable; Scan is replica-served but pinned to one
+// node per iteration (cursors are per-node positions). A client with no
+// replicas sends everything to the primary.
+type Client struct {
+	cfg      config
+	primary  *pool
+	replicas []*pool
+	rr       atomic.Uint32
+	closed   atomic.Bool
+
+	stats struct {
+		primaryReads, replicaReads, writes, retries, redials atomic.Uint64
+	}
+}
+
+// Dial constructs a Client for the primary at addr, applying opts, and
+// verifies the primary is reachable with one pooled PING. Replica
+// addresses (WithReplicas) are dialed lazily — an unreachable replica
+// costs a retry at read time, never a failed construction.
+func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Client{cfg: cfg}
+	if c.cfg.retryAttempts == 0 {
+		// Default: one attempt per node in the read path.
+		c.cfg.retryAttempts = len(cfg.replicas) + 1
+	}
+	c.primary = newPool(addr, &c.cfg, &c.stats.redials)
+	for _, ra := range cfg.replicas {
+		c.replicas = append(c.replicas, newPool(ra, &c.cfg, &c.stats.redials))
+	}
+	if err := c.Ping(ctx); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close releases every pooled connection. In-flight calls fail with
+// ErrClosed or a transport error.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.primary.close()
+	for _, p := range c.replicas {
+		p.close()
+	}
+	return nil
+}
+
+// Stats is a snapshot of the client's routing and pool counters.
+type Stats struct {
+	// PrimaryReads counts read-routed calls served by the primary
+	// (because no replicas are configured, or as fallback).
+	PrimaryReads uint64
+	// ReplicaReads counts read-routed calls served by a replica.
+	ReplicaReads uint64
+	// Writes counts primary-routed calls (writes, rights ops, Do).
+	Writes uint64
+	// Retries counts read attempts that moved to another node after a
+	// connection failure.
+	Retries uint64
+	// Redials counts pooled connections evicted as broken and replaced.
+	Redials uint64
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		PrimaryReads: c.stats.primaryReads.Load(),
+		ReplicaReads: c.stats.replicaReads.Load(),
+		Writes:       c.stats.writes.Load(),
+		Retries:      c.stats.retries.Load(),
+		Redials:      c.stats.redials.Load(),
+	}
+}
+
+// doNode runs one command on one node's pool: checkout, call, checkin.
+func (c *Client) doNode(ctx context.Context, p *pool, args [][]byte) (resp.Value, error) {
+	cn, err := p.get(ctx)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	v, err := cn.do(ctx, c.cfg.ioTimeout, args)
+	p.put(cn)
+	return v, err
+}
+
+// doPrimary routes writes, rights operations, and generic commands.
+// They are never retried: a connection failure mid-write is ambiguous
+// (the server may have applied it), so the ambiguity is surfaced.
+func (c *Client) doPrimary(ctx context.Context, args [][]byte) (resp.Value, error) {
+	if c.closed.Load() {
+		return resp.Value{}, ErrClosed
+	}
+	c.stats.writes.Add(1)
+	return c.doNode(ctx, c.primary, args)
+}
+
+// doRead routes an idempotent read: round-robin over replicas first,
+// primary last, moving on after connection failures (never after server
+// error replies) until cfg.retryAttempts nodes have been tried.
+func (c *Client) doRead(ctx context.Context, args [][]byte) (resp.Value, error) {
+	if c.closed.Load() {
+		return resp.Value{}, ErrClosed
+	}
+	if len(c.replicas) == 0 {
+		c.stats.primaryReads.Add(1)
+		return c.doNode(ctx, c.primary, args)
+	}
+	// Try order: each replica once starting at the round-robin cursor,
+	// then the primary — bounded by the retry budget. Index arithmetic
+	// stays in uint32 space so the cursor wrapping cannot go negative on
+	// 32-bit platforms.
+	start := c.rr.Add(1) - 1
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.retryAttempts; attempt++ {
+		var p *pool
+		onPrimary := attempt >= len(c.replicas)
+		if onPrimary {
+			p = c.primary
+		} else {
+			p = c.replicas[(start+uint32(attempt))%uint32(len(c.replicas))]
+		}
+		if attempt > 0 {
+			c.stats.retries.Add(1)
+			if c.cfg.retryBackoff > 0 {
+				t := time.NewTimer(c.cfg.retryBackoff)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return resp.Value{}, ctx.Err()
+				}
+			}
+		}
+		v, err := c.doNode(ctx, p, args)
+		if err == nil || isReply(err) {
+			if onPrimary {
+				c.stats.primaryReads.Add(1)
+			} else {
+				c.stats.replicaReads.Add(1)
+			}
+			return v, err
+		}
+		if ctx.Err() != nil {
+			return resp.Value{}, err
+		}
+		lastErr = err
+	}
+	return resp.Value{}, lastErr
+}
+
+// doScan routes one SCAN call. Unlike the other reads, a scan is a
+// multi-call iteration whose cursor is a position into one node's sorted
+// keyspace — cursors are not portable between nodes whose datasets
+// differ (replication lag). So every Scan of this client is pinned to a
+// single node: the first replica when replicas are configured, with
+// primary fallback only when that replica is unreachable. A fallback
+// mid-iteration switches nodes and invalidates the cursor sequence;
+// callers observing it (the call still succeeds) should restart from
+// cursor 0 for a complete sweep.
+func (c *Client) doScan(ctx context.Context, args [][]byte) (resp.Value, error) {
+	if c.closed.Load() {
+		return resp.Value{}, ErrClosed
+	}
+	if len(c.replicas) == 0 {
+		c.stats.primaryReads.Add(1)
+		return c.doNode(ctx, c.primary, args)
+	}
+	v, err := c.doNode(ctx, c.replicas[0], args)
+	if err == nil || isReply(err) {
+		c.stats.replicaReads.Add(1)
+		return v, err
+	}
+	if ctx.Err() != nil {
+		return resp.Value{}, err
+	}
+	c.stats.retries.Add(1)
+	c.stats.primaryReads.Add(1)
+	return c.doNode(ctx, c.primary, args)
+}
+
+// isReply reports whether err is a decoded server reply (as opposed to a
+// dial or transport failure): replies are authoritative answers and must
+// not trigger a retry on another node.
+func isReply(err error) bool {
+	_, ok := err.(*ServerError)
+	return ok
+}

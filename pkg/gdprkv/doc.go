@@ -1,0 +1,73 @@
+// Package gdprkv is the public Go SDK for the gdprkv server: a
+// context-first, connection-pooled, replica-aware client over the RESP
+// wire protocol, covering the vanilla Redis-style surface (Set/Get/
+// Del/Expire/Scan/...), the GDPR command family (GPut/GGet/GetUser/
+// ForgetUser/Object/...), and the amortising batch family (MSet/MGet/
+// GMPut/GMGet).
+//
+// # Construction
+//
+// A Client is built with functional options and verified against the
+// primary at dial time:
+//
+//	c, err := gdprkv.Dial(ctx, "db0:6380",
+//		gdprkv.WithActor("shop-backend"),
+//		gdprkv.WithPurpose("order-fulfilment"),
+//		gdprkv.WithPoolSize(8),
+//		gdprkv.WithReplicas("db1:6380", "db2:6380"),
+//	)
+//
+// WithActor and WithPurpose run the AUTH/PURPOSE handshake on every
+// pooled connection, so the whole client speaks as one authenticated
+// principal under one declared processing purpose (Art. 5). Use one
+// client per (actor, purpose) pair.
+//
+// # Deadlines and cancellation
+//
+// Every method takes a leading context.Context. The context's deadline
+// becomes the connection's read/write deadline for the call; when the
+// context has no (or a later) deadline, WithIOTimeout's default applies
+// instead — a dead server surfaces as a timeout, never a hang. A
+// context cancelled while a checkout is blocked on an exhausted pool
+// unblocks immediately.
+//
+// # Pooling and concurrency
+//
+// The Client is safe for concurrent use from any number of goroutines.
+// Each call checks a connection out of a per-node pool for exactly the
+// call's duration; checkout health-checks idle connections and redials
+// broken ones transparently.
+//
+// # Replica-aware routing
+//
+// Writes, GDPR rights operations, and Do go to the primary. Idempotent
+// reads (Get, MGet, GGet, GMGet, TTL) round-robin across the
+// WithReplicas set, retry on another node after a connection failure
+// (bounded by WithRetry), and fall back to the primary when no replica
+// is reachable. Scan is replica-served too but pinned to one node for
+// the whole iteration — cursors are per-node keyspace positions and do
+// not transfer between nodes. Server error replies are authoritative
+// and never retried.
+//
+// # Errors
+//
+// Server rejections decode into *ServerError values that match typed
+// sentinels under errors.Is — ErrNotFound, ErrDenied, ErrBadPurpose,
+// ErrPolicy, ErrErased, ErrBaseline, ErrReadOnly — produced by a single
+// RESP-error mapper that shares its code table with the server
+// (internal/wirecode), so the two ends cannot drift.
+//
+// # Migrating from internal/client
+//
+// internal/client is deprecated and survives one more release as a
+// compatibility shim. Differences:
+//
+//   - every method gained a leading ctx argument;
+//   - Dial(addr) became Dial(ctx, addr, ...Option);
+//   - Auth/Purpose methods became WithActor/WithPurpose options (session
+//     state is per-connection, so a pooled client fixes it at dial);
+//   - ErrNil became ErrNotFound; ServerError became a struct matching
+//     typed sentinels with errors.Is instead of string prefixes;
+//   - GDPRPutArgs became PutOptions with []string purposes/recipients
+//     and a time.Duration TTL.
+package gdprkv

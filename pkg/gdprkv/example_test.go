@@ -1,0 +1,136 @@
+package gdprkv_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/core"
+	"gdprstore/internal/server"
+	"gdprstore/pkg/gdprkv"
+)
+
+// Example shows the SDK's lifecycle end to end: dial with options, write
+// personal data with metadata, read it back, and exercise the right to
+// be forgotten. The in-process server stands in for a deployment.
+func Example() {
+	st, _ := core.Open(core.Config{Compliant: true, Capability: core.CapabilityFull, AuditEnabled: true})
+	defer st.Close()
+	st.ACL().AddPrincipal(acl.Principal{ID: "shop", Role: acl.RoleController})
+	srv, _ := server.Listen("127.0.0.1:0", st)
+	defer srv.Close()
+
+	ctx := context.Background()
+	c, err := gdprkv.Dial(ctx, srv.Addr(),
+		gdprkv.WithActor("shop"),
+		gdprkv.WithPurpose("order-fulfilment"),
+		gdprkv.WithPoolSize(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.GPut(ctx, "user:alice:address", []byte("1 Rue de Rivoli"), gdprkv.PutOptions{
+		Owner:    "alice",
+		Purposes: []string{"order-fulfilment"},
+		TTL:      90 * 24 * time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	v, _ := c.GGet(ctx, "user:alice:address")
+	fmt.Printf("read: %s\n", v)
+
+	n, _ := c.ForgetUser(ctx, "alice")
+	fmt.Printf("forgotten: %d record(s)\n", n)
+
+	// Output:
+	// read: 1 Rue de Rivoli
+	// forgotten: 1 record(s)
+}
+
+// ExampleClient_Get demonstrates the typed-sentinel error contract: a
+// missing key is errors.Is(err, ErrNotFound), decoded from the wire by
+// the same code table the server encodes with.
+func ExampleClient_Get() {
+	st, _ := core.Open(core.Baseline())
+	defer st.Close()
+	srv, _ := server.Listen("127.0.0.1:0", st)
+	defer srv.Close()
+
+	ctx := context.Background()
+	c, err := gdprkv.Dial(ctx, srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.Get(ctx, "missing")
+	fmt.Println(errors.Is(err, gdprkv.ErrNotFound))
+
+	// Output:
+	// true
+}
+
+// ExampleClient_GMGet reads a batch in one round trip; refused or
+// missing keys are reported per slot without failing the batch.
+func ExampleClient_GMGet() {
+	st, _ := core.Open(core.Config{Compliant: true, Capability: core.CapabilityPartial, AuditEnabled: true})
+	defer st.Close()
+	srv, _ := server.Listen("127.0.0.1:0", st)
+	defer srv.Close()
+
+	ctx := context.Background()
+	c, err := gdprkv.Dial(ctx, srv.Addr(), gdprkv.WithActor("importer"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	_ = c.GMPut(ctx, []string{"k1", "k2"}, [][]byte{[]byte("v1"), []byte("v2")},
+		gdprkv.PutOptions{Owner: "bob", Purposes: []string{"svc"}})
+
+	batch, _ := c.GMGet(ctx, "k1", "k2", "missing")
+	for i, r := range batch {
+		if errors.Is(r.Err, gdprkv.ErrNotFound) {
+			fmt.Printf("%d: not found\n", i)
+			continue
+		}
+		fmt.Printf("%d: %s\n", i, r.Value)
+	}
+
+	// Output:
+	// 0: v1
+	// 1: v2
+	// 2: not found
+}
+
+// ExampleWithRetry bounds how many nodes an idempotent read tries after
+// connection failures; server error replies are never retried.
+func ExampleWithRetry() {
+	st, _ := core.Open(core.Baseline())
+	defer st.Close()
+	srv, _ := server.Listen("127.0.0.1:0", st)
+	defer srv.Close()
+
+	c, err := gdprkv.Dial(context.Background(), srv.Addr(),
+		gdprkv.WithReplicas("127.0.0.1:1"), // unreachable: reads fall back
+		gdprkv.WithRetry(2, 10*time.Millisecond),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	_ = c.Set(context.Background(), "k", []byte("v"))
+	v, _ := c.Get(context.Background(), "k")
+	fmt.Printf("%s via fallback (retries=%d)\n", v, c.Stats().Retries)
+
+	// Output:
+	// v via fallback (retries=1)
+}

@@ -1,0 +1,128 @@
+package gdprkv
+
+import (
+	"crypto/tls"
+	"time"
+)
+
+// Defaults applied by Dial when the corresponding option is not given.
+const (
+	// DefaultDialTimeout bounds connection establishment.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultIOTimeout is the per-call I/O deadline used when the
+	// context carries no (or a later) deadline, so a dead server can
+	// never hang a caller forever.
+	DefaultIOTimeout = 10 * time.Second
+	// DefaultPoolSize is the number of connections kept per node.
+	DefaultPoolSize = 4
+	// DefaultRetryBackoff is the pause between read retry attempts.
+	DefaultRetryBackoff = 20 * time.Millisecond
+	// defaultHealthInterval is how long a connection may sit idle before
+	// checkout re-verifies it with a PING.
+	defaultHealthInterval = 30 * time.Second
+)
+
+// config is the resolved option set a Client is built from.
+type config struct {
+	dialTimeout    time.Duration
+	ioTimeout      time.Duration
+	tlsConfig      *tls.Config
+	actor          string
+	purpose        string
+	poolSize       int
+	replicas       []string
+	retryAttempts  int
+	retryBackoff   time.Duration
+	healthInterval time.Duration
+}
+
+func defaultConfig() config {
+	return config{
+		dialTimeout:    DefaultDialTimeout,
+		ioTimeout:      DefaultIOTimeout,
+		poolSize:       DefaultPoolSize,
+		retryAttempts:  0, // resolved in Dial: one attempt per node
+		retryBackoff:   DefaultRetryBackoff,
+		healthInterval: defaultHealthInterval,
+	}
+}
+
+// Option customises a Client at construction.
+type Option func(*config)
+
+// WithDialTimeout bounds how long establishing one connection (TCP dial,
+// TLS handshake, AUTH/PURPOSE) may take.
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.dialTimeout = d
+		}
+	}
+}
+
+// WithIOTimeout sets the default per-call I/O deadline applied when the
+// call's context has no earlier deadline. It is the floor under every
+// call: even ctx = context.Background() cannot hang past it.
+func WithIOTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.ioTimeout = d
+		}
+	}
+}
+
+// WithTLS wraps every connection in TLS with cfg, the client half of the
+// paper's §4.2 stunnel-style in-transit encryption. The server side is
+// typically an internal/tlsproxy server proxy in front of the store.
+func WithTLS(cfg *tls.Config) Option {
+	return func(c *config) { c.tlsConfig = cfg }
+}
+
+// WithActor sends AUTH actor on every new connection before it enters
+// the pool, so the whole pool speaks as one authenticated principal.
+// Session identity is a construction-time property of a pooled client:
+// per-call AUTH would leave the other pooled connections unauthenticated.
+func WithActor(actor string) Option {
+	return func(c *config) { c.actor = actor }
+}
+
+// WithPurpose sends PURPOSE purpose on every new connection before it
+// enters the pool, declaring the processing purpose (Art. 5) all calls
+// are made under. Use one client per purpose.
+func WithPurpose(purpose string) Option {
+	return func(c *config) { c.purpose = purpose }
+}
+
+// WithPoolSize sets how many connections the client keeps per node
+// (primary and each replica). Checkout blocks when all are busy.
+func WithPoolSize(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.poolSize = n
+		}
+	}
+}
+
+// WithReplicas adds read replica addresses. Idempotent reads (Get, MGet,
+// GGet, GMGet, TTL) are load-balanced across them and fall back to the
+// primary when none is reachable (Scan pins to one replica per
+// iteration); writes and GDPR rights operations always go to the
+// primary.
+func WithReplicas(addrs ...string) Option {
+	return func(c *config) { c.replicas = append(c.replicas, addrs...) }
+}
+
+// WithRetry bounds connection-failure retries for idempotent reads:
+// attempts is the total number of nodes tried per read (minimum 1),
+// backoff the pause between tries. Error replies from the server are
+// never retried — only dial and I/O failures are. Writes never retry.
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(c *config) {
+		if attempts > 0 {
+			c.retryAttempts = attempts
+		}
+		if backoff >= 0 {
+			c.retryBackoff = backoff
+		}
+	}
+}

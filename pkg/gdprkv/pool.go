@@ -1,0 +1,150 @@
+package gdprkv
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// pool is a fixed-capacity connection pool for one node. Capacity is
+// modelled as poolSize slot tokens: a caller either reuses an idle conn
+// or spends a slot to dial a fresh one; returning (or discarding) a conn
+// returns its slot. Checkout blocks when every slot is in use, until a
+// conn is checked in or the caller's context is done.
+type pool struct {
+	addr string
+	cfg  *config
+
+	// idle holds healthy checked-in conns; slots holds dial permits.
+	// idle length + busy conns + slots length == poolSize, always.
+	idle  chan *conn
+	slots chan struct{}
+
+	closed atomic.Bool
+	// mu guards the drain in close against concurrent checkins.
+	mu sync.Mutex
+
+	// redials counts health-check evictions and broken-conn replacements,
+	// surfaced through Client.Stats.
+	redials *atomic.Uint64
+}
+
+func newPool(addr string, cfg *config, redials *atomic.Uint64) *pool {
+	p := &pool{
+		addr:    addr,
+		cfg:     cfg,
+		idle:    make(chan *conn, cfg.poolSize),
+		slots:   make(chan struct{}, cfg.poolSize),
+		redials: redials,
+	}
+	for i := 0; i < cfg.poolSize; i++ {
+		p.slots <- struct{}{}
+	}
+	return p
+}
+
+// get checks out one healthy connection: an idle one (health-checked if
+// it sat unused past the health interval), or a freshly dialed one when
+// a slot is free. With all slots busy it blocks until a checkin or
+// ctx.Done.
+func (p *pool) get(ctx context.Context) (*conn, error) {
+	for {
+		if p.closed.Load() {
+			return nil, ErrClosed
+		}
+		select {
+		case c := <-p.idle:
+			if c := p.vet(c); c != nil {
+				return c, nil
+			}
+			continue // evicted; its slot is free for the dial branch
+		default:
+		}
+		select {
+		case c := <-p.idle:
+			if c := p.vet(c); c != nil {
+				return c, nil
+			}
+		case <-p.slots:
+			c, err := dialConn(ctx, p.addr, p.cfg)
+			if err != nil {
+				p.slots <- struct{}{}
+				return nil, err
+			}
+			if p.closed.Load() {
+				c.close()
+				p.slots <- struct{}{}
+				return nil, ErrClosed
+			}
+			return c, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// vet health-checks an idle conn at checkout: broken conns and conns
+// that fail the idle PING are closed and their slot freed (the caller
+// loops and redials). Returns nil when the conn was evicted.
+func (p *pool) vet(c *conn) *conn {
+	if !c.broken && time.Since(c.idleSince) >= p.cfg.healthInterval {
+		probe := p.cfg.ioTimeout
+		if probe > time.Second {
+			probe = time.Second
+		}
+		if !c.ping(probe) {
+			c.broken = true
+		}
+	}
+	if c.broken {
+		c.close()
+		p.slots <- struct{}{}
+		p.redials.Add(1)
+		return nil
+	}
+	return c
+}
+
+// put checks a connection back in. Broken conns are closed and their
+// slot freed so the next checkout redials.
+func (p *pool) put(c *conn) {
+	if c.broken || p.closed.Load() {
+		c.close()
+		p.slots <- struct{}{}
+		if c.broken {
+			p.redials.Add(1)
+		}
+		// A post-close checkin still drains: close() already emptied idle,
+		// and this conn was not in it.
+		return
+	}
+	c.idleSince = time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() { // closed between the check above and the lock
+		c.close()
+		p.slots <- struct{}{}
+		return
+	}
+	p.idle <- c // never blocks: idle capacity == poolSize
+}
+
+// close marks the pool closed and closes every idle conn. Checked-out
+// conns are closed as they are checked in.
+func (p *pool) close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		select {
+		case c := <-p.idle:
+			c.close()
+			p.slots <- struct{}{}
+		default:
+			return
+		}
+	}
+}

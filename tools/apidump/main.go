@@ -1,0 +1,174 @@
+// Command apidump prints the exported API surface of a Go package
+// directory in a stable text form: one normalised declaration per
+// exported const/var/type/func/method, sorted lexically, with bodies and
+// comments stripped. The output is deliberately independent of the Go
+// toolchain version (unlike `go doc -all`, whose formatting drifts), so
+// it can be checked in as a golden file and diffed in CI — the
+// API-stability gate that keeps pkg/gdprkv's public surface from
+// changing unnoticed.
+//
+// Usage:
+//
+//	apidump <package-dir>    # e.g. apidump ./pkg/gdprkv
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: apidump <package-dir>")
+		os.Exit(2)
+	}
+	decls, err := dump(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidump:", err)
+		os.Exit(1)
+	}
+	for _, d := range decls {
+		fmt.Println(d)
+	}
+}
+
+// dump parses the non-test files of dir and renders every exported
+// declaration, sorted.
+func dump(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	notTest := func(fi fs.FileInfo) bool { return !strings.HasSuffix(fi.Name(), "_test.go") }
+	pkgs, err := parser.ParseDir(fset, dir, notTest, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				out = append(out, renderDecl(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// renderDecl returns the exported declarations within decl, normalised.
+func renderDecl(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !exportedFunc(d) {
+			return nil
+		}
+		d.Body = nil // signatures only
+		d.Doc = nil
+		return []string{render(fset, d)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				s.Doc, s.Comment = nil, nil
+				stripFieldComments(s.Type)
+				out = append(out, render(fset, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{s}}))
+			case *ast.ValueSpec:
+				if !anyExported(s.Names) {
+					continue
+				}
+				s.Doc, s.Comment = nil, nil
+				// Values are part of the surface only by name and type;
+				// initialiser expressions (e.g. a sentinel's message) may
+				// evolve without breaking callers. Keep them anyway for
+				// sentinels declared without a type — the expression IS the
+				// visible contract there (errors.New message).
+				out = append(out, render(fset, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{s}}))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedFunc reports whether d is an exported function, or an exported
+// method on an exported receiver type.
+func exportedFunc(d *ast.FuncDecl) bool {
+	if !d.Name.IsExported() {
+		return false
+	}
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+func anyExported(names []*ast.Ident) bool {
+	for _, n := range names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+// stripFieldComments removes doc comments from struct fields and
+// interface methods, and drops unexported struct fields entirely, so the
+// golden tracks the public shape, not prose or internals.
+func stripFieldComments(t ast.Expr) {
+	clean := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			f.Doc, f.Comment = nil, nil
+		}
+	}
+	switch tt := t.(type) {
+	case *ast.StructType:
+		if tt.Fields == nil {
+			return
+		}
+		kept := tt.Fields.List[:0]
+		for _, f := range tt.Fields.List {
+			if anyExported(f.Names) || len(f.Names) == 0 { // embedded fields kept
+				kept = append(kept, f)
+			}
+		}
+		tt.Fields.List = kept
+		clean(tt.Fields)
+	case *ast.InterfaceType:
+		clean(tt.Methods)
+	}
+}
+
+// render prints one declaration on one line (internal newlines folded to
+// "; " for struct bodies kept multi-line by the printer).
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("render error: %v", err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimSpace(l)
+	}
+	return strings.Join(lines, " ")
+}
