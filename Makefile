@@ -1,9 +1,11 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
+GOVULNCHECK_VERSION ?= v1.1.3
 COVER_THRESHOLD ?= 75.0
 FUZZTIME ?= 30s
+BENCH_THRESHOLD ?= 30
 
-.PHONY: all build test race bench bench-ci cover fuzz vet fmt lint apicheck api ci
+.PHONY: all build test race bench bench-ci bench-check bench-baseline cover fuzz vet fmt lint vulncheck apicheck api ci
 
 all: build
 
@@ -24,12 +26,29 @@ bench:
 # bench-ci mirrors the CI `bench-smoke` job: the quick microbenchmarks with
 # machine-readable output in BENCH_ci.json. Output goes straight to the
 # file (not through tee) so a failing `go test` fails the target.
+# 1000x iterations, best of 5 counts: the regression gate compares each
+# side's best run, and single short runs swing well past the 30% gate on
+# a shared box while minima are stable.
 bench-ci:
 	$(GO) test -run '^$$' \
 		-bench 'Engine_|Core_G|RESPRoundTrip|FsyncSpectrum|ComplianceSpectrum' \
-		-benchtime 100x -benchmem -json . > BENCH_ci.json
-	$(GO) test -run '^$$' -bench . -benchtime 100x -benchmem -json \
+		-benchtime 1000x -count 5 -benchmem -json . > BENCH_ci.json
+	$(GO) test -run '^$$' -bench . -benchtime 1000x -count 5 -benchmem -json \
 		./internal/server >> BENCH_ci.json
+
+# bench-check mirrors the CI `bench regression gate` step: fresh smoke
+# numbers diffed against the committed baseline, failing on any matching
+# benchmark whose throughput dropped more than BENCH_THRESHOLD percent.
+bench-check: bench-ci
+	$(GO) run ./tools/benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json \
+		-threshold $(BENCH_THRESHOLD) -skip 'Parallel$$'
+
+# bench-baseline refreshes the committed baseline after an INTENDED perf
+# change (or a benchmark-set change). Commit the result with the change
+# that explains it.
+bench-baseline: bench-ci
+	cp BENCH_ci.json BENCH_baseline.json
+	@echo "BENCH_baseline.json refreshed; commit it with the change that moved the numbers"
 
 # cover mirrors the CI `cover` job: coverage profile + ratchet threshold.
 cover:
@@ -64,5 +83,9 @@ fmt:
 # lint mirrors the CI `staticcheck` job (pinned version; installed on demand).
 lint:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# vulncheck mirrors the CI `govulncheck` job (pinned version).
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 ci: fmt vet apicheck build test race lint

@@ -1,18 +1,25 @@
 // Command gdprbench runs the GDPR-persona workloads (customer,
-// controller, processor, regulator) against an embedded compliant store
-// and prints per-operation latency summaries — the benchmark style of
-// GDPRbench, this paper's follow-up.
+// controller, processor, regulator) and prints per-operation latency
+// summaries — the benchmark style of GDPRbench, this paper's follow-up.
+// It runs against an embedded compliant store by default, a live server
+// with -addr, or a cluster of primaries with -cluster; the network modes
+// drive everything through the public SDK with one single-connection
+// session per (persona actor, purpose).
 //
-// Example:
+// Examples:
 //
 //	gdprbench -subjects 1000 -records 10 -ops 50000 -role customer
 //	gdprbench -role all
+//	gdprbench -addr 127.0.0.1:6380 -role all
+//	gdprbench -cluster 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"gdprstore/internal/acl"
@@ -26,19 +33,40 @@ func main() {
 		records  = flag.Int("records", 10, "records per subject")
 		ops      = flag.Int("ops", 10000, "operations per role run")
 		roleStr  = flag.String("role", "all", "customer|controller|processor|regulator|all")
-		timing   = flag.String("timing", "realtime", "eventual|realtime")
+		timing   = flag.String("timing", "realtime", "embedded mode: eventual|realtime")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
-		batch    = flag.Int("batch", 1, "group data-path operations into PutBatch/GetBatch calls of N keys")
-		shards   = flag.Int("shards", 0, "engine lock-stripe count, power of two (0 = default; 1 = single mutex)")
+		batch    = flag.Int("batch", 1, "group data-path operations into batches of N keys")
+		shards   = flag.Int("shards", 0, "embedded mode: engine lock-stripe count, power of two (0 = default; 1 = single mutex)")
+		addr     = flag.String("addr", "", "network mode: run against the server at this address via pkg/gdprkv")
+		clusterF = flag.String("cluster", "", "cluster mode: comma-separated primary addresses (implies network mode)")
 	)
 	flag.Parse()
 
+	bcfg := gdprbench.Config{
+		Subjects: *subjects, RecordsPerSubject: *records,
+		Operations: *ops, Seed: *seed, Batch: *batch,
+	}
+	roles := gdprbench.Roles
+	if *roleStr != "all" {
+		roles = []gdprbench.Role{gdprbench.Role(*roleStr)}
+	}
+
+	if *addr != "" || *clusterF != "" {
+		runNetwork(bcfg, roles, *addr, *clusterF)
+		return
+	}
+	runEmbedded(bcfg, roles, *timing, *shards)
+}
+
+// runEmbedded is the original in-process mode: the personas call the
+// compliance layer directly.
+func runEmbedded(bcfg gdprbench.Config, roles []gdprbench.Role, timing string, shards int) {
 	cfg := core.Strict("")
-	if *timing == "eventual" {
+	if timing == "eventual" {
 		cfg = core.EventualFull("")
 	}
 	cfg.DefaultTTL = 24 * time.Hour
-	cfg.Shards = *shards
+	cfg.Shards = shards
 	st, err := core.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -48,33 +76,77 @@ func main() {
 	st.ACL().AddPrincipal(acl.Principal{ID: "controller", Role: acl.RoleController})
 	st.ACL().AddPrincipal(acl.Principal{ID: "processor", Role: acl.RoleProcessor})
 	st.ACL().AddPrincipal(acl.Principal{ID: "regulator", Role: acl.RoleRegulator})
-	for i := 0; i < *subjects; i++ {
+	for i := 0; i < bcfg.Subjects; i++ {
 		st.ACL().AddPrincipal(acl.Principal{ID: gdprbench.SubjectName(i), Role: acl.RoleSubject})
 	}
 	if err := st.ACL().AddGrant(acl.Grant{Principal: "processor", Purpose: "*"}); err != nil {
 		log.Fatal(err)
 	}
 
-	bcfg := gdprbench.Config{
-		Subjects: *subjects, RecordsPerSubject: *records,
-		Operations: *ops, Seed: *seed, Batch: *batch,
-	}
 	ctl := core.Ctx{Actor: "controller", Purpose: "populate"}
 	start := time.Now()
 	if err := gdprbench.Populate(st, ctl, bcfg); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("populated %d subjects x %d records in %v\n",
-		*subjects, *records, time.Since(start).Round(time.Millisecond))
+		bcfg.Subjects, bcfg.RecordsPerSubject, time.Since(start).Round(time.Millisecond))
 
-	roles := gdprbench.Roles
-	if *roleStr != "all" {
-		roles = []gdprbench.Role{gdprbench.Role(*roleStr)}
-	}
 	for _, role := range roles {
 		rcfg := bcfg
 		rcfg.Role = role
 		res, err := gdprbench.Run(st, rcfg)
+		if err != nil {
+			log.Fatalf("%s: %v", role, err)
+		}
+		fmt.Println(res)
+	}
+}
+
+// runNetwork drives the personas through pkg/gdprkv against one server
+// (-addr) or a cluster of primaries (-cluster).
+func runNetwork(bcfg gdprbench.Config, roles []gdprbench.Role, addr, clusterSpec string) {
+	ctx := context.Background()
+	var nodes []string
+	clustered := clusterSpec != ""
+	if clustered {
+		for _, a := range strings.Split(clusterSpec, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				nodes = append(nodes, a)
+			}
+		}
+		if len(nodes) == 0 {
+			log.Fatal("-cluster needs at least one address")
+		}
+	} else {
+		nodes = []string{addr}
+	}
+
+	// ACL state is node-local: install the principal population on every
+	// node (the rights fan-out peers enforce it too).
+	for _, n := range nodes {
+		if err := gdprbench.InstallPrincipalsNet(ctx, n, bcfg.Subjects); err != nil {
+			log.Fatalf("install principals on %s: %v", n, err)
+		}
+	}
+
+	p := gdprbench.NewNetPool(nodes[0], clustered, nodes[1:]...)
+	defer p.Close()
+
+	start := time.Now()
+	if err := gdprbench.PopulateNet(ctx, p, bcfg); err != nil {
+		log.Fatal(err)
+	}
+	mode := "network"
+	if clustered {
+		mode = fmt.Sprintf("cluster of %d primaries", len(nodes))
+	}
+	fmt.Printf("populated %d subjects x %d records over the wire (%s) in %v\n",
+		bcfg.Subjects, bcfg.RecordsPerSubject, mode, time.Since(start).Round(time.Millisecond))
+
+	for _, role := range roles {
+		rcfg := bcfg
+		rcfg.Role = role
+		res, err := gdprbench.RunNet(ctx, p, rcfg)
 		if err != nil {
 			log.Fatalf("%s: %v", role, err)
 		}

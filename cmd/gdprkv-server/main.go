@@ -20,6 +20,9 @@
 //	-shards int         engine lock-stripe count, power of two (0 = default; 1 = single mutex)
 //	-replicaof string   replicate from the primary at host:port (server starts read-only)
 //	-repl-actor string  actor presented during the replication handshake (AUTH)
+//	-cluster-node v     cluster topology entry id=host:port:slots (repeatable;
+//	                    together the entries must cover all 1024 slots exactly once)
+//	-cluster-self id    this server's node id in the topology (enables cluster mode)
 package main
 
 import (
@@ -34,11 +37,18 @@ import (
 	"time"
 
 	"gdprstore/internal/aof"
+	"gdprstore/internal/cluster"
 	"gdprstore/internal/core"
 	"gdprstore/internal/replica"
 	"gdprstore/internal/server"
 	"gdprstore/internal/tlsproxy"
 )
+
+// stringList collects a repeatable flag value.
+type stringList []string
+
+func (l *stringList) String() string     { return strings.Join(*l, " ") }
+func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
 
 func main() {
 	var (
@@ -58,8 +68,17 @@ func main() {
 		shards       = flag.Int("shards", 0, "engine lock-stripe count, rounded up to a power of two (0 = default; 1 = single mutex)")
 		replicaof    = flag.String("replicaof", "", "replicate from the primary at host:port (server starts read-only)")
 		replActor    = flag.String("repl-actor", "", "actor presented during the replication handshake (AUTH)")
+		clusterSelf  = flag.String("cluster-self", "", "this server's node id in the cluster topology (enables cluster mode)")
 	)
+	var clusterNodes stringList
+	flag.Var(&clusterNodes, "cluster-node", "cluster topology entry id=host:port:slots (repeat per node)")
 	flag.Parse()
+	if (*clusterSelf == "") != (len(clusterNodes) == 0) {
+		log.Fatal("-cluster-self and -cluster-node must be given together")
+	}
+	if *clusterSelf != "" && *replicaof != "" {
+		log.Fatal("-cluster-self and -replicaof are mutually exclusive (cluster nodes are primaries)")
+	}
 
 	cfg := core.Config{
 		Compliant:    *compliant,
@@ -129,6 +148,18 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("gdprkv-server listening on %s (compliant=%v timing=%s capability=%s)\n",
 		srv.Addr(), cfg.Compliant, cfg.Timing, cfg.Capability)
+	if *clusterSelf != "" {
+		m, err := cluster.ParseNodes(clusterNodes)
+		if err != nil {
+			log.Fatalf("cluster topology: %v", err)
+		}
+		if err := srv.EnableCluster(server.ClusterConfig{Self: *clusterSelf, Map: m}); err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		self, _ := m.NodeByID(*clusterSelf)
+		fmt.Printf("cluster mode: node %s serving slots %v of %d nodes\n",
+			self.ID, self.Ranges, len(m.Nodes()))
+	}
 	if *replicaof != "" {
 		srv.ReplicaOf(*replicaof, replica.NodeOptions{Actor: *replActor})
 		if *expirer {

@@ -9,6 +9,8 @@
 //	ycsb -workload C -mode network -addr 127.0.0.1:6380       # over the wire
 //	ycsb -workload C -mode network -pool 8 \
 //	     -replicas 127.0.0.1:6381,127.0.0.1:6382              # pooled + replica reads
+//	ycsb -workload C -mode network -addr 127.0.0.1:7001 -pool 8 \
+//	     -cluster 127.0.0.1:7002,127.0.0.1:7003               # 3 hash-slot primaries
 package main
 
 import (
@@ -48,6 +50,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "embedded/gdpr mode: engine lock-stripe count, power of two (0 = default; 1 = single mutex)")
 		poolSize   = flag.Int("pool", 0, "network mode: share one pooled client of N connections across all workers (0 = one connection per worker)")
 		replicas   = flag.String("replicas", "", "network mode: comma-separated replica addresses for read routing (requires -pool)")
+		clusterF   = flag.String("cluster", "", "network mode: comma-separated extra primary addresses; -addr plus these form a hash-slot cluster (requires -pool)")
 	)
 	flag.Parse()
 
@@ -67,21 +70,32 @@ func main() {
 			// the operator believes is replica-routed.
 			log.Fatal("-replicas requires -pool N (replica routing is a shared-pooled-client feature)")
 		}
+		if *clusterF != "" && *poolSize == 0 {
+			log.Fatal("-cluster requires -pool N (cluster routing is a shared-pooled-client feature)")
+		}
+		if *clusterF != "" && *replicas != "" {
+			log.Fatal("-cluster and -replicas are mutually exclusive (every cluster node is a primary)")
+		}
 		if *poolSize > 0 {
-			// One shared pooled, replica-aware client saturated by every
-			// worker — the pkg/gdprkv deployment shape.
+			// One shared pooled, replica- or cluster-aware client saturated
+			// by every worker — the pkg/gdprkv deployment shape.
 			opts := []gdprkv.Option{gdprkv.WithPoolSize(*poolSize)}
-			if *replicas != "" {
-				// Trim shell-natural spacing and drop empties: a bogus
-				// replica entry would silently poison every routed read
-				// with a dial failure plus retry backoff.
+			// Trim shell-natural spacing and drop empties: a bogus node
+			// entry would silently poison routed calls with dial failures.
+			splitAddrs := func(s string) []string {
 				var addrs []string
-				for _, a := range strings.Split(*replicas, ",") {
+				for _, a := range strings.Split(s, ",") {
 					if a = strings.TrimSpace(a); a != "" {
 						addrs = append(addrs, a)
 					}
 				}
-				opts = append(opts, gdprkv.WithReplicas(addrs...))
+				return addrs
+			}
+			if *replicas != "" {
+				opts = append(opts, gdprkv.WithReplicas(splitAddrs(*replicas)...))
+			}
+			if *clusterF != "" {
+				opts = append(opts, gdprkv.WithCluster(splitAddrs(*clusterF)...))
 			}
 			shared, err := gdprkv.Dial(context.Background(), *addr, opts...)
 			if err != nil {
@@ -89,8 +103,8 @@ func main() {
 			}
 			cleanup = func() {
 				st := shared.Stats()
-				fmt.Printf("[client] pool=%d primary_reads=%d replica_reads=%d writes=%d retries=%d redials=%d\n",
-					*poolSize, st.PrimaryReads, st.ReplicaReads, st.Writes, st.Retries, st.Redials)
+				fmt.Printf("[client] pool=%d primary_reads=%d replica_reads=%d writes=%d retries=%d redials=%d redirects=%d\n",
+					*poolSize, st.PrimaryReads, st.ReplicaReads, st.Writes, st.Retries, st.Redials, st.Redirects)
 				shared.Close()
 			}
 			if *batch > 1 {

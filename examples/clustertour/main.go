@@ -1,0 +1,211 @@
+// Clustertour: hash-slot cluster mode end to end. Three primaries run
+// in-process over real TCP, each owning a third of the 1024-slot space.
+// One cluster-aware pkg/gdprkv client bootstraps the slot map via
+// CLUSTER SLOTS and routes every key to its owner; a deliberately
+// mis-routed GET is redirected transparently, exactly once. Then the
+// GDPR part: a data subject whose records are spread over all three
+// nodes is erased with a single FORGETUSER — the coordinator fans the
+// erasure out to every primary, each node's audit trail independently
+// evidences it, and per-node GETUSERDATA plus INFO commandstats prove
+// nothing was left behind. Run with:
+//
+//	go run ./examples/clustertour
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+
+	"gdprstore/internal/audit"
+	"gdprstore/internal/cluster"
+	"gdprstore/internal/core"
+	"gdprstore/internal/server"
+	"gdprstore/pkg/gdprkv"
+)
+
+func main() {
+	ctx := context.Background()
+	cfg := core.Config{Compliant: true, Capability: core.CapabilityPartial, AuditEnabled: true}
+
+	// --- three primaries, each owning a contiguous third of the slots ---
+	const n = 3
+	stores := make([]*core.Store, n)
+	srvs := make([]*server.Server, n)
+	nodes := make([]cluster.Node, n)
+	splits := cluster.EvenSplit(n)
+	for i := 0; i < n; i++ {
+		st, err := core.Open(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		srv, err := server.Listen("127.0.0.1:0", st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		stores[i], srvs[i] = st, srv
+		nodes[i] = cluster.Node{ID: fmt.Sprintf("n%d", i+1), Addr: srv.Addr(), Ranges: splits[i]}
+	}
+	m, err := cluster.NewMap(nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, srv := range srvs {
+		if err := srv.EnableCluster(server.ClusterConfig{Self: nodes[i].ID, Map: m}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, nd := range nodes {
+		fmt.Printf("%s %s slots %v\n", nd.ID, nd.Addr, nd.Ranges)
+	}
+
+	// --- one cluster client for the whole fleet ---
+	c, err := gdprkv.Dial(ctx, nodes[0].Addr, gdprkv.WithCluster(nodes[1].Addr, nodes[2].Addr))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Owner-tagged writes: each owner's records co-locate on the owner's
+	// slot, and different owners spread across the fleet.
+	owners := []string{ownerOn(m, "n1"), ownerOn(m, "n2"), ownerOn(m, "n3")}
+	for _, o := range owners {
+		for r := 0; r < 3; r++ {
+			key := fmt.Sprintf("pd:{%s}:rec%d", o, r)
+			if err := c.GPut(ctx, key, []byte(o+"-data"), gdprkv.PutOptions{
+				Owner: o, Purposes: []string{"service"},
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("\nkeys per node after 9 owner-tagged GPUTs (3 owners x 3 records):")
+	for i, st := range stores {
+		fmt.Printf("  %s dbsize=%d\n", nodes[i].ID, st.Engine().Len())
+	}
+	fmt.Printf("CLUSTER SLOTS served %d ranges; client followed %d redirects so far\n",
+		len(mustSlots(ctx, c)), c.Stats().Redirects)
+
+	// --- a mis-routed GET, redirected exactly once ---
+	// Do carries no key knowledge, so the client sends it to its default
+	// (bootstrap) node n1. The key below lives on n3: n1 answers
+	// "MOVED <slot> <n3-addr>" and the client follows it transparently.
+	key3 := fmt.Sprintf("pd:{%s}:rec0", owners[2])
+	v, err := c.Do(ctx, "GGET", key3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := c.Stats()
+	fmt.Printf("\nmis-routed GGET %s = %q (redirects=%d, slot map refreshes=%d)\n",
+		key3, v.Text(), st.Redirects, st.SlotRefreshes)
+	if st.Redirects != 1 {
+		log.Fatalf("expected exactly one redirect, saw %d", st.Redirects)
+	}
+
+	// --- cluster-wide erasure of a subject spread over every node ---
+	// These keys are untagged, so they hash individually and land on
+	// different nodes: the worst case for the right to be forgotten, and
+	// exactly what the fan-out exists for.
+	var daveKeys []string
+	for _, nid := range []string{"n1", "n2", "n3"} {
+		k := keyOn(m, nid, "dave-doc-%d")
+		daveKeys = append(daveKeys, k)
+		if err := c.GPut(ctx, k, []byte("dave-data"), gdprkv.PutOptions{
+			Owner: "dave", Purposes: []string{"service"},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nwrote %d records for dave, one per node: %v\n", len(daveKeys), daveKeys)
+
+	recs, err := c.GetUser(ctx, "dave")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GETUSER dave aggregates %d records across the cluster\n", len(recs))
+
+	erased, err := c.ForgetUser(ctx, "dave")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FORGETUSER dave erased %d records cluster-wide\n\n", erased)
+
+	// Proof, node by node: GETUSERDATA empty, the local erasure counted
+	// in commandstats, and an audit record on every node's trail.
+	for i, srv := range srvs {
+		nc, err := gdprkv.Dial(ctx, srv.Addr(), gdprkv.WithPoolSize(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		gv, err := nc.Do(ctx, "GETUSERDATA", "dave")
+		if err != nil || len(gv.Array) != 0 {
+			log.Fatalf("node %s still reports %d records (%v)", nodes[i].ID, len(gv.Array), err)
+		}
+		info, err := nc.Info(ctx, "commandstats")
+		if err != nil {
+			log.Fatal(err)
+		}
+		audits, err := stores[i].Trail().Query(audit.Filter{Op: "FORGETUSER", Owner: "dave"})
+		if err != nil || len(audits) == 0 {
+			log.Fatalf("node %s has no audit evidence of the erasure (%v)", nodes[i].ID, err)
+		}
+		fmt.Printf("  %s: GETUSERDATA dave -> 0 records, audit records=%d, %s\n",
+			nodes[i].ID, len(audits), forgetStats(info))
+		nc.Close()
+	}
+	if _, err := c.GGet(ctx, daveKeys[0]); !errors.Is(err, gdprkv.ErrNotFound) {
+		log.Fatalf("post-erasure read = %v, want ErrNotFound", err)
+	}
+	fmt.Println("\npost-erasure reads are errors.Is(err, gdprkv.ErrNotFound) on every node")
+}
+
+// ownerOn finds an owner name whose slot the given node owns.
+func ownerOn(m *cluster.Map, nodeID string) string {
+	for i := 0; ; i++ {
+		o := fmt.Sprintf("owner%05d", i)
+		if m.NodeForKey(o).ID == nodeID {
+			return o
+		}
+	}
+}
+
+// keyOn finds an untagged key (formatted from pattern) the node owns.
+func keyOn(m *cluster.Map, nodeID, pattern string) string {
+	for i := 0; ; i++ {
+		k := fmt.Sprintf(pattern, i)
+		if m.NodeForKey(k).ID == nodeID {
+			return k
+		}
+	}
+}
+
+// mustSlots fetches the CLUSTER SLOTS entries through the client.
+func mustSlots(ctx context.Context, c *gdprkv.Client) []string {
+	v, err := c.Do(ctx, "CLUSTER", "SLOTS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := make([]string, len(v.Array))
+	for i, e := range v.Array {
+		out[i] = fmt.Sprintf("%d-%d", e.Array[0].Int, e.Array[1].Int)
+	}
+	return out
+}
+
+// forgetStats extracts the erasure counters from a commandstats report.
+func forgetStats(info string) string {
+	var parts []string
+	for _, line := range strings.Split(info, "\r\n") {
+		if strings.HasPrefix(line, "cmdstat_forgetuser") {
+			parts = append(parts, strings.SplitN(line, ",", 2)[0])
+		}
+	}
+	if len(parts) == 0 {
+		return "no forget calls"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCRC16Vectors pins the hash to the Redis Cluster CRC16 (CCITT/XModem)
+// reference values, so our slot placement stays bit-compatible with the
+// ecosystem's tooling.
+func TestCRC16Vectors(t *testing.T) {
+	vectors := []struct {
+		in   string
+		want uint16
+	}{
+		{"", 0x0000},
+		{"123456789", 0x31C3}, // the classic CCITT check value
+		{"foo", 0xAF96},       // redis: CLUSTER KEYSLOT foo == 0xAF96 % 16384 == 12182
+	}
+	for _, v := range vectors {
+		if got := crc16([]byte(v.in)); got != v.want {
+			t.Errorf("crc16(%q) = %#04x, want %#04x", v.in, got, v.want)
+		}
+	}
+}
+
+func TestSlotHashTags(t *testing.T) {
+	// All of one owner's tagged keys share the owner's own slot.
+	owner := "subject000042"
+	want := Slot(owner)
+	for _, key := range []string{
+		"pd:{subject000042}:rec0001",
+		"pd:{subject000042}:rec0999",
+		"x{subject000042}y",
+	} {
+		if got := Slot(key); got != want {
+			t.Errorf("Slot(%q) = %d, want owner slot %d", key, got, want)
+		}
+	}
+	// Empty or unterminated tags hash the whole key (Redis semantics).
+	if Slot("a{}b") == Slot("") {
+		t.Error("empty tag must hash the whole key, not the empty tag")
+	}
+	if Slot("a{open") != crc16([]byte("a{open"))%NumSlots {
+		t.Error("unterminated tag must hash the whole key")
+	}
+	// Only the first tag counts.
+	if Slot("{a}{b}") != Slot("a") {
+		t.Error("first hash tag must win")
+	}
+	// Slots stay in range across arbitrary keys.
+	for _, k := range []string{"a", "user:1", strings.Repeat("x", 1000)} {
+		if s := Slot(k); int(s) >= NumSlots {
+			t.Errorf("Slot(%q) = %d out of range", k, s)
+		}
+	}
+}
+
+func TestParseNodesRoundTrip(t *testing.T) {
+	m, err := ParseNodes([]string{
+		"n1=127.0.0.1:7001:0-341",
+		"n2=127.0.0.1:7002:342-682,1000-1023",
+		"n3=127.0.0.1:7003:683-999",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.NodeForSlot(0); n.ID != "n1" {
+		t.Errorf("slot 0 -> %s", n.ID)
+	}
+	if n := m.NodeForSlot(1023); n.ID != "n2" {
+		t.Errorf("slot 1023 -> %s", n.ID)
+	}
+	if n := m.NodeForSlot(683); n.ID != "n3" {
+		t.Errorf("slot 683 -> %s", n.ID)
+	}
+	if n, ok := m.NodeByID("n2"); !ok || n.Addr != "127.0.0.1:7002" {
+		t.Errorf("NodeByID(n2) = %+v, %v", n, ok)
+	}
+	// Every key routes to some node and agrees with NodeForSlot.
+	for _, k := range []string{"alice", "pd:{bob}:rec1", "user:0001"} {
+		if m.NodeForKey(k).ID != m.NodeForSlot(Slot(k)).ID {
+			t.Errorf("NodeForKey(%q) disagrees with NodeForSlot", k)
+		}
+	}
+	// SlotRanges is sorted and covers the space.
+	rs := m.SlotRanges()
+	covered := 0
+	for i, sr := range rs {
+		if i > 0 && rs[i-1].Range.Start >= sr.Range.Start {
+			t.Fatal("SlotRanges not sorted")
+		}
+		covered += int(sr.Range.End-sr.Range.Start) + 1
+	}
+	if covered != NumSlots {
+		t.Fatalf("SlotRanges cover %d slots", covered)
+	}
+}
+
+func TestParseNodesRejectsBadTopologies(t *testing.T) {
+	bad := [][]string{
+		{},                          // empty
+		{"n1=127.0.0.1:7001:0-341"}, // gap: slots 342+ unassigned
+		{"n1=127.0.0.1:7001:0-1023", "n2=127.0.0.1:7002:500-600"}, // overlap
+		{"n1=127.0.0.1:7001:0-2000"},                              // out of range
+		{"n1=127.0.0.1:7001:5-1"},                                 // inverted range
+		{"garbage"},                                               // no '='
+		{"n1=127.0.0.1:0-1023"},                                   // missing port or slots
+		{"n1=nocolon:0-1023"},                                     // addr without port
+		{"=127.0.0.1:7001:0-1023"},                                // empty id
+		{"n1=127.0.0.1:7001:0-511", "n1=127.0.0.1:7002:512-1023"}, // dup id
+		{"n1=127.0.0.1:7001:0-511", "n2=127.0.0.1:7001:512-1023"}, // dup addr
+		{"n1=127.0.0.1:7001:0-x"},                                 // bad range token
+	}
+	for _, specs := range bad {
+		if _, err := ParseNodes(specs); err == nil {
+			t.Errorf("ParseNodes(%v) accepted", specs)
+		}
+	}
+}
+
+func TestEvenSplit(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 7} {
+		ranges := EvenSplit(n)
+		if len(ranges) != n {
+			t.Fatalf("EvenSplit(%d) returned %d nodes", n, len(ranges))
+		}
+		total := 0
+		next := uint16(0)
+		for _, rs := range ranges {
+			for _, r := range rs {
+				if r.Start != next {
+					t.Fatalf("EvenSplit(%d): gap before slot %d", n, r.Start)
+				}
+				total += int(r.End-r.Start) + 1
+				next = r.End + 1
+			}
+		}
+		if total != NumSlots {
+			t.Fatalf("EvenSplit(%d) covers %d slots", n, total)
+		}
+	}
+}

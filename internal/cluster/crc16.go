@@ -1,0 +1,32 @@
+package cluster
+
+// CRC16-CCITT (XModem variant): polynomial 0x1021, zero initial value, no
+// reflection, no final XOR. This is the exact checksum Redis Cluster uses
+// for key-to-slot hashing, kept bit-compatible so operators can reason
+// about placement with familiar tooling (redis-cli CLUSTER KEYSLOT agrees
+// with ours modulo the slot count).
+
+var crc16Table [256]uint16
+
+func init() {
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for bit := 0; bit < 8; bit++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+		crc16Table[i] = crc
+	}
+}
+
+// crc16 computes the CCITT/XModem checksum of data.
+func crc16(data []byte) uint16 {
+	var crc uint16
+	for _, b := range data {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^b]
+	}
+	return crc
+}

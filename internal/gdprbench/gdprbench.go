@@ -128,8 +128,11 @@ func (c *Config) defaults() {
 // SubjectName formats subject i's principal ID.
 func SubjectName(i int) string { return fmt.Sprintf("subject%06d", i) }
 
-// RecordKey formats subject i's j-th key.
-func RecordKey(i, j int) string { return fmt.Sprintf("pd:%s:rec%04d", SubjectName(i), j) }
+// RecordKey formats subject i's j-th key. The owner is a cluster hash
+// tag, so in cluster mode every record of one subject co-locates on the
+// owner's slot — erasure and access stay node-local for the benchmark
+// population (embedded mode ignores the braces).
+func RecordKey(i, j int) string { return fmt.Sprintf("pd:{%s}:rec%04d", SubjectName(i), j) }
 
 // Result is one persona run's measurements.
 type Result struct {
@@ -340,7 +343,7 @@ func firstBatchErr(results []core.BatchGetResult, err error) error {
 // by record index), so reads state the right purpose.
 func purposeOf(rec string, cfg Config) string {
 	var i, j int
-	if _, err := fmt.Sscanf(rec, "pd:subject%06d:rec%04d", &i, &j); err != nil {
+	if _, err := fmt.Sscanf(rec, "pd:{subject%06d}:rec%04d", &i, &j); err != nil {
 		return cfg.Purposes[0]
 	}
 	return cfg.Purposes[j%len(cfg.Purposes)]

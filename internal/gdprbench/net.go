@@ -1,0 +1,342 @@
+package gdprbench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gdprstore/internal/metrics"
+	"gdprstore/pkg/gdprkv"
+)
+
+// This file is the network mode of the GDPRbench personas: the same
+// operation mixes as Run, but issued through the public SDK against a
+// live server — or a cluster of primaries — instead of an embedded
+// store. Each persona actor gets its own single-connection client
+// (pool=1), the GDPRbench session model: one authenticated principal,
+// one declared purpose per session. A persona that switches purpose gets
+// a distinct session, so pooled connections never carry ambient state
+// from another identity — the property that made per-op AUTH switching
+// impossible on a shared pooled client.
+
+// NetPool lazily dials one gdprkv client per (actor, purpose) session,
+// each a single-connection pool authenticated at dial time.
+type NetPool struct {
+	addr    string
+	cluster bool
+	seeds   []string
+
+	mu      sync.Mutex
+	clients map[string]*gdprkv.Client
+}
+
+// NewNetPool targets a single server at addr; with cluster true the
+// clients are cluster-aware, bootstrapping their slot map from addr and
+// the extra seeds.
+func NewNetPool(addr string, cluster bool, seeds ...string) *NetPool {
+	return &NetPool{addr: addr, cluster: cluster, seeds: seeds,
+		clients: make(map[string]*gdprkv.Client)}
+}
+
+// Client returns (dialing on first use) the session client for an actor
+// and declared purpose.
+func (p *NetPool) Client(ctx context.Context, actor, purpose string) (*gdprkv.Client, error) {
+	key := actor + "\x00" + purpose
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.clients[key]; ok {
+		return c, nil
+	}
+	opts := []gdprkv.Option{gdprkv.WithPoolSize(1), gdprkv.WithActor(actor)}
+	if purpose != "" {
+		opts = append(opts, gdprkv.WithPurpose(purpose))
+	}
+	if p.cluster {
+		opts = append(opts, gdprkv.WithCluster(p.seeds...))
+	}
+	c, err := gdprkv.Dial(ctx, p.addr, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("gdprbench: dial session %s/%s: %w", actor, purpose, err)
+	}
+	p.clients[key] = c
+	return c, nil
+}
+
+// Close releases every session client.
+func (p *NetPool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.clients {
+		c.Close()
+	}
+	p.clients = make(map[string]*gdprkv.Client)
+}
+
+// InstallPrincipalsNet installs the benchmark's principal population on
+// the node at addr: the controller/processor/regulator roles, one
+// subject principal per data subject, and a wildcard purpose grant for
+// the processor. In cluster mode call it once per node — ACL state is
+// node-local.
+func InstallPrincipalsNet(ctx context.Context, addr string, subjects int) error {
+	c, err := gdprkv.Dial(ctx, addr, gdprkv.WithPoolSize(1))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	cmds := [][]string{
+		{"ACL", "ADDPRINCIPAL", "controller", "controller"},
+		{"ACL", "ADDPRINCIPAL", "processor", "processor"},
+		{"ACL", "ADDPRINCIPAL", "regulator", "regulator"},
+		{"ACL", "GRANT", "processor", "*"},
+	}
+	for i := 0; i < subjects; i++ {
+		cmds = append(cmds, []string{"ACL", "ADDPRINCIPAL", SubjectName(i), "subject"})
+	}
+	for _, cmd := range cmds {
+		if _, err := c.Do(ctx, cmd...); err != nil {
+			return fmt.Errorf("gdprbench: %v on %s: %w", cmd[:2], addr, err)
+		}
+	}
+	return nil
+}
+
+// PopulateNet loads the subject population over the wire as the
+// controller, batching each subject's records per purpose class with
+// GMPut (records sharing a purpose share one batch — and, keys being
+// owner-tagged, one cluster slot).
+func PopulateNet(ctx context.Context, p *NetPool, cfg Config) error {
+	cfg.defaults()
+	c, err := p.Client(ctx, "controller", "populate")
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Subjects; i++ {
+		owner := SubjectName(i)
+		for class, purpose := range cfg.Purposes {
+			var keys []string
+			var vals [][]byte
+			for j := class; j < cfg.RecordsPerSubject; j += len(cfg.Purposes) {
+				val := make([]byte, cfg.ValueSize)
+				rng.Read(val)
+				keys = append(keys, RecordKey(i, j))
+				vals = append(vals, val)
+			}
+			if len(keys) == 0 {
+				continue
+			}
+			err := c.GMPut(ctx, keys, vals, gdprkv.PutOptions{
+				Owner: owner, Purposes: []string{purpose}, TTL: cfg.TTL,
+				Origin: "gdprbench-populate",
+			})
+			if err != nil {
+				return fmt.Errorf("gdprbench: populate %s: %w", owner, err)
+			}
+		}
+	}
+	return nil
+}
+
+// RunNet executes cfg.Operations operations of the persona's mix through
+// the SDK. The caller must have installed principals on every node
+// (InstallPrincipalsNet) and populated the dataset (PopulateNet).
+func RunNet(ctx context.Context, p *NetPool, cfg Config) (Result, error) {
+	cfg.defaults()
+	mix, ok := mixes[cfg.Role]
+	if !ok {
+		return Result{}, fmt.Errorf("gdprbench: unknown role %q", cfg.Role)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed * 31))
+	hists := make(map[Op]*metrics.Histogram)
+	for _, w := range mix {
+		hists[w.op] = metrics.NewHistogram()
+	}
+	val := make([]byte, cfg.ValueSize)
+	errs := 0
+	erased := make(map[int]bool)
+
+	start := time.Now()
+	for n := 0; n < cfg.Operations; n++ {
+		op := pick(mix, rng)
+		subj := rng.Intn(cfg.Subjects)
+		if erased[subj] && (op == OpReadOwn || op == OpUpdateOwn || op == OpErase) {
+			for tries := 0; tries < 4 && erased[subj]; tries++ {
+				subj = rng.Intn(cfg.Subjects)
+			}
+			if erased[subj] {
+				continue
+			}
+		}
+		owner := SubjectName(subj)
+		recIdx := rng.Intn(cfg.RecordsPerSubject)
+		rec := RecordKey(subj, recIdx)
+		purpose := cfg.Purposes[rng.Intn(len(cfg.Purposes))]
+
+		// Sessions are dialed outside the timed window: GDPRbench measures
+		// operations, not connection establishment.
+		session := func(actor, purpose string) (*gdprkv.Client, error) {
+			return p.Client(ctx, actor, purpose)
+		}
+
+		var err error
+		var c *gdprkv.Client
+		t0 := time.Now()
+		switch op {
+		case OpReadOwn:
+			if cfg.Batch > 1 {
+				keys, pp := batchKeys(subj, recIdx, cfg)
+				if c, err = session(owner, pp); err == nil {
+					var res []gdprkv.BatchValue
+					t0 = time.Now()
+					res, err = c.GMGet(ctx, keys...)
+					err = firstNetBatchErr(res, err)
+				}
+			} else if c, err = session(owner, purposeOf(rec, cfg)); err == nil {
+				t0 = time.Now()
+				_, err = c.GGet(ctx, rec)
+			}
+		case OpUpdateOwn:
+			rng.Read(val)
+			if cfg.Batch > 1 {
+				keys, pp := batchKeys(subj, recIdx, cfg)
+				if c, err = session(owner, pp); err == nil {
+					t0 = time.Now()
+					err = c.GMPut(ctx, keys, repeatVal(val, len(keys)), gdprkv.PutOptions{
+						Owner: owner, Purposes: []string{pp}, TTL: cfg.TTL,
+					})
+				}
+			} else if c, err = session(owner, purposeOf(rec, cfg)); err == nil {
+				t0 = time.Now()
+				err = c.GPut(ctx, rec, val, gdprkv.PutOptions{
+					Owner: owner, Purposes: []string{purposeOf(rec, cfg)}, TTL: cfg.TTL,
+				})
+			}
+		case OpAccess:
+			if c, err = session(owner, ""); err == nil {
+				t0 = time.Now()
+				_, err = c.Do(ctx, "ACCESS", owner)
+			}
+		case OpPortab:
+			if c, err = session(owner, ""); err == nil {
+				t0 = time.Now()
+				_, err = c.ExportUser(ctx, owner)
+			}
+		case OpObject:
+			if c, err = session(owner, ""); err == nil {
+				t0 = time.Now()
+				err = c.Object(ctx, owner, purpose)
+			}
+		case OpErase:
+			if c, err = session(owner, ""); err == nil {
+				t0 = time.Now()
+				_, err = c.ForgetUser(ctx, owner)
+				if err == nil {
+					erased[subj] = true
+				}
+			}
+		case OpPut:
+			rng.Read(val)
+			if cfg.Batch > 1 {
+				keys, pp := batchKeys(subj, recIdx, cfg)
+				if c, err = session("controller", pp); err == nil {
+					t0 = time.Now()
+					err = c.GMPut(ctx, keys, repeatVal(val, len(keys)), gdprkv.PutOptions{
+						Owner: owner, Purposes: []string{pp}, TTL: cfg.TTL,
+					})
+				}
+			} else if c, err = session("controller", purpose); err == nil {
+				t0 = time.Now()
+				err = c.GPut(ctx, rec, val, gdprkv.PutOptions{
+					Owner: owner, Purposes: []string{purposeOf(rec, cfg)}, TTL: cfg.TTL,
+				})
+			}
+		case OpRetune:
+			if c, err = session("controller", ""); err == nil {
+				t0 = time.Now()
+				_, err = c.Expire(ctx, rec, int64((cfg.TTL+time.Duration(rng.Intn(3600))*time.Second)/time.Second))
+			}
+		case OpPurposeQ:
+			if c, err = session("controller", ""); err == nil {
+				t0 = time.Now()
+				_, err = c.Do(ctx, "KEYSBYPURPOSE", purpose)
+			}
+		case OpprocRead:
+			if cfg.Batch > 1 {
+				keys, pp := batchKeys(subj, recIdx, cfg)
+				if c, err = session("processor", pp); err == nil {
+					var res []gdprkv.BatchValue
+					t0 = time.Now()
+					res, err = c.GMGet(ctx, keys...)
+					err = firstNetBatchErr(res, err)
+				}
+			} else if c, err = session("processor", purposeOf(rec, cfg)); err == nil {
+				t0 = time.Now()
+				_, err = c.GGet(ctx, rec)
+			}
+		case OpBreach:
+			if c, err = session("regulator", ""); err == nil {
+				from := start.Add(-time.Hour).UTC().Format(time.RFC3339)
+				to := time.Now().Add(time.Hour).UTC().Format(time.RFC3339)
+				t0 = time.Now()
+				_, err = c.Do(ctx, "BREACH", from, to)
+			}
+		case OpMetaRead:
+			if c, err = session("regulator", ""); err == nil {
+				t0 = time.Now()
+				_, err = c.Do(ctx, "GETMETA", rec)
+			}
+		}
+		hists[op].Record(time.Since(t0))
+		if err != nil && !isNetBenign(err) {
+			errs++
+		}
+	}
+	elapsed := time.Since(start)
+
+	perOp := make(map[Op]metrics.Snapshot)
+	for op, h := range hists {
+		if h.Count() > 0 {
+			perOp[op] = h.Snapshot()
+		}
+	}
+	return Result{
+		Role: cfg.Role, Ops: cfg.Operations, Elapsed: elapsed,
+		Throughput: float64(cfg.Operations) / elapsed.Seconds(),
+		PerOp:      perOp, Errors: errs,
+	}, nil
+}
+
+func repeatVal(val []byte, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = val
+	}
+	return out
+}
+
+// firstNetBatchErr reduces a GMGet result to its first non-benign
+// per-key error, matching the one-at-a-time path's reporting.
+func firstNetBatchErr(res []gdprkv.BatchValue, err error) error {
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		if r.Err != nil && !isNetBenign(r.Err) {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// isNetBenign mirrors isBenign for the SDK's typed sentinels: missing or
+// erased records and objected purposes are workload consequences, not
+// failures.
+func isNetBenign(err error) bool {
+	return err == nil ||
+		errors.Is(err, gdprkv.ErrNotFound) ||
+		errors.Is(err, gdprkv.ErrBadPurpose) ||
+		errors.Is(err, gdprkv.ErrErased)
+}

@@ -1,0 +1,117 @@
+package gdprbench_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gdprstore/internal/cluster"
+	"gdprstore/internal/core"
+	"gdprstore/internal/gdprbench"
+	"gdprstore/internal/server"
+)
+
+// startNode boots one compliant server and returns its address.
+func startNode(t *testing.T) (*server.Server, string) {
+	t.Helper()
+	st, err := core.Open(core.Config{
+		Compliant: true, Capability: core.CapabilityFull, AuditEnabled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv, err := server.Listen("127.0.0.1:0", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr()
+}
+
+func runAllRoles(t *testing.T, p *gdprbench.NetPool, cfg gdprbench.Config) {
+	t.Helper()
+	ctx := context.Background()
+	if err := gdprbench.PopulateNet(ctx, p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, role := range gdprbench.Roles {
+		rcfg := cfg
+		rcfg.Role = role
+		res, err := gdprbench.RunNet(ctx, p, rcfg)
+		if err != nil {
+			t.Fatalf("%s: %v", role, err)
+		}
+		if res.Errors != 0 {
+			t.Errorf("%s: %d non-benign errors", role, res.Errors)
+		}
+		if len(res.PerOp) == 0 {
+			t.Errorf("%s: no operations recorded", role)
+		}
+	}
+}
+
+// TestNetPersonasSingleNode runs every persona over the wire against one
+// server — the SDK-backed replacement for the deleted internal/client
+// personas, one single-connection session per (actor, purpose).
+func TestNetPersonasSingleNode(t *testing.T) {
+	_, addr := startNode(t)
+	ctx := context.Background()
+	cfg := gdprbench.Config{Subjects: 6, RecordsPerSubject: 8, Operations: 120, Seed: 7}
+	if err := gdprbench.InstallPrincipalsNet(ctx, addr, cfg.Subjects); err != nil {
+		t.Fatal(err)
+	}
+	p := gdprbench.NewNetPool(addr, false)
+	defer p.Close()
+	runAllRoles(t, p, cfg)
+}
+
+// TestNetPersonasCluster runs the personas against three primaries in
+// cluster mode: owner-tagged record keys co-locate each subject, and the
+// rights operations (GETUSER/FORGETUSER in the customer mix) exercise the
+// coordinated fan-out.
+func TestNetPersonasCluster(t *testing.T) {
+	const nodes = 3
+	srvs := make([]*server.Server, nodes)
+	addrs := make([]string, nodes)
+	cnodes := make([]cluster.Node, nodes)
+	splits := cluster.EvenSplit(nodes)
+	for i := 0; i < nodes; i++ {
+		srv, addr := startNode(t)
+		srvs[i], addrs[i] = srv, addr
+		cnodes[i] = cluster.Node{ID: fmt.Sprintf("n%d", i+1), Addr: addr, Ranges: splits[i]}
+	}
+	m, err := cluster.NewMap(cnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Sequential subject names hash to nearby CRC16 values, so a handful
+	// of subjects can legitimately share a node; 12 of them provably span
+	// all three (subjects 0-7 -> n3, 8-9 -> n2, 10-11 -> n1).
+	cfg := gdprbench.Config{Subjects: 12, RecordsPerSubject: 8, Operations: 120, Seed: 11}
+	for i, srv := range srvs {
+		if err := srv.EnableCluster(server.ClusterConfig{Self: cnodes[i].ID, Map: m}); err != nil {
+			t.Fatal(err)
+		}
+		// ACL state is node-local: every node needs the principals, both
+		// for slot-local data ops and for the rights fan-out peers.
+		if err := gdprbench.InstallPrincipalsNet(ctx, addrs[i], cfg.Subjects); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := gdprbench.NewNetPool(addrs[0], true, addrs[1:]...)
+	defer p.Close()
+	runAllRoles(t, p, cfg)
+
+	// The population genuinely spread: more than one node holds keys.
+	holding := 0
+	for _, srv := range srvs {
+		if srv.Store().Engine().Len() > 0 {
+			holding++
+		}
+	}
+	if holding < 2 {
+		t.Fatalf("population landed on %d node(s); expected a spread", holding)
+	}
+}

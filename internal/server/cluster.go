@@ -1,0 +1,528 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdprstore/internal/audit"
+	"gdprstore/internal/cluster"
+	"gdprstore/internal/resp"
+	"gdprstore/internal/wirecode"
+)
+
+// This file is the cluster-mode surface of the server: slot-ownership
+// enforcement (MOVED redirects and CROSSSLOT batch rejection) as a
+// middleware stage, the CLUSTER introspection command, and the
+// cluster-wide rights coordinator that fans FORGETUSER/GETUSER out to
+// every primary so Article 15/17 guarantees hold across the whole
+// partitioned keyspace. The slot math and topology map live in
+// internal/cluster; this file wires them to the command pipeline.
+
+// DefaultClusterFanoutTimeout bounds each peer call of a rights fan-out.
+const DefaultClusterFanoutTimeout = 5 * time.Second
+
+// ClusterConfig enables cluster mode on a server.
+type ClusterConfig struct {
+	// Self is this server's node id in the map.
+	Self string
+	// Map is the static slot topology shared by every node.
+	Map *cluster.Map
+	// FanoutTimeout bounds each peer call of a rights fan-out
+	// (DefaultClusterFanoutTimeout when zero).
+	FanoutTimeout time.Duration
+}
+
+// clusterState is the resolved cluster configuration, swapped atomically
+// so the hot path reads it lock-free and operators can re-point the slot
+// map (a static reassignment rolled out across the fleet) without
+// restarting.
+type clusterState struct {
+	self    cluster.Node
+	m       *cluster.Map
+	timeout time.Duration
+}
+
+// EnableCluster puts the server in cluster mode (or re-points the slot
+// map when already enabled). Self must name a node of the map, and that
+// node's Addr should be how *other* nodes and clients reach this server.
+func (s *Server) EnableCluster(cfg ClusterConfig) error {
+	if cfg.Map == nil {
+		return errors.New("server: cluster: nil slot map")
+	}
+	self, ok := cfg.Map.NodeByID(cfg.Self)
+	if !ok {
+		return fmt.Errorf("server: cluster: self id %q is not in the map", cfg.Self)
+	}
+	timeout := cfg.FanoutTimeout
+	if timeout <= 0 {
+		timeout = DefaultClusterFanoutTimeout
+	}
+	s.clusterSt.Store(&clusterState{self: self, m: cfg.Map, timeout: timeout})
+	return nil
+}
+
+// clusterInfo returns the current cluster state, nil when cluster mode is
+// off.
+func (s *Server) clusterInfo() *clusterState { return s.clusterSt.Load() }
+
+// codedError is an error whose text is the complete RESP error reply,
+// wire-code prefix included (MOVED/CROSSSLOT/CLUSTERDOWN). errReply
+// passes it through verbatim.
+type codedError struct{ text string }
+
+func (e codedError) Error() string { return e.text }
+
+func movedError(slot uint16, addr string) error {
+	return codedError{text: fmt.Sprintf("%s %d %s", wirecode.Moved, slot, addr)}
+}
+
+var errCrossSlot = codedError{text: wirecode.CrossSlot + " Keys in request don't hash to the same slot"}
+
+// clusterMiddleware enforces slot ownership once cluster mode is on:
+//
+//   - commands with a Keys extractor must have every key in one slot
+//     (CROSSSLOT otherwise) and that slot must be owned by this node
+//     (MOVED otherwise);
+//   - Fanout commands (FORGETUSER/GETUSER) are accepted on any node and
+//     coordinated cluster-wide;
+//   - commands without Keys are node-local and pass through.
+//
+// It sits inside the compliance stage, so AUTH/BASELINE rejections keep
+// precedence over redirects.
+func (s *Server) clusterMiddleware(next Handler) Handler {
+	return func(ctx *Ctx) (resp.Value, error) {
+		cs := s.clusterInfo()
+		if cs == nil {
+			return next(ctx)
+		}
+		if ctx.Cmd.Fanout {
+			return s.clusterFanout(ctx, cs)
+		}
+		if ctx.Cmd.Keys == nil {
+			return next(ctx)
+		}
+		keys := ctx.Cmd.Keys(ctx.Args)
+		if len(keys) == 0 {
+			return next(ctx)
+		}
+		slot := cluster.Slot(string(keys[0]))
+		for _, k := range keys[1:] {
+			if cluster.Slot(string(k)) != slot {
+				return resp.Value{}, errCrossSlot
+			}
+		}
+		if owner := cs.m.NodeForSlot(slot); owner.ID != cs.self.ID {
+			return resp.Value{}, movedError(slot, owner.Addr)
+		}
+		return next(ctx)
+	}
+}
+
+// --- key extractors (Command.Keys) ---
+
+// keysFirst routes on the first argument (GET key, GPUT key value, ...,
+// and the owner-scoped GDPR commands, whose owner argument hashes to the
+// same slot as the owner's tagged keys).
+func keysFirst(a [][]byte) [][]byte { return a[:1] }
+
+// keysAll routes on every argument (MGET, GMGET, DEL, EXISTS).
+func keysAll(a [][]byte) [][]byte { return a }
+
+// keysPairs routes on every even-indexed argument (MSET k v k v ...).
+func keysPairs(a [][]byte) [][]byte {
+	out := make([][]byte, 0, len(a)/2)
+	for i := 0; i < len(a); i += 2 {
+		out = append(out, a[i])
+	}
+	return out
+}
+
+// keysGMPut routes on the key of every pair of GMPUT npairs k1 v1 ... kN
+// vN [options]. The pair count was validated against the arity bounds by
+// the handler's own parse; here a malformed count degrades to fewer keys
+// and the handler reports the real error.
+func keysGMPut(a [][]byte) [][]byte {
+	n, err := strconv.Atoi(string(a[0]))
+	if err != nil || n <= 0 || n > (len(a)-1)/2 {
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, a[1+2*i])
+	}
+	return out
+}
+
+// --- CLUSTER command ---
+
+func init() {
+	register(Command{
+		Name: "CLUSTER", MinArgs: 1, MaxArgs: 2, Flags: FlagReadonly,
+		Summary: "cluster introspection (CLUSTER SLOTS|INFO|MYID|KEYSLOT key)",
+		Handler: cmdCluster,
+	})
+	// Cluster-internal rights primitives: the node-local halves of the
+	// coordinated rights commands. The coordinator invokes them on every
+	// peer; they never fan out themselves, which is what makes the
+	// fan-out terminate. They are registered unconditionally (harmless
+	// aliases of local execution off-cluster) so operators can also use
+	// them to inspect a single node.
+	register(Command{
+		Name: "FORGETUSERLOCAL", MinArgs: 1, MaxArgs: 1, Flags: FlagWrite | FlagGDPR,
+		Summary: "node-local Art. 17 erasure (cluster-internal; use FORGETUSER)",
+		Handler: handleForgetLocal,
+	})
+	register(Command{
+		Name: "GETUSERLOCAL", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+		Summary: "node-local Art. 15 access (cluster-internal; use GETUSER)",
+		Handler: handleGetUserLocal,
+	})
+	register(Command{
+		Name: "EXPORTUSERLOCAL", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+		Summary: "node-local Art. 20 export (cluster-internal; use EXPORTUSER)",
+		Handler: handleExportLocal,
+	})
+	register(Command{
+		Name: "OBJECTLOCAL", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagGDPR,
+		Summary: "node-local Art. 21 objection (cluster-internal; use OBJECT)",
+		Handler: handleObjectLocal,
+	})
+	register(Command{
+		Name: "UNOBJECTLOCAL", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagGDPR,
+		Summary: "node-local objection withdrawal (cluster-internal; use UNOBJECT)",
+		Handler: handleUnobjectLocal,
+	})
+}
+
+func cmdCluster(ctx *Ctx) (resp.Value, error) {
+	cs := ctx.Srv.clusterInfo()
+	switch strings.ToUpper(string(ctx.Args[0])) {
+	case "SLOTS":
+		if cs == nil {
+			return resp.ArrayValue(), nil
+		}
+		return clusterSlotsValue(cs.m), nil
+	case "INFO":
+		return resp.BulkStringValue(clusterInfoText(cs)), nil
+	case "MYID":
+		if cs == nil {
+			return resp.Value{}, errors.New("this instance has cluster support disabled")
+		}
+		return resp.BulkStringValue(cs.self.ID), nil
+	case "KEYSLOT":
+		if len(ctx.Args) != 2 {
+			return resp.Value{}, errSyntax
+		}
+		return resp.IntegerValue(int64(cluster.Slot(string(ctx.Args[1])))), nil
+	default:
+		return resp.Value{}, fmt.Errorf("unknown CLUSTER subcommand '%s'", string(ctx.Args[0]))
+	}
+}
+
+// clusterSlotsValue renders the topology in Redis CLUSTER SLOTS shape:
+// one entry per contiguous range, [start, end, [host, port, id]].
+func clusterSlotsValue(m *cluster.Map) resp.Value {
+	ranges := m.SlotRanges()
+	vs := make([]resp.Value, 0, len(ranges))
+	for _, sr := range ranges {
+		host, portStr, err := net.SplitHostPort(sr.Node.Addr)
+		if err != nil {
+			host, portStr = sr.Node.Addr, "0"
+		}
+		port, _ := strconv.ParseInt(portStr, 10, 64)
+		vs = append(vs, resp.ArrayValue(
+			resp.IntegerValue(int64(sr.Range.Start)),
+			resp.IntegerValue(int64(sr.Range.End)),
+			resp.ArrayValue(
+				resp.BulkStringValue(host),
+				resp.IntegerValue(port),
+				resp.BulkStringValue(sr.Node.ID),
+			),
+		))
+	}
+	return resp.ArrayValue(vs...)
+}
+
+func clusterInfoText(cs *clusterState) string {
+	var b strings.Builder
+	b.WriteString("# cluster\r\n")
+	if cs == nil {
+		b.WriteString("cluster_enabled:0\r\n")
+		return b.String()
+	}
+	nodes := cs.m.Nodes()
+	b.WriteString("cluster_enabled:1\r\n")
+	b.WriteString("cluster_state:ok\r\n")
+	b.WriteString("cluster_slots:" + strconv.Itoa(cluster.NumSlots) + "\r\n")
+	b.WriteString("cluster_known_nodes:" + strconv.Itoa(len(nodes)) + "\r\n")
+	b.WriteString("cluster_self:" + cs.self.ID + "\r\n")
+	for _, n := range nodes {
+		rs := make([]string, len(n.Ranges))
+		for i, r := range n.Ranges {
+			rs[i] = r.String()
+		}
+		fmt.Fprintf(&b, "cluster_node_%s:addr=%s,slots=%s\r\n", n.ID, n.Addr, strings.Join(rs, ","))
+	}
+	return b.String()
+}
+
+// --- node-local rights primitives ---
+
+func handleForgetLocal(ctx *Ctx) (resp.Value, error) {
+	n, err := ctx.Srv.store.Forget(ctx.Core, string(ctx.Args[0]))
+	if err != nil {
+		return resp.Value{}, err
+	}
+	return resp.IntegerValue(int64(n)), nil
+}
+
+func handleGetUserLocal(ctx *Ctx) (resp.Value, error) {
+	recs, err := ctx.Srv.store.GetUser(ctx.Core, string(ctx.Args[0]))
+	if err != nil {
+		return resp.Value{}, err
+	}
+	vs := make([]resp.Value, 0, 2*len(recs))
+	for _, r := range recs {
+		vs = append(vs, resp.BulkStringValue(r.Key), resp.BulkValue(r.Value))
+	}
+	return resp.ArrayValue(vs...), nil
+}
+
+func handleExportLocal(ctx *Ctx) (resp.Value, error) {
+	b, err := ctx.Srv.store.Export(ctx.Core, string(ctx.Args[0]))
+	if err != nil {
+		return resp.Value{}, err
+	}
+	return resp.BulkValue(b), nil
+}
+
+func handleObjectLocal(ctx *Ctx) (resp.Value, error) {
+	if err := ctx.Srv.store.Object(ctx.Core, string(ctx.Args[0]), string(ctx.Args[1])); err != nil {
+		return resp.Value{}, err
+	}
+	return resp.SimpleStringValue("OK"), nil
+}
+
+func handleUnobjectLocal(ctx *Ctx) (resp.Value, error) {
+	if err := ctx.Srv.store.Unobject(ctx.Core, string(ctx.Args[0]), string(ctx.Args[1])); err != nil {
+		return resp.Value{}, err
+	}
+	return resp.SimpleStringValue("OK"), nil
+}
+
+// --- the rights fan-out coordinator ---
+
+// fanoutSpec describes how one rights command distributes: the node-local
+// primitive its peers run, and how the per-node replies merge.
+type fanoutSpec struct {
+	localCmd string
+	merge    func(local resp.Value, peers []resp.Value) (resp.Value, error)
+	// audited writes an aggregate coordinator record on success (erasure
+	// only; read-path rights are audited per node by the store itself).
+	audited bool
+}
+
+var fanoutSpecs = map[string]fanoutSpec{
+	"FORGETUSER":  {localCmd: "FORGETUSERLOCAL", merge: mergeSum, audited: true},
+	"GETUSER":     {localCmd: "GETUSERLOCAL", merge: mergeConcat},
+	"GETUSERDATA": {localCmd: "GETUSERLOCAL", merge: mergeConcat},
+	"EXPORTUSER":  {localCmd: "EXPORTUSERLOCAL", merge: mergeExport},
+	"OBJECT":      {localCmd: "OBJECTLOCAL", merge: mergeOK},
+	"UNOBJECT":    {localCmd: "UNOBJECTLOCAL", merge: mergeOK},
+}
+
+// mergeSum adds integer replies (erasure counts).
+func mergeSum(local resp.Value, peers []resp.Value) (resp.Value, error) {
+	total := local.Int
+	for _, v := range peers {
+		total += v.Int
+	}
+	return resp.IntegerValue(total), nil
+}
+
+// mergeConcat appends array replies (key/value record lists).
+func mergeConcat(local resp.Value, peers []resp.Value) (resp.Value, error) {
+	merged := append([]resp.Value(nil), local.Array...)
+	for _, v := range peers {
+		merged = append(merged, v.Array...)
+	}
+	return resp.ArrayValue(merged...), nil
+}
+
+// mergeOK collapses unanimous OK replies (objections).
+func mergeOK(resp.Value, []resp.Value) (resp.Value, error) {
+	return resp.SimpleStringValue("OK"), nil
+}
+
+// exportPayload is the Article 20 portability envelope core.Export emits
+// (format gdprstore-export/v1); the coordinator merges the per-node
+// record lists into one payload so a cluster export is as complete as a
+// single-node one.
+type exportPayload struct {
+	Format  string            `json:"format"`
+	Owner   string            `json:"owner"`
+	Records []json.RawMessage `json:"records"`
+}
+
+func mergeExport(local resp.Value, peers []resp.Value) (resp.Value, error) {
+	var out exportPayload
+	if err := json.Unmarshal(local.Str, &out); err != nil {
+		return resp.Value{}, fmt.Errorf("cluster export merge: %w", err)
+	}
+	for _, v := range peers {
+		var p exportPayload
+		if err := json.Unmarshal(v.Str, &p); err != nil {
+			return resp.Value{}, fmt.Errorf("cluster export merge: %w", err)
+		}
+		out.Records = append(out.Records, p.Records...)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return resp.Value{}, err
+	}
+	return resp.BulkValue(b), nil
+}
+
+// clusterFanout coordinates a rights command across every primary: the
+// local half runs through the command's own handler, the remote halves
+// through the *LOCAL primitives on each peer, and the replies merge per
+// the command's fanoutSpec. A local refusal (DENIED, ERASED, ...) is
+// returned verbatim — its wire code is the authoritative answer and the
+// peers are not consulted. After a successful local half the operation is
+// all-or-reported: any unreachable or refusing peer turns the reply into
+// a CLUSTERDOWN error naming the nodes that did not confirm, and the
+// partial outcome is written to the audit trail — never silently dropped.
+func (s *Server) clusterFanout(ctx *Ctx, cs *clusterState) (resp.Value, error) {
+	owner := string(ctx.Args[0])
+	spec := fanoutSpecs[ctx.Cmd.Name]
+	localV, err := ctx.Cmd.Handler(ctx)
+	if err != nil {
+		return resp.Value{}, err
+	}
+
+	peers := make([]cluster.Node, 0, len(cs.m.Nodes())-1)
+	for _, n := range cs.m.Nodes() {
+		if n.ID != cs.self.ID {
+			peers = append(peers, n)
+		}
+	}
+	peerArgs := make([]string, 0, 1+len(ctx.Args))
+	peerArgs = append(peerArgs, spec.localCmd)
+	for _, a := range ctx.Args {
+		peerArgs = append(peerArgs, string(a))
+	}
+
+	type peerReply struct {
+		node cluster.Node
+		v    resp.Value
+		err  error
+	}
+	replies := make([]peerReply, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p cluster.Node) {
+			defer wg.Done()
+			v, err := clusterCall(p.Addr, ctx.Core.Actor, ctx.Core.Purpose, cs.timeout, peerArgs...)
+			replies[i] = peerReply{node: p, v: v, err: err}
+		}(i, p)
+	}
+	wg.Wait()
+
+	var failed []string
+	peerVals := make([]resp.Value, 0, len(replies))
+	for _, r := range replies {
+		if r.err != nil {
+			failed = append(failed, fmt.Sprintf("%s (%s): %v", r.node.ID, r.node.Addr, r.err))
+			continue
+		}
+		peerVals = append(peerVals, r.v)
+	}
+
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		detail := fmt.Sprintf("cluster fan-out incomplete (%d/%d nodes failed): %s",
+			len(failed), len(peers)+1, strings.Join(failed, "; "))
+		s.auditCluster(audit.Record{
+			Actor: ctx.Core.Actor, Op: ctx.Cmd.Name, Owner: owner, Purpose: ctx.Core.Purpose,
+			Outcome: audit.OutcomeError, Detail: detail,
+		})
+		return resp.Value{}, codedError{text: wirecode.ClusterDown + " " + detail}
+	}
+
+	merged, err := spec.merge(localV, peerVals)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	if spec.audited {
+		s.auditCluster(audit.Record{
+			Actor: ctx.Core.Actor, Op: ctx.Cmd.Name, Owner: owner, Purpose: ctx.Core.Purpose,
+			Outcome: audit.OutcomeOK,
+			Detail:  fmt.Sprintf("cluster fan-out: nodes=%d erased=%d", len(peers)+1, merged.Int),
+		})
+	}
+	return merged, nil
+}
+
+// auditCluster writes a coordinator-side audit record when the store has
+// a trail (fan-out outcomes are part of the Article 30 evidence; each
+// node additionally audits its own local half).
+func (s *Server) auditCluster(r audit.Record) {
+	if t := s.store.Trail(); t != nil {
+		_, _ = t.Append(r)
+	}
+}
+
+// clusterCall runs one command against a peer node over a short-lived
+// connection, presenting the coordinator session's actor and purpose so
+// the peer's ACL and audit trail see the real principal. Rights
+// operations are rare enough that a per-call dial keeps the peer path
+// free of pooled-connection identity problems.
+func clusterCall(addr, actor, purpose string, timeout time.Duration, args ...string) (resp.Value, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	r, w := resp.NewReader(conn), resp.NewWriter(conn)
+	run := func(cmd ...string) (resp.Value, error) {
+		if err := w.WriteCommand(cmd...); err != nil {
+			return resp.Value{}, err
+		}
+		if err := w.Flush(); err != nil {
+			return resp.Value{}, err
+		}
+		v, err := r.ReadValue()
+		if err != nil {
+			return resp.Value{}, err
+		}
+		if v.IsError() {
+			return resp.Value{}, errors.New(v.Text())
+		}
+		return v, nil
+	}
+	if actor != "" {
+		if _, err := run("AUTH", actor); err != nil {
+			return resp.Value{}, fmt.Errorf("auth: %w", err)
+		}
+	}
+	if purpose != "" {
+		if _, err := run("PURPOSE", purpose); err != nil {
+			return resp.Value{}, fmt.Errorf("purpose: %w", err)
+		}
+	}
+	return run(args...)
+}
+
+// clusterStatePtr is the atomic holder type (declared here to keep the
+// cluster surface in one file; the field lives on Server).
+type clusterStatePtr = atomic.Pointer[clusterState]

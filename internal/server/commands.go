@@ -50,10 +50,10 @@ func init() {
 		}})
 
 	// --- vanilla engine surface (baseline benchmarks) ---
-	register(Command{Name: "SET", MinArgs: 2, MaxArgs: -1, Flags: FlagWrite | FlagNoCompliance,
+	register(Command{Name: "SET", MinArgs: 2, MaxArgs: -1, Flags: FlagWrite | FlagNoCompliance, Keys: keysFirst,
 		Summary: "SET key value [EX seconds] [KEEPTTL] on the raw engine",
 		Handler: cmdSet})
-	register(Command{Name: "GET", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagNoCompliance,
+	register(Command{Name: "GET", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagNoCompliance, Keys: keysFirst,
 		Summary: "read a raw value",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
 			v, ok := ctx.Srv.store.Engine().Get(string(ctx.Args[0]))
@@ -62,19 +62,19 @@ func init() {
 			}
 			return resp.BulkValue(v), nil
 		}})
-	register(Command{Name: "MSET", MinArgs: 2, MaxArgs: -1, Flags: FlagWrite | FlagNoCompliance,
+	register(Command{Name: "MSET", MinArgs: 2, MaxArgs: -1, Flags: FlagWrite | FlagNoCompliance, Keys: keysPairs,
 		Summary: "MSET key value [key value ...]: batch write, one lock + one AOF record",
 		Handler: cmdMSet})
-	register(Command{Name: "MGET", MinArgs: 1, MaxArgs: -1, Flags: FlagReadonly | FlagNoCompliance,
+	register(Command{Name: "MGET", MinArgs: 1, MaxArgs: -1, Flags: FlagReadonly | FlagNoCompliance, Keys: keysAll,
 		Summary: "MGET key [key ...]: batch read, one lock acquisition",
 		Handler: cmdMGet})
-	register(Command{Name: "DEL", MinArgs: 1, MaxArgs: -1, Flags: FlagWrite | FlagNoCompliance,
+	register(Command{Name: "DEL", MinArgs: 1, MaxArgs: -1, Flags: FlagWrite | FlagNoCompliance, Keys: keysAll,
 		Summary: "delete keys, returning how many existed",
 		Handler: cmdDel})
-	register(Command{Name: "UNLINK", MinArgs: 1, MaxArgs: -1, Flags: FlagWrite | FlagNoCompliance,
+	register(Command{Name: "UNLINK", MinArgs: 1, MaxArgs: -1, Flags: FlagWrite | FlagNoCompliance, Keys: keysAll,
 		Summary: "alias of DEL (reclamation is synchronous either way)",
 		Handler: cmdDel})
-	register(Command{Name: "EXISTS", MinArgs: 1, MaxArgs: -1, Flags: FlagReadonly | FlagNoCompliance,
+	register(Command{Name: "EXISTS", MinArgs: 1, MaxArgs: -1, Flags: FlagReadonly | FlagNoCompliance, Keys: keysAll,
 		Summary: "count how many of the given keys exist",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
 			n := 0
@@ -85,7 +85,7 @@ func init() {
 			}
 			return resp.IntegerValue(int64(n)), nil
 		}})
-	register(Command{Name: "EXPIRE", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagNoCompliance,
+	register(Command{Name: "EXPIRE", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagNoCompliance, Keys: keysFirst,
 		Summary: "set a TTL in seconds",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
 			secs, err := strconv.ParseInt(string(ctx.Args[1]), 10, 64)
@@ -97,7 +97,7 @@ func init() {
 			}
 			return resp.IntegerValue(0), nil
 		}})
-	register(Command{Name: "EXPIREAT", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagNoCompliance,
+	register(Command{Name: "EXPIREAT", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagNoCompliance, Keys: keysFirst,
 		Summary: "set an absolute unix-seconds retention deadline",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
 			unix, err := strconv.ParseInt(string(ctx.Args[1]), 10, 64)
@@ -109,7 +109,7 @@ func init() {
 			}
 			return resp.IntegerValue(0), nil
 		}})
-	register(Command{Name: "PERSIST", MinArgs: 1, MaxArgs: 1, Flags: FlagWrite | FlagNoCompliance,
+	register(Command{Name: "PERSIST", MinArgs: 1, MaxArgs: 1, Flags: FlagWrite | FlagNoCompliance, Keys: keysFirst,
 		Summary: "drop a key's TTL",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
 			if ctx.Srv.store.Engine().Persist(string(ctx.Args[0])) {
@@ -117,7 +117,7 @@ func init() {
 			}
 			return resp.IntegerValue(0), nil
 		}})
-	register(Command{Name: "TTL", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagNoCompliance,
+	register(Command{Name: "TTL", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagNoCompliance, Keys: keysFirst,
 		Summary: "remaining TTL in seconds (-1 none, -2 missing)",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
 			d, st := ctx.Srv.store.Engine().TTL(string(ctx.Args[0]))
@@ -153,14 +153,14 @@ func init() {
 			return resp.SimpleStringValue("OK"), nil
 		}})
 	register(Command{Name: "INFO", MinArgs: 0, MaxArgs: 1, Flags: FlagReadonly | FlagAdmin,
-		Summary: "INFO [section]: server and store health, Redis INFO style (sections: gdprstore, replication, commandstats)",
+		Summary: "INFO [section]: server and store health, Redis INFO style (sections: gdprstore, replication, cluster, commandstats)",
 		Handler: cmdInfo})
 
 	// --- GDPR command family (compliance path) ---
-	register(Command{Name: "GPUT", MinArgs: 2, MaxArgs: -1, Flags: FlagWrite | FlagGDPR,
+	register(Command{Name: "GPUT", MinArgs: 2, MaxArgs: -1, Flags: FlagWrite | FlagGDPR, Keys: keysFirst,
 		Summary: "GPUT key value OWNER o [PURPOSES p,..] [TTL s] [ORIGIN x] [LOCATION l] [SHAREDWITH a,..] [AUTODECIDE]",
 		Handler: cmdGPut})
-	register(Command{Name: "GGET", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+	register(Command{Name: "GGET", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR, Keys: keysFirst,
 		Summary: "read personal data under the session's actor and purpose",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
 			v, err := ctx.Srv.store.Get(ctx.Core, string(ctx.Args[0]))
@@ -169,7 +169,7 @@ func init() {
 			}
 			return resp.BulkValue(v), nil
 		}})
-	register(Command{Name: "GDEL", MinArgs: 1, MaxArgs: 1, Flags: FlagWrite | FlagGDPR,
+	register(Command{Name: "GDEL", MinArgs: 1, MaxArgs: 1, Flags: FlagWrite | FlagGDPR, Keys: keysFirst,
 		Summary: "delete personal data (real-time timing compacts the AOF)",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
 			if err := ctx.Srv.store.Delete(ctx.Core, string(ctx.Args[0])); err != nil {
@@ -177,13 +177,13 @@ func init() {
 			}
 			return resp.IntegerValue(1), nil
 		}})
-	register(Command{Name: "GMPUT", MinArgs: 3, MaxArgs: -1, Flags: FlagWrite | FlagGDPR,
+	register(Command{Name: "GMPUT", MinArgs: 3, MaxArgs: -1, Flags: FlagWrite | FlagGDPR, Keys: keysGMPut,
 		Summary: "GMPUT npairs k1 v1 ... kN vN [put options]: batch write with shared metadata, one AOF append + one audit record",
 		Handler: cmdGMPut})
-	register(Command{Name: "GMGET", MinArgs: 1, MaxArgs: -1, Flags: FlagReadonly | FlagGDPR,
+	register(Command{Name: "GMGET", MinArgs: 1, MaxArgs: -1, Flags: FlagReadonly | FlagGDPR, Keys: keysAll,
 		Summary: "GMGET key [key ...]: batch compliance-path read; per-key errors reported in-array",
 		Handler: cmdGMGet})
-	register(Command{Name: "GETMETA", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+	register(Command{Name: "GETMETA", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR, Keys: keysFirst,
 		Summary: "read a record's GDPR metadata as JSON",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
 			m, err := ctx.Srv.store.Metadata(ctx.Core, string(ctx.Args[0]))
@@ -192,20 +192,13 @@ func init() {
 			}
 			return jsonValue(m)
 		}})
-	register(Command{Name: "GETUSER", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
-		Summary: "Art. 15 right of access: every record of a data subject",
-		Handler: func(ctx *Ctx) (resp.Value, error) {
-			recs, err := ctx.Srv.store.GetUser(ctx.Core, string(ctx.Args[0]))
-			if err != nil {
-				return resp.Value{}, err
-			}
-			vs := make([]resp.Value, 0, 2*len(recs))
-			for _, r := range recs {
-				vs = append(vs, resp.BulkStringValue(r.Key), resp.BulkValue(r.Value))
-			}
-			return resp.ArrayValue(vs...), nil
-		}})
-	register(Command{Name: "ACCESS", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+	register(Command{Name: "GETUSER", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR, Fanout: true,
+		Summary: "Art. 15 right of access: every record of a data subject (cluster-wide in cluster mode)",
+		Handler: handleGetUserLocal})
+	register(Command{Name: "GETUSERDATA", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR, Fanout: true,
+		Summary: "alias of GETUSER (GDPRbench's name for the right of access)",
+		Handler: handleGetUserLocal})
+	register(Command{Name: "ACCESS", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR, Keys: keysFirst,
 		Summary: "Art. 15 disclosure report (purposes, recipients, storage periods)",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
 			rep, err := ctx.Srv.store.Access(ctx.Core, string(ctx.Args[0]))
@@ -214,41 +207,19 @@ func init() {
 			}
 			return jsonValue(rep)
 		}})
-	register(Command{Name: "EXPORTUSER", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
-		Summary: "Art. 20 portability payload (JSON)",
-		Handler: func(ctx *Ctx) (resp.Value, error) {
-			b, err := ctx.Srv.store.Export(ctx.Core, string(ctx.Args[0]))
-			if err != nil {
-				return resp.Value{}, err
-			}
-			return resp.BulkValue(b), nil
-		}})
-	register(Command{Name: "FORGETUSER", MinArgs: 1, MaxArgs: 1, Flags: FlagWrite | FlagGDPR,
-		Summary: "Art. 17 erasure of a data subject; returns records erased",
-		Handler: func(ctx *Ctx) (resp.Value, error) {
-			n, err := ctx.Srv.store.Forget(ctx.Core, string(ctx.Args[0]))
-			if err != nil {
-				return resp.Value{}, err
-			}
-			return resp.IntegerValue(int64(n)), nil
-		}})
-	register(Command{Name: "OBJECT", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagGDPR,
-		Summary: "Art. 21 objection: OBJECT owner purpose",
-		Handler: func(ctx *Ctx) (resp.Value, error) {
-			if err := ctx.Srv.store.Object(ctx.Core, string(ctx.Args[0]), string(ctx.Args[1])); err != nil {
-				return resp.Value{}, err
-			}
-			return resp.SimpleStringValue("OK"), nil
-		}})
-	register(Command{Name: "UNOBJECT", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagGDPR,
-		Summary: "withdraw an Art. 21 objection",
-		Handler: func(ctx *Ctx) (resp.Value, error) {
-			if err := ctx.Srv.store.Unobject(ctx.Core, string(ctx.Args[0]), string(ctx.Args[1])); err != nil {
-				return resp.Value{}, err
-			}
-			return resp.SimpleStringValue("OK"), nil
-		}})
-	register(Command{Name: "OWNERKEYS", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR,
+	register(Command{Name: "EXPORTUSER", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR, Fanout: true,
+		Summary: "Art. 20 portability payload (JSON; merged cluster-wide in cluster mode)",
+		Handler: handleExportLocal})
+	register(Command{Name: "FORGETUSER", MinArgs: 1, MaxArgs: 1, Flags: FlagWrite | FlagGDPR, Fanout: true,
+		Summary: "Art. 17 erasure of a data subject; returns records erased (cluster-wide in cluster mode)",
+		Handler: handleForgetLocal})
+	register(Command{Name: "OBJECT", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagGDPR, Fanout: true,
+		Summary: "Art. 21 objection: OBJECT owner purpose (applied on every node in cluster mode)",
+		Handler: handleObjectLocal})
+	register(Command{Name: "UNOBJECT", MinArgs: 2, MaxArgs: 2, Flags: FlagWrite | FlagGDPR, Fanout: true,
+		Summary: "withdraw an Art. 21 objection (applied on every node in cluster mode)",
+		Handler: handleUnobjectLocal})
+	register(Command{Name: "OWNERKEYS", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagGDPR, Keys: keysFirst,
 		Summary: "keys owned by a data subject (metadata index lookup)",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
 			keys, err := ctx.Srv.store.OwnerKeys(ctx.Core, string(ctx.Args[0]))
@@ -672,7 +643,7 @@ func cmdInfo(ctx *Ctx) (resp.Value, error) {
 		section = strings.ToLower(string(ctx.Args[0]))
 	}
 	switch section {
-	case "", "gdprstore", "replication", "commandstats":
+	case "", "gdprstore", "replication", "cluster", "commandstats":
 	default:
 		return resp.Value{}, fmt.Errorf("unknown INFO section '%s'", section)
 	}
@@ -683,6 +654,9 @@ func cmdInfo(ctx *Ctx) (resp.Value, error) {
 	}
 	if want("replication") {
 		b.WriteString(s.replicationInfo())
+	}
+	if want("cluster") && (section == "cluster" || s.clusterInfo() != nil) {
+		b.WriteString(clusterInfoText(s.clusterInfo()))
 	}
 	if want("commandstats") {
 		b.WriteString(s.commandStatsInfo())

@@ -7,8 +7,8 @@ import (
 	"testing"
 	"time"
 
-	"gdprstore/internal/client"
 	"gdprstore/internal/core"
+	"gdprstore/pkg/gdprkv"
 )
 
 func TestSetSyntaxVariants(t *testing.T) {
@@ -171,7 +171,7 @@ func TestCompactAndMaintainCommands(t *testing.T) {
 	setupPrincipals(t, c)
 	c.Auth("controller")
 	c.Purpose("billing")
-	c.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "alice", Purposes: "billing", TTLSeconds: 60})
+	c.GPut("k", []byte("v"), gdprkv.PutOptions{Owner: "alice", Purposes: []string{"billing"}, TTL: time.Minute})
 	if _, err := c.Do("COMPACT"); err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestGGetMissingIsNil(t *testing.T) {
 	setupPrincipals(t, c)
 	c.Auth("controller")
 	c.Purpose("billing")
-	if _, err := c.GGet("absent"); !errors.Is(err, client.ErrNil) {
+	if _, err := c.GGet("absent"); !errors.Is(err, gdprkv.ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }

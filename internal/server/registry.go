@@ -96,6 +96,17 @@ type Command struct {
 	Flags Flag
 	// Summary is the one-line description COMMAND DOCS reports.
 	Summary string
+	// Keys extracts the arguments cluster mode routes on (data keys, or
+	// the owner name for owner-scoped GDPR commands). nil marks the
+	// command node-local: it is served wherever it lands, never redirected
+	// (PING, INFO, SCAN, CLUSTER, ...). Arity is already validated when it
+	// runs. See cluster.go.
+	Keys func(args [][]byte) [][]byte
+	// Fanout marks the cluster-coordinated rights commands (FORGETUSER,
+	// GETUSER): any node accepts them and fans out to the whole fleet
+	// instead of slot-checking, because a data subject's records may span
+	// slots when keys are not owner-tagged. See clusterFanout.
+	Fanout bool
 	// Handler is the command body.
 	Handler Handler
 }
@@ -146,10 +157,15 @@ var errSyntax = errors.New("syntax error")
 // The code table itself lives in internal/wirecode, shared with the
 // public SDK's decoder (pkg/gdprkv), so the two ends cannot drift.
 func errReply(err error) resp.Value {
+	var coded codedError
 	switch {
 	case errors.Is(err, errReadOnly):
 		// Carries its own READONLY code prefix (Redis's exact text).
 		return resp.ErrorValue(err.Error())
+	case errors.As(err, &coded):
+		// Cluster errors (MOVED/CROSSSLOT/CLUSTERDOWN) carry their own
+		// complete reply text, Redis's exact shapes.
+		return resp.ErrorValue(coded.text)
 	case errors.Is(err, core.ErrNotFound):
 		// Missing keys are null bulk strings, not error replies.
 		return resp.NullValue()
@@ -179,9 +195,13 @@ type CommandHook func(name string, args [][]byte, reply resp.Value, d time.Durat
 //     replication link applies records directly, below the registry)
 //  5. compliance   — FlagGDPR enforcement (BASELINE on non-compliant
 //     stores, DENIED before AUTH under ACL enforcement)
-//  6. the handler itself; its error return is mapped by errReply
+//  6. cluster      — slot ownership (MOVED), cross-slot batch rejection
+//     (CROSSSLOT), and the rights fan-out coordinator; inert unless
+//     EnableCluster was called
+//  7. the handler itself; its error return is mapped by errReply
 func (s *Server) buildPipeline() Handler {
 	h := func(ctx *Ctx) (resp.Value, error) { return ctx.Cmd.Handler(ctx) }
+	h = s.clusterMiddleware(h)
 	h = complianceMiddleware(h)
 	h = s.readOnlyMiddleware(h)
 	h = s.hookMiddleware(h)

@@ -10,12 +10,12 @@ import (
 
 	"gdprstore/internal/acl"
 	"gdprstore/internal/audit"
-	"gdprstore/internal/client"
 	"gdprstore/internal/clock"
 	"gdprstore/internal/core"
 	"gdprstore/internal/replica"
 	"gdprstore/internal/store"
 	"gdprstore/internal/testutil"
+	"gdprstore/pkg/gdprkv"
 )
 
 const replWait = 10 * time.Second
@@ -25,7 +25,7 @@ type replPair struct {
 	pst, rst *core.Store
 	psrv     *Server
 	rsrv     *Server
-	pcl, rcl *client.Client
+	pcl, rcl *tclient
 	clk      *clock.Virtual
 }
 
@@ -64,16 +64,8 @@ func startReplPair(t *testing.T) *replPair {
 	}
 	t.Cleanup(func() { rsrv.Close() })
 
-	pcl, err := client.Dial(psrv.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { pcl.Close() })
-	rcl, err := client.Dial(rsrv.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { rcl.Close() })
+	pcl := tdial(t, psrv.Addr())
+	rcl := tdial(t, rsrv.Addr())
 
 	host, port, err := net.SplitHostPort(psrv.Addr())
 	if err != nil {
@@ -99,7 +91,7 @@ func TestReplicationEndToEnd(t *testing.T) {
 
 	// Data written before the replica attaches arrives via full sync...
 	if err := p.pcl.GPut("user:alice:profile", []byte("alice-data"),
-		client.GDPRPutArgs{Owner: "alice", Purposes: "ads"}); err != nil {
+		gdprkv.PutOptions{Owner: "alice", Purposes: []string{"ads"}}); err != nil {
 		t.Fatal(err)
 	}
 	p.waitLinkUp(t)
@@ -111,7 +103,7 @@ func TestReplicationEndToEnd(t *testing.T) {
 	// ...and data written after it arrives via the live stream, metadata
 	// included.
 	if err := p.pcl.GPut("user:bob:profile", []byte("bob-data"),
-		client.GDPRPutArgs{Owner: "bob", Purposes: "ads"}); err != nil {
+		gdprkv.PutOptions{Owner: "bob", Purposes: []string{"ads"}}); err != nil {
 		t.Fatal(err)
 	}
 	testutil.Eventually(t, replWait, 0, func() bool {
@@ -150,7 +142,7 @@ func TestReplicationRetentionExpiryPropagates(t *testing.T) {
 	p := startReplPair(t)
 	p.waitLinkUp(t)
 	if err := p.pcl.GPut("ttl:key", []byte("short-lived"),
-		client.GDPRPutArgs{Owner: "carol", Purposes: "ads", TTLSeconds: 60}); err != nil {
+		gdprkv.PutOptions{Owner: "carol", Purposes: []string{"ads"}, TTL: time.Minute}); err != nil {
 		t.Fatal(err)
 	}
 	testutil.Eventually(t, replWait, 0, func() bool {
@@ -169,7 +161,7 @@ func TestReplicationRetentionExpiryPropagates(t *testing.T) {
 func TestReplicationReconnectResumesWithoutLoss(t *testing.T) {
 	p := startReplPair(t)
 	p.waitLinkUp(t)
-	if err := p.pcl.GPut("k:pre", []byte("1"), client.GDPRPutArgs{Owner: "o", Purposes: "p"}); err != nil {
+	if err := p.pcl.GPut("k:pre", []byte("1"), gdprkv.PutOptions{Owner: "o", Purposes: []string{"p"}}); err != nil {
 		t.Fatal(err)
 	}
 	testutil.Eventually(t, replWait, 0, func() bool {
@@ -180,7 +172,7 @@ func TestReplicationReconnectResumesWithoutLoss(t *testing.T) {
 	p.pst.Hub().DisconnectReplicas()
 	for i := 0; i < 10; i++ {
 		if err := p.pcl.GPut(fmt.Sprintf("k:during%d", i), []byte("2"),
-			client.GDPRPutArgs{Owner: "o", Purposes: "p"}); err != nil {
+			gdprkv.PutOptions{Owner: "o", Purposes: []string{"p"}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -202,7 +194,7 @@ func TestReplicaRejectsWritesUntilPromoted(t *testing.T) {
 	p := startReplPair(t)
 	p.waitLinkUp(t)
 
-	err := p.rcl.GPut("direct", []byte("x"), client.GDPRPutArgs{Owner: "o", Purposes: "p"})
+	err := p.rcl.GPut("direct", []byte("x"), gdprkv.PutOptions{Owner: "o", Purposes: []string{"p"}})
 	if err == nil || !strings.Contains(err.Error(), "READONLY") {
 		t.Fatalf("write on replica: err = %v, want READONLY", err)
 	}
@@ -229,7 +221,7 @@ func TestReplicaRejectsWritesUntilPromoted(t *testing.T) {
 func TestInfoReplicationSections(t *testing.T) {
 	p := startReplPair(t)
 	p.waitLinkUp(t)
-	if err := p.pcl.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "o", Purposes: "p"}); err != nil {
+	if err := p.pcl.GPut("k", []byte("v"), gdprkv.PutOptions{Owner: "o", Purposes: []string{"p"}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -275,11 +267,7 @@ func TestPSYNCRequiresAuthUnderACL(t *testing.T) {
 	}
 	t.Cleanup(func() { srv.Close() })
 
-	cl, err := client.Dial(srv.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { cl.Close() })
+	cl := tdial(t, srv.Addr())
 	if _, err := cl.Do("PSYNC", "?", "-1"); err == nil || !strings.Contains(err.Error(), "DENIED") {
 		t.Fatalf("unauthenticated PSYNC: err = %v, want DENIED", err)
 	}
@@ -309,7 +297,7 @@ func TestPromoteHookFires(t *testing.T) {
 func TestFlushAllClearsMetadataEverywhere(t *testing.T) {
 	p := startReplPair(t)
 	p.waitLinkUp(t)
-	if err := p.pcl.GPut("f:k", []byte("v"), client.GDPRPutArgs{Owner: "o", Purposes: "p"}); err != nil {
+	if err := p.pcl.GPut("f:k", []byte("v"), gdprkv.PutOptions{Owner: "o", Purposes: []string{"p"}}); err != nil {
 		t.Fatal(err)
 	}
 	testutil.Eventually(t, replWait, 0, func() bool {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -10,10 +11,10 @@ import (
 	"testing"
 	"time"
 
-	"gdprstore/internal/client"
 	"gdprstore/internal/core"
 	"gdprstore/internal/resp"
 	"gdprstore/internal/testutil"
+	"gdprstore/pkg/gdprkv"
 )
 
 // rawDial opens a plain TCP connection to the server for protocol abuse.
@@ -75,13 +76,13 @@ func TestSlowClientDoesNotBlockOthers(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		c, err := client.Dial(srv.Addr())
+		c, err := gdprkv.Dial(context.Background(), srv.Addr(), gdprkv.WithPoolSize(1))
 		if err != nil {
 			done <- err
 			return
 		}
 		defer c.Close()
-		done <- c.Ping()
+		done <- c.Ping(context.Background())
 	}()
 	select {
 	case err := <-done:
@@ -108,13 +109,14 @@ func TestCloseWhileClientsActive(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := client.Dial(srv.Addr())
+			ctx := context.Background()
+			c, err := gdprkv.Dial(ctx, srv.Addr(), gdprkv.WithPoolSize(1))
 			if err != nil {
 				return
 			}
 			defer c.Close()
 			for j := 0; ; j++ {
-				if err := c.Set(fmt.Sprintf("k%d", j), []byte("v")); err != nil {
+				if err := c.Set(ctx, fmt.Sprintf("k%d", j), []byte("v")); err != nil {
 					return // server closed underneath us: expected
 				}
 			}
@@ -213,11 +215,7 @@ func TestReconnectAfterServerError(t *testing.T) {
 	c.SetReadDeadline(time.Now().Add(time.Second))
 	io.Copy(io.Discard, c)
 	c.Close()
-	c2, err := client.Dial(srv.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c2.Close()
+	c2 := tdial(t, srv.Addr())
 	if err := c2.Ping(); err != nil {
 		t.Fatal(err)
 	}

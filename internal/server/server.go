@@ -53,6 +53,11 @@ type Server struct {
 	onPromote func()
 	isReplica atomic.Bool
 
+	// clusterSt holds the cluster-mode topology (cluster.go); nil while
+	// the server runs standalone. Swapped atomically so slot checks on the
+	// command hot path are lock-free.
+	clusterSt clusterStatePtr
+
 	// stats
 	commands atomic.Uint64
 }

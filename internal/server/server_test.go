@@ -2,20 +2,23 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
-	"gdprstore/internal/client"
 	"gdprstore/internal/core"
+	"gdprstore/internal/resp"
+	"gdprstore/pkg/gdprkv"
 )
 
 // startServer spins up a server over a store built from cfg, with standard
 // principals installed.
-func startServer(t *testing.T, cfg core.Config) (*Server, *client.Client) {
+func startServer(t *testing.T, cfg core.Config) (*Server, *tclient) {
 	t.Helper()
 	st, err := core.Open(cfg)
 	if err != nil {
@@ -29,15 +32,10 @@ func startServer(t *testing.T, cfg core.Config) (*Server, *client.Client) {
 		srv.Close()
 		st.Close()
 	})
-	c, err := client.Dial(srv.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { c.Close() })
-	return srv, c
+	return srv, tdial(t, srv.Addr())
 }
 
-func setupPrincipals(t *testing.T, c *client.Client) {
+func setupPrincipals(t *testing.T, c *tclient) {
 	t.Helper()
 	for _, cmd := range [][]string{
 		{"ACL", "ADDPRINCIPAL", "controller", "controller"},
@@ -75,7 +73,7 @@ func TestVanillaSetGetDel(t *testing.T) {
 	if err != nil || n != 1 {
 		t.Fatalf("del = %d, %v", n, err)
 	}
-	if _, err := c.Get("k"); !errors.Is(err, client.ErrNil) {
+	if _, err := c.Get("k"); !errors.Is(err, gdprkv.ErrNotFound) {
 		t.Fatalf("get deleted = %v", err)
 	}
 }
@@ -134,8 +132,8 @@ func TestGDPRFlowOverNetwork(t *testing.T) {
 	if err := c.Purpose("billing"); err != nil {
 		t.Fatal(err)
 	}
-	err := c.GPut("user:alice:email", []byte("a@x.eu"), client.GDPRPutArgs{
-		Owner: "alice", Purposes: "billing", TTLSeconds: 3600, Origin: "signup",
+	err := c.GPut("user:alice:email", []byte("a@x.eu"), gdprkv.PutOptions{
+		Owner: "alice", Purposes: []string{"billing"}, TTL: 3600 * time.Second, Origin: "signup",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -165,7 +163,7 @@ func TestGDPRFlowOverNetwork(t *testing.T) {
 	if err != nil || n != 1 {
 		t.Fatalf("forget = %d, %v", n, err)
 	}
-	if _, err := c.GGet("user:alice:email"); !errors.Is(err, client.ErrNil) {
+	if _, err := c.GGet("user:alice:email"); !errors.Is(err, gdprkv.ErrNotFound) {
 		t.Fatalf("forgotten gget = %v", err)
 	}
 }
@@ -175,12 +173,11 @@ func TestPurposeDeniedOverNetwork(t *testing.T) {
 	setupPrincipals(t, c)
 	c.Auth("controller")
 	c.Purpose("billing")
-	c.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "alice", Purposes: "billing", TTLSeconds: 60})
+	c.GPut("k", []byte("v"), gdprkv.PutOptions{Owner: "alice", Purposes: []string{"billing"}, TTL: time.Minute})
 	c.Purpose("marketing")
 	_, err := c.GGet("k")
-	var se client.ServerError
-	if !errors.As(err, &se) || !strings.HasPrefix(string(se), "PURPOSEDENIED") {
-		t.Fatalf("err = %v, want PURPOSEDENIED", err)
+	if !errors.Is(err, gdprkv.ErrBadPurpose) {
+		t.Fatalf("err = %v, want ErrBadPurpose (PURPOSEDENIED)", err)
 	}
 }
 
@@ -189,18 +186,13 @@ func TestACLDeniedOverNetwork(t *testing.T) {
 	setupPrincipals(t, c)
 	c.Auth("controller")
 	c.Purpose("billing")
-	c.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "alice", Purposes: "billing", TTLSeconds: 60})
+	c.GPut("k", []byte("v"), gdprkv.PutOptions{Owner: "alice", Purposes: []string{"billing"}, TTL: time.Minute})
 	// A fresh connection that never AUTHs is an unknown principal: denied.
-	c2, err := client.Dial(srv.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c2.Close()
+	c2 := tdial(t, srv.Addr())
 	c2.Purpose("billing")
 	_, gerr := c2.GGet("k")
-	var se client.ServerError
-	if !errors.As(gerr, &se) || !strings.HasPrefix(string(se), "DENIED") {
-		t.Fatalf("err = %v, want DENIED", gerr)
+	if !errors.Is(gerr, gdprkv.ErrDenied) {
+		t.Fatalf("err = %v, want ErrDenied (DENIED)", gerr)
 	}
 }
 
@@ -209,7 +201,7 @@ func TestObjectionOverNetwork(t *testing.T) {
 	setupPrincipals(t, c)
 	c.Auth("controller")
 	c.Purpose("billing")
-	c.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "alice", Purposes: "billing,ads", TTLSeconds: 60})
+	c.GPut("k", []byte("v"), gdprkv.PutOptions{Owner: "alice", Purposes: []string{"billing", "ads"}, TTL: time.Minute})
 	if err := c.Auth("alice"); err != nil {
 		t.Fatal(err)
 	}
@@ -231,24 +223,31 @@ func TestObjectionOverNetwork(t *testing.T) {
 	}
 }
 
+// TestPipelinedCommands writes a burst of commands before reading any
+// reply, over a raw connection (the SDK is strictly request/reply; the
+// wire protocol itself allows pipelining and the server must serve it).
 func TestPipelinedCommands(t *testing.T) {
-	_, c := startServer(t, core.Baseline())
-	p := c.Pipeline()
-	for i := 0; i < 100; i++ {
-		if err := p.DoArgs("SET", []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
-			t.Fatal(err)
-		}
-	}
-	replies, err := p.Exec()
+	srv, c := startServer(t, core.Baseline())
+	conn, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(replies) != 100 {
-		t.Fatalf("replies = %d", len(replies))
+	defer conn.Close()
+	w := resp.NewWriter(conn)
+	for i := 0; i < 100; i++ {
+		if err := w.WriteCommand("SET", fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
 	}
-	for i, r := range replies {
-		if r.Text() != "OK" {
-			t.Fatalf("reply %d = %+v", i, r)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	r := resp.NewReader(conn)
+	for i := 0; i < 100; i++ {
+		v, err := r.ReadValue()
+		if err != nil || v.Text() != "OK" {
+			t.Fatalf("reply %d = %+v, %v", i, v, err)
 		}
 	}
 	v, _ := c.Do("DBSIZE")
@@ -260,7 +259,7 @@ func TestPipelinedCommands(t *testing.T) {
 func TestUnknownCommand(t *testing.T) {
 	_, c := startServer(t, core.Baseline())
 	_, err := c.Do("BOGUS")
-	var se client.ServerError
+	var se *gdprkv.ServerError
 	if !errors.As(err, &se) {
 		t.Fatalf("err = %v", err)
 	}
@@ -292,12 +291,13 @@ func TestInfo(t *testing.T) {
 
 func TestConcurrentClients(t *testing.T) {
 	srv, _ := startServer(t, core.Baseline())
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			cc, err := client.Dial(srv.Addr())
+			cc, err := gdprkv.Dial(ctx, srv.Addr(), gdprkv.WithPoolSize(1))
 			if err != nil {
 				t.Errorf("dial: %v", err)
 				return
@@ -305,11 +305,11 @@ func TestConcurrentClients(t *testing.T) {
 			defer cc.Close()
 			for i := 0; i < 100; i++ {
 				k := fmt.Sprintf("g%d-k%d", g, i)
-				if err := cc.Set(k, []byte("v")); err != nil {
+				if err := cc.Set(ctx, k, []byte("v")); err != nil {
 					t.Errorf("set: %v", err)
 					return
 				}
-				if _, err := cc.Get(k); err != nil {
+				if _, err := cc.Get(ctx, k); err != nil {
 					t.Errorf("get: %v", err)
 					return
 				}
@@ -328,7 +328,7 @@ func TestBreachOverNetwork(t *testing.T) {
 	c.Do("ACL", "ADDPRINCIPAL", "dpa", "regulator")
 	c.Auth("controller")
 	c.Purpose("billing")
-	c.GPut("k", []byte("v"), client.GDPRPutArgs{Owner: "alice", Purposes: "billing", TTLSeconds: 60})
+	c.GPut("k", []byte("v"), gdprkv.PutOptions{Owner: "alice", Purposes: []string{"billing"}, TTL: time.Minute})
 	c.GGet("k")
 	c.Auth("dpa")
 	from := time.Now().Add(-time.Hour).UTC().Format(time.RFC3339)
@@ -345,8 +345,7 @@ func TestBreachOverNetwork(t *testing.T) {
 func TestBaselineRejectsGDPRCommands(t *testing.T) {
 	_, c := startServer(t, core.Baseline())
 	_, err := c.GetUser("alice")
-	var se client.ServerError
-	if !errors.As(err, &se) || !strings.HasPrefix(string(se), "BASELINE") {
-		t.Fatalf("err = %v", err)
+	if !errors.Is(err, gdprkv.ErrBaseline) {
+		t.Fatalf("err = %v, want ErrBaseline (BASELINE)", err)
 	}
 }

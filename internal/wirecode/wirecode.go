@@ -33,12 +33,24 @@ const (
 	Baseline = "BASELINE"
 	// ReadOnly is Redis's replica-mode write rejection prefix.
 	ReadOnly = "READONLY"
+	// Moved is the cluster redirection prefix: the key's slot lives on
+	// another node. The text is "MOVED <slot> <host:port>", Redis's exact
+	// shape, so cluster-aware clients can follow it.
+	Moved = "MOVED"
+	// CrossSlot rejects a multi-key command whose keys hash to different
+	// slots (Redis's exact prefix).
+	CrossSlot = "CROSSSLOT"
+	// ClusterDown reports a cluster-wide operation (rights fan-out) that
+	// could not reach every node. The operation is deliberately
+	// all-or-reported: partial completion is surfaced, never hidden.
+	ClusterDown = "CLUSTERDOWN"
 )
 
 // known is the set of prefixes Split recognises as codes.
 var known = map[string]bool{
 	Err: true, Denied: true, PurposeDenied: true, Policy: true,
 	Erased: true, Baseline: true, ReadOnly: true,
+	Moved: true, CrossSlot: true, ClusterDown: true,
 }
 
 // Entry maps one compliance-layer sentinel to its wire code.

@@ -2,6 +2,7 @@ package gdprkv
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 
@@ -27,8 +28,13 @@ type Client struct {
 	rr       atomic.Uint32
 	closed   atomic.Bool
 
+	// cl is the cluster router (cluster.go); nil outside cluster mode. In
+	// cluster mode primary aliases the default node's pool (owned by cl).
+	cl *clusterRouter
+
 	stats struct {
 		primaryReads, replicaReads, writes, retries, redials atomic.Uint64
+		redirects, slotRefreshes                             atomic.Uint64
 	}
 }
 
@@ -45,6 +51,25 @@ func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
 	if c.cfg.retryAttempts == 0 {
 		// Default: one attempt per node in the read path.
 		c.cfg.retryAttempts = len(cfg.replicas) + 1
+	}
+	if cfg.clusterMode {
+		if len(cfg.replicas) > 0 {
+			return nil, errors.New("gdprkv: WithReplicas cannot be combined with WithCluster (every cluster node is a primary)")
+		}
+		c.cl = newClusterRouter(&c.cfg, &c.stats.redials)
+		if err := c.bootstrapCluster(ctx, append([]string{addr}, cfg.clusterSeeds...)); err != nil {
+			c.Close()
+			return nil, err
+		}
+		// The default node's pool doubles as "primary" so the un-keyed
+		// paths (Do, Ping, Info, Scan) have a stable target.
+		p, err := c.cl.poolFor(c.cl.defaultNode())
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.primary = p
+		return c, nil
 	}
 	c.primary = newPool(addr, &c.cfg, &c.stats.redials)
 	for _, ra := range cfg.replicas {
@@ -63,7 +88,15 @@ func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
-	c.primary.close()
+	if c.cl != nil {
+		// The router owns every pool in cluster mode (primary aliases one
+		// of them; pool.close is idempotent either way).
+		c.cl.close()
+		return nil
+	}
+	if c.primary != nil {
+		c.primary.close()
+	}
 	for _, p := range c.replicas {
 		p.close()
 	}
@@ -84,16 +117,23 @@ type Stats struct {
 	Retries uint64
 	// Redials counts pooled connections evicted as broken and replaced.
 	Redials uint64
+	// Redirects counts MOVED redirects followed in cluster mode.
+	Redirects uint64
+	// SlotRefreshes counts successful slot-map refreshes triggered by
+	// MOVED redirects in cluster mode.
+	SlotRefreshes uint64
 }
 
 // Stats returns a snapshot of the client's counters.
 func (c *Client) Stats() Stats {
 	return Stats{
-		PrimaryReads: c.stats.primaryReads.Load(),
-		ReplicaReads: c.stats.replicaReads.Load(),
-		Writes:       c.stats.writes.Load(),
-		Retries:      c.stats.retries.Load(),
-		Redials:      c.stats.redials.Load(),
+		PrimaryReads:  c.stats.primaryReads.Load(),
+		ReplicaReads:  c.stats.replicaReads.Load(),
+		Writes:        c.stats.writes.Load(),
+		Retries:       c.stats.retries.Load(),
+		Redials:       c.stats.redials.Load(),
+		Redirects:     c.stats.redirects.Load(),
+		SlotRefreshes: c.stats.slotRefreshes.Load(),
 	}
 }
 
@@ -110,13 +150,45 @@ func (c *Client) doNode(ctx context.Context, p *pool, args [][]byte) (resp.Value
 
 // doPrimary routes writes, rights operations, and generic commands.
 // They are never retried: a connection failure mid-write is ambiguous
-// (the server may have applied it), so the ambiguity is surfaced.
+// (the server may have applied it), so the ambiguity is surfaced. In
+// cluster mode the target is the default node, with MOVED follow — the
+// path generic Do commands take, since the client cannot slot them.
 func (c *Client) doPrimary(ctx context.Context, args [][]byte) (resp.Value, error) {
 	if c.closed.Load() {
 		return resp.Value{}, ErrClosed
 	}
 	c.stats.writes.Add(1)
+	if c.cl != nil {
+		return c.doCluster(ctx, c.cl.defaultNode(), args)
+	}
 	return c.doNode(ctx, c.primary, args)
+}
+
+// doWriteKey routes a key-addressed mutating command: slot owner in
+// cluster mode, primary otherwise.
+func (c *Client) doWriteKey(ctx context.Context, key string, args [][]byte) (resp.Value, error) {
+	if c.cl == nil {
+		return c.doPrimary(ctx, args)
+	}
+	if c.closed.Load() {
+		return resp.Value{}, ErrClosed
+	}
+	c.stats.writes.Add(1)
+	return c.doSlot(ctx, key, args)
+}
+
+// doReadKey routes a key-addressed idempotent read: slot owner in
+// cluster mode (every node is the primary for its slots, so these count
+// as primary reads), replica round-robin otherwise.
+func (c *Client) doReadKey(ctx context.Context, key string, args [][]byte) (resp.Value, error) {
+	if c.cl == nil {
+		return c.doRead(ctx, args)
+	}
+	if c.closed.Load() {
+		return resp.Value{}, ErrClosed
+	}
+	c.stats.primaryReads.Add(1)
+	return c.doSlot(ctx, key, args)
 }
 
 // doRead routes an idempotent read: round-robin over replicas first,
@@ -125,6 +197,12 @@ func (c *Client) doPrimary(ctx context.Context, args [][]byte) (resp.Value, erro
 func (c *Client) doRead(ctx context.Context, args [][]byte) (resp.Value, error) {
 	if c.closed.Load() {
 		return resp.Value{}, ErrClosed
+	}
+	if c.cl != nil {
+		// Key-addressed reads go through doReadKey; anything else lands on
+		// the default node with MOVED follow.
+		c.stats.primaryReads.Add(1)
+		return c.doCluster(ctx, c.cl.defaultNode(), args)
 	}
 	if len(c.replicas) == 0 {
 		c.stats.primaryReads.Add(1)
@@ -173,6 +251,21 @@ func (c *Client) doRead(ctx context.Context, args [][]byte) (resp.Value, error) 
 	return resp.Value{}, lastErr
 }
 
+// doRights routes a GDPR rights operation keyed by the data subject:
+// the owner's slot node in cluster mode (that node coordinates the
+// cluster-wide fan-out for FORGETUSER/GETUSER), the primary otherwise.
+// Counted under Writes — rights calls are authoritative-path operations.
+func (c *Client) doRights(ctx context.Context, owner string, args [][]byte) (resp.Value, error) {
+	if c.cl == nil {
+		return c.doPrimary(ctx, args)
+	}
+	if c.closed.Load() {
+		return resp.Value{}, ErrClosed
+	}
+	c.stats.writes.Add(1)
+	return c.doSlot(ctx, owner, args)
+}
+
 // doScan routes one SCAN call. Unlike the other reads, a scan is a
 // multi-call iteration whose cursor is a position into one node's sorted
 // keyspace — cursors are not portable between nodes whose datasets
@@ -185,6 +278,13 @@ func (c *Client) doRead(ctx context.Context, args [][]byte) (resp.Value, error) 
 func (c *Client) doScan(ctx context.Context, args [][]byte) (resp.Value, error) {
 	if c.closed.Load() {
 		return resp.Value{}, ErrClosed
+	}
+	if c.cl != nil {
+		// Cluster scans are node-local by design: the cursor walks the
+		// default node's keyspace only. Sweep each node with a dedicated
+		// client to enumerate the whole cluster.
+		c.stats.primaryReads.Add(1)
+		return c.doCluster(ctx, c.cl.defaultNode(), args)
 	}
 	if len(c.replicas) == 0 {
 		c.stats.primaryReads.Add(1)

@@ -1,0 +1,338 @@
+package gdprkv
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gdprstore/internal/cluster"
+	"gdprstore/internal/resp"
+)
+
+// This file is the cluster half of the client: slot-map bootstrap via
+// CLUSTER SLOTS, one connection pool per primary, slot-owner routing for
+// key-addressed calls, transparent MOVED following within a bounded
+// redirect budget (each redirect refreshing the slot map), and per-slot
+// splitting of the batch helpers. See DESIGN.md §10.
+
+// clusterRouter is the slot map plus the per-node pool set. The map is
+// read on every routed call and replaced wholesale on refresh; pools are
+// created lazily per address and live for the client's lifetime.
+type clusterRouter struct {
+	cfg     *config
+	redials *atomic.Uint64
+
+	mu          sync.RWMutex
+	slots       [cluster.NumSlots]string // slot -> node addr
+	defaultAddr string                   // bootstrap node: target for un-keyed commands
+	pools       map[string]*pool
+	closed      bool
+}
+
+func newClusterRouter(cfg *config, redials *atomic.Uint64) *clusterRouter {
+	return &clusterRouter{cfg: cfg, redials: redials, pools: make(map[string]*pool)}
+}
+
+// poolFor returns (creating if needed) the pool for one node address.
+func (r *clusterRouter) poolFor(addr string) (*pool, error) {
+	r.mu.RLock()
+	p, ok := r.pools[addr]
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if ok {
+		return p, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if p, ok = r.pools[addr]; !ok {
+		p = newPool(addr, r.cfg, r.redials)
+		r.pools[addr] = p
+	}
+	return p, nil
+}
+
+// addrForSlot resolves a slot to its owner's address; the bootstrap node
+// answers for slots the map does not cover (it will reply MOVED and the
+// redirect path corrects us).
+func (r *clusterRouter) addrForSlot(s uint16) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if a := r.slots[s%cluster.NumSlots]; a != "" {
+		return a
+	}
+	return r.defaultAddr
+}
+
+// defaultNode is the routing target for commands that carry no key
+// (Do, Ping, Info, Scan): the node the map was bootstrapped from.
+func (r *clusterRouter) defaultNode() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.defaultAddr
+}
+
+func (r *clusterRouter) close() {
+	r.mu.Lock()
+	r.closed = true
+	pools := make([]*pool, 0, len(r.pools))
+	for _, p := range r.pools {
+		pools = append(pools, p)
+	}
+	r.mu.Unlock()
+	for _, p := range pools {
+		p.close()
+	}
+}
+
+// applySlots installs a parsed CLUSTER SLOTS reply as the new map.
+func (r *clusterRouter) applySlots(v resp.Value) error {
+	var slots [cluster.NumSlots]string
+	if len(v.Array) == 0 {
+		return fmt.Errorf("gdprkv: empty CLUSTER SLOTS reply (is the server in cluster mode?)")
+	}
+	for _, e := range v.Array {
+		if len(e.Array) < 3 || len(e.Array[2].Array) < 2 {
+			return fmt.Errorf("gdprkv: malformed CLUSTER SLOTS entry")
+		}
+		start, end := e.Array[0].Int, e.Array[1].Int
+		host := e.Array[2].Array[0].Text()
+		port := strconv.FormatInt(e.Array[2].Array[1].Int, 10)
+		if start < 0 || end < start || end >= cluster.NumSlots {
+			return fmt.Errorf("gdprkv: CLUSTER SLOTS range %d-%d out of bounds", start, end)
+		}
+		addr := net.JoinHostPort(host, port)
+		for s := start; s <= end; s++ {
+			slots[s] = addr
+		}
+	}
+	r.mu.Lock()
+	r.slots = slots
+	r.mu.Unlock()
+	return nil
+}
+
+// bootstrap learns the slot map from the first seed that answers CLUSTER
+// SLOTS, and records it as the default node for un-keyed commands.
+func (c *Client) bootstrapCluster(ctx context.Context, seeds []string) error {
+	var lastErr error
+	for _, addr := range seeds {
+		p, err := c.cl.poolFor(addr)
+		if err != nil {
+			return err
+		}
+		v, err := c.doNode(ctx, p, args("CLUSTER", "SLOTS"))
+		if err == nil {
+			err = c.cl.applySlots(v)
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.cl.mu.Lock()
+		c.cl.defaultAddr = addr
+		c.cl.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("gdprkv: cluster bootstrap failed on every seed: %w", lastErr)
+}
+
+// refreshSlots re-fetches the slot map, preferring the node that just
+// redirected us (it is authoritative for the move we collided with).
+// Best-effort: a failed refresh keeps the old map; the redirect target
+// still serves the in-flight call.
+func (c *Client) refreshSlots(ctx context.Context, addr string) {
+	p, err := c.cl.poolFor(addr)
+	if err != nil {
+		return
+	}
+	v, err := c.doNode(ctx, p, args("CLUSTER", "SLOTS"))
+	if err != nil || c.cl.applySlots(v) != nil {
+		return
+	}
+	c.stats.slotRefreshes.Add(1)
+}
+
+// doCluster runs one command against startAddr, transparently following
+// MOVED redirects within the configured budget. Every redirect refreshes
+// the slot map, so a stale client converges after one collision instead
+// of bouncing on every call.
+func (c *Client) doCluster(ctx context.Context, startAddr string, cmdArgs [][]byte) (resp.Value, error) {
+	addr := startAddr
+	for hops := 0; ; hops++ {
+		p, err := c.cl.poolFor(addr)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		v, err := c.doNode(ctx, p, cmdArgs)
+		target, moved := parseMoved(err)
+		if !moved {
+			return v, err
+		}
+		if hops >= c.cfg.redirectBudget {
+			// Budget exhausted: surface the MOVED itself (it matches
+			// ErrMoved under errors.Is), pointing at a flapping map.
+			return resp.Value{}, err
+		}
+		c.stats.redirects.Add(1)
+		c.refreshSlots(ctx, target)
+		addr = target
+	}
+}
+
+// doSlot routes one key-addressed command to the key's slot owner.
+func (c *Client) doSlot(ctx context.Context, key string, cmdArgs [][]byte) (resp.Value, error) {
+	if c.closed.Load() {
+		return resp.Value{}, ErrClosed
+	}
+	return c.doCluster(ctx, c.cl.addrForSlot(cluster.Slot(key)), cmdArgs)
+}
+
+// parseMoved decodes a MOVED error reply ("MOVED <slot> <addr>") into its
+// target address; ok is false for every other error.
+func parseMoved(err error) (addr string, ok bool) {
+	se, isServer := err.(*ServerError)
+	if !isServer || se.Code != "MOVED" {
+		return "", false
+	}
+	fields := strings.Fields(se.Message)
+	if len(fields) != 2 {
+		return "", false
+	}
+	return fields[1], true
+}
+
+// splitBySlot groups batch indices by slot in first-appearance order,
+// preserving each group's relative order, so a cross-slot batch becomes
+// one same-slot command per group (the server rejects mixed-slot batches
+// with CROSSSLOT) and the replies reassemble positionally.
+func splitBySlot(keys []string) [][]int {
+	index := make(map[uint16]int)
+	var groups [][]int
+	for i, k := range keys {
+		s := cluster.Slot(k)
+		gi, ok := index[s]
+		if !ok {
+			gi = len(groups)
+			index[s] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	return groups
+}
+
+// --- per-slot batch splitting for the batch helpers ---
+
+// msetCluster applies MSet per slot group. A failing group aborts the
+// remaining groups and surfaces the error: earlier groups are already
+// applied (a cross-node batch is not atomic — documented in MSet).
+func (c *Client) msetCluster(ctx context.Context, keys []string, values [][]byte) error {
+	for _, idxs := range splitBySlot(keys) {
+		a := make([][]byte, 0, 1+2*len(idxs))
+		a = append(a, []byte("MSET"))
+		for _, i := range idxs {
+			a = append(a, []byte(keys[i]), values[i])
+		}
+		if _, err := c.doWriteKey(ctx, keys[idxs[0]], a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Client) mgetCluster(ctx context.Context, keys []string) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	for _, idxs := range splitBySlot(keys) {
+		sub := make([]string, len(idxs))
+		for j, i := range idxs {
+			sub[j] = keys[i]
+		}
+		v, err := c.doReadKey(ctx, sub[0], args("MGET", sub...))
+		if err != nil {
+			return nil, err
+		}
+		if len(v.Array) != len(sub) {
+			return nil, fmt.Errorf("gdprkv: malformed MGET reply: %d entries for %d keys", len(v.Array), len(sub))
+		}
+		for j, e := range v.Array {
+			if !e.Null {
+				out[idxs[j]] = e.Str
+			}
+		}
+	}
+	return out, nil
+}
+
+// delCluster deletes per slot group, summing the per-group counts.
+func (c *Client) delCluster(ctx context.Context, keys []string) (int64, error) {
+	var total int64
+	for _, idxs := range splitBySlot(keys) {
+		sub := make([]string, len(idxs))
+		for j, i := range idxs {
+			sub[j] = keys[i]
+		}
+		v, err := c.doWriteKey(ctx, sub[0], args("DEL", sub...))
+		if err != nil {
+			return total, err
+		}
+		total += v.Int
+	}
+	return total, nil
+}
+
+// gmputCluster writes a GMPut per slot group, sharing the metadata
+// options. Like msetCluster, a mid-batch failure leaves earlier groups
+// applied and is surfaced.
+func (c *Client) gmputCluster(ctx context.Context, keys []string, values [][]byte, opts PutOptions) error {
+	optArgs := opts.optionArgs()
+	for _, idxs := range splitBySlot(keys) {
+		a := make([][]byte, 0, 2+2*len(idxs)+len(optArgs))
+		a = append(a, []byte("GMPUT"), []byte(strconv.Itoa(len(idxs))))
+		for _, i := range idxs {
+			a = append(a, []byte(keys[i]), values[i])
+		}
+		a = append(a, optArgs...)
+		if _, err := c.doWriteKey(ctx, keys[idxs[0]], a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Client) gmgetCluster(ctx context.Context, keys []string) ([]BatchValue, error) {
+	out := make([]BatchValue, len(keys))
+	for _, idxs := range splitBySlot(keys) {
+		sub := make([]string, len(idxs))
+		for j, i := range idxs {
+			sub[j] = keys[i]
+		}
+		v, err := c.doReadKey(ctx, sub[0], args("GMGET", sub...))
+		if err != nil {
+			return nil, err
+		}
+		if len(v.Array) != len(sub) {
+			return nil, fmt.Errorf("gdprkv: malformed GMGET reply: %d entries for %d keys", len(v.Array), len(sub))
+		}
+		for j, e := range v.Array {
+			switch {
+			case e.IsError():
+				out[idxs[j]].Err = wireError(e.Text())
+			case e.Null:
+				out[idxs[j]].Err = ErrNotFound
+			default:
+				out[idxs[j]].Value = e.Str
+			}
+		}
+	}
+	return out, nil
+}

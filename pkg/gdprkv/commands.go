@@ -55,13 +55,13 @@ func (c *Client) Ping(ctx context.Context) error {
 
 // Set stores a raw key/value on the baseline path.
 func (c *Client) Set(ctx context.Context, key string, value []byte) error {
-	_, err := c.doPrimary(ctx, [][]byte{[]byte("SET"), []byte(key), value})
+	_, err := c.doWriteKey(ctx, key, [][]byte{[]byte("SET"), []byte(key), value})
 	return err
 }
 
 // SetEX stores a raw key/value with a TTL in seconds.
 func (c *Client) SetEX(ctx context.Context, key string, value []byte, seconds int64) error {
-	_, err := c.doPrimary(ctx, [][]byte{
+	_, err := c.doWriteKey(ctx, key, [][]byte{
 		[]byte("SET"), []byte(key), value, []byte("EX"), []byte(strconv.FormatInt(seconds, 10)),
 	})
 	return err
@@ -69,7 +69,7 @@ func (c *Client) SetEX(ctx context.Context, key string, value []byte, seconds in
 
 // Get fetches a raw value; ErrNotFound if missing. Replica-routed.
 func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
-	v, err := c.doRead(ctx, args("GET", key))
+	v, err := c.doReadKey(ctx, key, args("GET", key))
 	if err != nil {
 		return nil, err
 	}
@@ -81,13 +81,19 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 
 // MSet writes every key/value pair in one MSET command — one round
 // trip, one server-side lock acquisition and one AOF record for the
-// whole batch. keys and values must have equal length.
+// whole batch. keys and values must have equal length. In cluster mode
+// the batch is split per slot (one MSET per slot group, reassembled
+// transparently); a cross-node batch is then not atomic — a mid-batch
+// failure leaves earlier groups applied and is reported.
 func (c *Client) MSet(ctx context.Context, keys []string, values [][]byte) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("gdprkv: MSet: %d keys, %d values", len(keys), len(values))
 	}
 	if len(keys) == 0 {
 		return nil
+	}
+	if c.cl != nil {
+		return c.msetCluster(ctx, keys, values)
 	}
 	a := make([][]byte, 0, 1+2*len(keys))
 	a = append(a, []byte("MSET"))
@@ -103,6 +109,9 @@ func (c *Client) MSet(ctx context.Context, keys []string, values [][]byte) error
 func (c *Client) MGet(ctx context.Context, keys ...string) ([][]byte, error) {
 	if len(keys) == 0 {
 		return nil, nil
+	}
+	if c.cl != nil {
+		return c.mgetCluster(ctx, keys)
 	}
 	v, err := c.doRead(ctx, args("MGET", keys...))
 	if err != nil {
@@ -122,6 +131,9 @@ func (c *Client) MGet(ctx context.Context, keys ...string) ([][]byte, error) {
 
 // Del removes keys, returning how many existed.
 func (c *Client) Del(ctx context.Context, keys ...string) (int64, error) {
+	if c.cl != nil && len(keys) > 0 {
+		return c.delCluster(ctx, keys)
+	}
 	v, err := c.doPrimary(ctx, args("DEL", keys...))
 	if err != nil {
 		return 0, err
@@ -131,7 +143,7 @@ func (c *Client) Del(ctx context.Context, keys ...string) (int64, error) {
 
 // Expire sets a TTL in seconds, reporting whether the key existed.
 func (c *Client) Expire(ctx context.Context, key string, seconds int64) (bool, error) {
-	v, err := c.doPrimary(ctx, args("EXPIRE", key, strconv.FormatInt(seconds, 10)))
+	v, err := c.doWriteKey(ctx, key, args("EXPIRE", key, strconv.FormatInt(seconds, 10)))
 	if err != nil {
 		return false, err
 	}
@@ -140,7 +152,7 @@ func (c *Client) Expire(ctx context.Context, key string, seconds int64) (bool, e
 
 // TTL returns the TTL in seconds (-1 no TTL, -2 missing). Replica-routed.
 func (c *Client) TTL(ctx context.Context, key string) (int64, error) {
-	v, err := c.doRead(ctx, args("TTL", key))
+	v, err := c.doReadKey(ctx, key, args("TTL", key))
 	if err != nil {
 		return 0, err
 	}
@@ -254,19 +266,24 @@ func (o PutOptions) optionArgs() [][]byte {
 func (c *Client) GPut(ctx context.Context, key string, value []byte, opts PutOptions) error {
 	a := [][]byte{[]byte("GPUT"), []byte(key), value}
 	a = append(a, opts.optionArgs()...)
-	_, err := c.doPrimary(ctx, a)
+	_, err := c.doWriteKey(ctx, key, a)
 	return err
 }
 
 // GMPut writes a batch of personal-data records sharing one metadata
 // set in a single GMPUT command: one lock, one AOF append, one audit
-// record for the whole batch.
+// record for the whole batch. In cluster mode the batch is split per
+// slot (owner-tagged keys stay one group); a mid-batch failure leaves
+// earlier slot groups applied and is reported.
 func (c *Client) GMPut(ctx context.Context, keys []string, values [][]byte, opts PutOptions) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("gdprkv: GMPut: %d keys, %d values", len(keys), len(values))
 	}
 	if len(keys) == 0 {
 		return nil
+	}
+	if c.cl != nil {
+		return c.gmputCluster(ctx, keys, values, opts)
 	}
 	a := make([][]byte, 0, 2+2*len(keys)+14)
 	a = append(a, []byte("GMPUT"), []byte(strconv.Itoa(len(keys))))
@@ -281,7 +298,7 @@ func (c *Client) GMPut(ctx context.Context, keys []string, values [][]byte, opts
 // GGet reads personal data under the client's actor and purpose.
 // ErrNotFound if missing. Replica-routed.
 func (c *Client) GGet(ctx context.Context, key string) ([]byte, error) {
-	v, err := c.doRead(ctx, args("GGET", key))
+	v, err := c.doReadKey(ctx, key, args("GGET", key))
 	if err != nil {
 		return nil, err
 	}
@@ -306,6 +323,9 @@ func (c *Client) GMGet(ctx context.Context, keys ...string) ([]BatchValue, error
 	if len(keys) == 0 {
 		return nil, nil
 	}
+	if c.cl != nil {
+		return c.gmgetCluster(ctx, keys)
+	}
 	v, err := c.doRead(ctx, args("GMGET", keys...))
 	if err != nil {
 		return nil, err
@@ -329,7 +349,7 @@ func (c *Client) GMGet(ctx context.Context, keys ...string) ([]BatchValue, error
 
 // GDel deletes personal data.
 func (c *Client) GDel(ctx context.Context, key string) error {
-	_, err := c.doPrimary(ctx, args("GDEL", key))
+	_, err := c.doWriteKey(ctx, key, args("GDEL", key))
 	return err
 }
 
@@ -337,7 +357,7 @@ func (c *Client) GDel(ctx context.Context, key string) error {
 // of access). Rights operations are primary-routed: their answers must
 // reflect the authoritative dataset, not a replica's convergence lag.
 func (c *Client) GetUser(ctx context.Context, owner string) (map[string][]byte, error) {
-	v, err := c.doPrimary(ctx, args("GETUSER", owner))
+	v, err := c.doRights(ctx, owner, args("GETUSER", owner))
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +370,7 @@ func (c *Client) GetUser(ctx context.Context, owner string) (map[string][]byte, 
 
 // ExportUser returns the Art. 20 portability payload. Primary-routed.
 func (c *Client) ExportUser(ctx context.Context, owner string) ([]byte, error) {
-	v, err := c.doPrimary(ctx, args("EXPORTUSER", owner))
+	v, err := c.doRights(ctx, owner, args("EXPORTUSER", owner))
 	if err != nil {
 		return nil, err
 	}
@@ -361,7 +381,7 @@ func (c *Client) ExportUser(ctx context.Context, owner string) ([]byte, error) {
 // records erased on the primary; erasure propagates to replicas through
 // the replication stream.
 func (c *Client) ForgetUser(ctx context.Context, owner string) (int64, error) {
-	v, err := c.doPrimary(ctx, args("FORGETUSER", owner))
+	v, err := c.doRights(ctx, owner, args("FORGETUSER", owner))
 	if err != nil {
 		return 0, err
 	}
@@ -370,12 +390,12 @@ func (c *Client) ForgetUser(ctx context.Context, owner string) (int64, error) {
 
 // Object records an Art. 21 objection to a processing purpose.
 func (c *Client) Object(ctx context.Context, owner, purpose string) error {
-	_, err := c.doPrimary(ctx, args("OBJECT", owner, purpose))
+	_, err := c.doRights(ctx, owner, args("OBJECT", owner, purpose))
 	return err
 }
 
 // Unobject withdraws an Art. 21 objection.
 func (c *Client) Unobject(ctx context.Context, owner, purpose string) error {
-	_, err := c.doPrimary(ctx, args("UNOBJECT", owner, purpose))
+	_, err := c.doRights(ctx, owner, args("UNOBJECT", owner, purpose))
 	return err
 }

@@ -1,9 +1,9 @@
 // Package gdprkv is the public Go SDK for the gdprkv server: a
-// context-first, connection-pooled, replica-aware client over the RESP
-// wire protocol, covering the vanilla Redis-style surface (Set/Get/
-// Del/Expire/Scan/...), the GDPR command family (GPut/GGet/GetUser/
-// ForgetUser/Object/...), and the amortising batch family (MSet/MGet/
-// GMPut/GMGet).
+// context-first, connection-pooled, replica- and cluster-aware client
+// over the RESP wire protocol, covering the vanilla Redis-style surface
+// (Set/Get/Del/Expire/Scan/...), the GDPR command family (GPut/GGet/
+// GetUser/ForgetUser/Object/...), and the amortising batch family
+// (MSet/MGet/GMPut/GMGet).
 //
 // # Construction
 //
@@ -57,10 +57,22 @@
 // RESP-error mapper that shares its code table with the server
 // (internal/wirecode), so the two ends cannot drift.
 //
+// # Cluster mode
+//
+// WithCluster turns on hash-slot routing against a fleet of primaries:
+// the client bootstraps the slot map with CLUSTER SLOTS, pools
+// connections per node, routes each key-addressed call to its slot owner
+// (hash-tag aware: "pd:{alice}:email" routes with "alice"), splits the
+// batch helpers per slot, and follows MOVED redirects within a bounded
+// budget, refreshing the slot map on each one. GDPR rights calls
+// (ForgetUser, GetUser, ...) go to the data subject's slot node, which
+// coordinates the cluster-wide fan-out server-side. Cluster mode and
+// WithReplicas are mutually exclusive.
+//
 // # Migrating from internal/client
 //
-// internal/client is deprecated and survives one more release as a
-// compatibility shim. Differences:
+// The deprecated internal/client shim has been removed. Differences for
+// code still on the old API:
 //
 //   - every method gained a leading ctx argument;
 //   - Dial(addr) became Dial(ctx, addr, ...Option);

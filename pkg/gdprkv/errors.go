@@ -38,6 +38,18 @@ var (
 	ErrReadOnly = errors.New("gdprkv: write against a read-only replica")
 	// ErrClosed reports use of a closed client.
 	ErrClosed = errors.New("gdprkv: client is closed")
+	// ErrCrossSlot reports a batch whose keys hash to different cluster
+	// slots. The client splits its own batch helpers per slot, so this
+	// surfaces only from hand-built Do/DoArgs batches.
+	ErrCrossSlot = errors.New("gdprkv: keys hash to different cluster slots")
+	// ErrClusterDown reports a cluster-wide rights operation (FORGETUSER,
+	// GETUSER) that could not reach every node: the outcome is partial and
+	// reported, never silently incomplete.
+	ErrClusterDown = errors.New("gdprkv: cluster rights operation incomplete")
+	// ErrMoved reports a MOVED redirect the client did not (or could no
+	// longer, budget exhausted) follow. Seeing it usually means the slot
+	// map is flapping or the client is not in cluster mode.
+	ErrMoved = errors.New("gdprkv: key moved to another cluster node")
 )
 
 // sentinelByCode maps a wire code to the sentinel its *ServerError
@@ -50,6 +62,9 @@ var sentinelByCode = map[string]error{
 	wirecode.Erased:        ErrErased,
 	wirecode.Baseline:      ErrBaseline,
 	wirecode.ReadOnly:      ErrReadOnly,
+	wirecode.CrossSlot:     ErrCrossSlot,
+	wirecode.ClusterDown:   ErrClusterDown,
+	wirecode.Moved:         ErrMoved,
 }
 
 // ServerError is a decoded error reply from the server. It preserves the

@@ -22,6 +22,11 @@ const (
 	defaultHealthInterval = 30 * time.Second
 )
 
+// DefaultRedirectBudget is how many MOVED redirects one cluster-routed
+// call may follow before giving up (a bound against redirect loops from
+// inconsistent node maps).
+const DefaultRedirectBudget = 3
+
 // config is the resolved option set a Client is built from.
 type config struct {
 	dialTimeout    time.Duration
@@ -34,6 +39,9 @@ type config struct {
 	retryAttempts  int
 	retryBackoff   time.Duration
 	healthInterval time.Duration
+	clusterMode    bool
+	clusterSeeds   []string
+	redirectBudget int
 }
 
 func defaultConfig() config {
@@ -44,6 +52,7 @@ func defaultConfig() config {
 		retryAttempts:  0, // resolved in Dial: one attempt per node
 		retryBackoff:   DefaultRetryBackoff,
 		healthInterval: defaultHealthInterval,
+		redirectBudget: DefaultRedirectBudget,
 	}
 }
 
@@ -110,6 +119,32 @@ func WithPoolSize(n int) Option {
 // primary.
 func WithReplicas(addrs ...string) Option {
 	return func(c *config) { c.replicas = append(c.replicas, addrs...) }
+}
+
+// WithCluster enables cluster-aware routing. The client bootstraps the
+// slot map with CLUSTER SLOTS from Dial's addr (falling back to the given
+// extra seeds), keeps one connection pool per primary, routes every
+// key-addressed call to the slot owner — hash-tag aware, so
+// "pd:{alice}:email" routes with "alice" — and splits MSet/MGet/
+// GMPut/GMGet batches per slot before reassembling replies in order.
+// MOVED redirects are followed transparently within a bounded budget
+// (DefaultRedirectBudget), each one refreshing the slot map. Cluster mode
+// excludes WithReplicas: every node is a primary for its slots.
+func WithCluster(seeds ...string) Option {
+	return func(c *config) {
+		c.clusterMode = true
+		c.clusterSeeds = append(c.clusterSeeds, seeds...)
+	}
+}
+
+// WithRedirectBudget overrides how many MOVED redirects one cluster call
+// may follow (minimum 1 redirect; only meaningful with WithCluster).
+func WithRedirectBudget(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.redirectBudget = n
+		}
+	}
 }
 
 // WithRetry bounds connection-failure retries for idempotent reads:

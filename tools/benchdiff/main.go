@@ -1,0 +1,215 @@
+// Command benchdiff compares two `go test -json` benchmark outputs and
+// fails when any benchmark's throughput regressed past a threshold. It is
+// the bench-regression gate of the CI bench-smoke job:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 30
+//
+// Both files are test2json streams (`go test -bench ... -json`); the
+// benchmark result lines are extracted from their Output events. Only
+// benchmarks present in both files are compared — renames and new
+// benchmarks are reported but never fail the gate (refresh the committed
+// baseline with `make bench-baseline` when the benchmark set changes or
+// an intended perf change moves the floor). The comparison uses each
+// side's best (lowest) ns/op across repeated runs, which discards
+// one-sided scheduler noise; the threshold absorbs the rest.
+//
+// A markdown delta table is printed to stdout, ready for $GITHUB_STEP_SUMMARY.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches a benchmark result line, capturing the name (GOMAXPROCS
+// suffix stripped) and its ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// event is the subset of a test2json record benchdiff reads.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// parseBench extracts name -> best (lowest) ns/op from a test2json
+// stream. A benchmark's console line is often split over several Output
+// events (the runner prints "BenchmarkX-2 \t" first and the numbers when
+// the run finishes), so fragments are reassembled into complete lines per
+// (package, test) stream before matching.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	record := func(line string) {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			return
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			return
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	pending := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate non-JSON noise (plain `go test -bench` output can be
+			// diffed too).
+			record(string(line))
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		key := ev.Package + "\x00" + ev.Test
+		buf := pending[key] + ev.Output
+		for {
+			i := strings.IndexByte(buf, '\n')
+			if i < 0 {
+				break
+			}
+			record(buf[:i])
+			buf = buf[i+1:]
+		}
+		pending[key] = buf
+	}
+	for _, buf := range pending {
+		record(buf)
+	}
+	return out, sc.Err()
+}
+
+// row is one compared benchmark.
+type row struct {
+	name          string
+	baseNs, curNs float64
+	deltaPct      float64 // throughput change, + = faster
+	regressed     bool
+	informational bool // matched -skip: reported, never gated
+}
+
+// diff compares the two result sets. threshold is the tolerated
+// throughput drop in percent: a benchmark regresses when its current
+// throughput is more than threshold% below the baseline's, i.e.
+// baseNs/curNs < 1 - threshold/100. Benchmarks matching skip are
+// compared and reported but never fail the gate — the escape hatch for
+// benchmarks whose minima are structurally unstable on shared CI runners
+// (scheduler-bound *Parallel benchmarks).
+func diff(base, cur map[string]float64, threshold float64, skip *regexp.Regexp) (rows []row, onlyBase, onlyCur []string) {
+	for name, baseNs := range base {
+		curNs, ok := cur[name]
+		if !ok {
+			onlyBase = append(onlyBase, name)
+			continue
+		}
+		r := row{name: name, baseNs: baseNs, curNs: curNs}
+		r.deltaPct = (baseNs/curNs - 1) * 100
+		r.informational = skip != nil && skip.MatchString(name)
+		r.regressed = !r.informational && baseNs/curNs < 1-threshold/100
+		rows = append(rows, r)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			onlyCur = append(onlyCur, name)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	sort.Strings(onlyBase)
+	sort.Strings(onlyCur)
+	return rows, onlyBase, onlyCur
+}
+
+// render writes the markdown delta table and returns the regressed names.
+func render(w io.Writer, rows []row, onlyBase, onlyCur []string, threshold float64) []string {
+	fmt.Fprintf(w, "### Benchmark delta (threshold: -%.0f%% throughput)\n\n", threshold)
+	fmt.Fprintln(w, "| benchmark | baseline ns/op | current ns/op | Δ throughput |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|")
+	var regressed []string
+	for _, r := range rows {
+		mark := ""
+		switch {
+		case r.regressed:
+			mark = " ❌"
+			regressed = append(regressed, r.name)
+		case r.informational:
+			mark = " (informational)"
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s |\n", r.name, r.baseNs, r.curNs, r.deltaPct, mark)
+	}
+	if len(onlyBase) > 0 {
+		fmt.Fprintf(w, "\n%d baseline benchmark(s) missing from the current run: %s\n",
+			len(onlyBase), strings.Join(onlyBase, ", "))
+	}
+	if len(onlyCur) > 0 {
+		fmt.Fprintf(w, "\n%d new benchmark(s) not in the baseline: %s\n",
+			len(onlyCur), strings.Join(onlyCur, ", "))
+	}
+	return regressed
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline (go test -json bench output)")
+	current := flag.String("current", "BENCH_ci.json", "fresh run to compare (go test -json bench output)")
+	threshold := flag.Float64("threshold", 30, "tolerated throughput drop in percent")
+	skipPat := flag.String("skip", "", "regexp of benchmarks reported but exempt from the gate")
+	flag.Parse()
+	var skip *regexp.Regexp
+	if *skipPat != "" {
+		var err error
+		if skip, err = regexp.Compile(*skipPat); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: bad -skip:", err)
+			os.Exit(2)
+		}
+	}
+
+	base, err := parseFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 || len(cur) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark lines parsed (baseline=%d, current=%d)\n",
+			len(base), len(cur))
+		os.Exit(2)
+	}
+	rows, onlyBase, onlyCur := diff(base, cur, *threshold, skip)
+	regressed := render(os.Stdout, rows, onlyBase, onlyCur, *threshold)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d benchmark(s) regressed more than %.0f%%: %s\n",
+			len(regressed), *threshold, strings.Join(regressed, ", "))
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d benchmark(s) compared, none regressed more than %.0f%%.\n", len(rows), *threshold)
+}

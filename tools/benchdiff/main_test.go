@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// stream renders benchmark result lines as a test2json output stream.
+func stream(t *testing.T, lines ...string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, l := range lines {
+		ev, err := json.Marshal(event{Action: "output", Output: l + "\n"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(ev)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func parse(t *testing.T, s string) map[string]float64 {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBenchExtractsBestRun(t *testing.T) {
+	m := parse(t, stream(t,
+		"BenchmarkEngine_Set-2   \t 1000 \t 1500.0 ns/op \t 120 B/op",
+		"BenchmarkEngine_Set-2   \t 1000 \t 1200.0 ns/op \t 120 B/op", // best kept
+		"BenchmarkEngine_Get     \t 5000 \t  300 ns/op",               // no -procs suffix
+		"some unrelated output line",
+	))
+	if len(m) != 2 {
+		t.Fatalf("parsed %d benchmarks: %v", len(m), m)
+	}
+	if m["BenchmarkEngine_Set"] != 1200 {
+		t.Fatalf("Engine_Set = %v, want best run 1200", m["BenchmarkEngine_Set"])
+	}
+	if m["BenchmarkEngine_Get"] != 300 {
+		t.Fatalf("Engine_Get = %v", m["BenchmarkEngine_Get"])
+	}
+}
+
+// TestParseBenchReassemblesSplitEvents mirrors real test2json output:
+// the runner prints the benchmark name first and the numbers in a later
+// event, interleaved with other packages' streams.
+func TestParseBenchReassemblesSplitEvents(t *testing.T) {
+	evs := []event{
+		{Action: "output", Package: "a", Test: "BenchmarkSplit", Output: "BenchmarkSplit\n"},
+		{Action: "output", Package: "a", Test: "BenchmarkSplit", Output: "BenchmarkSplit-2   \t"},
+		{Action: "output", Package: "b", Test: "BenchmarkOther", Output: "BenchmarkOther-2 \t 10\t 50 ns/op\n"},
+		{Action: "output", Package: "a", Test: "BenchmarkSplit", Output: "     100\t     32547 ns/op\t     711 B/op\n"},
+		{Action: "pass", Package: "a"},
+	}
+	var b strings.Builder
+	for _, ev := range evs {
+		j, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(j)
+		b.WriteByte('\n')
+	}
+	m := parse(t, b.String())
+	if m["BenchmarkSplit"] != 32547 {
+		t.Fatalf("split-event benchmark = %v, want 32547 (parsed: %v)", m["BenchmarkSplit"], m)
+	}
+	if m["BenchmarkOther"] != 50 {
+		t.Fatalf("interleaved benchmark = %v", m["BenchmarkOther"])
+	}
+}
+
+func TestParseBenchToleratesPlainText(t *testing.T) {
+	// Raw `go test -bench` output (not JSON) still parses.
+	m := parse(t, "BenchmarkRESPRoundTrip-2\t 2000\t 900 ns/op\n")
+	if m["BenchmarkRESPRoundTrip"] != 900 {
+		t.Fatalf("plain-text parse = %v", m)
+	}
+}
+
+// TestInjectedRegressionFails is the gate's acceptance demonstration: a
+// synthetic 2x slowdown (−50% throughput) on one benchmark must be
+// flagged at the 30% threshold while an unchanged sibling passes.
+func TestInjectedRegressionFails(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 1000}
+	cur := map[string]float64{"BenchmarkA": 2000, "BenchmarkB": 1050}
+	rows, _, _ := diff(base, cur, 30, nil)
+	var sb strings.Builder
+	regressed := render(&sb, rows, nil, nil, 30)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkA" {
+		t.Fatalf("regressed = %v, want exactly BenchmarkA", regressed)
+	}
+	if !strings.Contains(sb.String(), "❌") {
+		t.Fatalf("table does not mark the regression:\n%s", sb.String())
+	}
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	// A 25% throughput drop stays under the 30% gate; 31% does not.
+	base := map[string]float64{"BenchmarkA": 1000}
+	for _, tc := range []struct {
+		curNs  float64
+		expect bool
+	}{
+		{1000 / 0.75, false}, // -25%: pass
+		{1000 / 0.69, true},  // -31%: fail
+		{900, false},         // faster: pass
+	} {
+		rows, _, _ := diff(base, map[string]float64{"BenchmarkA": tc.curNs}, 30, nil)
+		if rows[0].regressed != tc.expect {
+			t.Errorf("curNs=%.0f: regressed=%v, want %v", tc.curNs, rows[0].regressed, tc.expect)
+		}
+	}
+}
+
+func TestUnmatchedBenchmarksNeverFail(t *testing.T) {
+	base := map[string]float64{"BenchmarkOld": 1000, "BenchmarkBoth": 500}
+	cur := map[string]float64{"BenchmarkNew": 1, "BenchmarkBoth": 510}
+	rows, onlyBase, onlyCur := diff(base, cur, 30, nil)
+	if len(rows) != 1 || rows[0].regressed {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != "BenchmarkOld" {
+		t.Fatalf("onlyBase = %v", onlyBase)
+	}
+	if len(onlyCur) != 1 || onlyCur[0] != "BenchmarkNew" {
+		t.Fatalf("onlyCur = %v", onlyCur)
+	}
+	var sb strings.Builder
+	if regressed := render(&sb, rows, onlyBase, onlyCur, 30); len(regressed) != 0 {
+		t.Fatalf("unmatched benchmarks failed the gate: %v", regressed)
+	}
+	for _, want := range []string{"BenchmarkOld", "BenchmarkNew"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report does not mention %s", want)
+		}
+	}
+}
+
+// TestSkippedBenchmarksAreInformational: a -skip match is reported but
+// exempt from the gate, however far it swings.
+func TestSkippedBenchmarksAreInformational(t *testing.T) {
+	base := map[string]float64{"BenchmarkEngine_SetParallel": 100, "BenchmarkEngine_Set": 100}
+	cur := map[string]float64{"BenchmarkEngine_SetParallel": 1000, "BenchmarkEngine_Set": 105}
+	rows, _, _ := diff(base, cur, 30, regexp.MustCompile(`Parallel$`))
+	var sb strings.Builder
+	if regressed := render(&sb, rows, nil, nil, 30); len(regressed) != 0 {
+		t.Fatalf("skipped benchmark failed the gate: %v", regressed)
+	}
+	if !strings.Contains(sb.String(), "(informational)") {
+		t.Fatalf("report does not mark the exempt row:\n%s", sb.String())
+	}
+}
