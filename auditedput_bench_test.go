@@ -1,0 +1,108 @@
+// Audited data-path benchmarks: the GDPRbench-style GPUT/GMPUT operations
+// against a file-backed trail, per audit durability mode — the numbers
+// BENCH.md's async-pipeline table reports. Named outside the smoke-gate
+// regex on purpose: every-op runs are fsync-bound and too noisy for the
+// -30% throughput gate (the pipeline's own Audit_* benchmarks cover the
+// gated surface).
+package gdprstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/audit"
+	"gdprstore/internal/core"
+)
+
+func benchAuditedStore(b *testing.B, mode audit.SyncMode) (*core.Store, core.Ctx) {
+	b.Helper()
+	dir := b.TempDir()
+	cfg := core.Config{
+		Compliant:    true,
+		Timing:       core.TimingEventual,
+		Capability:   core.CapabilityFull,
+		AuditEnabled: true,
+		AuditPath:    filepath.Join(dir, "audit.log"),
+		AuditMode:    core.Ptr(mode),
+		DefaultTTL:   24 * time.Hour,
+	}
+	st, err := core.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	st.ACL().AddPrincipal(acl.Principal{ID: "controller", Role: acl.RoleController})
+	return st, core.Ctx{Actor: "controller", Purpose: "bench"}
+}
+
+func BenchmarkAuditedPut_GPut_EveryOp(b *testing.B)  { benchGPutMode(b, audit.SyncEveryOp) }
+func BenchmarkAuditedPut_GPut_Batched(b *testing.B)  { benchGPutMode(b, audit.SyncBatched) }
+func BenchmarkAuditedPut_GMPut_EveryOp(b *testing.B) { benchGMPutMode(b, audit.SyncEveryOp) }
+func BenchmarkAuditedPut_GMPut_Batched(b *testing.B) { benchGMPutMode(b, audit.SyncBatched) }
+
+func BenchmarkAuditedPut_GPut_EveryOp_Conc8(b *testing.B) { benchGPutModeConc(b, audit.SyncEveryOp) }
+func BenchmarkAuditedPut_GPut_Batched_Conc8(b *testing.B) { benchGPutModeConc(b, audit.SyncBatched) }
+
+// benchGPutModeConc drives 8 concurrent clients so strict-mode fsyncs can
+// group-commit (even on one CPU, producers overlap the worker's fsync
+// syscall).
+func benchGPutModeConc(b *testing.B, mode audit.SyncMode) {
+	st, ctx := benchAuditedStore(b, mode)
+	val := make([]byte, 100)
+	const conc = 8
+	var n atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < conc; g++ {
+		wg.Add(1)
+		owner := fmt.Sprintf("subj%d", g) // distinct owner stripes
+		go func() {
+			defer wg.Done()
+			for {
+				i := n.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				key := fmt.Sprintf("%s:k%d", owner, i%4096)
+				if err := st.Put(ctx, key, val, core.PutOptions{Owner: owner}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func benchGPutMode(b *testing.B, mode audit.SyncMode) {
+	st, ctx := benchAuditedStore(b, mode)
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i%4096)
+		if err := st.Put(ctx, key, val, core.PutOptions{Owner: "alice"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchGMPutMode(b *testing.B, mode audit.SyncMode) {
+	st, ctx := benchAuditedStore(b, mode)
+	val := make([]byte, 100)
+	const batch = 64
+	entries := make([]core.BatchEntry, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range entries {
+			entries[j] = core.BatchEntry{Key: fmt.Sprintf("k%d", (i*batch+j)%4096), Value: val}
+		}
+		if err := st.PutBatch(ctx, entries, core.PutOptions{Owner: "alice"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

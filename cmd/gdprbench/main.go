@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"gdprstore/internal/acl"
+	"gdprstore/internal/audit"
 	"gdprstore/internal/core"
 	"gdprstore/internal/gdprbench"
 )
@@ -39,6 +40,9 @@ func main() {
 		shards   = flag.Int("shards", 0, "embedded mode: engine lock-stripe count, power of two (0 = default; 1 = single mutex)")
 		addr     = flag.String("addr", "", "network mode: run against the server at this address via pkg/gdprkv")
 		clusterF = flag.String("cluster", "", "cluster mode: comma-separated primary addresses (implies network mode)")
+		auditW   = flag.Int("audit-workers", 0, "embedded mode: audit pipeline workers (0 = default)")
+		auditBP  = flag.String("audit-backpressure", "", `embedded mode: "block" (default) or "drop" when the audit queue is full`)
+		auditM   = flag.Bool("audit-mask", false, "embedded mode: pseudonymize PII in audit records")
 	)
 	flag.Parse()
 
@@ -55,18 +59,29 @@ func main() {
 		runNetwork(bcfg, roles, *addr, *clusterF)
 		return
 	}
-	runEmbedded(bcfg, roles, *timing, *shards)
+	runEmbedded(bcfg, roles, *timing, *shards, *auditW, *auditBP, *auditM)
 }
 
 // runEmbedded is the original in-process mode: the personas call the
 // compliance layer directly.
-func runEmbedded(bcfg gdprbench.Config, roles []gdprbench.Role, timing string, shards int) {
+func runEmbedded(bcfg gdprbench.Config, roles []gdprbench.Role, timing string, shards, auditWorkers int, auditBP string, auditMask bool) {
 	cfg := core.Strict("")
 	if timing == "eventual" {
 		cfg = core.EventualFull("")
 	}
 	cfg.DefaultTTL = 24 * time.Hour
 	cfg.Shards = shards
+	cfg.AuditWorkers = auditWorkers
+	cfg.AuditMask = auditMask
+	switch auditBP {
+	case "":
+	case "block":
+		cfg.AuditBackpressure = core.Ptr(audit.BackpressureBlock)
+	case "drop":
+		cfg.AuditBackpressure = core.Ptr(audit.BackpressureDrop)
+	default:
+		log.Fatalf("unknown -audit-backpressure %q", auditBP)
+	}
 	st, err := core.Open(cfg)
 	if err != nil {
 		log.Fatal(err)

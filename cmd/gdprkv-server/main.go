@@ -12,6 +12,11 @@
 //	-aof-sync string    "no", "everysec", or "always" (default by timing)
 //	-journal-reads      log reads through the AOF (§4.1 retrofit)
 //	-audit string       audit trail path ("" keeps it in memory)
+//	-audit-workers int  audit pipeline worker goroutines (0 = default)
+//	-audit-queue int    audit pipeline queue depth (0 = default)
+//	-audit-backpressure "block" (default) or "drop" when the audit queue is full
+//	-audit-mask         pseudonymize key/owner/detail in every audit record
+//	-audit-sink string  export the trail to tcp://host:port or unix:///path
 //	-atrest-hex string  64-hex-char at-rest encryption key (LUKS stand-in)
 //	-tls                front the server with a TLS tunnel (stunnel stand-in)
 //	-default-ttl dur    default retention bound for writes (e.g. 720h)
@@ -37,6 +42,7 @@ import (
 	"time"
 
 	"gdprstore/internal/aof"
+	"gdprstore/internal/audit"
 	"gdprstore/internal/cluster"
 	"gdprstore/internal/core"
 	"gdprstore/internal/replica"
@@ -60,6 +66,11 @@ func main() {
 		aofSync      = flag.String("aof-sync", "", `"no", "everysec", or "always" (default derived from timing)`)
 		journalReads = flag.Bool("journal-reads", false, "log reads through the AOF (the paper's §4.1 retrofit)")
 		auditPath    = flag.String("audit", "", "audit trail path (empty keeps the trail in memory)")
+		auditWorkers = flag.Int("audit-workers", 0, "audit pipeline worker goroutines (0 = default)")
+		auditQueue   = flag.Int("audit-queue", 0, "audit pipeline queue depth (0 = default)")
+		auditBP      = flag.String("audit-backpressure", "", `"block" (default) or "drop" when the audit queue is full`)
+		auditMask    = flag.Bool("audit-mask", false, "pseudonymize key/owner/detail in every audit record")
+		auditSink    = flag.String("audit-sink", "", "export the trail to tcp://host:port or unix:///path")
 		atRestHex    = flag.String("atrest-hex", "", "64-hex-char at-rest encryption key (LUKS stand-in)")
 		withTLS      = flag.Bool("tls", false, "front the server with a TLS tunnel (stunnel stand-in)")
 		defaultTTL   = flag.Duration("default-ttl", 0, "default retention bound for writes")
@@ -81,13 +92,26 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Compliant:    *compliant,
-		AOFPath:      *aofPath,
-		JournalReads: *journalReads,
-		AuditEnabled: *compliant,
-		AuditPath:    *auditPath,
-		DefaultTTL:   *defaultTTL,
-		Shards:       *shards,
+		Compliant:       *compliant,
+		AOFPath:         *aofPath,
+		JournalReads:    *journalReads,
+		AuditEnabled:    *compliant,
+		AuditPath:       *auditPath,
+		AuditWorkers:    *auditWorkers,
+		AuditQueueDepth: *auditQueue,
+		AuditMask:       *auditMask,
+		AuditSocket:     *auditSink,
+		DefaultTTL:      *defaultTTL,
+		Shards:          *shards,
+	}
+	switch *auditBP {
+	case "":
+	case "block":
+		cfg.AuditBackpressure = core.Ptr(audit.BackpressureBlock)
+	case "drop":
+		cfg.AuditBackpressure = core.Ptr(audit.BackpressureDrop)
+	default:
+		log.Fatalf("unknown -audit-backpressure %q", *auditBP)
 	}
 	switch *timing {
 	case "realtime":

@@ -56,32 +56,17 @@ func (f Filter) Match(r Record) bool {
 	return true
 }
 
-// Query returns matching records. It serves from the durable file when the
-// trail is file-backed (so results are complete even past the memory cap),
-// falling back to the in-memory tail otherwise. Records are returned in
-// sequence order.
+// Query returns matching records in sequence order. It serves from the
+// durable file when the trail is file-backed (so results are complete
+// even past the memory cap), falling back to the in-memory ring
+// otherwise. The pipeline is drained first so a query observes every
+// record appended before the call, and pseudonymized fields are resolved
+// back through the engine-held masker table — the query path is inside
+// the engine, so filters match on real keys and owners while every sink
+// (and the file itself) holds pseudonyms only.
 func (t *Trail) Query(f Filter) ([]Record, error) {
-	t.mu.Lock()
-	if t.f == nil {
-		out := make([]Record, 0)
-		for _, r := range t.mem {
-			if f.Match(r) {
-				out = append(out, r)
-			}
-		}
-		t.mu.Unlock()
-		return out, nil
-	}
-	// Flush so the scan sees everything appended so far.
-	if err := t.syncFileOnlyLocked(); err != nil {
-		t.mu.Unlock()
-		return nil, err
-	}
-	path, key := t.path, t.key
-	t.mu.Unlock()
-
 	var out []Record
-	err := scanFile(path, key, func(r Record) error {
+	err := t.Scan(func(r Record) error {
 		if f.Match(r) {
 			out = append(out, r)
 		}
@@ -91,42 +76,41 @@ func (t *Trail) Query(f Filter) ([]Record, error) {
 		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if out == nil {
+		out = make([]Record, 0)
+	}
 	return out, nil
 }
 
-// syncFileOnlyLocked flushes the buffer without fsync (a scan only needs
-// the data visible to reads, not durable).
-func (t *Trail) syncFileOnlyLocked() error {
-	if t.w == nil {
-		return nil
-	}
-	if err := t.w.Flush(); err != nil {
-		t.lastErr = err
+// Scan streams every record in the trail through fn in log order,
+// unmasking pseudonymized fields where the engine still holds the
+// mapping.
+func (t *Trail) Scan(fn func(Record) error) error {
+	if err := t.barrier(); err != nil {
 		return err
 	}
-	return nil
-}
-
-// Scan streams every record in the trail through fn in log order.
-func (t *Trail) Scan(fn func(Record) error) error {
-	t.mu.Lock()
-	if t.f == nil {
-		mem := append([]Record(nil), t.mem...)
-		t.mu.Unlock()
-		for _, r := range mem {
-			if err := fn(r); err != nil {
+	emit := fn
+	if t.masker != nil {
+		emit = func(r Record) error { return fn(t.masker.Unmask(r)) }
+	}
+	if t.file == nil {
+		if t.mem == nil {
+			return nil
+		}
+		for _, r := range t.mem.Records() {
+			if err := emit(r); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := t.syncFileOnlyLocked(); err != nil {
-		t.mu.Unlock()
+	// Flush buffered bytes (no fsync needed — the scan only requires
+	// read visibility, not durability).
+	if err := t.file.Flush(); err != nil {
+		t.setErr(err)
 		return err
 	}
-	path, key := t.path, t.key
-	t.mu.Unlock()
-	return scanFile(path, key, fn)
+	return scanFile(t.file.Path(), t.file.key, emit)
 }
 
 func scanFile(path string, key []byte, fn func(Record) error) error {

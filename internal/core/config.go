@@ -106,6 +106,31 @@ type Config struct {
 	// now has to be followed by a logging-write operation"); nil derives
 	// from Capability (full → true).
 	AuditReads *bool
+	// AuditWorkers is the audit pipeline's worker-goroutine count
+	// (0 = pipeline default).
+	AuditWorkers int
+	// AuditQueueDepth bounds the audit pipeline's enqueue ring
+	// (0 = pipeline default).
+	AuditQueueDepth int
+	// AuditBackpressure overrides the full-queue policy; nil derives
+	// Block (shedding audit records is an explicit opt-in, whatever the
+	// timing).
+	AuditBackpressure *audit.Backpressure
+	// AuditMask pseudonymizes Key/Owner/Detail in every audit record
+	// under a trail key before any sink sees it, so the trail is not a
+	// second plaintext copy of personal data. Engine-side queries
+	// (Breach, Query) still resolve real names through the in-memory
+	// reverse table.
+	AuditMask bool
+	// AuditMaskKey keys the pseudonymization; nil derives AtRestKey, or
+	// a random per-process key when that is unset too.
+	AuditMaskKey []byte
+	// AuditSocket, when non-empty ("tcp://host:port" or "unix:///path"),
+	// exports the (masked) trail line-delimited to an external collector.
+	AuditSocket string
+	// AuditDrainTimeout bounds how long Close waits for queued audit
+	// records to reach the sinks (0 = pipeline default).
+	AuditDrainTimeout time.Duration
 
 	// AtRestKey encrypts AOF and audit files (32 bytes) — the LUKS
 	// stand-in of §4.2.
@@ -150,6 +175,7 @@ type normalized struct {
 	aofSync    aof.SyncPolicy
 	auditMode  audit.SyncMode
 	auditReads bool
+	auditBP    audit.Backpressure
 	strategy   store.ExpiryStrategy
 	requireTTL bool
 	enforceACL bool
@@ -178,6 +204,13 @@ func (c Config) normalize() normalized {
 		n.auditReads = *c.AuditReads
 	} else {
 		n.auditReads = c.Capability == CapabilityFull
+	}
+	if c.AuditBackpressure != nil {
+		n.auditBP = *c.AuditBackpressure
+	} else {
+		// Both timings default to Block: shedding compliance evidence is
+		// never implied, only requested.
+		n.auditBP = audit.BackpressureBlock
 	}
 	if c.ExpiryStrategy != nil {
 		n.strategy = *c.ExpiryStrategy

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/rand"
 	"errors"
 	"fmt"
 	"sync"
@@ -144,12 +145,37 @@ func Open(cfg Config) (*Store, error) {
 	}
 
 	if n.Config.Compliant && n.AuditEnabled {
-		t, err := audit.Open(audit.Options{
-			Path:  n.AuditPath,
-			Mode:  n.auditMode,
-			Key:   n.AtRestKey,
-			Clock: n.Config.Clock,
-		})
+		opts := audit.Options{
+			Path:         n.AuditPath,
+			Mode:         n.auditMode,
+			Key:          n.AtRestKey,
+			Clock:        n.Config.Clock,
+			Workers:      n.AuditWorkers,
+			QueueDepth:   n.AuditQueueDepth,
+			Backpressure: n.auditBP,
+			DrainTimeout: n.AuditDrainTimeout,
+		}
+		if n.AuditMask {
+			mk, err := auditMaskKey(n)
+			if err != nil {
+				if s.log != nil {
+					s.log.Close()
+				}
+				return nil, err
+			}
+			opts.MaskKey = mk
+		}
+		if n.AuditSocket != "" {
+			sock, err := audit.NewSocketSink(n.AuditSocket)
+			if err != nil {
+				if s.log != nil {
+					s.log.Close()
+				}
+				return nil, err
+			}
+			opts.ExtraSinks = append(opts.ExtraSinks, sock)
+		}
+		t, err := audit.Open(opts)
 		if err != nil {
 			if s.log != nil {
 				s.log.Close()
@@ -161,6 +187,24 @@ func Open(cfg Config) (*Store, error) {
 
 	s.expirer = store.NewExpirer(s.db)
 	return s, nil
+}
+
+// auditMaskKey resolves the pseudonymization key: explicit key, else the
+// at-rest key, else a fresh random per-process key (pseudonyms then do not
+// survive a restart, which is still a valid — if stricter — posture: old
+// trail lines become permanently unresolvable).
+func auditMaskKey(n normalized) ([]byte, error) {
+	if len(n.AuditMaskKey) > 0 {
+		return n.AuditMaskKey, nil
+	}
+	if len(n.AtRestKey) > 0 {
+		return n.AtRestKey, nil
+	}
+	k := make([]byte, 32)
+	if _, err := rand.Read(k); err != nil {
+		return nil, fmt.Errorf("core: audit mask key: %w", err)
+	}
+	return k, nil
 }
 
 // replay runs before the store is shared, so it needs no stripe locks; the

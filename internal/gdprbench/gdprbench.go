@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"time"
 
+	"gdprstore/internal/audit"
 	"gdprstore/internal/core"
 	"gdprstore/internal/metrics"
 )
@@ -142,6 +143,11 @@ type Result struct {
 	Throughput float64
 	PerOp      map[Op]metrics.Snapshot
 	Errors     int
+	// Audit snapshots the audit pipeline after the run (nil when auditing
+	// is off): queue pressure and shed records are part of the measurement
+	// — a high Dropped count means the throughput figure was bought by
+	// discarding evidence.
+	Audit *audit.Stats
 }
 
 // String renders a summary block.
@@ -150,6 +156,11 @@ func (r Result) String() string {
 		r.Role, r.Ops, r.Elapsed.Round(time.Millisecond), r.Throughput, r.Errors)
 	for op, snap := range r.PerOp {
 		s += fmt.Sprintf("\n  %-16s %s", op, snap.String())
+	}
+	if a := r.Audit; a != nil {
+		s += fmt.Sprintf("\n  audit: mode=%s policy=%s workers=%d queue=%d/%d enqueued=%d processed=%d dropped=%d sink_errors=%d syncs=%d",
+			a.Mode, a.Policy, a.Workers, a.QueueDepth, a.QueueCap,
+			a.Enqueued, a.Processed, a.Dropped, a.SinkErrors, a.Syncs)
 	}
 	return s
 }
@@ -290,11 +301,16 @@ func Run(st *core.Store, cfg Config) (Result, error) {
 			perOp[op] = h.Snapshot()
 		}
 	}
-	return Result{
+	res := Result{
 		Role: cfg.Role, Ops: cfg.Operations, Elapsed: elapsed,
 		Throughput: float64(cfg.Operations) / elapsed.Seconds(),
 		PerOp:      perOp, Errors: errs,
-	}, nil
+	}
+	if t := st.Trail(); t != nil {
+		st := t.Stats()
+		res.Audit = &st
+	}
+	return res, nil
 }
 
 // batchKeys selects cfg.Batch record keys of the subject that share one

@@ -53,8 +53,9 @@ func (s *OpStats) Record(d time.Duration) { s.Hist.Record(d) }
 // workload phase. Get is cheap after first use (read-locked map hit), and
 // recording on the returned OpStats is lock-free.
 type OpSet struct {
-	mu sync.RWMutex
-	m  map[string]*OpStats
+	mu       sync.RWMutex
+	m        map[string]*OpStats
+	counters *CounterSet
 }
 
 // NewOpSet returns an empty set.

@@ -634,8 +634,8 @@ func parseRole(s string) (acl.Role, bool) {
 
 // cmdInfo reports server and store health in Redis INFO style, including
 // the replication topology and the per-command metrics the middleware
-// pipeline records. An optional section argument (gdprstore, replication,
-// commandstats) restricts the report.
+// pipeline records. An optional section argument (gdprstore, audit,
+// replication, commandstats) restricts the report.
 func cmdInfo(ctx *Ctx) (resp.Value, error) {
 	s := ctx.Srv
 	section := ""
@@ -643,7 +643,7 @@ func cmdInfo(ctx *Ctx) (resp.Value, error) {
 		section = strings.ToLower(string(ctx.Args[0]))
 	}
 	switch section {
-	case "", "gdprstore", "replication", "cluster", "commandstats":
+	case "", "gdprstore", "audit", "replication", "cluster", "commandstats":
 	default:
 		return resp.Value{}, fmt.Errorf("unknown INFO section '%s'", section)
 	}
@@ -651,6 +651,9 @@ func cmdInfo(ctx *Ctx) (resp.Value, error) {
 	var b strings.Builder
 	if want("gdprstore") {
 		b.WriteString(s.gdprstoreInfo())
+	}
+	if want("audit") && (section == "audit" || s.store.Trail() != nil) {
+		b.WriteString(s.auditInfo())
 	}
 	if want("replication") {
 		b.WriteString(s.replicationInfo())
@@ -685,6 +688,36 @@ func (s *Server) gdprstoreInfo() string {
 		b.WriteString("audit_seq:" + strconv.FormatUint(t.Seq(), 10) + "\r\n")
 		b.WriteString("audit_syncs:" + strconv.FormatUint(t.Syncs(), 10) + "\r\n")
 	}
+	return b.String()
+}
+
+// auditInfo renders the audit-pipeline section: queue pressure, drop and
+// sink-error counters, and the last sink error, so operators can see a
+// failing or shedding trail without grepping logs.
+func (s *Server) auditInfo() string {
+	var b strings.Builder
+	b.WriteString("# audit\r\n")
+	t := s.store.Trail()
+	if t == nil {
+		b.WriteString("audit_enabled:false\r\n")
+		return b.String()
+	}
+	st := t.Stats()
+	b.WriteString("audit_enabled:true\r\n")
+	b.WriteString("audit_mode:" + st.Mode.String() + "\r\n")
+	b.WriteString("audit_backpressure:" + st.Policy.String() + "\r\n")
+	b.WriteString("audit_workers:" + strconv.Itoa(st.Workers) + "\r\n")
+	b.WriteString("audit_queue_depth:" + strconv.Itoa(st.QueueDepth) + "\r\n")
+	b.WriteString("audit_queue_cap:" + strconv.Itoa(st.QueueCap) + "\r\n")
+	b.WriteString("audit_seq:" + strconv.FormatUint(st.Seq, 10) + "\r\n")
+	b.WriteString("audit_enqueued:" + strconv.FormatUint(st.Enqueued, 10) + "\r\n")
+	b.WriteString("audit_processed:" + strconv.FormatUint(st.Processed, 10) + "\r\n")
+	b.WriteString("audit_dropped:" + strconv.FormatUint(st.Dropped, 10) + "\r\n")
+	b.WriteString("audit_sink_errors:" + strconv.FormatUint(st.SinkErrors, 10) + "\r\n")
+	b.WriteString("audit_syncs:" + strconv.FormatUint(st.Syncs, 10) + "\r\n")
+	b.WriteString("audit_mask:" + strconv.FormatBool(st.MaskEnabled) + "\r\n")
+	b.WriteString("audit_masked:" + strconv.FormatUint(st.Masked, 10) + "\r\n")
+	b.WriteString("audit_last_error:" + st.LastErr + "\r\n")
 	return b.String()
 }
 
