@@ -31,7 +31,7 @@ bench:
 # a shared box while minima are stable.
 bench-ci:
 	$(GO) test -run '^$$' \
-		-bench 'Engine_|Core_G|RESPRoundTrip|FsyncSpectrum|ComplianceSpectrum|Audit_' \
+		-bench 'Engine_|Core_G|RESPRoundTrip|Resp_|FsyncSpectrum|ComplianceSpectrum|Audit_' \
 		-benchtime 1000x -count 5 -benchmem -json . > BENCH_ci.json
 	$(GO) test -run '^$$' -bench . -benchtime 1000x -count 5 -benchmem -json \
 		./internal/server >> BENCH_ci.json

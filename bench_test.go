@@ -10,7 +10,9 @@
 package gdprstore
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"path/filepath"
 	"runtime"
@@ -26,6 +28,7 @@ import (
 	"gdprstore/internal/cryptoutil"
 	"gdprstore/internal/experiments"
 	"gdprstore/internal/gdprbench"
+	"gdprstore/internal/resp"
 	"gdprstore/internal/server"
 	"gdprstore/internal/store"
 	"gdprstore/internal/tlsproxy"
@@ -861,6 +864,55 @@ func BenchmarkRESPRoundTrip(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := db.Read("k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- RESP serialization hot path (PR: wire-speed client API) ---
+
+// BenchmarkResp_WriteCommand measures the client's command-encode fast
+// path: WriteCommandBytes straight into a bufio.Writer, no Value boxing.
+// The allocation budget is asserted at 0 allocs/op by the resp package's
+// TestWriteCommandBytesAllocFree; the benchmark tracks the cycle cost.
+func BenchmarkResp_WriteCommand(b *testing.B) {
+	w := resp.NewWriter(io.Discard)
+	args := [][]byte{[]byte("SET"), []byte("user0000000042"), make([]byte, 100)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteCommandBytes(args); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResp_ReadReply measures decode of a typical small pipeline
+// reply batch (+OK, an integer, a bulk string) from a pre-encoded buffer.
+func BenchmarkResp_ReadReply(b *testing.B) {
+	var buf bytes.Buffer
+	w := resp.NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		w.WriteValue(resp.SimpleStringValue("OK"))
+		w.WriteValue(resp.IntegerValue(12345))
+		w.WriteValue(resp.BulkValue(make([]byte, 100)))
+	}
+	w.Flush()
+	wire := buf.Bytes()
+	rd := bytes.NewReader(wire)
+	r := resp.NewReader(rd)
+	b.SetBytes(int64(len(wire) / 9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%9 == 0 {
+			rd.Reset(wire)
+			r.Reset(rd)
+		}
+		if _, err := r.ReadValue(); err != nil {
 			b.Fatal(err)
 		}
 	}

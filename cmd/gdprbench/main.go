@@ -26,6 +26,7 @@ import (
 	"gdprstore/internal/audit"
 	"gdprstore/internal/core"
 	"gdprstore/internal/gdprbench"
+	"gdprstore/pkg/gdprkv"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		auditW   = flag.Int("audit-workers", 0, "embedded mode: audit pipeline workers (0 = default)")
 		auditBP  = flag.String("audit-backpressure", "", `embedded mode: "block" (default) or "drop" when the audit queue is full`)
 		auditM   = flag.Bool("audit-mask", false, "embedded mode: pseudonymize PII in audit records")
+		autoB    = flag.Int("auto-batch", 0, "network mode: dial sessions with WithAutoBatch coalescing, maxOps N and the default window")
 	)
 	flag.Parse()
 
@@ -56,8 +58,11 @@ func main() {
 	}
 
 	if *addr != "" || *clusterF != "" {
-		runNetwork(bcfg, roles, *addr, *clusterF)
+		runNetwork(bcfg, roles, *addr, *clusterF, *autoB)
 		return
+	}
+	if *autoB > 0 {
+		log.Fatal("-auto-batch applies to network mode only (use -addr or -cluster)")
 	}
 	runEmbedded(bcfg, roles, *timing, *shards, *auditW, *auditBP, *auditM)
 }
@@ -119,7 +124,7 @@ func runEmbedded(bcfg gdprbench.Config, roles []gdprbench.Role, timing string, s
 
 // runNetwork drives the personas through pkg/gdprkv against one server
 // (-addr) or a cluster of primaries (-cluster).
-func runNetwork(bcfg gdprbench.Config, roles []gdprbench.Role, addr, clusterSpec string) {
+func runNetwork(bcfg gdprbench.Config, roles []gdprbench.Role, addr, clusterSpec string, autoBatch int) {
 	ctx := context.Background()
 	var nodes []string
 	clustered := clusterSpec != ""
@@ -145,6 +150,9 @@ func runNetwork(bcfg gdprbench.Config, roles []gdprbench.Role, addr, clusterSpec
 	}
 
 	p := gdprbench.NewNetPool(nodes[0], clustered, nodes[1:]...)
+	if autoBatch > 0 {
+		p.Options(gdprkv.WithAutoBatch(0, autoBatch))
+	}
 	defer p.Close()
 
 	start := time.Now()

@@ -11,6 +11,8 @@
 //	     -replicas 127.0.0.1:6381,127.0.0.1:6382              # pooled + replica reads
 //	ycsb -workload C -mode network -addr 127.0.0.1:7001 -pool 8 \
 //	     -cluster 127.0.0.1:7002,127.0.0.1:7003               # 3 hash-slot primaries
+//	ycsb -workload C -mode network -pipeline 64               # explicit pipelining
+//	ycsb -workload C -mode network -pool 4 -auto-batch 64     # implicit coalescing
 package main
 
 import (
@@ -47,6 +49,8 @@ func main() {
 		loadOnly   = flag.Bool("load-only", false, "run only the load phase")
 		skipLoad   = flag.Bool("skip-load", false, "skip the load phase")
 		batch      = flag.Int("batch", 1, "group operations into batches of N (MSET/MGET over the network, PutBatch/GetBatch in-process)")
+		pipeline   = flag.Int("pipeline", 1, "network mode: queue operations in an explicit client pipeline flushed every N ops")
+		autoBatch  = flag.Int("auto-batch", 0, "network mode: enable WithAutoBatch coalescing with maxOps N and the default window (requires -pool)")
 		shards     = flag.Int("shards", 0, "embedded/gdpr mode: engine lock-stripe count, power of two (0 = default; 1 = single mutex)")
 		poolSize   = flag.Int("pool", 0, "network mode: share one pooled client of N connections across all workers (0 = one connection per worker)")
 		replicas   = flag.String("replicas", "", "network mode: comma-separated replica addresses for read routing (requires -pool)")
@@ -76,6 +80,17 @@ func main() {
 		if *clusterF != "" && *replicas != "" {
 			log.Fatal("-cluster and -replicas are mutually exclusive (every cluster node is a primary)")
 		}
+		if *pipeline > 1 && *batch > 1 {
+			log.Fatal("-pipeline and -batch are mutually exclusive (both amortise round trips; pick one)")
+		}
+		if *autoBatch > 0 && *poolSize == 0 {
+			// Coalescing needs concurrent callers on one client; per-worker
+			// clients would each batch alone and measure nothing.
+			log.Fatal("-auto-batch requires -pool N (coalescing is a shared-client feature)")
+		}
+		if *autoBatch > 0 && (*pipeline > 1 || *batch > 1) {
+			log.Fatal("-auto-batch is mutually exclusive with -pipeline/-batch")
+		}
 		if *poolSize > 0 {
 			// One shared pooled, replica- or cluster-aware client saturated
 			// by every worker — the pkg/gdprkv deployment shape.
@@ -97,6 +112,9 @@ func main() {
 			if *clusterF != "" {
 				opts = append(opts, gdprkv.WithCluster(splitAddrs(*clusterF)...))
 			}
+			if *autoBatch > 0 {
+				opts = append(opts, gdprkv.WithAutoBatch(0, *autoBatch))
+			}
 			shared, err := gdprkv.Dial(context.Background(), *addr, opts...)
 			if err != nil {
 				log.Fatal(err)
@@ -105,15 +123,30 @@ func main() {
 				st := shared.Stats()
 				fmt.Printf("[client] pool=%d primary_reads=%d replica_reads=%d writes=%d retries=%d redials=%d redirects=%d\n",
 					*poolSize, st.PrimaryReads, st.ReplicaReads, st.Writes, st.Retries, st.Redials, st.Redirects)
+				if st.AutoBatchFlushes > 0 {
+					fmt.Printf("[client] auto_batch_flushes=%d auto_batch_ops=%d (%.1f ops/flush)\n",
+						st.AutoBatchFlushes, st.AutoBatchOps,
+						float64(st.AutoBatchOps)/float64(st.AutoBatchFlushes))
+				}
+				if st.PipelineExecs > 0 {
+					fmt.Printf("[client] pipeline_execs=%d pipeline_ops=%d (%.1f ops/exec)\n",
+						st.PipelineExecs, st.PipelineOps,
+						float64(st.PipelineOps)/float64(st.PipelineExecs))
+				}
 				shared.Close()
 			}
-			if *batch > 1 {
+			switch {
+			case *batch > 1:
 				factory = func(int) (ycsb.DB, error) { return ycsb.NewBatchNetworkDB(shared, *batch), nil }
-			} else {
+			case *pipeline > 1:
+				factory = func(int) (ycsb.DB, error) { return ycsb.NewPipelineNetworkDB(shared, *pipeline), nil }
+			default:
 				factory = func(int) (ycsb.DB, error) { return ycsb.NewNetworkDB(shared), nil }
 			}
 		} else if *batch > 1 {
 			factory = func(int) (ycsb.DB, error) { return ycsb.DialBatchNetworkDB(*addr, *batch) }
+		} else if *pipeline > 1 {
+			factory = func(int) (ycsb.DB, error) { return ycsb.DialPipelineNetworkDB(*addr, *pipeline) }
 		} else {
 			factory = func(int) (ycsb.DB, error) { return ycsb.DialNetworkDB(*addr) }
 		}

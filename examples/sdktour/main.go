@@ -2,7 +2,8 @@
 // in-process server: options-struct construction with an auto AUTH/
 // PURPOSE handshake, per-call context deadlines (a dead server can never
 // hang a caller), the typed error taxonomy under errors.Is, concurrent
-// use of one pooled client, and the generic Do escape hatch. Run with:
+// use of one pooled client, explicit pipelining, implicit micro-batching,
+// and the generic Do escape hatch. Run with:
 //
 //	go run ./examples/sdktour
 package main
@@ -136,10 +137,54 @@ func main() {
 	}
 	fmt.Printf("6. Do(COMMAND COUNT): server registers %d commands\n", reply.Int)
 
-	// 7. Rights operations route to the primary and erase everything.
+	// 7. Explicit pipelining: queue N commands, pay ~1 round trip. Results
+	// are positional, and an error reply mid-pipeline occupies only its
+	// own slot — later replies stay aligned.
+	p := c.Pipeline()
+	p.GPut("user:alice:phone", []byte("+33 1 23 45 67 89"), gdprkv.PutOptions{
+		Owner: "alice", Purposes: []string{"order-fulfilment"}, TTL: time.Hour,
+	})
+	p.GGet("user:alice:phone")
+	p.GGet("user:nobody:email") // errors in-slot, does not desync
+	p.GGet("user:alice:address")
+	res, err := p.Exec(ctx)
+	if err != nil {
+		log.Fatal(err) // transport failure only; per-op errors are in the slots
+	}
+	phone, _ := res[1].Bytes()
+	fmt.Printf("7. pipeline of %d: phone=%s, slot2 ErrNotFound=%v, slot3 ok=%v\n",
+		len(res), phone, errors.Is(res[2].Err, gdprkv.ErrNotFound), res[3].Err == nil)
+
+	// 8. Implicit micro-batching: a coalescing client turns concurrent
+	// scalar calls into MGET/GMPUT batches — same API, fewer round trips.
+	ab, err := gdprkv.Dial(ctx, srv.Addr(),
+		gdprkv.WithActor("backend"),
+		gdprkv.WithPurpose("order-fulfilment"),
+		gdprkv.WithAutoBatch(gdprkv.DefaultAutoBatchWindow, gdprkv.DefaultAutoBatchMaxOps),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var awg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		awg.Add(1)
+		go func(g int) {
+			defer awg.Done()
+			if _, err := ab.GGet(ctx, fmt.Sprintf("user:alice:g%d", g)); err != nil {
+				log.Fatal(err)
+			}
+		}(g)
+	}
+	awg.Wait()
+	abStats := ab.Stats()
+	ab.Close() // flushes any writes still waiting in a window
+	fmt.Printf("8. auto-batch: 8 concurrent GGets rode %d coalesced flush(es)\n",
+		abStats.AutoBatchFlushes)
+
+	// 9. Rights operations route to the primary and erase everything.
 	n, err := c.ForgetUser(ctx, "alice")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("7. ForgetUser(alice): %d records erased; pool stats: %+v\n", n, c.Stats())
+	fmt.Printf("9. ForgetUser(alice): %d records erased; pool stats: %+v\n", n, c.Stats())
 }

@@ -28,6 +28,7 @@ type NetPool struct {
 	addr    string
 	cluster bool
 	seeds   []string
+	extra   []gdprkv.Option
 
 	mu      sync.Mutex
 	clients map[string]*gdprkv.Client
@@ -39,6 +40,15 @@ type NetPool struct {
 func NewNetPool(addr string, cluster bool, seeds ...string) *NetPool {
 	return &NetPool{addr: addr, cluster: cluster, seeds: seeds,
 		clients: make(map[string]*gdprkv.Client)}
+}
+
+// Options appends extra client options applied to every session dialed
+// after the call (e.g. gdprkv.WithAutoBatch to measure implicit
+// coalescing). Call before the first Client.
+func (p *NetPool) Options(opts ...gdprkv.Option) {
+	p.mu.Lock()
+	p.extra = append(p.extra, opts...)
+	p.mu.Unlock()
 }
 
 // Client returns (dialing on first use) the session client for an actor
@@ -57,6 +67,7 @@ func (p *NetPool) Client(ctx context.Context, actor, purpose string) (*gdprkv.Cl
 	if p.cluster {
 		opts = append(opts, gdprkv.WithCluster(p.seeds...))
 	}
+	opts = append(opts, p.extra...)
 	c, err := gdprkv.Dial(ctx, p.addr, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("gdprbench: dial session %s/%s: %w", actor, purpose, err)

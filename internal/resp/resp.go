@@ -44,8 +44,10 @@ type Value struct {
 // Common protocol errors.
 var (
 	ErrProtocol = errors.New("resp: protocol error")
-	// MaxBulkLen bounds a single bulk string (512 MB, Redis's limit).
-	errBulkTooLong = errors.New("resp: bulk string exceeds limit")
+	// MaxBulkLen bounds a single bulk string (512 MB, Redis's limit). A
+	// violated bound is a protocol error: the stream is unparseable past
+	// it, and servers reply before disconnecting on ErrProtocol.
+	errBulkTooLong = fmt.Errorf("%w: bulk string length out of range", ErrProtocol)
 )
 
 // MaxBulkLen is the largest accepted bulk string, matching Redis's
@@ -114,10 +116,60 @@ type Reader struct {
 	br *bufio.Reader
 }
 
+// parseInt converts a decimal ASCII line to int64 without the string
+// conversion strconv.ParseInt would force (the line aliases the read
+// buffer, so it must be consumed before the next read — which this does).
+// It accepts exactly what the protocol produces: an optional sign and
+// digits, no spaces, no empty input.
+func parseInt(line []byte) (int64, bool) {
+	if len(line) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	switch line[0] {
+	case '-':
+		neg = true
+		i = 1
+	case '+':
+		i = 1
+	}
+	if i == len(line) {
+		return 0, false
+	}
+	// Accumulate negatively: the int64 range is asymmetric and only the
+	// negative side holds every magnitude (MinInt64 has no positive twin).
+	var n int64
+	for ; i < len(line); i++ {
+		d := line[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		if n < (-1<<63)/10 {
+			return 0, false
+		}
+		n = n*10 - int64(d)
+		if n > 0 {
+			return 0, false
+		}
+	}
+	if !neg {
+		if n == -1<<63 {
+			return 0, false
+		}
+		n = -n
+	}
+	return n, true
+}
+
 // NewReader wraps r in a buffered RESP decoder.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReaderSize(r, 16*1024)}
 }
+
+// Reset discards any buffered data and switches the decoder to read from
+// rd, letting a Reader (and its 16 KB buffer) be reused across streams.
+func (r *Reader) Reset(rd io.Reader) { r.br.Reset(rd) }
 
 // ReadValue decodes the next value from the stream.
 func (r *Reader) ReadValue() (Value, error) {
@@ -260,22 +312,48 @@ func (r *Reader) readN(n int64) ([]byte, error) {
 }
 
 func (r *Reader) readLine() ([]byte, error) {
-	// Accumulate buffer-sized fragments so an unterminated line fails at
-	// MaxLineLen instead of growing memory for as long as the peer streams.
-	var line []byte
+	line, err := r.readLineInline()
+	if err != nil {
+		return nil, err
+	}
+	// The inline line aliases the read buffer; copy so the returned slice
+	// survives the next read (it becomes a Value.Str the caller keeps).
+	return append([]byte(nil), line...), nil
+}
+
+// readLineInline reads one CRLF-terminated line and returns it WITHOUT
+// copying: the result aliases the read buffer and is valid only until the
+// next read. Length headers and integers are parsed in place, so those
+// paths skip the per-line copy readLine pays for payloads that escape.
+func (r *Reader) readLineInline() ([]byte, error) {
+	frag, err := r.br.ReadSlice('\n')
+	if err == nil {
+		// Fast path: the whole line sat in one buffer fill (the buffer is
+		// smaller than MaxLineLen, so no length check is needed here).
+		if len(frag) < 2 || frag[len(frag)-2] != '\r' {
+			return nil, fmt.Errorf("%w: line missing CRLF", ErrProtocol)
+		}
+		return frag[: len(frag)-2 : len(frag)-2], nil
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, err
+	}
+	// Slow path: accumulate buffer-sized fragments so an unterminated line
+	// fails at MaxLineLen instead of growing memory for as long as the
+	// peer streams.
+	line := append([]byte(nil), frag...)
 	for {
-		frag, err := r.br.ReadSlice('\n')
+		if len(line) > MaxLineLen {
+			return nil, fmt.Errorf("%w: line exceeds %d bytes", ErrProtocol, MaxLineLen)
+		}
+		frag, err = r.br.ReadSlice('\n')
 		line = append(line, frag...)
 		if err == nil {
 			break
 		}
-		if err == bufio.ErrBufferFull {
-			if len(line) > MaxLineLen {
-				return nil, fmt.Errorf("%w: line exceeds %d bytes", ErrProtocol, MaxLineLen)
-			}
-			continue
+		if err != bufio.ErrBufferFull {
+			return nil, err
 		}
-		return nil, err
 	}
 	if len(line) > MaxLineLen+2 {
 		return nil, fmt.Errorf("%w: line exceeds %d bytes", ErrProtocol, MaxLineLen)
@@ -287,12 +365,12 @@ func (r *Reader) readLine() ([]byte, error) {
 }
 
 func (r *Reader) readInt() (int64, error) {
-	line, err := r.readLine()
+	line, err := r.readLineInline()
 	if err != nil {
 		return 0, err
 	}
-	n, err := strconv.ParseInt(string(line), 10, 64)
-	if err != nil {
+	n, ok := parseInt(line)
+	if !ok {
 		return 0, fmt.Errorf("%w: bad integer %q", ErrProtocol, line)
 	}
 	return n, nil
@@ -302,11 +380,24 @@ func (r *Reader) readInt() (int64, error) {
 // Flush after writing a batch (pipelining-friendly).
 type Writer struct {
 	bw *bufio.Writer
+	// scratch is the reusable buffer integer headers are formatted into,
+	// so the hot encode path allocates nothing per value.
+	scratch [24]byte
 }
 
 // NewWriter wraps w in a buffered RESP encoder.
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{bw: bufio.NewWriterSize(w, 16*1024)}
+}
+
+// writeHeader emits one type byte, a decimal integer, and CRLF — the shape
+// of every RESP length/integer header — via the scratch buffer.
+func (w *Writer) writeHeader(t byte, n int64) error {
+	buf := append(w.scratch[:0], t)
+	buf = strconv.AppendInt(buf, n, 10)
+	buf = append(buf, '\r', '\n')
+	_, err := w.bw.Write(buf)
+	return err
 }
 
 // WriteValue encodes v. The data is buffered until Flush.
@@ -321,43 +412,19 @@ func (w *Writer) WriteValue(v Value) error {
 		}
 		return w.crlf()
 	case Integer:
-		if err := w.bw.WriteByte(':'); err != nil {
-			return err
-		}
-		if _, err := w.bw.WriteString(strconv.FormatInt(v.Int, 10)); err != nil {
-			return err
-		}
-		return w.crlf()
+		return w.writeHeader(':', v.Int)
 	case BulkString:
 		if v.Null {
 			_, err := w.bw.WriteString("$-1\r\n")
 			return err
 		}
-		if err := w.bw.WriteByte('$'); err != nil {
-			return err
-		}
-		if _, err := w.bw.WriteString(strconv.Itoa(len(v.Str))); err != nil {
-			return err
-		}
-		if err := w.crlf(); err != nil {
-			return err
-		}
-		if _, err := w.bw.Write(v.Str); err != nil {
-			return err
-		}
-		return w.crlf()
+		return w.writeBulk(v.Str)
 	case Array:
 		if v.Null {
 			_, err := w.bw.WriteString("*-1\r\n")
 			return err
 		}
-		if err := w.bw.WriteByte('*'); err != nil {
-			return err
-		}
-		if _, err := w.bw.WriteString(strconv.Itoa(len(v.Array))); err != nil {
-			return err
-		}
-		if err := w.crlf(); err != nil {
+		if err := w.writeHeader('*', int64(len(v.Array))); err != nil {
 			return err
 		}
 		for _, e := range v.Array {
@@ -371,9 +438,51 @@ func (w *Writer) WriteValue(v Value) error {
 	}
 }
 
-// WriteCommand encodes a command as an array of bulk strings and buffers it.
+// writeBulk emits one bulk string: length header, payload, CRLF.
+func (w *Writer) writeBulk(b []byte) error {
+	if err := w.writeHeader('$', int64(len(b))); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		return err
+	}
+	return w.crlf()
+}
+
+// WriteCommand encodes a command as an array of bulk strings and buffers
+// it, writing each argument directly — no intermediate Value tree.
 func (w *Writer) WriteCommand(args ...string) error {
-	return w.WriteValue(CommandValue(args...))
+	if err := w.writeHeader('*', int64(len(args))); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := w.writeHeader('$', int64(len(a))); err != nil {
+			return err
+		}
+		if _, err := w.bw.WriteString(a); err != nil {
+			return err
+		}
+		if err := w.crlf(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCommandBytes encodes a command from raw byte arguments: the
+// client's hot path. One call writes the whole multibulk — array header
+// plus one bulk string per argument — straight into the buffer, avoiding
+// the per-argument Value boxing WriteValue(ArrayValue(...)) would pay.
+func (w *Writer) WriteCommandBytes(args [][]byte) error {
+	if err := w.writeHeader('*', int64(len(args))); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := w.writeBulk(a); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (w *Writer) crlf() error {

@@ -256,3 +256,39 @@ func TestIntegerPropertyRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- allocation budgets for the client hot path ---
+
+// TestWriteCommandBytesAllocFree pins the encode fast path at zero
+// allocations per command: headers come from the Writer's scratch array
+// and payloads are written through without boxing into Values.
+func TestWriteCommandBytesAllocFree(t *testing.T) {
+	w := NewWriter(io.Discard)
+	args := [][]byte{[]byte("SET"), []byte("user0000000042"), make([]byte, 100)}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := w.WriteCommandBytes(args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("WriteCommandBytes allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestReadIntegerAllocFree pins integer replies (and by extension every
+// length header) at zero allocations: the digits are parsed in place from
+// the buffered line, never copied out.
+func TestReadIntegerAllocFree(t *testing.T) {
+	wire := bytes.Repeat([]byte(":1234567890\r\n"), 2000)
+	rd := bytes.NewReader(wire)
+	r := NewReader(rd)
+	allocs := testing.AllocsPerRun(1000, func() {
+		v, err := r.ReadValue()
+		if err != nil || v.Int != 1234567890 {
+			t.Fatalf("ReadValue = %v, %v", v, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("integer reply read allocates %.1f objects/op, want 0", allocs)
+	}
+}

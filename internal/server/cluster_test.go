@@ -462,3 +462,107 @@ func TestClusterFanoutLocalRefusalKeepsWireCode(t *testing.T) {
 		t.Fatalf("local refusal masked as CLUSTERDOWN: %v", err)
 	}
 }
+
+// TestClusterPipelineSplitsAndReassembles queues a pipeline whose keys
+// span all three primaries: Exec must split it per node, run the node
+// exchanges, and stitch the replies back in queue order.
+func TestClusterPipelineSplitsAndReassembles(t *testing.T) {
+	srvs, _, m := startCluster(t, 3)
+	ctx := context.Background()
+	c := clusterClient(t, srvs)
+
+	owners := []string{ownerOn(t, m, "n1"), ownerOn(t, m, "n2"), ownerOn(t, m, "n3")}
+	p := c.Pipeline()
+	// Interleave nodes deliberately so per-node grouping must reorder and
+	// the positional mapping must undo it.
+	for r := 0; r < 3; r++ {
+		for _, o := range owners {
+			p.Set(fmt.Sprintf("{%s}:r%d", o, r), []byte(fmt.Sprintf("%s-%d", o, r)))
+		}
+	}
+	for r := 0; r < 3; r++ {
+		for _, o := range owners {
+			p.Get(fmt.Sprintf("{%s}:r%d", o, r))
+		}
+	}
+	p.Get("{" + owners[0] + "}:missing")
+	res, err := p.Exec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 19 {
+		t.Fatalf("len(res) = %d, want 19", len(res))
+	}
+	for i := 0; i < 9; i++ {
+		if res[i].Err != nil {
+			t.Fatalf("set res[%d].Err = %v", i, res[i].Err)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		for j, o := range owners {
+			i := 9 + r*3 + j
+			v, err := res[i].Bytes()
+			if err != nil || string(v) != fmt.Sprintf("%s-%d", o, r) {
+				t.Fatalf("res[%d] = %q, %v; want %s-%d — cluster reassembly misordered", i, v, err, o, r)
+			}
+		}
+	}
+	if !errors.Is(res[18].Err, gdprkv.ErrNotFound) {
+		t.Fatalf("res[18].Err = %v, want ErrNotFound", res[18].Err)
+	}
+	// Every node served its share of the split.
+	for i, srv := range srvs {
+		if srv.CommandStats().Snapshots()["SET"].Count == 0 {
+			t.Errorf("node %d served no pipelined SETs", i+1)
+		}
+	}
+}
+
+// TestClusterPipelineFollowsMovedMidPipeline re-points a slot between
+// queueing and Exec: the op answered with MOVED must be retried against
+// the new owner individually while every other slot keeps its reply.
+func TestClusterPipelineFollowsMovedMidPipeline(t *testing.T) {
+	srvs, _, m := startCluster(t, 3)
+	ctx := context.Background()
+	c := clusterClient(t, srvs)
+
+	stay := ownerOn(t, m, "n1")
+	move := ownerOn(t, m, "n3")
+	stayKey, moveKey := "{"+stay+"}:k", "{"+move+"}:k"
+	if err := c.Set(ctx, stayKey, []byte("stay")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(ctx, moveKey, []byte("moved")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap n2's and n3's ranges fleet-wide; the client's map is now stale
+	// for moveKey. Copy the bytes so the new owner can serve the read.
+	nodes := m.Nodes()
+	nodes[1].Ranges, nodes[2].Ranges = nodes[2].Ranges, nodes[1].Ranges
+	m2, err := cluster.NewMap(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, srv := range srvs {
+		if err := srv.EnableCluster(ClusterConfig{Self: nodes[i].ID, Map: m2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srvs[1].Store().Engine().Set(moveKey, []byte("moved"))
+
+	res, err := c.Pipeline().Get(stayKey).Get(moveKey).Get(stayKey).Exec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"stay", "moved", "stay"} {
+		v, err := res[i].Bytes()
+		if err != nil || string(v) != want {
+			t.Fatalf("res[%d] = %q, %v; want %q", i, v, err, want)
+		}
+	}
+	st := c.Stats()
+	if st.Redirects == 0 {
+		t.Fatal("pipeline followed no redirect despite a stale slot map")
+	}
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"gdprstore/internal/core"
+	"gdprstore/pkg/gdprkv"
+)
+
+// --- client pipelining benchmarks (PR: wire-speed client API) ---
+//
+// One baseline server over loopback TCP, driven through the public SDK.
+// The depth sweep quantifies what an N-deep explicit pipeline buys over
+// N sequential round trips; the auto-batch benchmark measures the same
+// amortisation reached implicitly by concurrent scalar callers.
+
+func benchPipelineClient(b *testing.B, opts ...gdprkv.Option) *gdprkv.Client {
+	b.Helper()
+	st, err := core.Open(core.Baseline())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := Listen("127.0.0.1:0", st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close(); st.Close() })
+	c, err := gdprkv.Dial(context.Background(), srv.Addr(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	ctx := context.Background()
+	for j := 0; j < 64; j++ {
+		if err := c.Set(ctx, fmt.Sprintf("k%02d", j), []byte("0123456789abcdef")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// benchPipelineDepth reads 64 hot keys per iteration through pipelines of
+// the given depth; depth 1 degenerates to sequential GETs and anchors the
+// sweep.
+func benchPipelineDepth(b *testing.B, depth int) {
+	c := benchPipelineClient(b, gdprkv.WithPoolSize(1))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for base := 0; base < 64; base += depth {
+			p := c.Pipeline()
+			for j := 0; j < depth; j++ {
+				p.Get(fmt.Sprintf("k%02d", base+j))
+			}
+			res, err := p.Exec(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range res {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "keys/s")
+}
+
+func BenchmarkPipeline_Depth1(b *testing.B)  { benchPipelineDepth(b, 1) }
+func BenchmarkPipeline_Depth8(b *testing.B)  { benchPipelineDepth(b, 8) }
+func BenchmarkPipeline_Depth64(b *testing.B) { benchPipelineDepth(b, 64) }
+
+// BenchmarkPipeline_AutoBatch drives scalar Gets from 8 concurrent
+// goroutines through a coalescing client: the batcher turns the burst
+// into MGETs without any caller opting in.
+func BenchmarkPipeline_AutoBatch(b *testing.B) {
+	// maxOps matches the goroutine count so a full burst flushes inline
+	// instead of waiting out the window timer.
+	c := benchPipelineClient(b,
+		gdprkv.WithPoolSize(2),
+		gdprkv.WithAutoBatch(100*time.Microsecond, 8))
+	ctx := context.Background()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		j := 0
+		for pb.Next() {
+			if _, err := c.Get(ctx, fmt.Sprintf("k%02d", j%64)); err != nil {
+				b.Fatal(err)
+			}
+			j++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}

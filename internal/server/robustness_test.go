@@ -53,6 +53,38 @@ func TestGarbageBytesDoNotCrashServer(t *testing.T) {
 	}
 }
 
+// TestMalformedCommandGetsErrorReplyBeforeDisconnect pins the read loop's
+// farewell contract: a protocol violation is answered with a -ERR reply,
+// then the connection closes (EOF). A silent drop would leave clients
+// diagnosing "connection reset" instead of the actual parse failure.
+func TestMalformedCommandGetsErrorReplyBeforeDisconnect(t *testing.T) {
+	srv, _ := startServer(t, core.Baseline())
+	for _, payload := range []string{
+		"*2\r\n$3\r\nGET\r\n:5\r\n", // non-bulk argument inside a command
+		"GET key\r\n",               // inline commands unsupported
+		"$-2\r\n",                   // invalid negative bulk length
+	} {
+		c := rawDial(t, srv)
+		if _, err := io.WriteString(c, payload); err != nil {
+			t.Fatal(err)
+		}
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		br := bufio.NewReader(c)
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("payload %q: no reply before disconnect: %v", payload, err)
+		}
+		if !strings.HasPrefix(line, "-ERR protocol error") {
+			t.Fatalf("payload %q: reply = %q, want -ERR protocol error ...", payload, line)
+		}
+		// After the farewell the server hangs up.
+		if _, err := br.ReadByte(); err != io.EOF {
+			t.Fatalf("payload %q: connection stayed open after protocol error (err=%v)", payload, err)
+		}
+		c.Close()
+	}
+}
+
 func TestHalfCommandThenDisconnect(t *testing.T) {
 	srv, cl := startServer(t, core.Baseline())
 	c := rawDial(t, srv)

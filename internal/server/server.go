@@ -15,7 +15,6 @@ package server
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -189,7 +188,9 @@ func (s *Server) handle(c net.Conn) {
 	for {
 		args, err := r.ReadCommand()
 		if err != nil {
-			if !errors.Is(err, io.EOF) && errors.Is(err, resp.ErrProtocol) {
+			// A clean disconnect surfaces as io.EOF, never as ErrProtocol,
+			// so a protocol error alone decides whether to send a reply.
+			if errors.Is(err, resp.ErrProtocol) {
 				// Tell the client what went wrong before dropping it.
 				_ = w.WriteValue(resp.ErrorValue("ERR protocol error: " + err.Error()))
 				_ = w.Flush()

@@ -363,3 +363,98 @@ func (b *BatchNetworkDB) Close() error {
 	}
 	return cerr
 }
+
+// PipelineNetworkDB drives a gdprstore server through an explicit
+// gdprkv.Pipeline: operations queue client-side in arrival order (reads
+// and writes interleaved, unlike the batch adapters' separate buffers)
+// and flush as one pipelined exchange every N operations. The flushing
+// operation carries the round trip's latency; throughput measures the
+// amortised cost — the paper's Redis pipelining configuration.
+type PipelineNetworkDB struct {
+	c      *gdprkv.Client
+	p      *gdprkv.Pipeline
+	n      int
+	shared bool
+}
+
+// DialPipelineNetworkDB opens a dedicated single-connection client to
+// addr with pipeline depth n (n < 2 behaves like depth 1).
+func DialPipelineNetworkDB(addr string, n int) (*PipelineNetworkDB, error) {
+	c, err := gdprkv.Dial(context.Background(), addr, gdprkv.WithPoolSize(1))
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		n = 1
+	}
+	return &PipelineNetworkDB{c: c, p: c.Pipeline(), n: n}, nil
+}
+
+// NewPipelineNetworkDB wraps a shared client with pipeline depth n;
+// Close flushes the queue but leaves the client open.
+func NewPipelineNetworkDB(c *gdprkv.Client, n int) *PipelineNetworkDB {
+	if n < 1 {
+		n = 1
+	}
+	return &PipelineNetworkDB{c: c, p: c.Pipeline(), n: n, shared: true}
+}
+
+func (p *PipelineNetworkDB) maybeFlush() error {
+	if p.p.Len() < p.n {
+		return nil
+	}
+	return p.flush()
+}
+
+func (p *PipelineNetworkDB) flush() error {
+	results, err := p.p.Exec(context.Background())
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Err != nil && !errors.Is(r.Err, gdprkv.ErrNotFound) {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Read implements DB, queueing a GET.
+func (p *PipelineNetworkDB) Read(key string) error {
+	p.p.Get(key)
+	return p.maybeFlush()
+}
+
+// Update implements DB, queueing a SET.
+func (p *PipelineNetworkDB) Update(key string, value []byte) error {
+	p.p.Set(key, append([]byte(nil), value...))
+	return p.maybeFlush()
+}
+
+// Insert implements DB.
+func (p *PipelineNetworkDB) Insert(key string, value []byte) error {
+	return p.Update(key, value)
+}
+
+// Scan implements DB (scans don't pipeline: the cursor protocol is a
+// round-trip conversation).
+func (p *PipelineNetworkDB) Scan(startKey string, count int) error {
+	if err := p.flush(); err != nil {
+		return err
+	}
+	_, _, err := p.c.Scan(context.Background(), 0, "user*", count)
+	return err
+}
+
+// Close flushes the queue and, for a dedicated client, releases it.
+func (p *PipelineNetworkDB) Close() error {
+	ferr := p.flush()
+	var cerr error
+	if !p.shared {
+		cerr = p.c.Close()
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

@@ -32,9 +32,15 @@ type Client struct {
 	// cluster mode primary aliases the default node's pool (owned by cl).
 	cl *clusterRouter
 
+	// batcher coalesces concurrent scalar calls (batcher.go); nil unless
+	// WithAutoBatch was given.
+	batcher *batcher
+
 	stats struct {
 		primaryReads, replicaReads, writes, retries, redials atomic.Uint64
 		redirects, slotRefreshes                             atomic.Uint64
+		pipelineExecs, pipelineOps                           atomic.Uint64
+		autoBatchFlushes, autoBatchOps                       atomic.Uint64
 	}
 }
 
@@ -51,6 +57,9 @@ func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
 	if c.cfg.retryAttempts == 0 {
 		// Default: one attempt per node in the read path.
 		c.cfg.retryAttempts = len(cfg.replicas) + 1
+	}
+	if c.cfg.autoBatchWindow > 0 {
+		c.batcher = newBatcher(c, c.cfg.autoBatchWindow, c.cfg.autoBatchMaxOps)
 	}
 	if cfg.clusterMode {
 		if len(cfg.replicas) > 0 {
@@ -83,8 +92,14 @@ func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
 }
 
 // Close releases every pooled connection. In-flight calls fail with
-// ErrClosed or a transport error.
+// ErrClosed or a transport error. With WithAutoBatch, pending coalesced
+// operations are flushed first — an accepted write is submitted, never
+// silently dropped.
 func (c *Client) Close() error {
+	if c.batcher != nil {
+		// Drain before the closed flag flips: the flush still needs pools.
+		c.batcher.close()
+	}
 	if c.closed.Swap(true) {
 		return nil
 	}
@@ -122,18 +137,32 @@ type Stats struct {
 	// SlotRefreshes counts successful slot-map refreshes triggered by
 	// MOVED redirects in cluster mode.
 	SlotRefreshes uint64
+	// PipelineExecs counts Pipeline.Exec submissions.
+	PipelineExecs uint64
+	// PipelineOps counts commands submitted through pipelines.
+	PipelineOps uint64
+	// AutoBatchFlushes counts coalesced batches flushed by WithAutoBatch.
+	AutoBatchFlushes uint64
+	// AutoBatchOps counts scalar calls that rode an auto-batch flush; the
+	// ratio AutoBatchOps/AutoBatchFlushes is the achieved coalescing
+	// factor.
+	AutoBatchOps uint64
 }
 
 // Stats returns a snapshot of the client's counters.
 func (c *Client) Stats() Stats {
 	return Stats{
-		PrimaryReads:  c.stats.primaryReads.Load(),
-		ReplicaReads:  c.stats.replicaReads.Load(),
-		Writes:        c.stats.writes.Load(),
-		Retries:       c.stats.retries.Load(),
-		Redials:       c.stats.redials.Load(),
-		Redirects:     c.stats.redirects.Load(),
-		SlotRefreshes: c.stats.slotRefreshes.Load(),
+		PrimaryReads:     c.stats.primaryReads.Load(),
+		ReplicaReads:     c.stats.replicaReads.Load(),
+		Writes:           c.stats.writes.Load(),
+		Retries:          c.stats.retries.Load(),
+		Redials:          c.stats.redials.Load(),
+		Redirects:        c.stats.redirects.Load(),
+		SlotRefreshes:    c.stats.slotRefreshes.Load(),
+		PipelineExecs:    c.stats.pipelineExecs.Load(),
+		PipelineOps:      c.stats.pipelineOps.Load(),
+		AutoBatchFlushes: c.stats.autoBatchFlushes.Load(),
+		AutoBatchOps:     c.stats.autoBatchOps.Load(),
 	}
 }
 

@@ -53,23 +53,38 @@ func (c *Client) Ping(ctx context.Context) error {
 
 // --- vanilla surface (baseline engine path) ---
 
-// Set stores a raw key/value on the baseline path.
+// Set stores a raw key/value on the baseline path. Under WithAutoBatch,
+// concurrent Sets coalesce into one MSET per flush window.
 func (c *Client) Set(ctx context.Context, key string, value []byte) error {
-	_, err := c.doWriteKey(ctx, key, [][]byte{[]byte("SET"), []byte(key), value})
+	if c.batcher != nil {
+		return c.batcher.set(ctx, key, value)
+	}
+	av := argvGet()
+	defer argvPut(av)
+	av.a = append(av.a, cmdSET, []byte(key), value)
+	_, err := c.doWriteKey(ctx, key, av.a)
 	return err
 }
 
 // SetEX stores a raw key/value with a TTL in seconds.
 func (c *Client) SetEX(ctx context.Context, key string, value []byte, seconds int64) error {
-	_, err := c.doWriteKey(ctx, key, [][]byte{
-		[]byte("SET"), []byte(key), value, []byte("EX"), []byte(strconv.FormatInt(seconds, 10)),
-	})
+	av := argvGet()
+	defer argvPut(av)
+	av.a = append(av.a, cmdSET, []byte(key), value, cmdEX, []byte(strconv.FormatInt(seconds, 10)))
+	_, err := c.doWriteKey(ctx, key, av.a)
 	return err
 }
 
-// Get fetches a raw value; ErrNotFound if missing. Replica-routed.
+// Get fetches a raw value; ErrNotFound if missing. Replica-routed. Under
+// WithAutoBatch, concurrent Gets coalesce into one MGET per flush window.
 func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
-	v, err := c.doReadKey(ctx, key, args("GET", key))
+	if c.batcher != nil {
+		return c.batcher.get(ctx, key)
+	}
+	av := argvGet()
+	defer argvPut(av)
+	av.a = append(av.a, cmdGET, []byte(key))
+	v, err := c.doReadKey(ctx, key, av.a)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +158,10 @@ func (c *Client) Del(ctx context.Context, keys ...string) (int64, error) {
 
 // Expire sets a TTL in seconds, reporting whether the key existed.
 func (c *Client) Expire(ctx context.Context, key string, seconds int64) (bool, error) {
-	v, err := c.doWriteKey(ctx, key, args("EXPIRE", key, strconv.FormatInt(seconds, 10)))
+	av := argvGet()
+	defer argvPut(av)
+	av.a = append(av.a, cmdEXPIRE, []byte(key), []byte(strconv.FormatInt(seconds, 10)))
+	v, err := c.doWriteKey(ctx, key, av.a)
 	if err != nil {
 		return false, err
 	}
@@ -152,7 +170,10 @@ func (c *Client) Expire(ctx context.Context, key string, seconds int64) (bool, e
 
 // TTL returns the TTL in seconds (-1 no TTL, -2 missing). Replica-routed.
 func (c *Client) TTL(ctx context.Context, key string) (int64, error) {
-	v, err := c.doReadKey(ctx, key, args("TTL", key))
+	av := argvGet()
+	defer argvPut(av)
+	av.a = append(av.a, cmdTTL, []byte(key))
+	v, err := c.doReadKey(ctx, key, av.a)
 	if err != nil {
 		return 0, err
 	}
@@ -262,11 +283,18 @@ func (o PutOptions) optionArgs() [][]byte {
 	return a
 }
 
-// GPut writes personal data with its metadata.
+// GPut writes personal data with its metadata. Under WithAutoBatch,
+// concurrent GPuts sharing identical options coalesce into one GMPUT per
+// flush window.
 func (c *Client) GPut(ctx context.Context, key string, value []byte, opts PutOptions) error {
-	a := [][]byte{[]byte("GPUT"), []byte(key), value}
-	a = append(a, opts.optionArgs()...)
-	_, err := c.doWriteKey(ctx, key, a)
+	if c.batcher != nil {
+		return c.batcher.gput(ctx, key, value, opts)
+	}
+	av := argvGet()
+	defer argvPut(av)
+	av.a = append(av.a, cmdGPUT, []byte(key), value)
+	av.a = append(av.a, opts.optionArgs()...)
+	_, err := c.doWriteKey(ctx, key, av.a)
 	return err
 }
 
@@ -296,9 +324,16 @@ func (c *Client) GMPut(ctx context.Context, keys []string, values [][]byte, opts
 }
 
 // GGet reads personal data under the client's actor and purpose.
-// ErrNotFound if missing. Replica-routed.
+// ErrNotFound if missing. Replica-routed. Under WithAutoBatch, concurrent
+// GGets coalesce into one GMGET per flush window.
 func (c *Client) GGet(ctx context.Context, key string) ([]byte, error) {
-	v, err := c.doReadKey(ctx, key, args("GGET", key))
+	if c.batcher != nil {
+		return c.batcher.gget(ctx, key)
+	}
+	av := argvGet()
+	defer argvPut(av)
+	av.a = append(av.a, cmdGGET, []byte(key))
+	v, err := c.doReadKey(ctx, key, av.a)
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +384,10 @@ func (c *Client) GMGet(ctx context.Context, keys ...string) ([]BatchValue, error
 
 // GDel deletes personal data.
 func (c *Client) GDel(ctx context.Context, key string) error {
-	_, err := c.doWriteKey(ctx, key, args("GDEL", key))
+	av := argvGet()
+	defer argvPut(av)
+	av.a = append(av.a, cmdGDEL, []byte(key))
+	_, err := c.doWriteKey(ctx, key, av.a)
 	return err
 }
 

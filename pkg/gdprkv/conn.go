@@ -90,11 +90,7 @@ func (c *conn) do(ctx context.Context, timeout time.Duration, args [][]byte) (re
 		c.broken = true
 		return resp.Value{}, err
 	}
-	vs := make([]resp.Value, len(args))
-	for i, a := range args {
-		vs[i] = resp.BulkValue(a)
-	}
-	if err := c.w.WriteValue(resp.ArrayValue(vs...)); err != nil {
+	if err := c.w.WriteCommandBytes(args); err != nil {
 		return resp.Value{}, c.ioError(ctx, err)
 	}
 	if err := c.w.Flush(); err != nil {
@@ -108,6 +104,45 @@ func (c *conn) do(ctx context.Context, timeout time.Duration, args [][]byte) (re
 		return v, wireError(v.Text())
 	}
 	return v, nil
+}
+
+// doMulti writes every command in cmds, flushes once, and reads exactly
+// one reply per command, in order — the wire half of Pipeline.Exec. Error
+// replies are ordinary replies here (returned as Values for the caller to
+// decode positionally); only transport failures return an error. The
+// returned slice holds the replies read so far, so a mid-read failure
+// still surfaces the completed prefix. Any early exit after the commands
+// were written marks the conn broken: unread replies would desync the
+// next caller, so the pool must discard it.
+func (c *conn) doMulti(ctx context.Context, timeout time.Duration, cmds [][][]byte) ([]resp.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.nc.SetDeadline(deadline(ctx, timeout)); err != nil {
+		c.broken = true
+		return nil, err
+	}
+	for _, args := range cmds {
+		if err := c.w.WriteCommandBytes(args); err != nil {
+			return nil, c.ioError(ctx, err)
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, c.ioError(ctx, err)
+	}
+	out := make([]resp.Value, 0, len(cmds))
+	for range cmds {
+		if err := ctx.Err(); err != nil {
+			c.broken = true
+			return out, err
+		}
+		v, err := c.r.ReadValue()
+		if err != nil {
+			return out, c.ioError(ctx, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // ioError marks the conn broken and, when the context expired, reports

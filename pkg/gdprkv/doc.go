@@ -57,6 +57,36 @@
 // RESP-error mapper that shares its code table with the server
 // (internal/wirecode), so the two ends cannot drift.
 //
+// # Pipelining
+//
+// Pipeline queues commands client-side and submits them in one shot:
+//
+//	p := c.Pipeline()
+//	p.Set("a", va).Set("b", vb).Get("a")
+//	res, err := p.Exec(ctx) // 3 positional PipeResults, ~1 round trip
+//
+// Exec writes every queued command over one connection per target node,
+// flushes once, and reads the replies back in order, so an N-deep
+// pipeline pays one round trip instead of N. Results are positional:
+// res[i] belongs to the i-th queued command, and an error reply in the
+// middle fills its own slot without desyncing later replies. The
+// returned error is reserved for transport-level failures; server
+// rejections live only in the slots. In cluster mode the queue is split
+// per slot owner, executed concurrently, and reassembled, following
+// MOVED redirects per op. A Pipeline is not concurrency-safe — build
+// and Exec from one goroutine.
+//
+// # Implicit micro-batching
+//
+// WithAutoBatch gives concurrent scalar callers the same amortisation
+// with zero code change: Get/GGet/Set/GPut calls landing within the
+// flush window (default 100µs, DefaultAutoBatchWindow) coalesce into
+// one MGET/GMGET/MSET/GMPUT and the reply is redistributed per caller.
+// Each caller keeps its own value and typed error; cancelling one
+// caller never fails the batch for the rest; writes accepted before
+// Close are flushed by Close. A lone call pays up to one window of
+// extra latency — keep the window well under the round-trip time.
+//
 // # Cluster mode
 //
 // WithCluster turns on hash-slot routing against a fleet of primaries:

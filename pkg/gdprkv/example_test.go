@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"gdprstore/internal/acl"
@@ -108,6 +109,81 @@ func ExampleClient_GMGet() {
 	// 0: v1
 	// 1: v2
 	// 2: not found
+}
+
+// ExampleClient_Pipeline queues commands client-side and submits them as
+// one exchange: positional results, one round trip, and an error reply in
+// the middle occupying only its own slot.
+func ExampleClient_Pipeline() {
+	st, _ := core.Open(core.Baseline())
+	defer st.Close()
+	srv, _ := server.Listen("127.0.0.1:0", st)
+	defer srv.Close()
+
+	ctx := context.Background()
+	c, err := gdprkv.Dial(ctx, srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	p := c.Pipeline()
+	p.Set("a", []byte("1")).Set("b", []byte("2")).Get("a").Get("missing").Get("b")
+	res, err := p.Exec(ctx) // one flush, five ordered replies
+	if err != nil {
+		log.Fatal(err) // transport failure only; see the slots for the rest
+	}
+	for i, r := range res[2:] {
+		if errors.Is(r.Err, gdprkv.ErrNotFound) {
+			fmt.Printf("%d: not found\n", i)
+			continue
+		}
+		v, _ := r.Bytes()
+		fmt.Printf("%d: %s\n", i, v)
+	}
+
+	// Output:
+	// 0: 1
+	// 1: not found
+	// 2: 2
+}
+
+// ExampleWithAutoBatch turns on implicit micro-batching: concurrent
+// scalar calls coalesce into one batched command per flush window, with
+// every caller keeping its own value and typed error.
+func ExampleWithAutoBatch() {
+	st, _ := core.Open(core.Baseline())
+	defer st.Close()
+	srv, _ := server.Listen("127.0.0.1:0", st)
+	defer srv.Close()
+
+	ctx := context.Background()
+	c, err := gdprkv.Dial(ctx, srv.Addr(),
+		gdprkv.WithAutoBatch(gdprkv.DefaultAutoBatchWindow, gdprkv.DefaultAutoBatchMaxOps))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// These concurrent Sets ride one coalesced MSET.
+			_ = c.Set(ctx, fmt.Sprintf("k%d", i), []byte{byte('0' + i)})
+		}()
+	}
+	wg.Wait()
+	c.Close() // pending coalesced writes are flushed before teardown
+
+	verify, _ := gdprkv.Dial(ctx, srv.Addr())
+	defer verify.Close()
+	v, _ := verify.Get(ctx, "k2")
+	fmt.Printf("k2 = %s\n", v)
+
+	// Output:
+	// k2 = 2
 }
 
 // ExampleWithRetry bounds how many nodes an idempotent read tries after

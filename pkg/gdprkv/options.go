@@ -27,6 +27,18 @@ const (
 // inconsistent node maps).
 const DefaultRedirectBudget = 3
 
+// Auto-batching defaults applied by WithAutoBatch for zero arguments.
+const (
+	// DefaultAutoBatchWindow is how long the first queued call waits for
+	// company before its coalesced batch flushes. ~100µs: far below a
+	// LAN round trip (so latency cost is marginal) but long enough for a
+	// concurrent burst to pile in.
+	DefaultAutoBatchWindow = 100 * time.Microsecond
+	// DefaultAutoBatchMaxOps flushes a batch early once this many calls
+	// have coalesced, bounding both reply latency and command size.
+	DefaultAutoBatchMaxOps = 64
+)
+
 // config is the resolved option set a Client is built from.
 type config struct {
 	dialTimeout    time.Duration
@@ -42,6 +54,9 @@ type config struct {
 	clusterMode    bool
 	clusterSeeds   []string
 	redirectBudget int
+
+	autoBatchWindow time.Duration
+	autoBatchMaxOps int
 }
 
 func defaultConfig() config {
@@ -144,6 +159,39 @@ func WithRedirectBudget(n int) Option {
 		if n > 0 {
 			c.redirectBudget = n
 		}
+	}
+}
+
+// WithAutoBatch turns on implicit micro-batching: concurrent Get, GGet,
+// Set, and GPut calls landing within window of each other (or the first
+// maxOps of them, whichever fills first) are coalesced into a single
+// MGET/GMGET/MSET/GMPUT command and the reply is redistributed
+// positionally — existing scalar callers get amortised round trips with
+// zero code change. GPut calls coalesce only with calls sharing an
+// identical option set (a GMPUT carries one metadata set). In cluster
+// mode the coalesced batch is split per slot and reassembled, exactly
+// like the explicit batch helpers.
+//
+// Semantics preserved per call: each caller still receives its own value
+// and typed error; a caller's context bounds its wait, but cancelling one
+// caller never fails the batch for the others (the flush runs under the
+// client's I/O timeout). Writes accepted before Close are flushed by
+// Close.
+//
+// window <= 0 selects DefaultAutoBatchWindow; maxOps <= 0 selects
+// DefaultAutoBatchMaxOps. Latency trade-off: a lone call pays up to one
+// window of extra latency waiting for company — size the window well
+// below your round-trip time.
+func WithAutoBatch(window time.Duration, maxOps int) Option {
+	return func(c *config) {
+		if window <= 0 {
+			window = DefaultAutoBatchWindow
+		}
+		if maxOps <= 0 {
+			maxOps = DefaultAutoBatchMaxOps
+		}
+		c.autoBatchWindow = window
+		c.autoBatchMaxOps = maxOps
 	}
 }
 

@@ -1,0 +1,311 @@
+package gdprkv
+
+import (
+	"context"
+	"strconv"
+	"sync"
+
+	"gdprstore/internal/cluster"
+	"gdprstore/internal/resp"
+)
+
+// Pipeline queues commands client-side and submits them in one shot:
+// Exec checks out one connection per target node, writes every queued
+// command, flushes once, and reads the replies back in order. An N-op
+// pipeline therefore pays ~1 round trip instead of N — the server already
+// coalesces its reply flushes per drained read buffer, so the whole
+// exchange is two wire transfers.
+//
+// The queue methods mirror the Client's scalar surface but never touch
+// the network; they return the Pipeline for chaining. Results come back
+// positionally from Exec: result i belongs to the i-th queued command,
+// and an error reply in the middle occupies its own slot without
+// desyncing later replies (RESP replies are strictly ordered — an error
+// is just a reply).
+//
+// A Pipeline is NOT safe for concurrent use; build and Exec it from one
+// goroutine. For transparent cross-goroutine coalescing use WithAutoBatch
+// instead. See DESIGN.md §12.
+type Pipeline struct {
+	c   *Client
+	ops []pipeOp
+}
+
+// pipeOp is one queued command: its routing key (empty for un-keyed
+// commands, which target the primary/default node) and raw arguments.
+type pipeOp struct {
+	key  string
+	args [][]byte
+	// nullIsMiss maps a null reply to ErrNotFound (Get/GGet semantics).
+	nullIsMiss bool
+}
+
+// PipeResult is one positional outcome of Pipeline.Exec: the decoded
+// reply and its typed error. Err carries the same taxonomy the scalar
+// methods produce — *ServerError matching sentinels under errors.Is,
+// ErrNotFound for a missing key on Get/GGet, or a transport error when
+// the node's exchange failed.
+type PipeResult struct {
+	Value resp.Value
+	Err   error
+}
+
+// Bytes returns the reply payload for value-shaped results (Get, GGet).
+func (r PipeResult) Bytes() ([]byte, error) {
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return r.Value.Str, nil
+}
+
+// Int returns the reply for integer-shaped results (Del, Expire, TTL).
+func (r PipeResult) Int() (int64, error) {
+	if r.Err != nil {
+		return 0, r.Err
+	}
+	return r.Value.Int, nil
+}
+
+// Pipeline returns an empty pipeline bound to the client. Exec routes
+// each queued command like its scalar twin would in cluster mode (slot
+// owner per key, grouped per node); on a non-cluster client the whole
+// pipeline runs on the primary over a single connection.
+func (c *Client) Pipeline() *Pipeline {
+	return &Pipeline{c: c}
+}
+
+// Len reports how many commands are queued.
+func (p *Pipeline) Len() int { return len(p.ops) }
+
+func (p *Pipeline) queue(key string, nullIsMiss bool, args ...[]byte) *Pipeline {
+	p.ops = append(p.ops, pipeOp{key: key, args: args, nullIsMiss: nullIsMiss})
+	return p
+}
+
+// Get queues a GET; the result maps a null reply to ErrNotFound.
+func (p *Pipeline) Get(key string) *Pipeline {
+	return p.queue(key, true, cmdGET, []byte(key))
+}
+
+// Set queues a SET.
+func (p *Pipeline) Set(key string, value []byte) *Pipeline {
+	return p.queue(key, false, cmdSET, []byte(key), value)
+}
+
+// SetEX queues a SET with a TTL in seconds.
+func (p *Pipeline) SetEX(key string, value []byte, seconds int64) *Pipeline {
+	return p.queue(key, false, cmdSET, []byte(key), value, cmdEX,
+		[]byte(strconv.FormatInt(seconds, 10)))
+}
+
+// Del queues a DEL. In cluster mode the keys must share a slot (the
+// server rejects mixed-slot batches with CROSSSLOT); routing follows the
+// first key.
+func (p *Pipeline) Del(keys ...string) *Pipeline {
+	a := make([][]byte, 0, len(keys)+1)
+	a = append(a, cmdDEL)
+	for _, k := range keys {
+		a = append(a, []byte(k))
+	}
+	routeKey := ""
+	if len(keys) > 0 {
+		routeKey = keys[0]
+	}
+	return p.queue(routeKey, false, a...)
+}
+
+// Expire queues an EXPIRE (result Int is 1 when the key existed).
+func (p *Pipeline) Expire(key string, seconds int64) *Pipeline {
+	return p.queue(key, false, cmdEXPIRE, []byte(key), []byte(strconv.FormatInt(seconds, 10)))
+}
+
+// TTL queues a TTL (result Int is -1 no TTL, -2 missing).
+func (p *Pipeline) TTL(key string) *Pipeline {
+	return p.queue(key, false, cmdTTL, []byte(key))
+}
+
+// GPut queues a GPUT carrying the record's GDPR metadata.
+func (p *Pipeline) GPut(key string, value []byte, opts PutOptions) *Pipeline {
+	a := make([][]byte, 0, 3+14)
+	a = append(a, cmdGPUT, []byte(key), value)
+	a = append(a, opts.optionArgs()...)
+	return p.queue(key, false, a...)
+}
+
+// GGet queues a GGET; the result maps a null reply to ErrNotFound.
+func (p *Pipeline) GGet(key string) *Pipeline {
+	return p.queue(key, true, cmdGGET, []byte(key))
+}
+
+// GDel queues a GDEL.
+func (p *Pipeline) GDel(key string) *Pipeline {
+	return p.queue(key, false, cmdGDEL, []byte(key))
+}
+
+// Do queues an arbitrary command verbatim. Un-keyed from the router's
+// point of view: it targets the primary (the default node in cluster
+// mode), exactly like Client.Do.
+func (p *Pipeline) Do(cmd ...string) *Pipeline {
+	a := make([][]byte, len(cmd))
+	for i, s := range cmd {
+		a[i] = []byte(s)
+	}
+	return p.queue("", false, a...)
+}
+
+// Exec submits the queued commands and returns one PipeResult per
+// command, positionally. The returned error is nil unless a node's
+// exchange failed at the transport level (dial, pool checkout, I/O,
+// cancellation) — in that case every result of that node still carries
+// the error in its slot and the first such error is also returned, so
+// `res, err := p.Exec(ctx); if err != nil` keeps working for callers who
+// don't inspect slots. Server error replies (DENIED, CROSSSLOT, ...) are
+// per-slot only and never fail the pipeline.
+//
+// In cluster mode the queue is split per target node (preserving relative
+// order per node; the positional mapping is restored in the result), the
+// node exchanges run concurrently, and any op answered with MOVED is
+// transparently retried against the redirect target after a slot-map
+// refresh — a pipeline spanning a live slot migration completes with
+// correct positional results.
+//
+// Exec drains the queue: the pipeline is empty afterwards and can be
+// reused.
+func (p *Pipeline) Exec(ctx context.Context) ([]PipeResult, error) {
+	ops := p.ops
+	p.ops = nil
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	c := p.c
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	c.stats.pipelineExecs.Add(1)
+	c.stats.pipelineOps.Add(uint64(len(ops)))
+	results := make([]PipeResult, len(ops))
+
+	if c.cl == nil {
+		err := c.execOnPool(ctx, c.primary, ops, results, identityIdx(len(ops)))
+		return results, err
+	}
+
+	// Cluster: bucket op indices per target node, preserving order.
+	byAddr := make(map[string][]int)
+	var order []string
+	for i, op := range ops {
+		addr := c.cl.defaultNode()
+		if op.key != "" {
+			addr = c.cl.addrForSlot(cluster.Slot(op.key))
+		}
+		if _, ok := byAddr[addr]; !ok {
+			order = append(order, addr)
+		}
+		byAddr[addr] = append(byAddr[addr], i)
+	}
+	errs := make([]error, len(order))
+	if len(order) == 1 {
+		idxs := byAddr[order[0]]
+		p0, err := c.cl.poolFor(order[0])
+		if err == nil {
+			err = c.execOnPool(ctx, p0, ops, results, idxs)
+		} else {
+			for _, i := range idxs {
+				results[i].Err = err
+			}
+		}
+		errs[0] = err
+	} else {
+		var wg sync.WaitGroup
+		for gi, addr := range order {
+			gi, addr := gi, addr
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				idxs := byAddr[addr]
+				pl, err := c.cl.poolFor(addr)
+				if err == nil {
+					err = c.execOnPool(ctx, pl, ops, results, idxs)
+				} else {
+					for _, i := range idxs {
+						results[i].Err = err
+					}
+				}
+				errs[gi] = err
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Follow MOVED answers individually: the slot map was stale for those
+	// keys. doCluster refreshes the map and retries within the redirect
+	// budget, so one migration costs one extra hop, not a failed pipeline.
+	for i := range results {
+		if target, moved := parseMoved(results[i].Err); moved {
+			c.stats.redirects.Add(1)
+			c.refreshSlots(ctx, target)
+			v, err := c.doCluster(ctx, target, ops[i].args)
+			results[i] = decodeResult(v, err, ops[i].nullIsMiss)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// execOnPool runs the ops selected by idxs over one connection of pl:
+// checkout, write all, flush once, read in order, decode into results.
+// A transport failure fills every not-yet-decoded slot of this node with
+// the error; the conn is already marked broken by doMulti, so the pool
+// discards it instead of handing desynced replies to the next caller.
+func (c *Client) execOnPool(ctx context.Context, pl *pool, ops []pipeOp, results []PipeResult, idxs []int) error {
+	cn, err := pl.get(ctx)
+	if err != nil {
+		for _, i := range idxs {
+			results[i].Err = err
+		}
+		return err
+	}
+	cmds := make([][][]byte, len(idxs))
+	for j, i := range idxs {
+		cmds[j] = ops[i].args
+	}
+	vs, err := cn.doMulti(ctx, c.cfg.ioTimeout, cmds)
+	pl.put(cn)
+	for j, i := range idxs {
+		if j < len(vs) {
+			results[i] = decodeResult(vs[j], nil, ops[i].nullIsMiss)
+		} else {
+			results[i].Err = err
+		}
+	}
+	return err
+}
+
+// decodeResult turns one raw reply (or transport error) into a PipeResult
+// using the same error taxonomy as the scalar methods.
+func decodeResult(v resp.Value, err error, nullIsMiss bool) PipeResult {
+	switch {
+	case err != nil:
+		return PipeResult{Err: err}
+	case v.IsError():
+		return PipeResult{Value: v, Err: wireError(v.Text())}
+	case nullIsMiss && v.Null:
+		return PipeResult{Value: v, Err: ErrNotFound}
+	default:
+		return PipeResult{Value: v}
+	}
+}
+
+// identityIdx returns [0, 1, ..., n-1] — the standalone case where the
+// whole pipeline is one node group.
+func identityIdx(n int) []int {
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return idxs
+}
