@@ -33,6 +33,8 @@ bench-ci:
 	$(GO) test -run '^$$' \
 		-bench 'Engine_|Core_G|RESPRoundTrip|Resp_|FsyncSpectrum|ComplianceSpectrum|Audit_' \
 		-benchtime 1000x -count 5 -benchmem -json . > BENCH_ci.json
+	$(GO) test -run '^$$' -bench 'Forget_KeysPerOwner/keys=(16|256)/' \
+		-benchtime 1000x -count 5 -benchmem -json . >> BENCH_ci.json
 	$(GO) test -run '^$$' -bench . -benchtime 1000x -count 5 -benchmem -json \
 		./internal/server >> BENCH_ci.json
 

@@ -390,6 +390,62 @@ func BenchmarkGDPRBench_Controller(b *testing.B) { benchPersona(b, gdprbench.Rol
 func BenchmarkGDPRBench_Processor(b *testing.B)  { benchPersona(b, gdprbench.RoleProcessor) }
 func BenchmarkGDPRBench_Regulator(b *testing.B)  { benchPersona(b, gdprbench.RoleRegulator) }
 
+// BenchmarkForget_KeysPerOwner is the Article 17 cost-model benchmark:
+// FORGETUSER latency as a function of the subject's key count, eager
+// deletion (shred=false) vs the crypto-shred fast path (shred=true).
+// Eager scales linearly with keys-per-owner; shredding stays flat — the
+// erasure is one keyring mutation plus two journal appends regardless of
+// cardinality, with physical reclamation deferred to the lazy-delete
+// sweep (run off the timer here).
+func BenchmarkForget_KeysPerOwner(b *testing.B) {
+	for _, keys := range []int{16, 256, 4096} {
+		for _, shred := range []bool{false, true} {
+			b.Run(fmt.Sprintf("keys=%d/shred=%v", keys, shred), func(b *testing.B) {
+				cfg := core.Config{
+					Compliant:  true,
+					Timing:     core.TimingEventual,
+					Capability: core.CapabilityPartial,
+				}
+				if shred {
+					cfg.Envelope = true
+					key, _ := cryptoutil.RandomKey()
+					cfg.MasterKey = key
+				}
+				st, err := core.Open(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close()
+				ctx := core.Ctx{Actor: "bench", Purpose: "p"}
+				val := make([]byte, 128)
+				entries := make([]core.BatchEntry, keys)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					// Reclaim the previous iteration's dead ciphertext off
+					// the timer so the engine does not grow across b.N.
+					st.DrainErasure()
+					owner := fmt.Sprintf("forget-subject-%d", i)
+					for j := range entries {
+						entries[j] = core.BatchEntry{
+							Key: fmt.Sprintf("%s:rec%04d", owner, j), Value: val,
+						}
+					}
+					if err := st.PutBatch(ctx, entries, core.PutOptions{
+						Owner: owner, Purposes: []string{"p"},
+					}); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := st.Forget(core.Ctx{Actor: owner}, owner); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ---
 
 // BenchmarkAblation_EnvelopeEncryption isolates the key-level encryption

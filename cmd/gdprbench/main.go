@@ -45,8 +45,19 @@ func main() {
 		auditBP  = flag.String("audit-backpressure", "", `embedded mode: "block" (default) or "drop" when the audit queue is full`)
 		auditM   = flag.Bool("audit-mask", false, "embedded mode: pseudonymize PII in audit records")
 		autoB    = flag.Int("auto-batch", 0, "network mode: dial sessions with WithAutoBatch coalescing, maxOps N and the default window")
+		scenario = flag.String("scenario", "personas", "personas|erasure (erasure: embedded FORGETUSER latency vs keys-per-owner, eager vs crypto-shred)")
+		eraseKey = flag.String("erasure-keys", "16,256,4096", "erasure scenario: comma-separated keys-per-owner points")
+		eraseOwn = flag.Int("erasure-owners", 8, "erasure scenario: owners erased per point")
 	)
 	flag.Parse()
+
+	if *scenario == "erasure" {
+		runErasure(*eraseKey, *eraseOwn, *seed)
+		return
+	}
+	if *scenario != "personas" {
+		log.Fatalf("unknown -scenario %q", *scenario)
+	}
 
 	bcfg := gdprbench.Config{
 		Subjects: *subjects, RecordsPerSubject: *records,
@@ -65,6 +76,31 @@ func main() {
 		log.Fatal("-auto-batch applies to network mode only (use -addr or -cluster)")
 	}
 	runEmbedded(bcfg, roles, *timing, *shards, *auditW, *auditBP, *auditM)
+}
+
+// runErasure runs the embedded erasure-latency scenario: FORGETUSER
+// latency as a function of keys-per-owner, eager deletion vs the
+// crypto-shred fast path.
+func runErasure(keysCSV string, owners int, seed int64) {
+	var points []int
+	for _, f := range strings.Split(keysCSV, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		var k int
+		if _, err := fmt.Sscanf(f, "%d", &k); err != nil || k <= 0 {
+			log.Fatalf("bad -erasure-keys entry %q", f)
+		}
+		points = append(points, k)
+	}
+	res, err := gdprbench.RunErasure(gdprbench.ErasureConfig{
+		KeysPerOwner: points, Owners: owners, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(gdprbench.FormatErasure(res))
 }
 
 // runEmbedded is the original in-process mode: the personas call the

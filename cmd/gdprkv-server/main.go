@@ -18,6 +18,10 @@
 //	-audit-mask         pseudonymize key/owner/detail in every audit record
 //	-audit-sink string  export the trail to tcp://host:port or unix:///path
 //	-atrest-hex string  64-hex-char at-rest encryption key (LUKS stand-in)
+//	-envelope-hex string 64-hex-char master key for per-owner envelope
+//	                    encryption (enables O(1) crypto-shredding erasure)
+//	-erasure-sweep-interval dur  lazy-delete sweep cadence (default 100ms)
+//	-erasure-sweep-budget int    max records one sweep cycle deletes (default 4096)
 //	-tls                front the server with a TLS tunnel (stunnel stand-in)
 //	-default-ttl dur    default retention bound for writes (e.g. 720h)
 //	-locations string   comma-separated allowed storage regions
@@ -72,6 +76,9 @@ func main() {
 		auditMask    = flag.Bool("audit-mask", false, "pseudonymize key/owner/detail in every audit record")
 		auditSink    = flag.String("audit-sink", "", "export the trail to tcp://host:port or unix:///path")
 		atRestHex    = flag.String("atrest-hex", "", "64-hex-char at-rest encryption key (LUKS stand-in)")
+		envelopeHex  = flag.String("envelope-hex", "", "64-hex-char envelope master key (per-owner encryption, O(1) crypto-shred erasure)")
+		sweepEvery   = flag.Duration("erasure-sweep-interval", 0, "lazy-delete sweep cadence (0 = 100ms default)")
+		sweepBudget  = flag.Int("erasure-sweep-budget", 0, "max records one sweep cycle deletes (0 = 4096 default)")
 		withTLS      = flag.Bool("tls", false, "front the server with a TLS tunnel (stunnel stand-in)")
 		defaultTTL   = flag.Duration("default-ttl", 0, "default retention bound for writes")
 		locations    = flag.String("locations", "", "comma-separated allowed storage regions")
@@ -147,6 +154,16 @@ func main() {
 		}
 		cfg.AtRestKey = key
 	}
+	if *envelopeHex != "" {
+		key, err := hex.DecodeString(*envelopeHex)
+		if err != nil || len(key) != 32 {
+			log.Fatalf("-envelope-hex must be 64 hex chars (32 bytes)")
+		}
+		cfg.Envelope = true
+		cfg.MasterKey = key
+		cfg.ErasureSweepInterval = *sweepEvery
+		cfg.ErasureSweepBudget = *sweepBudget
+	}
 	if *locations != "" {
 		cfg.AllowedLocations = strings.Split(*locations, ",")
 		cfg.DefaultLocation = cfg.AllowedLocations[0]
@@ -163,6 +180,13 @@ func main() {
 	if *expirer && *replicaof == "" {
 		st.StartExpirer()
 		defer st.StopExpirer()
+	}
+	// Same reasoning for the lazy-delete sweeper: a replica receives the
+	// primary sweep's DELs over the journal stream, so only primaries
+	// physically reclaim crypto-shredded ciphertext themselves.
+	if *envelopeHex != "" && *replicaof == "" {
+		st.StartSweeper()
+		defer st.StopSweeper()
 	}
 
 	srv, err := server.Listen(*addr, st)
@@ -186,10 +210,19 @@ func main() {
 	}
 	if *replicaof != "" {
 		srv.ReplicaOf(*replicaof, replica.NodeOptions{Actor: *replActor})
-		if *expirer {
-			// The expirer was withheld above while replicating; a promotion
-			// (REPLICAOF NO ONE) resumes the primary's retention duties.
-			srv.SetPromoteHook(st.StartExpirer)
+		if *expirer || *envelopeHex != "" {
+			// The expirer and sweeper were withheld above while replicating;
+			// a promotion (REPLICAOF NO ONE) resumes the primary's retention
+			// and reclamation duties.
+			runExpirer, runSweeper := *expirer, *envelopeHex != ""
+			srv.SetPromoteHook(func() {
+				if runExpirer {
+					st.StartExpirer()
+				}
+				if runSweeper {
+					st.StartSweeper()
+				}
+			})
 		}
 		fmt.Printf("replicating from %s (read-only until REPLICAOF NO ONE)\n", *replicaof)
 	}

@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"gdprstore/internal/clock"
@@ -87,8 +88,13 @@ func Restore(db *store.DB, r io.Reader, key []byte) (int, error) {
 	}
 }
 
-// Manager keeps timestamped backup generations in a directory.
+// Manager keeps timestamped backup generations in a directory. All
+// methods are safe for concurrent use: a mutex serialises generation
+// numbering and the directory-level operations (create, purge, restore),
+// so concurrent Creates cannot race on seq and a Restore cannot read a
+// generation Refresh is about to purge.
 type Manager struct {
+	mu  sync.Mutex
 	dir string
 	key []byte
 	clk clock.Clock
@@ -109,6 +115,13 @@ func NewManager(dir string, key []byte, clk clock.Clock) (*Manager, error) {
 
 // Create writes a new backup generation and returns its path.
 func (m *Manager) Create(db *store.DB) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.createLocked(db)
+}
+
+// createLocked is Create's body; callers hold m.mu.
+func (m *Manager) createLocked(db *store.DB) (string, error) {
 	m.seq++
 	name := fmt.Sprintf("backup-%s-%04d.snap",
 		m.clk.Now().UTC().Format("20060102T150405.000000000"), m.seq)
@@ -155,8 +168,14 @@ func (m *Manager) List() ([]string, error) {
 	return out, nil
 }
 
-// RestoreLatest replays the newest generation into db.
+// RestoreLatest replays the newest generation into db, replacing its
+// contents: the keyspace is flushed first so keys written after the backup
+// was taken do not survive the restore. A restore that merged into the
+// live dataset would resurrect exactly the kind of state Article 17
+// erasure is supposed to destroy.
 func (m *Manager) RestoreLatest(db *store.DB) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	gens, err := m.List()
 	if err != nil {
 		return 0, err
@@ -169,6 +188,7 @@ func (m *Manager) RestoreLatest(db *store.DB) (int, error) {
 		return 0, err
 	}
 	defer f.Close()
+	db.FlushAll()
 	return Restore(db, f, m.key)
 }
 
@@ -177,11 +197,13 @@ func (m *Manager) RestoreLatest(db *store.DB) (int, error) {
 // generation, so no backup predating the erasure survives. It returns the
 // new generation's path and how many old generations were removed.
 func (m *Manager) Refresh(db *store.DB) (string, int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	old, err := m.List()
 	if err != nil {
 		return "", 0, err
 	}
-	path, err := m.Create(db)
+	path, err := m.createLocked(db)
 	if err != nil {
 		return "", 0, err
 	}
@@ -202,6 +224,8 @@ func (m *Manager) Refresh(db *store.DB) (string, int, error) {
 // cutoff, returning how many were removed — the retention-policy knob for
 // backup data itself (storage limitation applies to backups too).
 func (m *Manager) PruneOlderThan(cutoff time.Time) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	gens, err := m.List()
 	if err != nil {
 		return 0, err

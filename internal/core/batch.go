@@ -123,8 +123,11 @@ func (s *Store) PutBatch(ctx Ctx, entries []BatchEntry, opts PutOptions) error {
 			}
 			return err
 		}
+		// Stamped under the owner stripe, like Put: no Forget can advance
+		// the epoch between Ensure and the seal below.
+		meta.KeyEpoch = s.keyring.Epoch(opts.Owner)
 		if created {
-			if err := s.appendLog(opKey, []byte(opts.Owner), wrapped); err != nil {
+			if err := s.appendLog(opKey, []byte(opts.Owner), wrapped, epochArg(meta.KeyEpoch)); err != nil {
 				return err
 			}
 		}
@@ -234,6 +237,12 @@ func (s *Store) GetBatch(ctx Ctx, keys []string) ([]BatchGetResult, error) {
 func (s *Store) getLocked(ctx Ctx, key string) (value []byte, owner string, err error) {
 	meta, hasMeta := s.metaLive(key)
 	owner = meta.Owner
+	if hasMeta && s.recordDead(meta) {
+		// Crypto-erased but not yet reclaimed by the sweep: the record is
+		// already gone for Article 17 purposes, so serve exactly what a
+		// completed sweep would.
+		return nil, owner, ErrNotFound
+	}
 	if err := s.check(ctx, acl.OpRead, owner, "GET", key); err != nil {
 		return nil, owner, err
 	}

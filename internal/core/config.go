@@ -140,6 +140,13 @@ type Config struct {
 	Envelope bool
 	// MasterKey roots the envelope keyring; required when Envelope is set.
 	MasterKey []byte
+	// ErasureSweepInterval is how often the background sweeper (StartSweeper)
+	// runs a lazy-delete cycle reclaiming crypto-shredded ciphertext;
+	// 0 derives 100ms. Only meaningful with Envelope set.
+	ErasureSweepInterval time.Duration
+	// ErasureSweepBudget caps how many records one sweep cycle may examine,
+	// bounding the latency impact of each cycle; 0 derives 4096.
+	ErasureSweepBudget int
 
 	// ExpiryStrategy overrides the active-expiry algorithm; nil derives
 	// from Timing (real-time → fast-scan, eventual → lazy-probabilistic).
@@ -179,6 +186,9 @@ type normalized struct {
 	strategy   store.ExpiryStrategy
 	requireTTL bool
 	enforceACL bool
+
+	sweepInterval time.Duration
+	sweepBudget   int
 }
 
 func (c Config) normalize() normalized {
@@ -228,6 +238,14 @@ func (c Config) normalize() normalized {
 		n.enforceACL = *c.EnforceACL
 	} else {
 		n.enforceACL = c.Capability == CapabilityFull
+	}
+	n.sweepInterval = c.ErasureSweepInterval
+	if n.sweepInterval <= 0 {
+		n.sweepInterval = 100 * time.Millisecond
+	}
+	n.sweepBudget = c.ErasureSweepBudget
+	if n.sweepBudget <= 0 {
+		n.sweepBudget = 4096
 	}
 	return n
 }

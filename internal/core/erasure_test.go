@@ -1,0 +1,402 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gdprstore/internal/aof"
+	"gdprstore/internal/clock"
+)
+
+// Tests for O(1) erasure via crypto-shredding: the FORGETUSER fast path
+// destroys the owner's key and returns; dead ciphertext is invisible to
+// every read path immediately and reclaimed physically by the lazy-delete
+// sweep.
+
+func erasureCfg(mutate func(*Config)) Config {
+	cfg := Config{
+		Compliant:  true,
+		Capability: CapabilityPartial,
+		Envelope:   true,
+		MasterKey:  bytes.Repeat([]byte{0x5a}, 32),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
+func putOwnerKeys(t *testing.T, s *Store, owner string, n int) []string {
+	t.Helper()
+	ctx := Ctx{Actor: "app", Purpose: "service"}
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("%s:rec%03d", owner, i)
+		keys[i] = k
+		err := s.Put(ctx, k, []byte("payload-"+k), PutOptions{
+			Owner: owner, Purposes: []string{"service"},
+		})
+		if err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+	}
+	return keys
+}
+
+// TestShredInvisibleBeforeSweep pins the tentpole contract: after the
+// crypto-shred Forget, the owner's records are invisible to GET, SCAN
+// visibility, GETUSER, ACCESS, EXPORTUSER, OWNERKEYS, KEYS-BY-PURPOSE and
+// METADATA — even though the ciphertext physically remains until the sweep.
+func TestShredInvisibleBeforeSweep(t *testing.T) {
+	s, err := Open(erasureCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := Ctx{Actor: "app", Purpose: "service"}
+	aliceKeys := putOwnerKeys(t, s, "alice", 8)
+	bobKeys := putOwnerKeys(t, s, "bob", 4)
+
+	n, err := s.Forget(Ctx{Actor: "alice"}, "alice")
+	if err != nil || n != 8 {
+		t.Fatalf("Forget = %d, %v; want 8, nil", n, err)
+	}
+	// No sweep has run: the ciphertext is still physically present.
+	if got := s.Engine().Len(); got != 12 {
+		t.Fatalf("engine len after shred = %d, want 12 (lazy delete)", got)
+	}
+
+	for _, k := range aliceKeys {
+		if _, err := s.Get(ctx, k); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get(%s) after shred = %v, want ErrNotFound", k, err)
+		}
+		if s.KeyVisible(k) {
+			t.Fatalf("KeyVisible(%s) = true after shred", k)
+		}
+		if _, err := s.Metadata(ctx, k); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Metadata(%s) after shred = %v, want ErrNotFound", k, err)
+		}
+	}
+	if recs, err := s.GetUser(Ctx{Actor: "alice"}, "alice"); err != nil || len(recs) != 0 {
+		t.Fatalf("GetUser(alice) = %d recs, %v; want 0, nil", len(recs), err)
+	}
+	if rep, err := s.Access(Ctx{Actor: "alice"}, "alice"); err != nil || rep.RecordCount != 0 {
+		t.Fatalf("Access(alice) = %d records, %v; want 0, nil", rep.RecordCount, err)
+	}
+	if keys, err := s.OwnerKeys(ctx, "alice"); err != nil || len(keys) != 0 {
+		t.Fatalf("OwnerKeys(alice) = %v, %v; want empty", keys, err)
+	}
+	if keys, err := s.KeysByPurpose(ctx, "service"); err != nil || len(keys) != 4 {
+		t.Fatalf("KeysByPurpose = %d keys, %v; want bob's 4", len(keys), err)
+	}
+	// Bob is untouched.
+	for _, k := range bobKeys {
+		if v, err := s.Get(ctx, k); err != nil || !bytes.HasPrefix(v, []byte("payload-")) {
+			t.Fatalf("Get(%s) = %q, %v; bob's data damaged by alice's erasure", k, v, err)
+		}
+	}
+
+	st := s.ErasureStats()
+	if !st.Enabled || st.ShreddedOwners != 1 || st.PendingOwners != 1 || st.PendingRecords != 8 {
+		t.Fatalf("ErasureStats before sweep = %+v", st)
+	}
+
+	sw := s.DrainErasure()
+	if sw.Reclaimed != 8 || sw.OwnersDrained != 1 {
+		t.Fatalf("DrainErasure = %+v; want 8 reclaimed, 1 drained", sw)
+	}
+	if got := s.Engine().Len(); got != 4 {
+		t.Fatalf("engine len after sweep = %d, want 4", got)
+	}
+	if got := s.MetaCount(); got != 4 {
+		t.Fatalf("meta count after sweep = %d, want 4", got)
+	}
+	st = s.ErasureStats()
+	if st.PendingOwners != 0 || st.PendingRecords != 0 || st.Reclaimed != 8 || st.OwnersDrained != 1 {
+		t.Fatalf("ErasureStats after sweep = %+v", st)
+	}
+	if !s.PendingRewrite() {
+		t.Fatal("sweep reclamation did not owe an AOF compaction")
+	}
+}
+
+// TestErasureSweepBudget pins that one cycle deletes at most
+// ErasureSweepBudget records and that repeated cycles converge.
+func TestErasureSweepBudget(t *testing.T) {
+	s, err := Open(erasureCfg(func(c *Config) { c.ErasureSweepBudget = 3 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	putOwnerKeys(t, s, "alice", 10)
+	if _, err := s.Forget(Ctx{Actor: "alice"}, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	st := s.ErasureSweepCycle()
+	if st.Reclaimed != 3 || st.OwnersDrained != 0 {
+		t.Fatalf("first budgeted cycle = %+v; want 3 reclaimed, 0 drained", st)
+	}
+	total := st.Reclaimed
+	for cycles := 1; total < 10 || s.ErasureStats().PendingOwners > 0; cycles++ {
+		if cycles > 10 {
+			t.Fatalf("sweep did not converge: reclaimed %d of 10", total)
+		}
+		st = s.ErasureSweepCycle()
+		if st.Reclaimed > 3 {
+			t.Fatalf("cycle exceeded budget: %+v", st)
+		}
+		total += st.Reclaimed
+	}
+	if total != 10 || s.Engine().Len() != 0 {
+		t.Fatalf("converged at reclaimed=%d len=%d; want 10, 0", total, s.Engine().Len())
+	}
+}
+
+// TestReinstateMidSweep pins that a subject who returns mid-sweep gets a
+// fresh key epoch: their new records live while the pre-shred residue
+// stays dead and is still reclaimed.
+func TestReinstateMidSweep(t *testing.T) {
+	s, err := Open(erasureCfg(func(c *Config) { c.ErasureSweepBudget = 2 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := Ctx{Actor: "app", Purpose: "service"}
+	oldKeys := putOwnerKeys(t, s, "alice", 6)
+	if _, err := s.Forget(Ctx{Actor: "alice"}, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	s.ErasureSweepCycle() // partial: reclaims 2 of 6
+
+	if err := s.Reinstate(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "alice:fresh", []byte("new life"), PutOptions{
+		Owner: "alice", Purposes: []string{"service"},
+	}); err != nil {
+		t.Fatalf("put after reinstate: %v", err)
+	}
+	if v, err := s.Get(ctx, "alice:fresh"); err != nil || string(v) != "new life" {
+		t.Fatalf("fresh record = %q, %v", v, err)
+	}
+	for _, k := range oldKeys {
+		if _, err := s.Get(ctx, k); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("pre-shred record %s resurrected by reinstate: %v", k, err)
+		}
+	}
+	s.DrainErasure()
+	if v, err := s.Get(ctx, "alice:fresh"); err != nil || string(v) != "new life" {
+		t.Fatalf("fresh record after sweep = %q, %v", v, err)
+	}
+	if got := s.Engine().Len(); got != 1 {
+		t.Fatalf("engine len after sweep = %d, want only the fresh record", got)
+	}
+	if st := s.ErasureStats(); st.PendingOwners != 0 {
+		t.Fatalf("reinstated owner never drained: %+v", st)
+	}
+}
+
+func erasureAOFCfg(path string, vc *clock.Virtual, budget int) Config {
+	return erasureCfg(func(c *Config) {
+		c.AOFPath = path
+		c.AOFSync = Ptr(aof.SyncNo)
+		c.Clock = vc
+		c.ErasureSweepBudget = budget
+	})
+}
+
+// TestCrashMidSweepReplay extends the crash matrix to the sweep: a crash
+// after the shred but mid-reclamation must replay to a store that — once
+// both sides finish sweeping — matches the uninterrupted one exactly.
+func TestCrashMidSweepReplay(t *testing.T) {
+	dir := t.TempDir()
+	vc := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	path := filepath.Join(dir, "live.aof")
+	live, err := Open(erasureAOFCfg(path, vc, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	putOwnerKeys(t, live, "alice", 8)
+	putOwnerKeys(t, live, "bob", 3)
+	if _, err := live.Forget(Ctx{Actor: "alice"}, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	live.ErasureSweepCycle() // partial: 2 of 8 DELs journaled, then "crash"
+	if err := live.Log().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	killPath := filepath.Join(t.TempDir(), "crash.aof")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(killPath, b, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(erasureAOFCfg(killPath, vc, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// Replay must rediscover the interrupted sweep.
+	if st := re.ErasureStats(); st.PendingOwners != 1 || st.PendingRecords != 6 {
+		t.Fatalf("replayed erasure state = %+v; want 1 pending owner, 6 records", st)
+	}
+	// Dead residue stays invisible on the replayed store too.
+	if _, err := re.Get(Ctx{Actor: "app"}, "alice:rec005"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("replayed dead record visible: %v", err)
+	}
+
+	live.DrainErasure()
+	re.DrainErasure()
+	want := crashDump(t, live)
+	got := crashDump(t, re)
+	if got != want {
+		t.Fatalf("post-sweep states diverged\n--- live ---\n%s--- replayed ---\n%s", want, got)
+	}
+	if l, r := live.Engine().Len(), re.Engine().Len(); l != 3 || r != 3 {
+		t.Fatalf("post-sweep engine lens = %d, %d; want 3, 3", l, r)
+	}
+}
+
+// TestCompactionPurgesDeadCiphertext pins that an AOF rewrite drops
+// shredded-but-unswept records: the replayed store has no residue and no
+// pending sweep work.
+func TestCompactionPurgesDeadCiphertext(t *testing.T) {
+	dir := t.TempDir()
+	vc := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	path := filepath.Join(dir, "c.aof")
+	s, err := Open(erasureAOFCfg(path, vc, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putOwnerKeys(t, s, "alice", 5)
+	putOwnerKeys(t, s, "bob", 2)
+	if _, err := s.Forget(Ctx{Actor: "alice"}, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	// Compact with the sweep not yet run: the snapshot must filter the
+	// dead records even though they are still in the engine.
+	if err := s.Compact(Ctx{Actor: "admin"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	re, err := Open(erasureAOFCfg(path, vc, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Engine().Len(); got != 2 {
+		t.Fatalf("replay after compaction holds %d keys, want bob's 2", got)
+	}
+	if st := re.ErasureStats(); st.PendingOwners != 0 || st.ShreddedOwners != 1 {
+		t.Fatalf("replayed state = %+v; want 0 pending, shred mark kept", st)
+	}
+	// Bob's data survived the compaction and still decrypts.
+	if v, err := re.Get(Ctx{Actor: "app"}, "bob:rec000"); err != nil || !bytes.HasPrefix(v, []byte("payload-")) {
+		t.Fatalf("bob after compaction = %q, %v", v, err)
+	}
+}
+
+// TestBackgroundSweeper exercises the StartSweeper/StopSweeper loop: the
+// goroutine drains a shredded owner on its own, and start/stop are
+// idempotent.
+func TestBackgroundSweeper(t *testing.T) {
+	s, err := Open(erasureCfg(func(c *Config) { c.ErasureSweepInterval = time.Millisecond }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	putOwnerKeys(t, s, "alice", 32)
+	if _, err := s.Forget(Ctx{Actor: "alice"}, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	s.StartSweeper()
+	s.StartSweeper() // idempotent
+	if !s.ErasureStats().SweeperRunning {
+		t.Fatal("sweeper not reported running")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ErasureStats().PendingOwners > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background sweeper never drained: %+v", s.ErasureStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.Engine().Len(); got != 0 {
+		t.Fatalf("engine len after background sweep = %d", got)
+	}
+	s.StopSweeper()
+	s.StopSweeper() // idempotent
+	if s.ErasureStats().SweeperRunning {
+		t.Fatal("sweeper still reported running after stop")
+	}
+}
+
+// TestErasureConcurrentStress hammers the shred/sweep/write paths
+// concurrently; run under -race it pins the locking protocol (owner
+// stripe → key stripe → erasureState leaf).
+func TestErasureConcurrentStress(t *testing.T) {
+	s, err := Open(erasureCfg(func(c *Config) {
+		c.ErasureSweepInterval = time.Millisecond
+		c.ErasureSweepBudget = 8
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.StartSweeper()
+	defer s.StopSweeper()
+
+	const iters = 300
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) { // writers
+			defer wg.Done()
+			ctx := Ctx{Actor: "app", Purpose: "service"}
+			for i := 0; i < iters; i++ {
+				owner := fmt.Sprintf("subj%d", i%4)
+				k := fmt.Sprintf("w%d:%d", g, i%32)
+				// ErrErased while the owner is shredded is expected.
+				_ = s.Put(ctx, k, []byte("v"), PutOptions{Owner: owner, Purposes: []string{"service"}})
+				_, _ = s.Get(ctx, k)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // forgetter/reinstater
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			owner := fmt.Sprintf("subj%d", i%4)
+			_, _ = s.Forget(Ctx{Actor: owner}, owner)
+			_ = s.Reinstate(Ctx{Actor: "admin"}, owner)
+		}
+	}()
+	wg.Add(1)
+	go func() { // explicit sweeps racing the background sweeper
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			s.ErasureSweepCycle()
+			_ = s.ErasureStats()
+		}
+	}()
+	wg.Wait()
+	// Everything still converges once the churn stops.
+	for i := 0; i < 4; i++ {
+		_ = s.Reinstate(Ctx{Actor: "admin"}, fmt.Sprintf("subj%d", i))
+	}
+	s.DrainErasure()
+	if st := s.ErasureStats(); st.PendingOwners != 0 {
+		t.Fatalf("stress left pending owners: %+v", st)
+	}
+}

@@ -28,6 +28,14 @@ import "sync"
 // when more than one is held, and the engine/AOF/audit/ACL/keyring locks
 // are leaves. The engine below has its own shard locks; the audit trail,
 // AOF, ACL and keyring have their own internal locks.
+//
+// The erasure sweeper (maintain.go) deliberately stays at the bottom of
+// this ordering: it holds ONE key stripe at a time while reclaiming a
+// dead record and never takes an owner stripe or gmu, so it can run
+// concurrently with the foreground compliance path without joining the
+// stop-the-world protocol. erasureState.mu (pending-owner set and sweep
+// counters) is a leaf like the keyring's internal lock: it is only ever
+// acquired last and nothing is called while holding it.
 const stripeCount = 64 // power of two
 
 // ownerStripe guards one stripe of owner-scoped compliance state. The

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"time"
 
 	"gdprstore/internal/audit"
@@ -12,17 +14,339 @@ func openSealed(key, sealed []byte, recordKey string) ([]byte, error) {
 	return cryptoutil.Open(key, sealed, []byte(recordKey))
 }
 
+// epochArg encodes a keyring epoch for a journal record argument.
+func epochArg(e uint64) []byte {
+	return []byte(strconv.FormatUint(e, 10))
+}
+
+// parseEpoch decodes an epoch journal argument.
+func parseEpoch(b []byte) (uint64, error) {
+	return strconv.ParseUint(string(b), 10, 64)
+}
+
+// recordDead reports whether m's record is crypto-erased: sealed under a
+// keyring epoch whose key has since been destroyed. Dead records are
+// invisible to every read path and are reclaimed by the lazy-delete sweep.
+func (s *Store) recordDead(m Metadata) bool {
+	if s.keyring == nil || m.Owner == "" {
+		return false
+	}
+	return !s.keyring.RecordLive(m.Owner, m.KeyEpoch)
+}
+
+// KeyVisible reports whether key is currently visible to clients: a key
+// whose record was crypto-erased but not yet swept is not. Keyspace-level
+// commands (SCAN, KEYS) filter through this so the sweep's laziness never
+// shows.
+func (s *Store) KeyVisible(key string) bool {
+	if s.keyring == nil {
+		return true
+	}
+	m, ok := s.ix.get(key)
+	if !ok {
+		return true
+	}
+	return !s.recordDead(m)
+}
+
+// markErasurePending registers owner with the lazy-delete sweep: the owner
+// was crypto-shredded and dead ciphertext may remain in the engine.
+func (s *Store) markErasurePending(owner string) {
+	now := s.cfg.Config.Clock.Now()
+	s.erasure.mu.Lock()
+	if _, ok := s.erasure.pending[owner]; !ok {
+		s.erasure.pending[owner] = now
+	}
+	s.erasure.mu.Unlock()
+}
+
+// SweepStats reports what one lazy-delete sweep cycle did.
+type SweepStats struct {
+	// Scanned counts index entries examined for deadness.
+	Scanned int
+	// Reclaimed counts dead records physically deleted (engine + index).
+	Reclaimed int
+	// OwnersDrained counts owners whose dead ciphertext was fully
+	// reclaimed, removing them from the pending set.
+	OwnersDrained int
+}
+
+// ErasureSweepCycle runs one budgeted lazy-delete cycle: for each
+// crypto-shredded owner still pending, it walks the owner's indexed keys
+// and physically deletes those sealed under a destroyed key epoch. The
+// budget caps deletions per cycle (scanning live entries is cheap; the
+// deletions carry journal appends and replication traffic), so a single
+// cycle never stalls foreground traffic for long.
+//
+// The cycle takes one key stripe at a time and no owner stripe, which
+// respects the locks.go ordering and lets foreground Puts/Gets interleave
+// freely. An owner is drained only when a full walk of its keys found no
+// remaining dead records — owners reinstated mid-sweep (whose new records
+// carry the live epoch) drain naturally once their dead residue is gone.
+func (s *Store) ErasureSweepCycle() SweepStats {
+	var st SweepStats
+	if s.keyring == nil || s.closed.Load() {
+		return st
+	}
+	start := time.Now()
+	budget := s.cfg.sweepBudget
+	s.erasure.mu.Lock()
+	owners := make([]string, 0, len(s.erasure.pending))
+	for o := range s.erasure.pending {
+		owners = append(owners, o)
+	}
+	s.erasure.mu.Unlock()
+	sort.Strings(owners)
+	halted := false
+	for _, owner := range owners {
+		if halted || st.Reclaimed >= budget {
+			break
+		}
+		keys := s.ix.ownerKeys(owner)
+		sort.Strings(keys)
+		complete := true
+		for _, k := range keys {
+			if st.Reclaimed >= budget {
+				complete = false
+				break
+			}
+			ks := s.keyStripeFor(k)
+			ks.Lock()
+			if s.closed.Load() {
+				ks.Unlock()
+				complete, halted = false, true
+				break
+			}
+			// Re-validate under the stripe: the key may have been deleted,
+			// re-owned, or rewritten under a live epoch since the walk began.
+			if m, ok := s.ix.get(k); ok && m.Owner == owner && s.recordDead(m) {
+				s.db.Del(k)
+				s.ix.del(k)
+				st.Reclaimed++
+			}
+			ks.Unlock()
+			st.Scanned++
+		}
+		if complete {
+			s.erasure.mu.Lock()
+			delete(s.erasure.pending, owner)
+			s.erasure.mu.Unlock()
+			st.OwnersDrained++
+		}
+	}
+	if st.Reclaimed > 0 {
+		// The reclaimed ciphertext still sits in AOF history; owe a
+		// compaction so it stops persisting (snapshotAll filters dead
+		// records, so the rewrite drops it even if more sweeping remains).
+		s.pendingRewrite.Store(true)
+	}
+	s.erasure.mu.Lock()
+	s.erasure.cycles++
+	s.erasure.reclaimed += uint64(st.Reclaimed)
+	s.erasure.drained += uint64(st.OwnersDrained)
+	s.erasure.lastCycle = time.Since(start)
+	s.erasure.mu.Unlock()
+	return st
+}
+
+// DrainErasure runs sweep cycles until no shredded owner remains pending;
+// a synchronous backstop for tests and shutdown-style flows. Returns the
+// accumulated stats.
+func (s *Store) DrainErasure() SweepStats {
+	var total SweepStats
+	for {
+		st := s.ErasureSweepCycle()
+		total.Scanned += st.Scanned
+		total.Reclaimed += st.Reclaimed
+		total.OwnersDrained += st.OwnersDrained
+		s.erasure.mu.Lock()
+		n := len(s.erasure.pending)
+		s.erasure.mu.Unlock()
+		if n == 0 || (st.Reclaimed == 0 && st.OwnersDrained == 0) {
+			return total
+		}
+	}
+}
+
+// StartSweeper launches the background lazy-delete sweeper, which runs
+// ErasureSweepCycle every ErasureSweepInterval. It is a no-op without a
+// keyring (no envelope encryption → nothing to shred) or when already
+// running. Replicas must not start a sweeper: the primary's sweep deletes
+// replicate through the journal stream.
+func (s *Store) StartSweeper() {
+	if s.keyring == nil {
+		return
+	}
+	e := &s.erasure
+	e.loopMu.Lock()
+	defer e.loopMu.Unlock()
+	if e.stopped != nil {
+		return
+	}
+	e.stopped = make(chan struct{})
+	e.done = make(chan struct{})
+	stop, done := e.stopped, e.done
+	interval := s.cfg.sweepInterval
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if s.closed.Load() {
+					return
+				}
+				s.ErasureSweepCycle()
+			}
+		}
+	}()
+}
+
+// StopSweeper stops the background sweeper and waits for it to exit.
+// Safe to call when the sweeper never ran.
+func (s *Store) StopSweeper() {
+	e := &s.erasure
+	e.loopMu.Lock()
+	stop, done := e.stopped, e.done
+	e.stopped, e.done = nil, nil
+	e.loopMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// ErasureStats is a point-in-time view of crypto-shredding and the
+// lazy-delete sweep, surfaced through INFO erasure.
+type ErasureStats struct {
+	// Enabled reports whether envelope encryption (and therefore O(1)
+	// crypto-shredding) is active.
+	Enabled bool
+	// ShreddedOwners counts owners whose data key is currently destroyed.
+	ShreddedOwners int
+	// PendingOwners counts shredded owners whose dead ciphertext the sweep
+	// has not fully reclaimed yet.
+	PendingOwners int
+	// PendingRecords counts index entries still attributed to pending
+	// owners (an upper bound on dead records: a reinstated owner's live
+	// records are included until the owner drains).
+	PendingRecords int
+	// Reclaimed is the total records physically deleted by sweeps.
+	Reclaimed uint64
+	// SweepCycles is the total sweep cycles run.
+	SweepCycles uint64
+	// OwnersDrained is the total owners fully reclaimed.
+	OwnersDrained uint64
+	// SweepLag is the age of the oldest still-pending shred — how far the
+	// physical reclamation trails the logical erasure.
+	SweepLag time.Duration
+	// LastCycle is the duration of the most recent sweep cycle.
+	LastCycle time.Duration
+	// SweeperRunning reports whether the background sweeper goroutine is
+	// active.
+	SweeperRunning bool
+}
+
+// ErasureStats reports the current crypto-shredding/sweep state.
+func (s *Store) ErasureStats() ErasureStats {
+	var st ErasureStats
+	if s.keyring == nil {
+		return st
+	}
+	st.Enabled = true
+	st.ShreddedOwners = s.keyring.ShredCount()
+	now := s.cfg.Config.Clock.Now()
+	s.erasure.mu.Lock()
+	st.PendingOwners = len(s.erasure.pending)
+	var oldest time.Time
+	pending := make([]string, 0, len(s.erasure.pending))
+	for o, at := range s.erasure.pending {
+		pending = append(pending, o)
+		if oldest.IsZero() || at.Before(oldest) {
+			oldest = at
+		}
+	}
+	st.Reclaimed = s.erasure.reclaimed
+	st.SweepCycles = s.erasure.cycles
+	st.OwnersDrained = s.erasure.drained
+	st.LastCycle = s.erasure.lastCycle
+	s.erasure.mu.Unlock()
+	for _, o := range pending {
+		st.PendingRecords += s.ix.ownerKeyCount(o)
+	}
+	if !oldest.IsZero() && now.After(oldest) {
+		st.SweepLag = now.Sub(oldest)
+	}
+	s.erasure.loopMu.Lock()
+	st.SweeperRunning = s.erasure.stopped != nil
+	s.erasure.loopMu.Unlock()
+	return st
+}
+
+// reclaimErasedLocked fully reclaims every pending owner's dead records.
+// Callers hold the whole-store lock (lockAll), so no stripe juggling is
+// needed; this is Maintain's backstop when no background sweeper runs.
+func (s *Store) reclaimErasedLocked() int {
+	if s.keyring == nil {
+		return 0
+	}
+	s.erasure.mu.Lock()
+	owners := make([]string, 0, len(s.erasure.pending))
+	for o := range s.erasure.pending {
+		owners = append(owners, o)
+	}
+	s.erasure.mu.Unlock()
+	n := 0
+	drained := 0
+	for _, owner := range owners {
+		for _, k := range s.ix.ownerKeys(owner) {
+			if m, ok := s.ix.get(k); ok && m.Owner == owner && s.recordDead(m) {
+				s.db.Del(k)
+				s.ix.del(k)
+				n++
+			}
+		}
+		s.erasure.mu.Lock()
+		delete(s.erasure.pending, owner)
+		s.erasure.mu.Unlock()
+		drained++
+	}
+	if n > 0 || drained > 0 {
+		s.erasure.mu.Lock()
+		s.erasure.reclaimed += uint64(n)
+		s.erasure.drained += uint64(drained)
+		s.erasure.mu.Unlock()
+	}
+	return n
+}
+
 // snapshotAll emits the commands that reconstruct the full compliance
 // state: the dataset (SET/SETEX), metadata (GMETA), standing objections
-// (GOBJ), and the envelope keyring (GKEY/GSHRED). Callers hold the
-// whole-store lock (lockAll), so the cut is globally consistent.
+// (GOBJ), and the envelope keyring (GKEY/GSHRED, with key epochs). Callers
+// hold the whole-store lock (lockAll), so the cut is globally consistent.
+//
+// Crypto-erased records the sweep has not reclaimed yet are omitted — both
+// their engine values and their metadata — so a compaction purges dead
+// ciphertext from the AOF even while the in-memory sweep is still running.
 func (s *Store) snapshotAll(emit func(name string, args ...[]byte) error) error {
-	if err := s.db.Snapshot(emit); err != nil {
+	err := s.db.Snapshot(func(name string, args ...[]byte) error {
+		if s.keyring != nil && len(args) > 0 {
+			if m, ok := s.ix.get(string(args[0])); ok && s.recordDead(m) {
+				return nil
+			}
+		}
+		return emit(name, args...)
+	})
+	if err != nil {
 		return err
 	}
 	var emitErr error
 	s.ix.rangeMeta(func(k string, m Metadata) bool {
-		if !s.db.Exists(k) {
+		if !s.db.Exists(k) || s.recordDead(m) {
 			return true
 		}
 		mb, err := m.encode()
@@ -53,13 +377,14 @@ func (s *Store) snapshotAll(emit func(name string, args ...[]byte) error) error 
 		if err != nil {
 			return err
 		}
+		epochs := s.keyring.Epochs()
 		for owner, w := range wrapped {
-			if err := emit(opKey, []byte(owner), w); err != nil {
+			if err := emit(opKey, []byte(owner), w, epochArg(epochs[owner])); err != nil {
 				return err
 			}
 		}
 		for _, owner := range s.keyring.ShreddedOwners() {
-			if err := emit(opShred, []byte(owner)); err != nil {
+			if err := emit(opShred, []byte(owner), epochArg(epochs[owner])); err != nil {
 				return err
 			}
 		}
@@ -103,6 +428,9 @@ type MaintStats struct {
 	GhostMetaPruned int
 	// GrantsPurged counts expired ACL grants removed.
 	GrantsPurged int
+	// ErasedReclaimed counts crypto-shredded records physically deleted by
+	// this pass (the backstop for deployments without a background sweeper).
+	ErasedReclaimed int
 	// Rewrote reports whether a deferred AOF compaction ran.
 	Rewrote bool
 	// Took is the wall duration of the pass.
@@ -129,6 +457,10 @@ func (s *Store) Maintain() MaintStats {
 		st.GhostMetaPruned++
 	}
 	st.GrantsPurged = s.acl.PurgeExpired()
+	st.ErasedReclaimed = s.reclaimErasedLocked()
+	if st.ErasedReclaimed > 0 {
+		s.pendingRewrite.Store(true)
+	}
 	if s.pendingRewrite.Load() {
 		if err := s.propagateErasureLocked(Ctx{Actor: "system:maintenance"}); err == nil {
 			st.Rewrote = true

@@ -36,6 +36,11 @@ type Metadata struct {
 	AutomatedDecisions bool `json:"automated_decisions,omitempty"`
 	// Created is when the record was first stored.
 	Created time.Time `json:"created"`
+	// KeyEpoch is the owner's keyring epoch the value was sealed under
+	// (envelope mode). A record whose epoch is older than the keyring's
+	// current epoch was crypto-shredded: its key is destroyed and the
+	// ciphertext merely awaits the lazy-delete sweep.
+	KeyEpoch uint64 `json:"key_epoch,omitempty"`
 }
 
 // clone returns a deep copy so callers cannot mutate indexed state.
@@ -215,6 +220,17 @@ func (ix *metaIndex) unindex(key string, m Metadata) {
 // ownerKeys returns the keys owned by owner, in unspecified order.
 func (ix *metaIndex) ownerKeys(owner string) []string {
 	return ix.byOwner[stripeIndex(owner)].keys(owner)
+}
+
+// ownerKeyCount returns how many keys the index currently attributes to
+// owner without materialising the key slice — the O(1) cardinality the
+// crypto-shred fast path reports as its erasure count.
+func (ix *metaIndex) ownerKeyCount(owner string) int {
+	sh := &ix.byOwner[stripeIndex(owner)]
+	sh.mu.Lock()
+	n := len(sh.m[owner])
+	sh.mu.Unlock()
+	return n
 }
 
 // purposeKeys returns the keys whitelisted for purpose.

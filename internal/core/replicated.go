@@ -57,19 +57,47 @@ func (s *Store) applyRecord(name string, args [][]byte) error {
 		s.applyUnobjection(string(args[0]), string(args[1]))
 		return nil
 	case opKey:
-		if len(args) != 2 {
-			return errors.New("core: replay GKEY: need 2 args")
+		if len(args) != 2 && len(args) != 3 {
+			return errors.New("core: replay GKEY: need 2 or 3 args")
 		}
 		if s.keyring == nil {
 			return nil // envelope disabled this run; ignore
 		}
+		if len(args) == 3 {
+			// Epoch-carrying form: pin the keyring epoch exactly so replayed
+			// records' KeyEpoch stamps still match their sealing key.
+			epoch, err := parseEpoch(args[2])
+			if err != nil {
+				return fmt.Errorf("core: replay GKEY: %w", err)
+			}
+			return s.keyring.ImportAt(string(args[0]), args[1], epoch)
+		}
 		return s.keyring.Import(string(args[0]), args[1])
 	case opShred:
-		if len(args) != 1 {
-			return errors.New("core: replay GSHRED: need 1 arg")
+		if len(args) != 1 && len(args) != 2 {
+			return errors.New("core: replay GSHRED: need 1 or 2 args")
 		}
-		if s.keyring != nil {
-			s.keyring.Shred(string(args[0]))
+		if s.keyring == nil {
+			return nil
+		}
+		owner := string(args[0])
+		if len(args) == 2 {
+			// Epoch-carrying form: idempotent — re-applying the same shred
+			// (live link after replay, or a compacted snapshot) cannot
+			// advance the epoch past what the primary recorded.
+			epoch, err := parseEpoch(args[1])
+			if err != nil {
+				return fmt.Errorf("core: replay GSHRED: %w", err)
+			}
+			s.keyring.ShredAt(owner, epoch)
+		} else {
+			s.keyring.Shred(owner)
+		}
+		// Any of the owner's records already applied are now dead; queue
+		// them for this copy's own lazy-delete sweep (on replicas the
+		// primary's sweep DELs will also arrive and make this a no-op).
+		if s.ix.ownerKeyCount(owner) > 0 {
+			s.markErasurePending(owner)
 		}
 		return nil
 	case opReinst:
@@ -81,13 +109,25 @@ func (s *Store) applyRecord(name string, args [][]byte) error {
 		}
 		return nil
 	case opForget:
-		if len(args) != 1 {
-			return errors.New("core: replay GFORGET: need 1 arg")
+		if len(args) != 1 && len(args) != 2 {
+			return errors.New("core: replay GFORGET: need 1 or 2 args")
 		}
-		// The erasure's DELs precede this marker in the stream; pruning the
-		// owner's remaining index entries here is defensive (e.g. metadata
-		// whose DEL was compacted away) and makes the marker idempotent.
 		owner := string(args[0])
+		if len(args) == 2 && string(args[1]) == forgetModeShred {
+			// Crypto-shred fast path: no DELs preceded this marker — the
+			// paired GSHRED already made the owner's records dead, and the
+			// sweep reclaims them. Do NOT prune the index here: the entries'
+			// epoch stamps are what lets the sweep (and snapshotAll) find
+			// the dead ciphertext to physically remove.
+			if s.keyring != nil && s.ix.ownerKeyCount(owner) > 0 {
+				s.markErasurePending(owner)
+			}
+			return nil
+		}
+		// Eager-mode marker: the erasure's DELs precede it in the stream;
+		// pruning the owner's remaining index entries here is defensive
+		// (e.g. metadata whose DEL was compacted away) and makes the marker
+		// idempotent.
 		for _, k := range s.ix.ownerKeys(owner) {
 			if m, ok := s.ix.get(k); ok && m.Owner == owner {
 				s.ix.del(k)

@@ -55,11 +55,13 @@ func (s *Store) collectOwnerLocked(owner string) ([]UserRecord, error) {
 		ks := s.keyStripeFor(k)
 		ks.Lock()
 		m, ok := s.metaLive(k)
-		if !ok || m.Owner != owner {
+		if !ok || m.Owner != owner || s.recordDead(m) {
 			// Re-validate ownership under the stripe: the key may have
 			// been re-Put by a different subject since the index
 			// snapshot, and their record must not leak into this
-			// owner's Article 15 report.
+			// owner's Article 15 report. Crypto-erased records awaiting
+			// the sweep are equally invisible — the subject's report
+			// must not resurrect data they asked to be forgotten.
 			ks.Unlock()
 			continue
 		}
@@ -219,11 +221,23 @@ func (s *Store) ImportExport(ctx Ctx, payload []byte) (int, error) {
 	return n, nil
 }
 
-// Forget implements Article 17's right to be forgotten: it erases every
-// record of the subject from the engine and indexes, crypto-shreds the
-// subject's data key when envelope encryption is on, and — under real-time
-// timing — compacts the AOF before returning so no copy persists in any
-// subsystem. It returns the number of records erased.
+// Forget implements Article 17's right to be forgotten.
+//
+// With envelope encryption on, erasure is O(1) in the subject's data
+// footprint: the owner's data key is destroyed (crypto-shredding), the
+// GSHRED+GFORGET markers are journaled, and the call returns — without
+// walking the owner's keys, deleting records, or compacting the AOF. Every
+// copy of the ciphertext (engine, AOF history, replicas, backups) is
+// unreadable the moment the key is gone, which is what Article 17 requires;
+// the background lazy-delete sweep (maintain.go) reclaims the dead
+// ciphertext and triggers compaction off the ack path. Real-time timing
+// needs no synchronous propagation here either: the shred is the erasure,
+// and the markers reach replicas through the ordinary journal stream.
+//
+// Without a keyring, erasure falls back to the eager path: every record of
+// the subject is deleted from the engine and indexes under stripe locks,
+// and real-time timing compacts the AOF before returning. It returns the
+// number of records erased.
 func (s *Store) Forget(ctx Ctx, owner string) (int, error) {
 	if !s.cfg.Compliant {
 		return 0, ErrNotCompliant
@@ -237,6 +251,9 @@ func (s *Store) Forget(ctx Ctx, owner string) (int, error) {
 	if err := s.check(ctx, acl.OpRights, owner, "FORGETUSER", ""); err != nil {
 		os.mu.Unlock()
 		return 0, err
+	}
+	if s.keyring != nil {
+		return s.forgetShredLocked(ctx, owner, os)
 	}
 	// The owner stripe freezes the owner's key set (no new Puts for this
 	// owner can land); each key is erased under its key stripe, acquired
@@ -255,13 +272,6 @@ func (s *Store) Forget(ctx Ctx, owner string) (int, error) {
 		}
 	}
 	s.unlockKeyStripes(stripes)
-	if s.keyring != nil {
-		s.keyring.Shred(owner)
-		if err := s.appendLog(opShred, []byte(owner)); err != nil {
-			os.mu.Unlock()
-			return n, err
-		}
-	}
 	// The erasure marker follows the per-key DELs in the journal stream:
 	// replicas replay it after the deletions, prune any residual metadata,
 	// and audit that the Article 17 erasure reached their copy.
@@ -279,6 +289,34 @@ func (s *Store) Forget(ctx Ctx, owner string) (int, error) {
 		if err := s.propagateErasure(ctx); err != nil {
 			return n, err
 		}
+	}
+	return n, nil
+}
+
+// forgetShredLocked is the crypto-shred fast path of Forget. The caller
+// holds the owner stripe os; this function releases it. The work is
+// constant-time in the owner's key count: one keyring mutation, two journal
+// appends, one audit record. The owner's index entries and engine
+// ciphertext are left in place for the sweep; every read path treats them
+// as already erased via Metadata.KeyEpoch.
+func (s *Store) forgetShredLocked(ctx Ctx, owner string, os *ownerStripe) (int, error) {
+	n := s.ix.ownerKeyCount(owner)
+	epoch := s.keyring.Shred(owner)
+	if err := s.appendLog(opShred, []byte(owner), epochArg(epoch)); err != nil {
+		os.mu.Unlock()
+		return n, err
+	}
+	if err := s.appendLog(opForget, []byte(owner), []byte(forgetModeShred)); err != nil {
+		os.mu.Unlock()
+		return n, err
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: "FORGETUSER", Owner: owner, Purpose: ctx.Purpose,
+		Outcome: audit.OutcomeOK, Detail: fmt.Sprintf("erased=%d mode=shred", n),
+	})
+	os.mu.Unlock()
+	if n > 0 {
+		s.markErasurePending(owner)
 	}
 	return n, nil
 }
@@ -476,7 +514,7 @@ func (s *Store) KeysByPurpose(ctx Ctx, purpose string) ([]string, error) {
 		ks.Lock()
 		m, ok := s.metaLive(k)
 		ks.Unlock()
-		if !ok {
+		if !ok || s.recordDead(m) {
 			continue
 		}
 		if m.PermitsPurpose(purpose) {
@@ -505,7 +543,7 @@ func (s *Store) OwnerKeys(ctx Ctx, owner string) ([]string, error) {
 		ks.Lock()
 		m, ok := s.metaLive(k)
 		ks.Unlock()
-		if ok && m.Owner == owner {
+		if ok && m.Owner == owner && !s.recordDead(m) {
 			out = append(out, k)
 		}
 	}

@@ -24,11 +24,17 @@ const (
 	opMetaBatch = "GMETAB"  // GMETAB metadataJSON key1 key2 ... (batch writes)
 	opObject    = "GOBJ"    // GOBJ owner purpose
 	opUnobj     = "GUNOBJ"  // GUNOBJ owner purpose
-	opKey       = "GKEY"    // GKEY owner wrappedDataKey
-	opShred     = "GSHRED"  // GSHRED owner
+	opKey       = "GKEY"    // GKEY owner wrappedDataKey [epoch]
+	opShred     = "GSHRED"  // GSHRED owner [epoch] (key destroyed, epoch advanced)
 	opReinst    = "GREINST" // GREINST owner
-	opForget    = "GFORGET" // GFORGET owner (Article 17 erasure marker)
+	opForget    = "GFORGET" // GFORGET owner [mode] (Article 17 erasure marker)
 )
+
+// forgetModeShred is the GFORGET mode argument emitted by the crypto-shred
+// fast path: the marker records that erasure was effected by destroying the
+// owner's key, and that the owner's ciphertext is reclaimed lazily by the
+// sweep rather than by DELs preceding the marker.
+const forgetModeShred = "shred"
 
 // Ctx identifies who is performing an operation and why — the two
 // dimensions GDPR conditions every access on.
@@ -99,6 +105,30 @@ type Store struct {
 	retention      atomic.Pointer[RetentionPolicy]
 	pendingRewrite atomic.Bool
 	closed         atomic.Bool
+
+	// erasure tracks crypto-shredded owners whose dead ciphertext awaits
+	// the lazy-delete sweep, plus sweep statistics (see maintain.go). Its
+	// mutex is a leaf lock in the ordering protocol: it is only ever taken
+	// with no stripe held, or after a single key stripe.
+	erasure erasureState
+}
+
+// erasureState is the bookkeeping behind O(1) erasure: which owners were
+// shredded but still have ciphertext in the engine, and what the sweep has
+// reclaimed so far.
+type erasureState struct {
+	mu      sync.Mutex
+	pending map[string]time.Time // owner -> when the shred was observed
+
+	reclaimed uint64 // records physically deleted by sweeps
+	drained   uint64 // owners whose dead ciphertext is fully reclaimed
+	cycles    uint64 // sweep cycles run
+	lastCycle time.Duration
+
+	// loop state for the background sweeper goroutine (StartSweeper).
+	loopMu  sync.Mutex
+	stopped chan struct{}
+	done    chan struct{}
 }
 
 // Open builds a Store from the configuration, replaying any existing AOF.
@@ -109,6 +139,7 @@ func Open(cfg Config) (*Store, error) {
 		ix:     newMetaIndex(),
 		owners: newOwnerStripes(),
 	}
+	s.erasure.pending = make(map[string]time.Time)
 	s.db = store.New(store.Options{
 		Clock:        n.Config.Clock,
 		Seed:         n.Seed,
@@ -216,11 +247,16 @@ func (s *Store) replay(path string, key []byte) error {
 	if err != nil {
 		return err
 	}
-	// Drop metadata for keys that did not survive the replay.
+	// Drop metadata for keys that did not survive the replay, and rediscover
+	// crypto-shredded ciphertext that replayed back in: records sealed under
+	// a destroyed key epoch re-enter the sweep's pending set so reclamation
+	// resumes where the previous process left off.
 	var ghosts []string
-	s.ix.rangeMeta(func(k string, _ Metadata) bool {
+	s.ix.rangeMeta(func(k string, m Metadata) bool {
 		if !s.db.Exists(k) {
 			ghosts = append(ghosts, k)
+		} else if s.recordDead(m) {
+			s.markErasurePending(m.Owner)
 		}
 		return true
 	})
@@ -359,8 +395,12 @@ func (s *Store) Put(ctx Ctx, key string, value []byte, opts PutOptions) error {
 			}
 			return err
 		}
+		// The owner stripe is held, so no Forget can advance the epoch
+		// between Ensure and here: the record is stamped with the epoch of
+		// the key it is sealed under.
+		meta.KeyEpoch = s.keyring.Epoch(opts.Owner)
 		if created {
-			if err := s.appendLog(opKey, []byte(opts.Owner), wrapped); err != nil {
+			if err := s.appendLog(opKey, []byte(opts.Owner), wrapped, epochArg(meta.KeyEpoch)); err != nil {
 				return err
 			}
 		}
@@ -504,7 +544,7 @@ func (s *Store) Metadata(ctx Ctx, key string) (Metadata, error) {
 	ks.Lock()
 	defer ks.Unlock()
 	m, ok := s.metaLive(key)
-	if !ok {
+	if !ok || s.recordDead(m) {
 		return Metadata{}, ErrNotFound
 	}
 	if err := s.check(ctx, acl.OpRead, m.Owner, "GETMETA", key); err != nil {
@@ -622,6 +662,7 @@ func (s *Store) Close() error {
 	hub := s.hub
 	s.unlockAll()
 	s.expirer.Stop()
+	s.StopSweeper()
 	if primary != nil {
 		primary.Close()
 	}

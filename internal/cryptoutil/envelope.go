@@ -84,11 +84,18 @@ func DeriveKey(master []byte, context string) []byte {
 // Keyring manages per-owner data keys wrapped under a master key. Shredding
 // a key makes every record sealed under it permanently unreadable — the
 // crypto-erasure fast path for GDPR Article 17.
+//
+// Each owner also carries a key epoch, incremented whenever the owner's key
+// is shredded. Records remember the epoch they were sealed under, so after
+// a shred-then-reinstate cycle the store can tell dead ciphertext (old
+// epoch, key destroyed) from the subject's fresh data (current epoch)
+// without attempting a decryption.
 type Keyring struct {
 	mu     sync.RWMutex
 	master []byte
 	keys   map[string][]byte // owner -> data key (unwrapped, in memory)
 	shred  map[string]bool   // owners whose keys were destroyed
+	epoch  map[string]uint64 // owner -> current key epoch (bumped per shred)
 }
 
 // NewKeyring creates a keyring rooted at the given master key.
@@ -102,6 +109,7 @@ func NewKeyring(master []byte) (*Keyring, error) {
 		master: m,
 		keys:   make(map[string][]byte),
 		shred:  make(map[string]bool),
+		epoch:  make(map[string]uint64),
 	}, nil
 }
 
@@ -117,7 +125,9 @@ func (kr *Keyring) KeyFor(owner string) ([]byte, error) {
 // Ensure returns owner's data key, generating one if needed. It also
 // returns the key wrapped (sealed) under the master key — callers journal
 // the wrapped form when created is true so the keyring survives restarts —
-// and whether this call created the key.
+// and whether this call created the key. The returned key is a defensive
+// copy: a concurrent Shred zeroes only the ring's own slice, never one a
+// reader is still sealing with.
 func (kr *Keyring) Ensure(owner string) (key, wrapped []byte, created bool, err error) {
 	kr.mu.RLock()
 	if kr.shred[owner] {
@@ -125,8 +135,10 @@ func (kr *Keyring) Ensure(owner string) (key, wrapped []byte, created bool, err 
 		return nil, nil, false, ErrUnknownKey
 	}
 	if k, ok := kr.keys[owner]; ok {
+		out := make([]byte, len(k))
+		copy(out, k)
 		kr.mu.RUnlock()
-		return k, nil, false, nil
+		return out, nil, false, nil
 	}
 	kr.mu.RUnlock()
 
@@ -136,7 +148,9 @@ func (kr *Keyring) Ensure(owner string) (key, wrapped []byte, created bool, err 
 		return nil, nil, false, ErrUnknownKey
 	}
 	if k, ok := kr.keys[owner]; ok {
-		return k, nil, false, nil
+		out := make([]byte, len(k))
+		copy(out, k)
+		return out, nil, false, nil
 	}
 	k := make([]byte, BlockCipherKeySize)
 	if _, err := io.ReadFull(rand.Reader, k); err != nil {
@@ -147,12 +161,16 @@ func (kr *Keyring) Ensure(owner string) (key, wrapped []byte, created bool, err 
 		return nil, nil, false, err
 	}
 	kr.keys[owner] = k
-	return k, w, true, nil
+	out := make([]byte, len(k))
+	copy(out, k)
+	return out, w, true, nil
 }
 
 // Import installs a previously wrapped data key for owner (journal replay).
 // Importing clears any shred mark recorded before the import, so replay
-// order (GKEY then GSHRED) decides the final state.
+// order (GKEY then GSHRED) decides the final state. The owner's epoch is
+// left untouched (legacy journals carry no epoch); epoch-carrying records
+// use ImportAt.
 func (kr *Keyring) Import(owner string, wrapped []byte) error {
 	k, err := Open(kr.master, wrapped, []byte("wrap:"+owner))
 	if err != nil {
@@ -162,6 +180,22 @@ func (kr *Keyring) Import(owner string, wrapped []byte) error {
 	defer kr.mu.Unlock()
 	kr.keys[owner] = k
 	delete(kr.shred, owner)
+	return nil
+}
+
+// ImportAt is Import for journal records that carry the owner's key epoch:
+// it installs the key and pins the epoch to the journaled value, so replay
+// reconstructs exactly the epoch each surviving record was sealed under.
+func (kr *Keyring) ImportAt(owner string, wrapped []byte, epoch uint64) error {
+	k, err := Open(kr.master, wrapped, []byte("wrap:"+owner))
+	if err != nil {
+		return err
+	}
+	kr.mu.Lock()
+	defer kr.mu.Unlock()
+	kr.keys[owner] = k
+	delete(kr.shred, owner)
+	kr.epoch[owner] = epoch
 	return nil
 }
 
@@ -202,19 +236,78 @@ func (kr *Keyring) ExportAll() (map[string][]byte, error) {
 	return out, nil
 }
 
-// Shred destroys owner's data key. Records sealed under it become
-// unrecoverable, which constitutes erasure for Article 17 purposes even
-// before the ciphertext itself is reclaimed.
-func (kr *Keyring) Shred(owner string) {
+// Shred destroys owner's data key and advances the owner's epoch. Records
+// sealed under it become unrecoverable, which constitutes erasure for
+// Article 17 purposes even before the ciphertext itself is reclaimed. The
+// key is removed from the ring before it is zeroed, so no reader can reach
+// the slice mid-wipe (readers only ever hold defensive copies anyway). The
+// new epoch is returned for journaling.
+func (kr *Keyring) Shred(owner string) uint64 {
 	kr.mu.Lock()
 	defer kr.mu.Unlock()
 	if k, ok := kr.keys[owner]; ok {
+		delete(kr.keys, owner)
 		for i := range k {
 			k[i] = 0
 		}
-		delete(kr.keys, owner)
 	}
 	kr.shred[owner] = true
+	kr.epoch[owner]++
+	return kr.epoch[owner]
+}
+
+// ShredAt applies a journaled shred marker: the key is destroyed and the
+// epoch advanced to at least the journaled value. Re-applying the same
+// record (replay, replication resync overlap) is idempotent.
+func (kr *Keyring) ShredAt(owner string, epoch uint64) {
+	kr.mu.Lock()
+	defer kr.mu.Unlock()
+	if k, ok := kr.keys[owner]; ok {
+		delete(kr.keys, owner)
+		for i := range k {
+			k[i] = 0
+		}
+	}
+	kr.shred[owner] = true
+	if kr.epoch[owner] < epoch {
+		kr.epoch[owner] = epoch
+	}
+}
+
+// Epoch returns owner's current key epoch (0 until the first shred).
+func (kr *Keyring) Epoch(owner string) uint64 {
+	kr.mu.RLock()
+	defer kr.mu.RUnlock()
+	return kr.epoch[owner]
+}
+
+// Epochs returns a snapshot of every owner's epoch, for journaling during
+// compaction.
+func (kr *Keyring) Epochs() map[string]uint64 {
+	kr.mu.RLock()
+	defer kr.mu.RUnlock()
+	out := make(map[string]uint64, len(kr.epoch))
+	for o, e := range kr.epoch {
+		out[o] = e
+	}
+	return out
+}
+
+// RecordLive reports whether a record sealed under the given epoch for
+// owner is still readable: the owner is not shredded and the epoch is
+// current. A false result means the ciphertext is dead — its key was
+// destroyed — even if the owner has since been reinstated with a new key.
+func (kr *Keyring) RecordLive(owner string, epoch uint64) bool {
+	kr.mu.RLock()
+	defer kr.mu.RUnlock()
+	return !kr.shred[owner] && kr.epoch[owner] == epoch
+}
+
+// ShredCount returns how many owners are currently marked shredded.
+func (kr *Keyring) ShredCount() int {
+	kr.mu.RLock()
+	defer kr.mu.RUnlock()
+	return len(kr.shred)
 }
 
 // Shredded reports whether owner's key has been destroyed.

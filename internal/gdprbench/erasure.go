@@ -1,0 +1,169 @@
+package gdprbench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"gdprstore/internal/core"
+	"gdprstore/internal/cryptoutil"
+	"gdprstore/internal/metrics"
+)
+
+// The erasure scenario measures the paper's Article 17 cost model
+// directly: how long does FORGETUSER take as a function of how much data
+// the subject owns? Eager erasure walks and deletes every record, so
+// latency grows linearly with keys-per-owner. Crypto-shredding (envelope
+// encryption on) destroys the owner's data key instead — one keyring
+// operation and two journal appends regardless of cardinality — and
+// leaves physical reclamation to the background sweep, so the same figure
+// stays flat.
+
+// ErasureConfig parameterises the erasure-latency scenario.
+type ErasureConfig struct {
+	// KeysPerOwner lists the cardinality points to measure
+	// (default 16, 256, 4096).
+	KeysPerOwner []int
+	// Owners is how many subjects are erased per point; each contributes
+	// one FORGETUSER latency observation (default 8).
+	Owners int
+	// ValueSize is the payload size in bytes (default 100).
+	ValueSize int
+	// Seed fixes the randomness (0 → 1).
+	Seed int64
+}
+
+func (c *ErasureConfig) defaults() {
+	if len(c.KeysPerOwner) == 0 {
+		c.KeysPerOwner = []int{16, 256, 4096}
+	}
+	if c.Owners <= 0 {
+		c.Owners = 8
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ErasurePoint is one measured (keys-per-owner, mode) cell.
+type ErasurePoint struct {
+	// KeysPerOwner is the cardinality of every erased subject.
+	KeysPerOwner int
+	// Shred reports the mode: true = envelope encryption + crypto-shred
+	// fast path, false = eager per-key deletion.
+	Shred bool
+	// Forget summarises the FORGETUSER latencies (one per owner).
+	Forget metrics.Snapshot
+	// SweepReclaimed counts records the lazy-delete sweep reclaimed
+	// afterwards (0 in eager mode — the Forget already deleted them).
+	SweepReclaimed int
+	// SweepTook is how long the full off-critical-path drain took.
+	SweepTook time.Duration
+}
+
+// RunErasure measures FORGETUSER latency across the configured
+// keys-per-owner points, in both eager and crypto-shred modes. Each
+// (point, mode) cell runs against a fresh embedded store so residue from
+// earlier erasures cannot skew the next measurement.
+func RunErasure(cfg ErasureConfig) ([]ErasurePoint, error) {
+	cfg.defaults()
+	var out []ErasurePoint
+	for _, k := range cfg.KeysPerOwner {
+		for _, shred := range []bool{false, true} {
+			pt, err := runErasurePoint(cfg, k, shred)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+func runErasurePoint(cfg ErasureConfig, keysPerOwner int, shred bool) (ErasurePoint, error) {
+	ccfg := core.Config{
+		Compliant:  true,
+		Timing:     core.TimingEventual,
+		Capability: core.CapabilityPartial,
+	}
+	if shred {
+		key, err := cryptoutil.RandomKey()
+		if err != nil {
+			return ErasurePoint{}, err
+		}
+		ccfg.Envelope = true
+		ccfg.MasterKey = key
+	}
+	st, err := core.Open(ccfg)
+	if err != nil {
+		return ErasurePoint{}, err
+	}
+	defer st.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	val := make([]byte, cfg.ValueSize)
+	ctl := core.Ctx{Actor: "controller", Purpose: "populate"}
+	for i := 0; i < cfg.Owners; i++ {
+		owner := SubjectName(i)
+		entries := make([]core.BatchEntry, keysPerOwner)
+		for j := range entries {
+			rng.Read(val)
+			entries[j] = core.BatchEntry{
+				Key:   RecordKey(i, j),
+				Value: append([]byte(nil), val...),
+			}
+		}
+		err := st.PutBatch(ctl, entries, core.PutOptions{
+			Owner:    owner,
+			Purposes: []string{"billing"},
+			Origin:   "gdprbench-erasure",
+		})
+		if err != nil {
+			return ErasurePoint{}, fmt.Errorf("gdprbench: erasure populate %s: %w", owner, err)
+		}
+	}
+
+	h := metrics.NewHistogram()
+	for i := 0; i < cfg.Owners; i++ {
+		owner := SubjectName(i)
+		t0 := time.Now()
+		if _, err := st.Forget(core.Ctx{Actor: owner}, owner); err != nil {
+			return ErasurePoint{}, fmt.Errorf("gdprbench: erasure forget %s: %w", owner, err)
+		}
+		h.Record(time.Since(t0))
+	}
+
+	pt := ErasurePoint{KeysPerOwner: keysPerOwner, Shred: shred, Forget: h.Snapshot()}
+	if shred {
+		t0 := time.Now()
+		sw := st.DrainErasure()
+		pt.SweepTook = time.Since(t0)
+		pt.SweepReclaimed = sw.Reclaimed
+	}
+	return pt, nil
+}
+
+// FormatErasure renders the points as the flat-vs-linear latency table the
+// scenario exists to produce.
+func FormatErasure(points []ErasurePoint) string {
+	var b strings.Builder
+	b.WriteString("[gdprbench/erasure] FORGETUSER latency vs keys-per-owner\n")
+	fmt.Fprintf(&b, "  %-8s %-8s %12s %12s %12s %14s\n",
+		"keys", "mode", "p50", "p99", "max", "sweep")
+	for _, pt := range points {
+		mode := "eager"
+		sweep := "-"
+		if pt.Shred {
+			mode = "shred"
+			sweep = fmt.Sprintf("%d in %v", pt.SweepReclaimed, pt.SweepTook.Round(time.Microsecond))
+		}
+		fmt.Fprintf(&b, "  %-8d %-8s %12v %12v %12v %14s\n",
+			pt.KeysPerOwner, mode,
+			pt.Forget.P50, pt.Forget.P99, pt.Forget.Max, sweep)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -133,7 +133,8 @@ func init() {
 	register(Command{Name: "KEYS", MinArgs: 1, MaxArgs: 1, Flags: FlagReadonly | FlagNoCompliance,
 		Summary: "glob-match the whole keyspace",
 		Handler: func(ctx *Ctx) (resp.Value, error) {
-			return stringsArray(ctx.Srv.store.Engine().Keys(string(ctx.Args[0]))), nil
+			keys := ctx.Srv.store.Engine().Keys(string(ctx.Args[0]))
+			return stringsArray(visibleKeys(ctx.Srv.store, keys)), nil
 		}})
 	register(Command{Name: "SCAN", MinArgs: 1, MaxArgs: -1, Flags: FlagReadonly | FlagNoCompliance,
 		Summary: "SCAN cursor [MATCH pattern] [COUNT n]: incremental keyspace iteration",
@@ -395,8 +396,21 @@ func cmdScan(ctx *Ctx) (resp.Value, error) {
 	keys, next := ctx.Srv.store.Engine().Scan(cursor, pattern, count)
 	return resp.ArrayValue(
 		resp.BulkStringValue(strconv.FormatUint(next, 10)),
-		stringsArray(keys),
+		stringsArray(visibleKeys(ctx.Srv.store, keys)),
 	), nil
+}
+
+// visibleKeys drops keys whose records were crypto-erased but not yet
+// reclaimed by the lazy-delete sweep: keyspace iteration must not reveal
+// that dead ciphertext still physically exists.
+func visibleKeys(st *core.Store, keys []string) []string {
+	out := keys[:0]
+	for _, k := range keys {
+		if st.KeyVisible(k) {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // parsePutOptions parses the GPUT/GMPUT option tail:
@@ -635,7 +649,7 @@ func parseRole(s string) (acl.Role, bool) {
 // cmdInfo reports server and store health in Redis INFO style, including
 // the replication topology and the per-command metrics the middleware
 // pipeline records. An optional section argument (gdprstore, audit,
-// replication, commandstats) restricts the report.
+// erasure, replication, commandstats) restricts the report.
 func cmdInfo(ctx *Ctx) (resp.Value, error) {
 	s := ctx.Srv
 	section := ""
@@ -643,7 +657,7 @@ func cmdInfo(ctx *Ctx) (resp.Value, error) {
 		section = strings.ToLower(string(ctx.Args[0]))
 	}
 	switch section {
-	case "", "gdprstore", "audit", "replication", "cluster", "commandstats":
+	case "", "gdprstore", "audit", "erasure", "replication", "cluster", "commandstats":
 	default:
 		return resp.Value{}, fmt.Errorf("unknown INFO section '%s'", section)
 	}
@@ -654,6 +668,9 @@ func cmdInfo(ctx *Ctx) (resp.Value, error) {
 	}
 	if want("audit") && (section == "audit" || s.store.Trail() != nil) {
 		b.WriteString(s.auditInfo())
+	}
+	if want("erasure") && (section == "erasure" || s.store.ErasureStats().Enabled) {
+		b.WriteString(s.erasureInfo())
 	}
 	if want("replication") {
 		b.WriteString(s.replicationInfo())
@@ -718,6 +735,29 @@ func (s *Server) auditInfo() string {
 	b.WriteString("audit_mask:" + strconv.FormatBool(st.MaskEnabled) + "\r\n")
 	b.WriteString("audit_masked:" + strconv.FormatUint(st.Masked, 10) + "\r\n")
 	b.WriteString("audit_last_error:" + st.LastErr + "\r\n")
+	return b.String()
+}
+
+// erasureInfo renders the crypto-shredding/lazy-delete sweep section:
+// how many owners are logically erased, how much dead ciphertext still
+// awaits physical reclamation, and how far the sweep trails the shreds.
+func (s *Server) erasureInfo() string {
+	var b strings.Builder
+	b.WriteString("# erasure\r\n")
+	st := s.store.ErasureStats()
+	b.WriteString("erasure_envelope:" + strconv.FormatBool(st.Enabled) + "\r\n")
+	if !st.Enabled {
+		return b.String()
+	}
+	b.WriteString("erasure_shredded_owners:" + strconv.Itoa(st.ShreddedOwners) + "\r\n")
+	b.WriteString("erasure_pending_owners:" + strconv.Itoa(st.PendingOwners) + "\r\n")
+	b.WriteString("erasure_pending_records:" + strconv.Itoa(st.PendingRecords) + "\r\n")
+	b.WriteString("erasure_reclaimed_total:" + strconv.FormatUint(st.Reclaimed, 10) + "\r\n")
+	b.WriteString("erasure_sweep_cycles:" + strconv.FormatUint(st.SweepCycles, 10) + "\r\n")
+	b.WriteString("erasure_owners_drained:" + strconv.FormatUint(st.OwnersDrained, 10) + "\r\n")
+	b.WriteString("erasure_sweep_lag_ms:" + strconv.FormatInt(st.SweepLag.Milliseconds(), 10) + "\r\n")
+	b.WriteString("erasure_last_cycle_us:" + strconv.FormatInt(st.LastCycle.Microseconds(), 10) + "\r\n")
+	b.WriteString("erasure_sweeper_running:" + strconv.FormatBool(st.SweeperRunning) + "\r\n")
 	return b.String()
 }
 
