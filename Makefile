@@ -37,6 +37,8 @@ bench-ci:
 		-benchtime 1000x -count 5 -benchmem -json . >> BENCH_ci.json
 	$(GO) test -run '^$$' -bench . -benchtime 1000x -count 5 -benchmem -json \
 		./internal/server >> BENCH_ci.json
+	$(GO) test -run '^$$' -bench . -benchtime 1000x -count 5 -benchmem -json \
+		./internal/ops >> BENCH_ci.json
 
 # bench-check mirrors the CI `bench regression gate` step: fresh smoke
 # numbers diffed against the committed baseline, failing on any matching

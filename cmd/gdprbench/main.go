@@ -45,17 +45,63 @@ func main() {
 		auditBP  = flag.String("audit-backpressure", "", `embedded mode: "block" (default) or "drop" when the audit queue is full`)
 		auditM   = flag.Bool("audit-mask", false, "embedded mode: pseudonymize PII in audit records")
 		autoB    = flag.Int("auto-batch", 0, "network mode: dial sessions with WithAutoBatch coalescing, maxOps N and the default window")
-		scenario = flag.String("scenario", "personas", "personas|erasure (erasure: embedded FORGETUSER latency vs keys-per-owner, eager vs crypto-shred)")
+		scenario = flag.String("scenario", "personas", "personas|erasure|retention-storm|dsar-burst|multi-regulation")
 		eraseKey = flag.String("erasure-keys", "16,256,4096", "erasure scenario: comma-separated keys-per-owner points")
 		eraseOwn = flag.Int("erasure-owners", 8, "erasure scenario: owners erased per point")
+		opsAddr  = flag.String("ops-addr", "", "sample a live server's ops surface (host:port of -ops-addr) mid-run and report observed compliance-lag maxima")
+
+		stormKeys    = flag.Int("storm-keys", 20000, "retention-storm: records expiring simultaneously")
+		stormHorizon = flag.Duration("storm-horizon", time.Second, "retention-storm: lead time before the shared expiry deadline")
+		dsarReq      = flag.Int("dsar-requests", 2000, "dsar-burst: total GETUSER/EXPORTUSER requests")
+		dsarConc     = flag.Int("dsar-concurrency", 32, "dsar-burst: concurrent DSAR requesters")
+		dsarWriters  = flag.Int("dsar-writers", 4, "dsar-burst: background controller write loops")
+		mrOps        = flag.Int("multireg-ops", 20000, "multi-regulation: reads per policy regime")
+		mrOptOut     = flag.Float64("multireg-optout", 0.30, "multi-regulation: fraction of subjects filing the CCPA do-not-sell opt-out")
 	)
 	flag.Parse()
 
-	if *scenario == "erasure" {
+	switch *scenario {
+	case "erasure":
 		runErasure(*eraseKey, *eraseOwn, *seed)
 		return
-	}
-	if *scenario != "personas" {
+	case "retention-storm":
+		sampleOps(*opsAddr, func() {
+			res, err := gdprbench.RunStorm(gdprbench.StormConfig{
+				Keys: *stormKeys, Horizon: *stormHorizon, Seed: *seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(gdprbench.FormatStorm(res))
+		})
+		return
+	case "dsar-burst":
+		sampleOps(*opsAddr, func() {
+			res, err := gdprbench.RunDSAR(gdprbench.DSARConfig{
+				Subjects: *subjects, RecordsPerSubject: *records,
+				Requests: *dsarReq, Concurrency: *dsarConc,
+				Writers: *dsarWriters, Seed: *seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(gdprbench.FormatDSAR(res))
+		})
+		return
+	case "multi-regulation":
+		sampleOps(*opsAddr, func() {
+			points, err := gdprbench.RunMultiReg(gdprbench.MultiRegConfig{
+				Subjects: *subjects, RecordsPerSubject: *records,
+				Operations: *mrOps, CCPAOptOutPct: *mrOptOut, Seed: *seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(gdprbench.FormatMultiReg(points))
+		})
+		return
+	case "personas":
+	default:
 		log.Fatalf("unknown -scenario %q", *scenario)
 	}
 
@@ -69,13 +115,33 @@ func main() {
 	}
 
 	if *addr != "" || *clusterF != "" {
-		runNetwork(bcfg, roles, *addr, *clusterF, *autoB)
+		runNetwork(bcfg, roles, *addr, *clusterF, *autoB, *opsAddr)
 		return
 	}
 	if *autoB > 0 {
 		log.Fatal("-auto-batch applies to network mode only (use -addr or -cluster)")
 	}
+	if *opsAddr != "" {
+		log.Fatal("-ops-addr needs a live server to sample (use -addr/-cluster, or a scenario run against a server started with -ops-addr)")
+	}
 	runEmbedded(bcfg, roles, *timing, *shards, *auditW, *auditBP, *auditM)
+}
+
+// sampleOps wraps fn with an ops-surface sampler against addr when set,
+// printing the aggregated compliance-lag maxima after the run. Scenario
+// modes open their own embedded store, so the sampled server is whatever
+// live gdprkv-server the operator pointed -ops-addr at — typically one
+// under independent load, to watch its gauges move while this process
+// stresses the same machine.
+func sampleOps(addr string, fn func()) {
+	if addr == "" {
+		fn()
+		return
+	}
+	s := gdprbench.NewOpsSampler(addr, 0)
+	s.Start()
+	fn()
+	fmt.Println(s.Stop())
 }
 
 // runErasure runs the embedded erasure-latency scenario: FORGETUSER
@@ -160,7 +226,7 @@ func runEmbedded(bcfg gdprbench.Config, roles []gdprbench.Role, timing string, s
 
 // runNetwork drives the personas through pkg/gdprkv against one server
 // (-addr) or a cluster of primaries (-cluster).
-func runNetwork(bcfg gdprbench.Config, roles []gdprbench.Role, addr, clusterSpec string, autoBatch int) {
+func runNetwork(bcfg gdprbench.Config, roles []gdprbench.Role, addr, clusterSpec string, autoBatch int, opsAddr string) {
 	ctx := context.Background()
 	var nodes []string
 	clustered := clusterSpec != ""
@@ -205,7 +271,16 @@ func runNetwork(bcfg gdprbench.Config, roles []gdprbench.Role, addr, clusterSpec
 	for _, role := range roles {
 		rcfg := bcfg
 		rcfg.Role = role
+		var sampler *gdprbench.OpsSampler
+		if opsAddr != "" {
+			sampler = gdprbench.NewOpsSampler(opsAddr, 0)
+			sampler.Start()
+		}
 		res, err := gdprbench.RunNet(ctx, p, rcfg)
+		if sampler != nil {
+			s := sampler.Stop()
+			res.OpsObserved = &s
+		}
 		if err != nil {
 			log.Fatalf("%s: %v", role, err)
 		}

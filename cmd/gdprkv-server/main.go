@@ -32,6 +32,8 @@
 //	-cluster-node v     cluster topology entry id=host:port:slots (repeatable;
 //	                    together the entries must cover all 1024 slots exactly once)
 //	-cluster-self id    this server's node id in the topology (enables cluster mode)
+//	-ops-addr string    serve the HTTP ops surface (dashboard, /info JSON,
+//	                    /metrics Prometheus exposition, /events SSE) here
 package main
 
 import (
@@ -49,6 +51,7 @@ import (
 	"gdprstore/internal/audit"
 	"gdprstore/internal/cluster"
 	"gdprstore/internal/core"
+	"gdprstore/internal/ops"
 	"gdprstore/internal/replica"
 	"gdprstore/internal/server"
 	"gdprstore/internal/tlsproxy"
@@ -87,6 +90,7 @@ func main() {
 		replicaof    = flag.String("replicaof", "", "replicate from the primary at host:port (server starts read-only)")
 		replActor    = flag.String("repl-actor", "", "actor presented during the replication handshake (AUTH)")
 		clusterSelf  = flag.String("cluster-self", "", "this server's node id in the cluster topology (enables cluster mode)")
+		opsAddrF     = flag.String("ops-addr", "", "serve the HTTP ops surface (dashboard, /info, /metrics, /events) at this address")
 	)
 	var clusterNodes stringList
 	flag.Var(&clusterNodes, "cluster-node", "cluster topology entry id=host:port:slots (repeat per node)")
@@ -196,6 +200,14 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("gdprkv-server listening on %s (compliant=%v timing=%s capability=%s)\n",
 		srv.Addr(), cfg.Compliant, cfg.Timing, cfg.Capability)
+	if *opsAddrF != "" {
+		o, err := ops.Listen(*opsAddrF, srv)
+		if err != nil {
+			log.Fatalf("ops: %v", err)
+		}
+		defer o.Close()
+		fmt.Printf("ops surface on http://%s (dashboard, /info, /metrics, /events)\n", o.Addr())
+	}
 	if *clusterSelf != "" {
 		m, err := cluster.ParseNodes(clusterNodes)
 		if err != nil {

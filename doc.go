@@ -21,6 +21,17 @@
 // operations (FLUSHALL, snapshot, batch writes) follow a deterministic
 // lock order — see DESIGN.md §5.
 //
+// An HTTP ops surface (internal/ops, enabled with -ops-addr) exposes the
+// same facts operationally: /info renders the shared INFO section
+// registry as JSON, /metrics is a Prometheus text exposition whose core
+// gauges are the paper's compliance promises as live lag numbers
+// (gdprkv_retention_lag_seconds, gdprkv_erasure_lag_seconds,
+// gdprkv_audit_queue_depth), /events streams SSE stats deltas, and / is
+// an embedded auto-refreshing dashboard — see DESIGN.md §14. The
+// gdprbench scenarios retention-storm, dsar-burst and multi-regulation
+// drive those gauges to their extremes and report BENCH.md-able
+// compliance-overhead numbers.
+//
 // Client applications import pkg/gdprkv, the public SDK: a
 // context-first, connection-pooled, replica-aware client whose server
 // rejections decode to typed sentinels (errors.Is) — see DESIGN.md §9

@@ -103,3 +103,36 @@ func (s *Store) effectiveDeadline(opts PutOptions, purposes []string) time.Time 
 	}
 	return s.cfg.Config.Clock.Now().Add(d)
 }
+
+// RetentionStats is a point-in-time view of retention enforcement — the
+// compliance analogue of replication lag. A compliant store promises that
+// records vanish when their storage-limitation deadline passes; these
+// numbers say how far physical reclamation currently trails that promise.
+// Surfaced through INFO retention and the ops server's lag gauges.
+type RetentionStats struct {
+	// TrackedDeadlines counts keys carrying a retention deadline (TTL).
+	TrackedDeadlines int
+	// OverdueRecords counts keys past their deadline but still physically
+	// present (invisible to reads, but occupying storage).
+	OverdueRecords int
+	// Lag is the age of the oldest overdue deadline; 0 when nothing is
+	// overdue.
+	Lag time.Duration
+	// ExpiredTotal is the cumulative count of keys reclaimed by expiry.
+	ExpiredTotal uint64
+	// ExpirerRunning reports whether the background active-expire loop is
+	// active.
+	ExpirerRunning bool
+}
+
+// RetentionStats reports the current retention-enforcement state.
+func (s *Store) RetentionStats() RetentionStats {
+	overdue, oldest := s.db.RetentionLag()
+	return RetentionStats{
+		TrackedDeadlines: s.db.ExpireLen(),
+		OverdueRecords:   overdue,
+		Lag:              oldest,
+		ExpiredTotal:     s.db.ExpiredCount(),
+		ExpirerRunning:   s.expirer.Running(),
+	}
+}

@@ -1,0 +1,226 @@
+package gdprbench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdprstore/internal/core"
+	"gdprstore/internal/metrics"
+)
+
+// The dsar-burst scenario measures the cost of data-subject access
+// requests at scale: a burst of concurrent GETUSER (Art. 15 access) and
+// EXPORTUSER (Art. 20 portability) requests lands on a store that is
+// simultaneously serving a live controller write stream. Rights
+// operations walk every record a subject owns, so a burst of them is the
+// GDPR analogue of an analytics scan — the scenario reports their tail
+// latency and what the burst did to foreground write throughput, the
+// compliance-overhead number the paper's Figure 1 style of comparison
+// needs.
+
+// DSARConfig parameterises the dsar-burst scenario.
+type DSARConfig struct {
+	// Subjects is the data-subject population (default 200).
+	Subjects int
+	// RecordsPerSubject is each subject's record count — the size of one
+	// DSAR answer (default 50).
+	RecordsPerSubject int
+	// Requests is the total number of DSAR operations in the burst
+	// (default 2000).
+	Requests int
+	// Concurrency is how many requesters issue them in parallel
+	// (default 32).
+	Concurrency int
+	// Writers is how many controller write loops run throughout
+	// (default 4).
+	Writers int
+	// BaselineWindow is how long the write stream runs alone before the
+	// burst, establishing the undisturbed throughput (default 500ms).
+	BaselineWindow time.Duration
+	// ValueSize is the payload size in bytes (default 100).
+	ValueSize int
+	// Seed fixes the randomness (0 → 1).
+	Seed int64
+}
+
+func (c *DSARConfig) defaults() {
+	if c.Subjects <= 0 {
+		c.Subjects = 200
+	}
+	if c.RecordsPerSubject <= 0 {
+		c.RecordsPerSubject = 50
+	}
+	if c.Requests <= 0 {
+		c.Requests = 2000
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 32
+	}
+	if c.Writers <= 0 {
+		c.Writers = 4
+	}
+	if c.BaselineWindow <= 0 {
+		c.BaselineWindow = 500 * time.Millisecond
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// DSARResult is one dsar-burst run's measurements.
+type DSARResult struct {
+	Subjects, RecordsPerSubject int
+	Requests, Concurrency       int
+	// Access and Export summarise GETUSER / EXPORTUSER latencies.
+	Access metrics.Snapshot
+	Export metrics.Snapshot
+	// Elapsed is the burst duration; Throughput its DSAR ops/sec.
+	Elapsed    time.Duration
+	Throughput float64
+	// WriteBaseline is writer throughput (op/s) with no burst running;
+	// WriteDuring is the same stream measured during the burst;
+	// WritePenaltyPct is the loss, the scenario's headline overhead number.
+	WriteBaseline   float64
+	WriteDuring     float64
+	WritePenaltyPct float64
+	Errors          int
+}
+
+// RunDSAR runs the dsar-burst scenario against a fresh embedded store.
+func RunDSAR(cfg DSARConfig) (DSARResult, error) {
+	cfg.defaults()
+	st, err := core.Open(core.Config{
+		Compliant:  true,
+		Timing:     core.TimingEventual,
+		Capability: core.CapabilityPartial,
+	})
+	if err != nil {
+		return DSARResult{}, err
+	}
+	defer st.Close()
+
+	ctl := core.Ctx{Actor: "controller", Purpose: "populate"}
+	pcfg := Config{
+		Subjects: cfg.Subjects, RecordsPerSubject: cfg.RecordsPerSubject,
+		ValueSize: cfg.ValueSize, Seed: cfg.Seed,
+	}
+	pcfg.defaults()
+	if err := Populate(st, ctl, pcfg); err != nil {
+		return DSARResult{}, err
+	}
+
+	res := DSARResult{
+		Subjects: cfg.Subjects, RecordsPerSubject: cfg.RecordsPerSubject,
+		Requests: cfg.Requests, Concurrency: cfg.Concurrency,
+	}
+
+	// Live write stream: Writers goroutines overwrite random records as a
+	// controller for the whole scenario; writes are counted per phase.
+	var writes atomic.Uint64
+	stopWriters := make(chan struct{})
+	var writerWG sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*997))
+			val := make([]byte, cfg.ValueSize)
+			for {
+				select {
+				case <-stopWriters:
+					return
+				default:
+				}
+				subj := rng.Intn(cfg.Subjects)
+				j := rng.Intn(cfg.RecordsPerSubject)
+				rec := RecordKey(subj, j)
+				rng.Read(val)
+				err := st.Put(core.Ctx{Actor: "controller", Purpose: "stream"}, rec, val, core.PutOptions{
+					Owner:    SubjectName(subj),
+					Purposes: []string{pcfg.Purposes[j%len(pcfg.Purposes)]},
+					TTL:      pcfg.TTL,
+				})
+				if err == nil {
+					writes.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Phase 1: undisturbed write throughput.
+	w0 := writes.Load()
+	time.Sleep(cfg.BaselineWindow)
+	res.WriteBaseline = float64(writes.Load()-w0) / cfg.BaselineWindow.Seconds()
+
+	// Phase 2: the DSAR burst.
+	accessH := metrics.NewHistogram()
+	exportH := metrics.NewHistogram()
+	var next atomic.Int64
+	var errs atomic.Int64
+	wBefore := writes.Load()
+	start := time.Now()
+	var burstWG sync.WaitGroup
+	for g := 0; g < cfg.Concurrency; g++ {
+		burstWG.Add(1)
+		go func(g int) {
+			defer burstWG.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(g)))
+			for {
+				n := next.Add(1)
+				if n > int64(cfg.Requests) {
+					return
+				}
+				subj := rng.Intn(cfg.Subjects)
+				owner := SubjectName(subj)
+				t0 := time.Now()
+				var err error
+				if n%2 == 0 {
+					_, err = st.Export(core.Ctx{Actor: owner}, owner)
+					exportH.Record(time.Since(t0))
+				} else {
+					_, err = st.Access(core.Ctx{Actor: owner}, owner)
+					accessH.Record(time.Since(t0))
+				}
+				if err != nil && !isBenign(err) {
+					errs.Add(1)
+				}
+			}
+		}(g)
+	}
+	burstWG.Wait()
+	res.Elapsed = time.Since(start)
+	res.WriteDuring = float64(writes.Load()-wBefore) / res.Elapsed.Seconds()
+
+	close(stopWriters)
+	writerWG.Wait()
+
+	res.Access = accessH.Snapshot()
+	res.Export = exportH.Snapshot()
+	res.Throughput = float64(cfg.Requests) / res.Elapsed.Seconds()
+	res.Errors = int(errs.Load())
+	if res.WriteBaseline > 0 {
+		res.WritePenaltyPct = 100 * (1 - res.WriteDuring/res.WriteBaseline)
+	}
+	return res, nil
+}
+
+// FormatDSAR renders the run as the tail-latency/overhead summary
+// BENCH.md tabulates.
+func FormatDSAR(r DSARResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[gdprbench/dsar-burst] subjects=%d records=%d requests=%d concurrency=%d errors=%d\n",
+		r.Subjects, r.RecordsPerSubject, r.Requests, r.Concurrency, r.Errors)
+	fmt.Fprintf(&b, "  dsar: %.0f req/s over %v\n", r.Throughput, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  GETUSER    %s\n", r.Access.String())
+	fmt.Fprintf(&b, "  EXPORTUSER %s\n", r.Export.String())
+	fmt.Fprintf(&b, "  writes: baseline=%.0f op/s during-burst=%.0f op/s penalty=%.1f%%",
+		r.WriteBaseline, r.WriteDuring, r.WritePenaltyPct)
+	return b.String()
+}

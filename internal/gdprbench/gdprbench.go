@@ -148,6 +148,11 @@ type Result struct {
 	// — a high Dropped count means the throughput figure was bought by
 	// discarding evidence.
 	Audit *audit.Stats
+	// OpsObserved is what a mid-run poll of the target server's ops
+	// surface saw (nil unless the benchmark ran with -ops-addr): worst
+	// erasure/retention lag and audit pressure while this persona was
+	// driving load.
+	OpsObserved *OpsSample
 }
 
 // String renders a summary block.
@@ -161,6 +166,9 @@ func (r Result) String() string {
 		s += fmt.Sprintf("\n  audit: mode=%s policy=%s workers=%d queue=%d/%d enqueued=%d processed=%d dropped=%d sink_errors=%d syncs=%d",
 			a.Mode, a.Policy, a.Workers, a.QueueDepth, a.QueueCap,
 			a.Enqueued, a.Processed, a.Dropped, a.SinkErrors, a.Syncs)
+	}
+	if r.OpsObserved != nil {
+		s += "\n  " + r.OpsObserved.String()
 	}
 	return s
 }

@@ -1,0 +1,128 @@
+package gdprbench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gdprstore/internal/core"
+)
+
+func TestRunStormDrains(t *testing.T) {
+	res, err := RunStorm(StormConfig{
+		Keys:        2000,
+		Horizon:     400 * time.Millisecond,
+		Timing:      core.TimingRealTime, // fast-scan: drains in a few cycles
+		SampleEvery: 10 * time.Millisecond,
+		Timeout:     30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Drained {
+		t.Fatalf("storm did not drain: %+v", res)
+	}
+	if res.PeakOverdue == 0 {
+		t.Error("no overdue backlog observed — storm never happened")
+	}
+	if res.PeakLag == 0 {
+		t.Error("retention lag never rose above zero")
+	}
+	if res.ExpiredTotal < uint64(res.PeakOverdue) {
+		t.Errorf("expired_total=%d < peak backlog %d", res.ExpiredTotal, res.PeakOverdue)
+	}
+	// The last sample must show the drained state the gauge converges to.
+	last := res.Samples[len(res.Samples)-1]
+	if last.Overdue != 0 || last.Lag != 0 {
+		t.Errorf("final sample not drained: %+v", last)
+	}
+	out := FormatStorm(res)
+	for _, want := range []string{"retention-storm", "peak_overdue=", "drain=", "drained=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatStorm missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStormPopulateOverrun(t *testing.T) {
+	_, err := RunStorm(StormConfig{Keys: 5000, Horizon: time.Nanosecond})
+	if err == nil || !strings.Contains(err.Error(), "overran") {
+		t.Fatalf("err = %v, want horizon-overrun error", err)
+	}
+}
+
+func TestRunDSAR(t *testing.T) {
+	res, err := RunDSAR(DSARConfig{
+		Subjects:          40,
+		RecordsPerSubject: 8,
+		Requests:          200,
+		Concurrency:       8,
+		Writers:           2,
+		BaselineWindow:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("dsar errors = %d", res.Errors)
+	}
+	if got := res.Access.Count + res.Export.Count; got != 200 {
+		t.Errorf("access+export observations = %d, want 200", got)
+	}
+	if res.Throughput <= 0 || res.WriteBaseline <= 0 || res.WriteDuring <= 0 {
+		t.Errorf("implausible rates: %+v", res)
+	}
+	out := FormatDSAR(res)
+	for _, want := range []string{"dsar-burst", "GETUSER", "EXPORTUSER", "penalty="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatDSAR missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultiReg(t *testing.T) {
+	points, err := RunMultiReg(MultiRegConfig{
+		Subjects:          60,
+		RecordsPerSubject: 8,
+		Operations:        3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d regimes, want 3", len(points))
+	}
+	byName := map[string]MultiRegPoint{}
+	for _, pt := range points {
+		byName[pt.Regime] = pt
+	}
+	// "sale" reads against non-sale records are denied even at baseline
+	// (purpose limitation is GDPR machinery); what the regimes add is
+	// objection-driven denial, so denials must strictly rise as layers
+	// stack.
+	if !(byName["gdpr"].Denied > byName["baseline"].Denied) {
+		t.Errorf("gdpr denials (%d) not above baseline (%d)",
+			byName["gdpr"].Denied, byName["baseline"].Denied)
+	}
+	if !(byName["gdpr+ccpa"].Denied > byName["gdpr"].Denied) {
+		t.Errorf("gdpr+ccpa denials (%d) not above gdpr (%d)",
+			byName["gdpr+ccpa"].Denied, byName["gdpr"].Denied)
+	}
+	if byName["baseline"].Objections != 0 || byName["gdpr+ccpa"].Objections <= byName["gdpr"].Objections {
+		t.Errorf("objection counts wrong: %+v", points)
+	}
+	for _, pt := range points {
+		if pt.Errors != 0 {
+			t.Errorf("%s: %d non-benign errors", pt.Regime, pt.Errors)
+		}
+		if pt.Read.Count == 0 || pt.Throughput <= 0 {
+			t.Errorf("%s: empty measurements: %+v", pt.Regime, pt)
+		}
+	}
+	out := FormatMultiReg(points)
+	for _, want := range []string{"multi-regulation", "baseline", "gdpr+ccpa", "vs-base"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatMultiReg missing %q:\n%s", want, out)
+		}
+	}
+}

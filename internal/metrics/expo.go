@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a hand-rolled encoder for the Prometheus text exposition
+// format (version 0.0.4) — the `GET /metrics` wire format. Pulling in the
+// Prometheus client library for what is a few dozen lines of text
+// formatting would be the project's first external dependency; instead the
+// encoder emits the format directly and the tests pin it with a minimal
+// line-grammar checker.
+
+// Label is one name="value" pair attached to a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Exposition accumulates metric families in the text exposition format.
+// Families are written in call order; the HELP/TYPE header of each metric
+// name is emitted once, before its first sample, as the format requires.
+// An Exposition is single-use and not safe for concurrent writers.
+type Exposition struct {
+	b      strings.Builder
+	headed map[string]bool
+}
+
+// NewExposition returns an empty exposition buffer, pre-sized so a
+// typical scrape never reallocates mid-render.
+func NewExposition() *Exposition {
+	e := &Exposition{headed: make(map[string]bool, 32)}
+	e.b.Grow(8192)
+	return e
+}
+
+// Gauge emits one gauge sample.
+func (e *Exposition) Gauge(name, help string, value float64, labels ...Label) {
+	e.header(name, help, "gauge")
+	e.sample(name, value, labels)
+}
+
+// Counter emits one counter sample. Prometheus convention wants counter
+// names suffixed `_total`; callers pass the full name.
+func (e *Exposition) Counter(name, help string, value float64, labels ...Label) {
+	e.header(name, help, "counter")
+	e.sample(name, value, labels)
+}
+
+// Summary emits a summary family from a latency histogram: one
+// quantile-labelled sample per given quantile (in seconds), plus the
+// `_sum` and `_count` series. Extra labels apply to every sample, letting
+// one family carry per-operation series (e.g. {op="GET"}).
+func (e *Exposition) Summary(name, help string, h *Histogram, quantiles []float64, labels ...Label) {
+	e.header(name, help, "summary")
+	vals := h.Percentiles(quantiles...) // ascending q, one bucket walk
+	sorted := append([]float64(nil), quantiles...)
+	sort.Float64s(sorted)
+	for i, q := range sorted {
+		ql := append(append([]Label(nil), labels...),
+			Label{Name: "quantile", Value: formatFloat(q)})
+		e.sample(name, vals[i].Seconds(), ql)
+	}
+	e.sample(name+"_sum", h.Sum().Seconds(), labels)
+	e.sample(name+"_count", float64(h.Count()), labels)
+}
+
+// String returns the accumulated exposition text.
+func (e *Exposition) String() string { return e.b.String() }
+
+// Len returns the accumulated byte length.
+func (e *Exposition) Len() int { return e.b.Len() }
+
+func (e *Exposition) header(name, help, typ string) {
+	if e.headed[name] {
+		return
+	}
+	e.headed[name] = true
+	e.b.WriteString("# HELP ")
+	e.b.WriteString(name)
+	e.b.WriteByte(' ')
+	e.b.WriteString(escapeHelp(help))
+	e.b.WriteString("\n# TYPE ")
+	e.b.WriteString(name)
+	e.b.WriteByte(' ')
+	e.b.WriteString(typ)
+	e.b.WriteByte('\n')
+}
+
+func (e *Exposition) sample(name string, value float64, labels []Label) {
+	e.b.WriteString(name)
+	if len(labels) > 0 {
+		e.b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				e.b.WriteByte(',')
+			}
+			e.b.WriteString(l.Name)
+			e.b.WriteString(`="`)
+			e.b.WriteString(escapeLabel(l.Value))
+			e.b.WriteByte('"')
+		}
+		e.b.WriteByte('}')
+	}
+	e.b.WriteByte(' ')
+	e.b.WriteString(formatFloat(value))
+	e.b.WriteByte('\n')
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation, with the spec's spellings for specials.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP docstring: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

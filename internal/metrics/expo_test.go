@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// checkExposition is a minimal validator for the Prometheus text format
+// (0.0.4): every line must be a well-formed HELP/TYPE comment or a sample
+// line `name{label="value",...} <float>`, TYPE must precede the first
+// sample of its metric and appear once, and summary quantile samples must
+// carry a quantile label. It is deliberately a from-scratch grammar check
+// (no Prometheus dependency) so encoder bugs can't be self-consistent.
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	typed := make(map[string]string)
+	sampled := make(map[string]bool)
+	validName := func(s string) bool {
+		if s == "" {
+			return false
+		}
+		for i, r := range s {
+			alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+			if !alpha && (i == 0 || r < '0' || r > '9') {
+				return false
+			}
+		}
+		return true
+	}
+	family := func(name string) string {
+		for _, suf := range []string{"_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suf); base != name && typed[base] != "" {
+				return base
+			}
+		}
+		return name
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !validName(parts[2]) {
+				t.Fatalf("line %d: bad metric name %q", lineNo, parts[2])
+			}
+			if parts[1] == "TYPE" {
+				switch parts[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					t.Fatalf("line %d: bad TYPE %q", lineNo, parts[3])
+				}
+				if typed[parts[2]] != "" {
+					t.Fatalf("line %d: duplicate TYPE for %q", lineNo, parts[2])
+				}
+				if sampled[parts[2]] {
+					t.Fatalf("line %d: TYPE for %q after its samples", lineNo, parts[2])
+				}
+				typed[parts[2]] = parts[3]
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value
+		rest := line
+		name := rest
+		labels := ""
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			name = rest[:i]
+			j := strings.IndexByte(rest, '}')
+			if j < i {
+				t.Fatalf("line %d: unclosed label set: %q", lineNo, line)
+			}
+			labels = rest[i+1 : j]
+			rest = name + rest[j+1:]
+		}
+		fields := strings.Split(rest, " ")
+		if len(fields) != 2 {
+			t.Fatalf("line %d: want 'name value', got %q", lineNo, line)
+		}
+		name = fields[0]
+		if !validName(name) {
+			t.Fatalf("line %d: bad sample name %q", lineNo, name)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", lineNo, fields[1], err)
+		}
+		fam := family(name)
+		if typed[fam] == "" {
+			t.Fatalf("line %d: sample %q before any TYPE for %q", lineNo, name, fam)
+		}
+		sampled[fam] = true
+		hasQuantile := false
+		if labels != "" {
+			for _, pair := range strings.Split(labels, ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || !validName(k) {
+					t.Fatalf("line %d: bad label pair %q", lineNo, pair)
+				}
+				if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("line %d: unquoted label value %q", lineNo, pair)
+				}
+				if k == "quantile" {
+					hasQuantile = true
+				}
+			}
+		}
+		if typed[fam] == "summary" && name == fam && !hasQuantile {
+			t.Fatalf("line %d: summary sample %q lacks quantile label", lineNo, line)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	e := NewExposition()
+	e.Gauge("gdprkv_retention_lag_seconds", "age of oldest overdue record", 1.25)
+	e.Counter("gdprkv_commands_total", "commands processed", 42)
+	e.Summary("gdprkv_command_duration_seconds", "per-command latency", h,
+		[]float64{0.5, 0.99}, Label{Name: "op", Value: "GET"})
+	e.Summary("gdprkv_command_duration_seconds", "per-command latency", h,
+		[]float64{0.5, 0.99}, Label{Name: "op", Value: "SET"})
+	out := e.String()
+	checkExposition(t, out)
+
+	for _, want := range []string{
+		"# TYPE gdprkv_retention_lag_seconds gauge",
+		"gdprkv_retention_lag_seconds 1.25",
+		"# TYPE gdprkv_commands_total counter",
+		"gdprkv_commands_total 42",
+		"# TYPE gdprkv_command_duration_seconds summary",
+		`gdprkv_command_duration_seconds{op="GET",quantile="0.5"}`,
+		`gdprkv_command_duration_seconds_count{op="SET"} 1000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The shared family header must be emitted exactly once even though two
+	// label sets contributed samples.
+	if n := strings.Count(out, "# TYPE gdprkv_command_duration_seconds summary"); n != 1 {
+		t.Errorf("summary TYPE emitted %d times, want 1", n)
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	e := NewExposition()
+	e.Gauge("g_x", "help with \\ and\nnewline", 1,
+		Label{Name: "detail", Value: "quote \" slash \\ nl\n"})
+	out := e.String()
+	checkExposition(t, out)
+	if !strings.Contains(out, `# HELP g_x help with \\ and\nnewline`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `detail="quote \" slash \\ nl\n"`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestExpositionSpecialValues(t *testing.T) {
+	for v, want := range map[float64]string{
+		0: "g 0\n",
+	} {
+		e := NewExposition()
+		e.Gauge("g", "h", v)
+		if !strings.HasSuffix(e.String(), want) {
+			t.Errorf("value %v rendered %q, want suffix %q", v, e.String(), want)
+		}
+	}
+	if got := formatFloat(float64(1) / 3); got != "0.3333333333333333" {
+		t.Errorf("formatFloat(1/3) = %q", got)
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	h := NewHistogram()
+	h.Record(2 * time.Millisecond)
+	h.Record(3 * time.Millisecond)
+	if got := h.Sum(); got != 5*time.Millisecond {
+		t.Errorf("Sum() = %v, want 5ms", got)
+	}
+}
+
+// The checker itself must reject malformed expositions, or the format
+// tests above prove nothing.
+func TestExpositionCheckerRejects(t *testing.T) {
+	bad := []string{
+		"metric_without_type 1\n",
+		"# TYPE m gauge\nm not-a-number\n",
+		"# TYPE m gauge\n# TYPE m gauge\nm 1\n",
+		"# TYPE m banana\nm 1\n",
+		"# TYPE m summary\nm 0.5\n", // summary sample without quantile
+		"# TYPE m gauge\nm{l=unquoted} 1\n",
+	}
+	for _, text := range bad {
+		mock := &testing.T{}
+		// Fatalf on a bare testing.T calls runtime.Goexit, so the probe
+		// runs in its own goroutine.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			checkExposition(mock, text)
+		}()
+		<-done
+		if !mock.Failed() {
+			t.Errorf("checker accepted malformed exposition:\n%s", text)
+		}
+	}
+}

@@ -119,6 +119,10 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum.Load() / c)
 }
 
+// Sum returns the total of every recorded duration — the `_sum` series of
+// a Prometheus summary built from this histogram.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
 // Max returns the largest recorded duration (bucket-quantised lower bound
 // for large values, exact for small ones).
 func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
@@ -227,13 +231,43 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
-// Percentiles returns the given quantiles in one pass, sorted by q.
+// Percentiles returns the given quantiles sorted by q, resolved in a
+// single cumulative walk of the buckets (Quantile walks once per call, so
+// for k quantiles this is k× cheaper — the /metrics render path depends
+// on it).
 func (h *Histogram) Percentiles(qs ...float64) []time.Duration {
 	sorted := append([]float64(nil), qs...)
 	sort.Float64s(sorted)
 	out := make([]time.Duration, len(sorted))
-	for i, q := range sorted {
-		out[i] = h.Quantile(q)
+	total := h.count.Load()
+	if total == 0 {
+		return out
+	}
+	next := 0
+	var cum uint64
+	for i := 0; i < bucketCount && next < len(sorted); i++ {
+		cum += h.buckets[i].Load()
+		for next < len(sorted) {
+			q := sorted[next]
+			if q < 0 {
+				q = 0
+			}
+			if q > 1 {
+				q = 1
+			}
+			target := uint64(math.Ceil(q * float64(total)))
+			if target == 0 {
+				target = 1
+			}
+			if cum < target {
+				break
+			}
+			out[next] = time.Duration(bucketLow(i))
+			next++
+		}
+	}
+	for ; next < len(sorted); next++ {
+		out[next] = time.Duration(h.max.Load())
 	}
 	return out
 }

@@ -211,7 +211,8 @@ func cmdCluster(ctx *Ctx) (resp.Value, error) {
 		}
 		return clusterSlotsValue(cs.m), nil
 	case "INFO":
-		return resp.BulkStringValue(clusterInfoText(cs)), nil
+		snap := InfoSnapshot{Name: "cluster", Fields: ctx.Srv.clusterFields()}
+		return resp.BulkStringValue(renderInfoText([]InfoSnapshot{snap})), nil
 	case "MYID":
 		if cs == nil {
 			return resp.Value{}, errors.New("this instance has cluster support disabled")
@@ -249,29 +250,6 @@ func clusterSlotsValue(m *cluster.Map) resp.Value {
 		))
 	}
 	return resp.ArrayValue(vs...)
-}
-
-func clusterInfoText(cs *clusterState) string {
-	var b strings.Builder
-	b.WriteString("# cluster\r\n")
-	if cs == nil {
-		b.WriteString("cluster_enabled:0\r\n")
-		return b.String()
-	}
-	nodes := cs.m.Nodes()
-	b.WriteString("cluster_enabled:1\r\n")
-	b.WriteString("cluster_state:ok\r\n")
-	b.WriteString("cluster_slots:" + strconv.Itoa(cluster.NumSlots) + "\r\n")
-	b.WriteString("cluster_known_nodes:" + strconv.Itoa(len(nodes)) + "\r\n")
-	b.WriteString("cluster_self:" + cs.self.ID + "\r\n")
-	for _, n := range nodes {
-		rs := make([]string, len(n.Ranges))
-		for i, r := range n.Ranges {
-			rs[i] = r.String()
-		}
-		fmt.Fprintf(&b, "cluster_node_%s:addr=%s,slots=%s\r\n", n.ID, n.Addr, strings.Join(rs, ","))
-	}
-	return b.String()
 }
 
 // --- node-local rights primitives ---

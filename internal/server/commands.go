@@ -154,7 +154,10 @@ func init() {
 			return resp.SimpleStringValue("OK"), nil
 		}})
 	register(Command{Name: "INFO", MinArgs: 0, MaxArgs: 1, Flags: FlagReadonly | FlagAdmin,
-		Summary: "INFO [section]: server and store health, Redis INFO style (sections: gdprstore, replication, cluster, commandstats)",
+		// The summary regenerates from the section registry, so it can
+		// never again go stale when a PR adds a section.
+		Summary: "INFO [section]: server and store health, Redis INFO style (sections: " +
+			strings.Join(InfoSectionNames(), ", ") + ")",
 		Handler: cmdInfo})
 
 	// --- GDPR command family (compliance path) ---
@@ -646,140 +649,18 @@ func parseRole(s string) (acl.Role, bool) {
 	}
 }
 
-// cmdInfo reports server and store health in Redis INFO style, including
-// the replication topology and the per-command metrics the middleware
-// pipeline records. An optional section argument (gdprstore, audit,
-// erasure, replication, commandstats) restricts the report.
+// cmdInfo reports server and store health in Redis INFO style, rendered
+// from the shared section registry (sections.go) that also feeds the ops
+// server's HTTP /info — one source of truth for both protocols. An
+// optional section argument restricts the report.
 func cmdInfo(ctx *Ctx) (resp.Value, error) {
-	s := ctx.Srv
 	section := ""
 	if len(ctx.Args) == 1 {
 		section = strings.ToLower(string(ctx.Args[0]))
 	}
-	switch section {
-	case "", "gdprstore", "audit", "erasure", "replication", "cluster", "commandstats":
-	default:
-		return resp.Value{}, fmt.Errorf("unknown INFO section '%s'", section)
+	snaps, err := ctx.Srv.InfoSnapshot(section)
+	if err != nil {
+		return resp.Value{}, err
 	}
-	want := func(name string) bool { return section == "" || section == name }
-	var b strings.Builder
-	if want("gdprstore") {
-		b.WriteString(s.gdprstoreInfo())
-	}
-	if want("audit") && (section == "audit" || s.store.Trail() != nil) {
-		b.WriteString(s.auditInfo())
-	}
-	if want("erasure") && (section == "erasure" || s.store.ErasureStats().Enabled) {
-		b.WriteString(s.erasureInfo())
-	}
-	if want("replication") {
-		b.WriteString(s.replicationInfo())
-	}
-	if want("cluster") && (section == "cluster" || s.clusterInfo() != nil) {
-		b.WriteString(clusterInfoText(s.clusterInfo()))
-	}
-	if want("commandstats") {
-		b.WriteString(s.commandStatsInfo())
-	}
-	return resp.BulkStringValue(b.String()), nil
-}
-
-// gdprstoreInfo renders the store-health section.
-func (s *Server) gdprstoreInfo() string {
-	var b strings.Builder
-	cfg := s.store.Config()
-	b.WriteString("# gdprstore\r\n")
-	b.WriteString("compliant:" + strconv.FormatBool(cfg.Compliant) + "\r\n")
-	b.WriteString("timing:" + cfg.Timing.String() + "\r\n")
-	b.WriteString("capability:" + cfg.Capability.String() + "\r\n")
-	b.WriteString("commands:" + strconv.FormatUint(s.Commands(), 10) + "\r\n")
-	b.WriteString("dbsize:" + strconv.Itoa(s.store.Engine().Len()) + "\r\n")
-	b.WriteString("expires:" + strconv.Itoa(s.store.Engine().ExpireLen()) + "\r\n")
-	b.WriteString("expired_total:" + strconv.FormatUint(s.store.Engine().ExpiredCount(), 10) + "\r\n")
-	if l := s.store.Log(); l != nil {
-		b.WriteString("aof_size:" + strconv.FormatInt(l.Size(), 10) + "\r\n")
-		b.WriteString("aof_appends:" + strconv.FormatUint(l.Appends(), 10) + "\r\n")
-		b.WriteString("aof_syncs:" + strconv.FormatUint(l.Syncs(), 10) + "\r\n")
-	}
-	if t := s.store.Trail(); t != nil {
-		b.WriteString("audit_seq:" + strconv.FormatUint(t.Seq(), 10) + "\r\n")
-		b.WriteString("audit_syncs:" + strconv.FormatUint(t.Syncs(), 10) + "\r\n")
-	}
-	return b.String()
-}
-
-// auditInfo renders the audit-pipeline section: queue pressure, drop and
-// sink-error counters, and the last sink error, so operators can see a
-// failing or shedding trail without grepping logs.
-func (s *Server) auditInfo() string {
-	var b strings.Builder
-	b.WriteString("# audit\r\n")
-	t := s.store.Trail()
-	if t == nil {
-		b.WriteString("audit_enabled:false\r\n")
-		return b.String()
-	}
-	st := t.Stats()
-	b.WriteString("audit_enabled:true\r\n")
-	b.WriteString("audit_mode:" + st.Mode.String() + "\r\n")
-	b.WriteString("audit_backpressure:" + st.Policy.String() + "\r\n")
-	b.WriteString("audit_workers:" + strconv.Itoa(st.Workers) + "\r\n")
-	b.WriteString("audit_queue_depth:" + strconv.Itoa(st.QueueDepth) + "\r\n")
-	b.WriteString("audit_queue_cap:" + strconv.Itoa(st.QueueCap) + "\r\n")
-	b.WriteString("audit_seq:" + strconv.FormatUint(st.Seq, 10) + "\r\n")
-	b.WriteString("audit_enqueued:" + strconv.FormatUint(st.Enqueued, 10) + "\r\n")
-	b.WriteString("audit_processed:" + strconv.FormatUint(st.Processed, 10) + "\r\n")
-	b.WriteString("audit_dropped:" + strconv.FormatUint(st.Dropped, 10) + "\r\n")
-	b.WriteString("audit_sink_errors:" + strconv.FormatUint(st.SinkErrors, 10) + "\r\n")
-	b.WriteString("audit_syncs:" + strconv.FormatUint(st.Syncs, 10) + "\r\n")
-	b.WriteString("audit_mask:" + strconv.FormatBool(st.MaskEnabled) + "\r\n")
-	b.WriteString("audit_masked:" + strconv.FormatUint(st.Masked, 10) + "\r\n")
-	b.WriteString("audit_last_error:" + st.LastErr + "\r\n")
-	return b.String()
-}
-
-// erasureInfo renders the crypto-shredding/lazy-delete sweep section:
-// how many owners are logically erased, how much dead ciphertext still
-// awaits physical reclamation, and how far the sweep trails the shreds.
-func (s *Server) erasureInfo() string {
-	var b strings.Builder
-	b.WriteString("# erasure\r\n")
-	st := s.store.ErasureStats()
-	b.WriteString("erasure_envelope:" + strconv.FormatBool(st.Enabled) + "\r\n")
-	if !st.Enabled {
-		return b.String()
-	}
-	b.WriteString("erasure_shredded_owners:" + strconv.Itoa(st.ShreddedOwners) + "\r\n")
-	b.WriteString("erasure_pending_owners:" + strconv.Itoa(st.PendingOwners) + "\r\n")
-	b.WriteString("erasure_pending_records:" + strconv.Itoa(st.PendingRecords) + "\r\n")
-	b.WriteString("erasure_reclaimed_total:" + strconv.FormatUint(st.Reclaimed, 10) + "\r\n")
-	b.WriteString("erasure_sweep_cycles:" + strconv.FormatUint(st.SweepCycles, 10) + "\r\n")
-	b.WriteString("erasure_owners_drained:" + strconv.FormatUint(st.OwnersDrained, 10) + "\r\n")
-	b.WriteString("erasure_sweep_lag_ms:" + strconv.FormatInt(st.SweepLag.Milliseconds(), 10) + "\r\n")
-	b.WriteString("erasure_last_cycle_us:" + strconv.FormatInt(st.LastCycle.Microseconds(), 10) + "\r\n")
-	b.WriteString("erasure_sweeper_running:" + strconv.FormatBool(st.SweeperRunning) + "\r\n")
-	return b.String()
-}
-
-// commandStatsInfo renders the commandstats section (empty when no
-// commands have run).
-func (s *Server) commandStatsInfo() string {
-	snaps := s.cmdStats.Snapshots()
-	if len(snaps) == 0 {
-		return ""
-	}
-	var b strings.Builder
-	b.WriteString("# commandstats\r\n")
-	for _, name := range s.cmdStats.Names() {
-		snap, ok := snaps[name]
-		if !ok {
-			continue
-		}
-		fmt.Fprintf(&b, "cmdstat_%s:calls=%d,usec=%d,usec_per_call=%.2f,p99_usec=%d\r\n",
-			strings.ToLower(name), snap.Count,
-			int64(snap.Mean)*int64(snap.Count)/1000,
-			float64(snap.Mean)/float64(time.Microsecond),
-			snap.P99.Microseconds())
-	}
-	return b.String()
+	return resp.BulkStringValue(renderInfoText(snaps)), nil
 }

@@ -180,42 +180,25 @@ func cmdReplicaOf(ctx *Ctx) (resp.Value, error) {
 	return resp.SimpleStringValue("OK"), nil
 }
 
-// replicationInfo renders the INFO replication section.
-func (s *Server) replicationInfo() string {
-	var b strings.Builder
-	b.WriteString("# replication\r\n")
+// ReplStatus is a compact replication summary for the ops surface's
+// gauges, sparing it from parsing the INFO replication text back apart.
+type ReplStatus struct {
+	Role              string
+	Offset            int64
+	ConnectedReplicas int
+}
+
+// ReplStatus reports this node's replication role, journal offset, and
+// replica fan-out.
+func (s *Server) ReplStatus() ReplStatus {
 	s.replMu.Lock()
 	node := s.replNode
 	s.replMu.Unlock()
 	if node != nil {
-		st := node.Status()
-		host, port, _ := net.SplitHostPort(st.PrimaryAddr)
-		b.WriteString("role:replica\r\n")
-		b.WriteString("master_host:" + host + "\r\n")
-		b.WriteString("master_port:" + port + "\r\n")
-		b.WriteString("master_link_status:" + st.Link.String() + "\r\n")
-		b.WriteString("master_replid:" + st.ReplID + "\r\n")
-		b.WriteString("replica_repl_offset:" + strconv.FormatInt(st.Offset, 10) + "\r\n")
-		b.WriteString("replica_applied:" + strconv.FormatUint(st.Applied, 10) + "\r\n")
-		b.WriteString("full_syncs:" + strconv.FormatUint(st.FullSyncs, 10) + "\r\n")
-		b.WriteString("reconnects:" + strconv.FormatUint(st.Reconnects, 10) + "\r\n")
-		return b.String()
+		return ReplStatus{Role: "replica", Offset: node.Status().Offset}
 	}
-	b.WriteString("role:master\r\n")
-	hub := s.store.Hub()
-	if hub == nil {
-		b.WriteString("connected_replicas:0\r\n")
-		b.WriteString("master_repl_offset:0\r\n")
-		return b.String()
+	if hub := s.store.Hub(); hub != nil {
+		return ReplStatus{Role: "master", Offset: hub.Offset(), ConnectedReplicas: len(hub.Links())}
 	}
-	links := hub.Links()
-	offset := hub.Offset()
-	b.WriteString("master_replid:" + hub.ID() + "\r\n")
-	b.WriteString("master_repl_offset:" + strconv.FormatInt(offset, 10) + "\r\n")
-	b.WriteString("connected_replicas:" + strconv.Itoa(len(links)) + "\r\n")
-	for i, l := range links {
-		fmt.Fprintf(&b, "replica%d:addr=%s,ack_offset=%d,lag=%d\r\n",
-			i, l.Addr, l.AckOffset, offset-l.AckOffset)
-	}
-	return b.String()
+	return ReplStatus{Role: "master"}
 }

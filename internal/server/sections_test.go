@@ -1,0 +1,54 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"gdprstore/internal/core"
+)
+
+// The INFO help text regenerates from the registry, so it names every
+// section — the stale-summary bug (sections added by later PRs missing
+// from the list) cannot recur.
+func TestInfoSummaryListsEverySection(t *testing.T) {
+	summary := commandTable["INFO"].Summary
+	for _, name := range InfoSectionNames() {
+		if !strings.Contains(summary, name) {
+			t.Errorf("INFO summary omits section %q: %s", name, summary)
+		}
+	}
+}
+
+func TestInfoSnapshotUnknownSection(t *testing.T) {
+	srv, _ := startServer(t, core.Baseline())
+	if _, err := srv.InfoSnapshot("nonsense"); err == nil ||
+		!strings.Contains(err.Error(), "unknown INFO section") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRenderInfoText(t *testing.T) {
+	got := renderInfoText([]InfoSnapshot{
+		{Name: "alpha", Fields: []InfoField{fstr("a", "1"), fstr("b", "x")}},
+		{Name: "beta", Fields: []InfoField{fbool("on", true)}},
+	})
+	want := "# alpha\r\na:1\r\nb:x\r\n# beta\r\non:true\r\n"
+	if got != want {
+		t.Fatalf("renderInfoText = %q, want %q", got, want)
+	}
+}
+
+// Every registered section must render through an explicit request even
+// when its feature is disabled (the one-line stub behaviour).
+func TestInfoSnapshotExplicitSectionAlwaysRenders(t *testing.T) {
+	srv, _ := startServer(t, core.Baseline())
+	for _, name := range InfoSectionNames() {
+		snaps, err := srv.InfoSnapshot(name)
+		if err != nil {
+			t.Fatalf("InfoSnapshot(%q): %v", name, err)
+		}
+		if len(snaps) != 1 || snaps[0].Name != name {
+			t.Fatalf("InfoSnapshot(%q) = %+v", name, snaps)
+		}
+	}
+}

@@ -310,6 +310,28 @@ func (db *DB) ExpiredUnreclaimed() int {
 	return n
 }
 
+// RetentionLag walks every shard's expires dict and returns how many
+// keys are past their deadline but still physically present, plus the
+// age of the oldest overdue deadline — the retention analogue of
+// replication lag: how far reclamation trails the storage-limitation
+// deadlines the controller promised.
+func (db *DB) RetentionLag() (overdue int, oldest time.Duration) {
+	now := db.clk.Now()
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		for _, t := range sh.expires {
+			if !t.After(now) {
+				overdue++
+				if age := now.Sub(t); age > oldest {
+					oldest = age
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return overdue, oldest
+}
+
 // heapEntry is one (deadline, key) pair in the expiry min-heap.
 type heapEntry struct {
 	deadline time.Time

@@ -111,5 +111,12 @@ func (e *Expirer) Expired() uint64 {
 	return e.expired
 }
 
+// Running reports whether the background cycle is active.
+func (e *Expirer) Running() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stopped != nil
+}
+
 // Period returns the configured cycle period.
 func (e *Expirer) Period() time.Duration { return e.period }
