@@ -45,7 +45,7 @@ func main() {
 		auditBP  = flag.String("audit-backpressure", "", `embedded mode: "block" (default) or "drop" when the audit queue is full`)
 		auditM   = flag.Bool("audit-mask", false, "embedded mode: pseudonymize PII in audit records")
 		autoB    = flag.Int("auto-batch", 0, "network mode: dial sessions with WithAutoBatch coalescing, maxOps N and the default window")
-		scenario = flag.String("scenario", "personas", "personas|erasure|retention-storm|dsar-burst|multi-regulation")
+		scenario = flag.String("scenario", "personas", "personas|erasure|retention-storm|dsar-burst|multi-regulation|breach-replay")
 		eraseKey = flag.String("erasure-keys", "16,256,4096", "erasure scenario: comma-separated keys-per-owner points")
 		eraseOwn = flag.Int("erasure-owners", 8, "erasure scenario: owners erased per point")
 		opsAddr  = flag.String("ops-addr", "", "sample a live server's ops surface (host:port of -ops-addr) mid-run and report observed compliance-lag maxima")
@@ -57,6 +57,9 @@ func main() {
 		dsarWriters  = flag.Int("dsar-writers", 4, "dsar-burst: background controller write loops")
 		mrOps        = flag.Int("multireg-ops", 20000, "multi-regulation: reads per policy regime")
 		mrOptOut     = flag.Float64("multireg-optout", 0.30, "multi-regulation: fraction of subjects filing the CCPA do-not-sell opt-out")
+		brRecords    = flag.Int("breach-records", 2_000_000, "breach-replay: synthetic audit-trail size")
+		brWriters    = flag.Int("breach-writers", 1, "breach-replay: live controller write loops during the replay")
+		brUnmasked   = flag.Bool("breach-unmasked", false, "breach-replay: replay an unmasked trail instead of the pseudonymized default")
 	)
 	flag.Parse()
 
@@ -98,6 +101,18 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Println(gdprbench.FormatMultiReg(points))
+		})
+		return
+	case "breach-replay":
+		sampleOps(*opsAddr, func() {
+			res, err := gdprbench.RunBreach(gdprbench.BreachConfig{
+				Records: *brRecords, Subjects: *subjects,
+				Writers: *brWriters, Unmasked: *brUnmasked, Seed: *seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(gdprbench.FormatBreach(res))
 		})
 		return
 	case "personas":

@@ -29,9 +29,14 @@
 //	-shards int         engine lock-stripe count, power of two (0 = default; 1 = single mutex)
 //	-replicaof string   replicate from the primary at host:port (server starts read-only)
 //	-repl-actor string  actor presented during the replication handshake (AUTH)
-//	-cluster-node v     cluster topology entry id=host:port:slots (repeatable;
-//	                    together the entries must cover all 1024 slots exactly once)
-//	-cluster-self id    this server's node id in the topology (enables cluster mode)
+//	-cluster-node v     cluster topology entry id=host:port:slots[/replica,...]
+//	                    (repeatable; together the entries must cover all 1024
+//	                    slots exactly once; the optional suffix lists the
+//	                    primary's replica addresses)
+//	-cluster-self id    this server's node id in the topology (enables cluster
+//	                    mode; combined with -replicaof the server runs as a
+//	                    cluster replica of that node, serving reads for its
+//	                    slots and standing by for promotion)
 //	-ops-addr string    serve the HTTP ops surface (dashboard, /info JSON,
 //	                    /metrics Prometheus exposition, /events SSE) here
 package main
@@ -93,14 +98,16 @@ func main() {
 		opsAddrF     = flag.String("ops-addr", "", "serve the HTTP ops surface (dashboard, /info, /metrics, /events) at this address")
 	)
 	var clusterNodes stringList
-	flag.Var(&clusterNodes, "cluster-node", "cluster topology entry id=host:port:slots (repeat per node)")
+	flag.Var(&clusterNodes, "cluster-node", "cluster topology entry id=host:port:slots[/replica,...] (repeat per node)")
 	flag.Parse()
 	if (*clusterSelf == "") != (len(clusterNodes) == 0) {
 		log.Fatal("-cluster-self and -cluster-node must be given together")
 	}
-	if *clusterSelf != "" && *replicaof != "" {
-		log.Fatal("-cluster-self and -replicaof are mutually exclusive (cluster nodes are primaries)")
-	}
+	// -cluster-self plus -replicaof together run a *cluster replica*: the
+	// server announces its primary's node id and slots (serving reads for
+	// them) while replicating from the primary, and is the promotion
+	// candidate when the primary dies (REPLICAOF NO ONE + CLUSTER SETNODE
+	// on the fleet re-point the id at this server's address).
 
 	cfg := core.Config{
 		Compliant:       *compliant,
@@ -217,8 +224,12 @@ func main() {
 			log.Fatalf("cluster: %v", err)
 		}
 		self, _ := m.NodeByID(*clusterSelf)
-		fmt.Printf("cluster mode: node %s serving slots %v of %d nodes\n",
-			self.ID, self.Ranges, len(m.Nodes()))
+		role := "node"
+		if *replicaof != "" {
+			role = "replica of"
+		}
+		fmt.Printf("cluster mode: %s %s serving slots %v of %d nodes\n",
+			role, self.ID, self.Ranges, len(m.Nodes()))
 	}
 	if *replicaof != "" {
 		srv.ReplicaOf(*replicaof, replica.NodeOptions{Actor: *replActor})

@@ -7,7 +7,11 @@
 // nodes is erased with a single FORGETUSER — the coordinator fans the
 // erasure out to every primary, each node's audit trail independently
 // evidences it, and per-node GETUSERDATA plus INFO commandstats prove
-// nothing was left behind. Run with:
+// nothing was left behind. The finale is elasticity: a slot is migrated
+// live from n1 to n2 through the CLUSTER SETSLOT/MIGRATESLOT admin
+// surface while the client keeps reading — in-flight requests hop via
+// one-shot ASK redirects, the finalized map converges with exactly one
+// MOVED, and the topology epoch records the change. Run with:
 //
 //	go run ./examples/clustertour
 package main
@@ -161,6 +165,76 @@ func main() {
 		log.Fatalf("post-erasure read = %v, want ErrNotFound", err)
 	}
 	fmt.Println("\npost-erasure reads are errors.Is(err, gdprkv.ErrNotFound) on every node")
+
+	// --- live slot migration under traffic ---
+	// Move the first owner's slot from n1 to n2 while the same cluster
+	// client keeps reading. Destination imports, source migrates, the slot
+	// streams across, and until the map is finalized every request for the
+	// moved keys hops via a one-shot ASK redirect.
+	slot := cluster.Slot(owners[0])
+	ss := fmt.Sprintf("%d", slot)
+	src, err := gdprkv.Dial(ctx, srvs[0].Addr(), gdprkv.WithPoolSize(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := gdprkv.Dial(ctx, srvs[1].Addr(), gdprkv.WithPoolSize(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dst.Close()
+	if _, err := dst.Do(ctx, "CLUSTER", "SETSLOT", ss, "IMPORTING", "n1"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := src.Do(ctx, "CLUSTER", "SETSLOT", ss, "MIGRATING", "n2"); err != nil {
+		log.Fatal(err)
+	}
+	moved, err := src.Do(ctx, "CLUSTER", "MIGRATESLOT", ss)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCLUSTER MIGRATESLOT %s streamed %d records n1 -> n2\n", ss, moved.Int)
+
+	// The client's map still names n1, so a read of a migrated key earns
+	// exactly one ASK: n1 answers "ASK <slot> <n2-addr>", the client
+	// replays the command there one-shot, and the slot map is NOT updated
+	// (ASK is per-request; only MOVED rewrites the map).
+	hotKey := fmt.Sprintf("pd:{%s}:rec0", owners[0])
+	asksBefore := c.Stats().Asks
+	if v, err := c.GGet(ctx, hotKey); err != nil || string(v) != owners[0]+"-data" {
+		log.Fatalf("GGet during migration = %q, %v", v, err)
+	}
+	fmt.Printf("mid-migration GGet %s served via ASK (asks=%d -> %d)\n",
+		hotKey, asksBefore, c.Stats().Asks)
+	if c.Stats().Asks != asksBefore+1 {
+		log.Fatalf("expected exactly one ASK, saw %d", c.Stats().Asks-asksBefore)
+	}
+
+	// Finalize on every node; the client converges via one ordinary MOVED
+	// and the destination's topology epoch records the whole exchange.
+	for _, srv := range srvs {
+		nc, err := gdprkv.Dial(ctx, srv.Addr(), gdprkv.WithPoolSize(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := nc.Do(ctx, "CLUSTER", "SETSLOT", ss, "NODE", "n2"); err != nil {
+			log.Fatal(err)
+		}
+		nc.Close()
+	}
+	redirBefore := c.Stats().Redirects
+	if _, err := c.GGet(ctx, hotKey); err != nil {
+		log.Fatal(err)
+	}
+	if c.Stats().Redirects != redirBefore+1 {
+		log.Fatalf("expected exactly one MOVED to converge, saw %d", c.Stats().Redirects-redirBefore)
+	}
+	top, err := dst.Topology(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("finalized: slot %s now owned by n2, one MOVED to converge, topology epoch=%d\n",
+		ss, top.Epoch)
 }
 
 // ownerOn finds an owner name whose slot the given node owns.

@@ -29,6 +29,11 @@ type Node struct {
 	Addr string
 	// Ranges are the slot intervals the node owns.
 	Ranges []Range
+	// Replicas are the client-facing addresses of the replicas attached to
+	// this primary (possibly empty). Replicas serve reads and are the
+	// promotion candidates when the primary dies; they own no slots of
+	// their own.
+	Replicas []string
 }
 
 // Map is an immutable assignment of every slot to exactly one node. Build
@@ -65,6 +70,11 @@ func NewMap(nodes []Node) (*Map, error) {
 		if len(n.Ranges) == 0 {
 			return nil, fmt.Errorf("cluster: node %q owns no slots", n.ID)
 		}
+		for _, rep := range n.Replicas {
+			if !strings.Contains(rep, ":") {
+				return nil, fmt.Errorf("cluster: node %q: replica address %q is not host:port", n.ID, rep)
+			}
+		}
 		for _, r := range n.Ranges {
 			if r.Start > r.End || int(r.End) >= NumSlots {
 				return nil, fmt.Errorf("cluster: node %q: invalid range %s (slots are 0-%d)",
@@ -90,23 +100,37 @@ func NewMap(nodes []Node) (*Map, error) {
 
 // ParseNodes builds a Map from static config specs of the form
 //
-//	id=host:port:slots
+//	id=host:port:slots[/replica,replica,...]
 //
 // where slots is a comma-separated list of inclusive ranges ("0-341" or
-// single slots "512"), e.g. "n1=127.0.0.1:7001:0-341,1000-1023". One spec
-// per node; together they must cover every slot exactly once.
+// single slots "512") and the optional suffix after "/" lists the
+// host:port addresses of replicas attached to the primary, e.g.
+// "n1=127.0.0.1:7001:0-341,1000-1023/127.0.0.1:7101". One spec per node;
+// together they must cover every slot exactly once.
 func ParseNodes(specs []string) (*Map, error) {
 	nodes := make([]Node, 0, len(specs))
 	for _, spec := range specs {
 		id, rest, ok := strings.Cut(spec, "=")
 		if !ok || id == "" {
-			return nil, fmt.Errorf("cluster: bad node spec %q (want id=host:port:slots)", spec)
+			return nil, fmt.Errorf("cluster: bad node spec %q (want id=host:port:slots[/replicas])", spec)
+		}
+		// Replica addresses contain colons too, so peel the "/replicas"
+		// suffix off before locating the slot list.
+		var replicas []string
+		if main, reps, hasReps := strings.Cut(rest, "/"); hasReps {
+			rest = main
+			for _, rep := range strings.Split(reps, ",") {
+				if rep == "" {
+					return nil, fmt.Errorf("cluster: bad node spec %q: empty replica address", spec)
+				}
+				replicas = append(replicas, rep)
+			}
 		}
 		// The address itself contains a colon, so the slot list is
 		// everything after the last one.
 		cut := strings.LastIndexByte(rest, ':')
 		if cut <= 0 || cut == len(rest)-1 {
-			return nil, fmt.Errorf("cluster: bad node spec %q (want id=host:port:slots)", spec)
+			return nil, fmt.Errorf("cluster: bad node spec %q (want id=host:port:slots[/replicas])", spec)
 		}
 		addr, slotSpec := rest[:cut], rest[cut+1:]
 		if !strings.Contains(addr, ":") {
@@ -116,7 +140,7 @@ func ParseNodes(specs []string) (*Map, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node spec %q: %w", spec, err)
 		}
-		nodes = append(nodes, Node{ID: id, Addr: addr, Ranges: ranges})
+		nodes = append(nodes, Node{ID: id, Addr: addr, Ranges: ranges, Replicas: replicas})
 	}
 	return NewMap(nodes)
 }
@@ -183,6 +207,56 @@ func EvenSplit(n int) [][]Range {
 type SlotRange struct {
 	Range Range
 	Node  Node
+}
+
+// withOwner derives a new Map identical to m except that slot is owned by
+// nodes[toIdx], with every node's Ranges rebuilt from the new assignment.
+// Unlike NewMap it tolerates a node ending up with zero slots — migrating
+// the last slot off a node is exactly how a drain finishes.
+func (m *Map) withOwner(slot uint16, toIdx int) *Map {
+	next := &Map{nodes: append([]Node(nil), m.nodes...), owner: m.owner}
+	next.owner[slot%NumSlots] = toIdx
+	next.rebuildRanges()
+	return next
+}
+
+// withAddr derives a new Map with node id's address replaced (the failover
+// re-point: a promoted replica takes over its dead primary's identity) and
+// the promoted address removed from the node's replica list.
+func (m *Map) withAddr(id, addr string) (*Map, bool) {
+	next := &Map{nodes: append([]Node(nil), m.nodes...), owner: m.owner}
+	for i := range next.nodes {
+		if next.nodes[i].ID != id {
+			continue
+		}
+		next.nodes[i].Addr = addr
+		var reps []string
+		for _, rep := range next.nodes[i].Replicas {
+			if rep != addr {
+				reps = append(reps, rep)
+			}
+		}
+		next.nodes[i].Replicas = reps
+		return next, true
+	}
+	return nil, false
+}
+
+// rebuildRanges recomputes every node's contiguous Ranges from the owner
+// array, so derived maps keep Ranges and owner consistent.
+func (m *Map) rebuildRanges() {
+	for i := range m.nodes {
+		m.nodes[i].Ranges = nil
+	}
+	start := 0
+	for s := 1; s <= NumSlots; s++ {
+		if s == NumSlots || m.owner[s] != m.owner[start] {
+			ni := m.owner[start]
+			m.nodes[ni].Ranges = append(m.nodes[ni].Ranges,
+				Range{Start: uint16(start), End: uint16(s - 1)})
+			start = s
+		}
+	}
 }
 
 // SlotRanges lists every contiguous owned interval, sorted by start slot.

@@ -1,0 +1,185 @@
+package cluster
+
+import "fmt"
+
+// This file makes the topology live. PR 5's Map is a static parsed
+// assignment; elasticity needs three more facts per fleet: a version
+// (the epoch — so clients and peers can order two topology views), the
+// per-slot migration state (MIGRATING on the source, IMPORTING on the
+// destination — the window during which a slot's keys exist on two nodes
+// and ASK redirects bridge them), and mutability by derivation (every
+// admin action produces a new immutable *Topology with the epoch bumped,
+// installed with one atomic pointer swap — readers never lock).
+//
+// Epochs are per-node counters starting at 1. There is no consensus
+// layer: the operator (or orchestrator) applies the same mutation
+// sequence to every node, so epochs agree across the fleet in steady
+// state, and clients use them only to reject stale refreshes — a client
+// never downgrades to a topology with a lower epoch than it has seen.
+
+// MigrationState is a slot's position in the migration state machine.
+type MigrationState uint8
+
+// Migration states.
+const (
+	// StateNone: the slot is stable — exactly one owner, no redirects
+	// beyond the ordinary MOVED.
+	StateNone MigrationState = iota
+	// StateMigrating: set on the slot's current owner. Keys are being
+	// streamed away; a key no longer present locally earns an ASK redirect
+	// to the destination.
+	StateMigrating
+	// StateImporting: set on the destination. The node accepts commands
+	// for the slot it does not own yet, but only when the client announced
+	// the hop with ASKING.
+	StateImporting
+)
+
+// String renders the state in CLUSTER SETSLOT vocabulary.
+func (s MigrationState) String() string {
+	switch s {
+	case StateMigrating:
+		return "migrating"
+	case StateImporting:
+		return "importing"
+	default:
+		return "stable"
+	}
+}
+
+// Migration is one slot's in-flight migration as seen by one node.
+type Migration struct {
+	// State is this node's role in the migration.
+	State MigrationState
+	// PeerID names the other end: the destination when State is
+	// StateMigrating, the source when State is StateImporting.
+	PeerID string
+}
+
+// Topology is one node's versioned view of the cluster: an immutable slot
+// map plus this node's in-flight slot migrations, stamped with an epoch.
+// All mutators return a derived copy with the epoch bumped; a *Topology
+// is safe to share without locking.
+type Topology struct {
+	epoch      uint64
+	m          *Map
+	migrations map[uint16]Migration
+}
+
+// NewTopology wraps a validated Map as epoch-1 topology with no
+// migrations in flight.
+func NewTopology(m *Map) *Topology {
+	return &Topology{epoch: 1, m: m}
+}
+
+// Epoch returns the topology version.
+func (t *Topology) Epoch() uint64 { return t.epoch }
+
+// Map returns the slot map.
+func (t *Topology) Map() *Map { return t.m }
+
+// Migration returns slot's migration state, if any is in flight.
+func (t *Topology) Migration(slot uint16) (Migration, bool) {
+	mg, ok := t.migrations[slot%NumSlots]
+	return mg, ok
+}
+
+// Migrations returns a copy of all in-flight migrations keyed by slot.
+func (t *Topology) Migrations() map[uint16]Migration {
+	out := make(map[uint16]Migration, len(t.migrations))
+	for s, mg := range t.migrations {
+		out[s] = mg
+	}
+	return out
+}
+
+// derive clones t with the epoch bumped, ready for one mutation.
+func (t *Topology) derive() *Topology {
+	next := &Topology{epoch: t.epoch + 1, m: t.m}
+	if len(t.migrations) > 0 {
+		next.migrations = make(map[uint16]Migration, len(t.migrations))
+		for s, mg := range t.migrations {
+			next.migrations[s] = mg
+		}
+	}
+	return next
+}
+
+func (t *Topology) setMigration(slot uint16, mg Migration) *Topology {
+	next := t.derive()
+	if next.migrations == nil {
+		next.migrations = make(map[uint16]Migration, 1)
+	}
+	next.migrations[slot] = mg
+	return next
+}
+
+// WithMigrating marks slot as migrating to destID (issued on the source).
+// The destination must be a known node other than the current owner.
+func (t *Topology) WithMigrating(slot uint16, destID string) (*Topology, error) {
+	slot %= NumSlots
+	if _, ok := t.m.NodeByID(destID); !ok {
+		return nil, fmt.Errorf("cluster: unknown node %q", destID)
+	}
+	if t.m.NodeForSlot(slot).ID == destID {
+		return nil, fmt.Errorf("cluster: slot %d already owned by %q", slot, destID)
+	}
+	return t.setMigration(slot, Migration{State: StateMigrating, PeerID: destID}), nil
+}
+
+// WithImporting marks slot as importing from srcID (issued on the
+// destination). The source must be the slot's current owner.
+func (t *Topology) WithImporting(slot uint16, srcID string) (*Topology, error) {
+	slot %= NumSlots
+	if _, ok := t.m.NodeByID(srcID); !ok {
+		return nil, fmt.Errorf("cluster: unknown node %q", srcID)
+	}
+	if owner := t.m.NodeForSlot(slot).ID; owner != srcID {
+		return nil, fmt.Errorf("cluster: slot %d is owned by %q, not %q", slot, owner, srcID)
+	}
+	return t.setMigration(slot, Migration{State: StateImporting, PeerID: srcID}), nil
+}
+
+// WithStable clears slot's migration state without changing ownership
+// (aborting a migration, or acknowledging one finalized elsewhere).
+func (t *Topology) WithStable(slot uint16) *Topology {
+	slot %= NumSlots
+	next := t.derive()
+	delete(next.migrations, slot)
+	return next
+}
+
+// WithSlotOwner finalizes a slot transfer: id becomes the owner and any
+// migration state on the slot is cleared. Issued on every node once the
+// keys have moved.
+func (t *Topology) WithSlotOwner(slot uint16, id string) (*Topology, error) {
+	slot %= NumSlots
+	idx := -1
+	for i, n := range t.m.Nodes() {
+		if n.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("cluster: unknown node %q", id)
+	}
+	next := t.derive()
+	next.m = t.m.withOwner(slot, idx)
+	delete(next.migrations, slot)
+	return next, nil
+}
+
+// WithNodeAddr re-points node id at a new address — the failover step
+// after promoting one of its replicas, which then serves the primary's
+// slots at its own address. The address is removed from the node's
+// replica list if it was one.
+func (t *Topology) WithNodeAddr(id, addr string) (*Topology, error) {
+	m, ok := t.m.withAddr(id, addr)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown node %q", id)
+	}
+	next := t.derive()
+	next.m = m
+	return next, nil
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import "testing"
+
+// twoNodeTopology builds a fresh epoch-1 topology over two nodes with an
+// even slot split: n1 owns the lower half, n2 the upper.
+func twoNodeTopology(t *testing.T) *Topology {
+	t.Helper()
+	splits := EvenSplit(2)
+	m, err := NewMap([]Node{
+		{ID: "n1", Addr: "127.0.0.1:7001", Ranges: splits[0]},
+		{ID: "n2", Addr: "127.0.0.1:7002", Ranges: splits[1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTopology(m)
+}
+
+func TestTopologyMigrationLifecycle(t *testing.T) {
+	top := twoNodeTopology(t)
+	if top.Epoch() != 1 {
+		t.Fatalf("fresh topology epoch = %d, want 1", top.Epoch())
+	}
+	const slot = uint16(0) // owned by n1
+
+	// Source marks the slot MIGRATING; the epoch bumps exactly once.
+	mig, err := top.WithMigrating(slot, "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Epoch() != 2 {
+		t.Fatalf("epoch after MIGRATING = %d, want 2", mig.Epoch())
+	}
+	mg, ok := mig.Migration(slot)
+	if !ok || mg.State != StateMigrating || mg.PeerID != "n2" {
+		t.Fatalf("migration = %+v, %v; want migrating to n2", mg, ok)
+	}
+
+	// Destination marks the same slot IMPORTING from the owner.
+	imp, err := top.WithImporting(slot, "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg, ok := imp.Migration(slot); !ok || mg.State != StateImporting || mg.PeerID != "n1" {
+		t.Fatalf("migration = %+v, %v; want importing from n1", mg, ok)
+	}
+
+	// STABLE aborts: migration state cleared, ownership untouched.
+	stable := mig.WithStable(slot)
+	if _, ok := stable.Migration(slot); ok {
+		t.Fatal("STABLE left migration state behind")
+	}
+	if stable.Epoch() != 3 {
+		t.Fatalf("epoch after STABLE = %d, want 3", stable.Epoch())
+	}
+	if stable.Map().NodeForSlot(slot).ID != "n1" {
+		t.Fatal("STABLE changed slot ownership")
+	}
+
+	// NODE finalizes: ownership moves and the migration state goes with it.
+	done, err := mig.WithSlotOwner(slot, "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Map().NodeForSlot(slot).ID != "n2" {
+		t.Fatalf("finalized owner = %q, want n2", done.Map().NodeForSlot(slot).ID)
+	}
+	if _, ok := done.Migration(slot); ok {
+		t.Fatal("finalize left migration state behind")
+	}
+	if done.Epoch() != 3 {
+		t.Fatalf("epoch after finalize = %d, want 3", done.Epoch())
+	}
+
+	// The original topology never mutated: derivation is copy-on-write.
+	if top.Epoch() != 1 {
+		t.Fatalf("original epoch drifted to %d", top.Epoch())
+	}
+	if _, ok := top.Migration(slot); ok {
+		t.Fatal("original topology gained migration state")
+	}
+	if top.Map().NodeForSlot(slot).ID != "n1" {
+		t.Fatal("original topology lost slot ownership")
+	}
+}
+
+func TestTopologyMutatorValidation(t *testing.T) {
+	top := twoNodeTopology(t)
+	const slot = uint16(0) // owned by n1
+
+	if _, err := top.WithMigrating(slot, "nope"); err == nil {
+		t.Error("MIGRATING to unknown node did not fail")
+	}
+	if _, err := top.WithMigrating(slot, "n1"); err == nil {
+		t.Error("MIGRATING to the current owner did not fail")
+	}
+	if _, err := top.WithImporting(slot, "n2"); err == nil {
+		t.Error("IMPORTING from a non-owner did not fail")
+	}
+	if _, err := top.WithImporting(slot, "nope"); err == nil {
+		t.Error("IMPORTING from unknown node did not fail")
+	}
+	if _, err := top.WithSlotOwner(slot, "nope"); err == nil {
+		t.Error("NODE with unknown node did not fail")
+	}
+	if _, err := top.WithNodeAddr("nope", "127.0.0.1:9999"); err == nil {
+		t.Error("SETNODE with unknown node did not fail")
+	}
+}
+
+func TestTopologyNodeAddrPromotesReplica(t *testing.T) {
+	splits := EvenSplit(2)
+	m, err := NewMap([]Node{
+		{ID: "n1", Addr: "127.0.0.1:7001", Ranges: splits[0],
+			Replicas: []string{"127.0.0.1:7101", "127.0.0.1:7102"}},
+		{ID: "n2", Addr: "127.0.0.1:7002", Ranges: splits[1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := NewTopology(m)
+
+	// Failover: re-point n1 at its first replica. The promoted address
+	// leaves the replica list (it is the primary now); the second replica
+	// stays attached.
+	next, err := top.WithNodeAddr("n1", "127.0.0.1:7101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch() != 2 {
+		t.Fatalf("epoch after SETNODE = %d, want 2", next.Epoch())
+	}
+	n, ok := next.Map().NodeByID("n1")
+	if !ok || n.Addr != "127.0.0.1:7101" {
+		t.Fatalf("n1 addr = %q, want promoted replica address", n.Addr)
+	}
+	if len(n.Replicas) != 1 || n.Replicas[0] != "127.0.0.1:7102" {
+		t.Fatalf("n1 replicas = %v, want the one remaining replica", n.Replicas)
+	}
+	// n1 still owns its slots under the new address.
+	if next.Map().NodeForSlot(0).Addr != "127.0.0.1:7101" {
+		t.Fatal("slot 0 does not route to the promoted address")
+	}
+	// Original untouched.
+	if o, _ := top.Map().NodeByID("n1"); o.Addr != "127.0.0.1:7001" || len(o.Replicas) != 2 {
+		t.Fatal("WithNodeAddr mutated the original map")
+	}
+}
+
+func TestParseNodesReplicas(t *testing.T) {
+	m, err := ParseNodes([]string{
+		"n1=127.0.0.1:7001:0-511/127.0.0.1:7101,127.0.0.1:7102",
+		"n2=127.0.0.1:7002:512-1023",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := m.NodeByID("n1")
+	if !ok || len(n.Replicas) != 2 || n.Replicas[0] != "127.0.0.1:7101" {
+		t.Fatalf("n1 replicas = %v, want two parsed replica addresses", n.Replicas)
+	}
+	if n2, _ := m.NodeByID("n2"); len(n2.Replicas) != 0 {
+		t.Fatalf("n2 replicas = %v, want none", n2.Replicas)
+	}
+
+	if _, err := ParseNodes([]string{"n1=127.0.0.1:7001:0-1023/"}); err == nil {
+		t.Error("empty replica suffix did not fail")
+	}
+	if _, err := ParseNodes([]string{"n1=127.0.0.1:7001:0-1023/,127.0.0.1:7101"}); err == nil {
+		t.Error("empty replica in list did not fail")
+	}
+}
+
+func TestMigrationStateString(t *testing.T) {
+	for state, want := range map[MigrationState]string{
+		StateNone: "stable", StateMigrating: "migrating", StateImporting: "importing",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("state %d String() = %q, want %q", state, got, want)
+		}
+	}
+}

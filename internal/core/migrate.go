@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"gdprstore/internal/acl"
+	"gdprstore/internal/audit"
+	"gdprstore/internal/cryptoutil"
+	"gdprstore/internal/store"
+)
+
+// Slot migration moves keys between cluster nodes while both stay live.
+// The compliance layer's half of the protocol is three primitives:
+//
+//   - DumpForMigration extracts one key as a portable record: the value
+//     decrypted (each node seals under its own keyring, so ciphertext
+//     cannot travel), the metadata verbatim, the retention deadline
+//     absolute. Records that are crypto-erased but unswept are NOT
+//     dumped — migration must never resurrect data a subject asked to be
+//     forgotten.
+//   - RestoreRecord ingests such a record on the destination through the
+//     full compliance path: re-sealed under the destination's keyring (at
+//     the destination's current key epoch for the owner, so a FORGETUSER
+//     that already reached the destination wins — restore then fails with
+//     ERASED instead of resurrecting), re-indexed, journaled, and audited,
+//     with metadata (Created, Origin, Objections, Expiry) preserved.
+//   - RemoveMigrated deletes the source copy after the destination has
+//     acknowledged it, journaling the engine DEL so the source's replicas
+//     follow.
+//
+// The server drives these per key under CLUSTER MIGRATESLOT and writes one
+// aggregate audit record per slot on the source (AuditMigration); the
+// destination audits each RESTOREKEY — arrival of personal data on a new
+// node is a processing event in its own right.
+
+// MigrationRecord is one key's portable form for slot migration. Meta is
+// nil for records written without compliance metadata (baseline stores or
+// raw SETs); those carry their absolute retention deadline, if any, in
+// ExpireAtMs instead.
+type MigrationRecord struct {
+	Key        string    `json:"key"`
+	Value      []byte    `json:"value"`
+	Meta       *Metadata `json:"meta,omitempty"`
+	ExpireAtMs int64     `json:"expire_at_ms,omitempty"`
+}
+
+// EncodeMigrationRecord serializes a record for the wire.
+func EncodeMigrationRecord(rec MigrationRecord) ([]byte, error) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode migration record: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeMigrationRecord parses a wire-form migration record.
+func DecodeMigrationRecord(b []byte) (MigrationRecord, error) {
+	var rec MigrationRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return MigrationRecord{}, fmt.Errorf("core: decode migration record: %w", err)
+	}
+	if rec.Key == "" {
+		return MigrationRecord{}, fmt.Errorf("core: migration record without key")
+	}
+	return rec, nil
+}
+
+// AuthorizeMigration checks that the acting principal may drive slot
+// migration (an admin operation), auditing a denial.
+func (s *Store) AuthorizeMigration(ctx Ctx) error {
+	if !s.cfg.Compliant {
+		return nil
+	}
+	return s.check(ctx, acl.OpAdmin, "", "MIGRATESLOT", "")
+}
+
+// DumpForMigration extracts key as a portable migration record. ok is
+// false when the key does not exist, is crypto-erased awaiting the sweep,
+// or belongs to an owner shredded since — none of which migrate. raw is
+// the engine's stored bytes at dump time; the caller hands it back to
+// RemoveMigrated so a write that lands between dump and removal is
+// detected instead of lost.
+func (s *Store) DumpForMigration(key string) (rec MigrationRecord, raw []byte, ok bool, err error) {
+	ks := s.keyStripeFor(key)
+	ks.Lock()
+	defer ks.Unlock()
+	if s.closed.Load() {
+		return rec, nil, false, ErrClosed
+	}
+	v, exists := s.db.Get(key)
+	if !exists {
+		return rec, nil, false, nil
+	}
+	raw = v
+	if s.cfg.Compliant {
+		if m, hasMeta := s.metaLive(key); hasMeta {
+			if s.recordDead(m) {
+				return rec, nil, false, nil
+			}
+			if s.keyring != nil && m.Owner != "" {
+				dk, kerr := s.keyring.KeyFor(m.Owner)
+				if kerr != nil {
+					// Shredded between metaLive and here: erased, not dumped.
+					return rec, nil, false, nil
+				}
+				pt, oerr := openSealed(dk, v, key)
+				if oerr != nil {
+					return rec, nil, false, oerr
+				}
+				v = pt
+			}
+			mc := m.clone()
+			return MigrationRecord{Key: key, Value: v, Meta: &mc}, raw, true, nil
+		}
+	}
+	rec = MigrationRecord{Key: key, Value: v}
+	switch ttl, status := s.db.TTL(key); status {
+	case store.TTLMissing:
+		return rec, nil, false, nil
+	case store.TTLSet:
+		rec.ExpireAtMs = s.cfg.Config.Clock.Now().Add(ttl).UnixMilli()
+	}
+	return rec, raw, true, nil
+}
+
+// RestoreRecord ingests a migration record: the destination half of a slot
+// transfer. Metadata-bearing records go through the full compliance path —
+// sealed under this node's keyring at the owner's current epoch,
+// re-indexed, GMETA-journaled, audited — with the source's metadata
+// (Created, Origin, Objections, Expiry, ...) preserved verbatim. A record
+// whose owner is crypto-shredded here fails with ErrErased: an erasure
+// that raced ahead of the migration wins. A record already past its
+// retention deadline is dropped silently — migrating it would resurrect
+// overdue data.
+func (s *Store) RestoreRecord(ctx Ctx, rec MigrationRecord) error {
+	if rec.Meta == nil || !s.cfg.Compliant {
+		return s.restoreRaw(rec)
+	}
+	meta := rec.Meta.clone()
+	os := s.ownerStripeFor(meta.Owner)
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	ks := s.keyStripeFor(rec.Key)
+	ks.Lock()
+	defer ks.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if err := s.check(ctx, acl.OpWrite, meta.Owner, "RESTOREKEY", rec.Key); err != nil {
+		return err
+	}
+	stored := rec.Value
+	if s.keyring != nil && meta.Owner != "" {
+		k, wrapped, created, err := s.keyring.Ensure(meta.Owner)
+		if err != nil {
+			if err == cryptoutil.ErrUnknownKey {
+				return fmt.Errorf("%w: %s", ErrErased, meta.Owner)
+			}
+			return err
+		}
+		meta.KeyEpoch = s.keyring.Epoch(meta.Owner)
+		if created {
+			if err := s.appendLog(opKey, []byte(meta.Owner), wrapped, epochArg(meta.KeyEpoch)); err != nil {
+				return err
+			}
+		}
+		sealed, err := cryptoutil.Seal(k, rec.Value, []byte(rec.Key))
+		if err != nil {
+			return err
+		}
+		stored = sealed
+	} else {
+		meta.KeyEpoch = 0
+	}
+	if meta.Expiry.IsZero() {
+		s.db.Set(rec.Key, stored)
+	} else {
+		ttl := meta.Expiry.Sub(s.cfg.Config.Clock.Now())
+		if ttl <= 0 {
+			return nil
+		}
+		s.db.SetEX(rec.Key, stored, ttl)
+	}
+	mb, err := meta.encode()
+	if err != nil {
+		return err
+	}
+	s.ix.put(rec.Key, meta)
+	if err := s.appendLog(opMeta, []byte(rec.Key), mb); err != nil {
+		return err
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: "RESTOREKEY", Key: rec.Key, Owner: meta.Owner,
+		Purpose: ctx.Purpose, Outcome: audit.OutcomeOK, Detail: "migrated-in",
+	})
+	return nil
+}
+
+// restoreRaw ingests a metadata-less record straight into the engine.
+func (s *Store) restoreRaw(rec MigrationRecord) error {
+	ks := s.keyStripeFor(rec.Key)
+	ks.Lock()
+	defer ks.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if rec.ExpireAtMs > 0 {
+		ttl := time.UnixMilli(rec.ExpireAtMs).Sub(s.cfg.Config.Clock.Now())
+		if ttl <= 0 {
+			return nil
+		}
+		s.db.SetEX(rec.Key, rec.Value, ttl)
+	} else {
+		s.db.Set(rec.Key, rec.Value)
+	}
+	return nil
+}
+
+// RemoveMigrated deletes the source copy of a key the destination has
+// acknowledged — but only if the engine still holds the exact bytes
+// dumped (expect). changed reports a write that landed between dump and
+// here: the caller must re-dump and re-send instead of deleting the newer
+// value. Sealing is nonce-randomized, so any compliant re-write changes
+// the stored bytes and is detected. The engine DEL is journaled as usual,
+// so the source's replicas and AOF converge; there is no per-key audit
+// record — the slot's aggregate AuditMigration entry is the evidence.
+func (s *Store) RemoveMigrated(key string, expect []byte) (removed, changed bool) {
+	ks := s.keyStripeFor(key)
+	ks.Lock()
+	defer ks.Unlock()
+	if s.closed.Load() {
+		return false, false
+	}
+	v, ok := s.db.Get(key)
+	if !ok {
+		// Already gone (erased or expired meanwhile): nothing to remove.
+		return false, false
+	}
+	if !bytes.Equal(v, expect) {
+		return false, true
+	}
+	s.db.Del(key)
+	s.ix.del(key)
+	return true, false
+}
+
+// AuditMigration writes the aggregate audit record for one slot
+// migration on the source node.
+func (s *Store) AuditMigration(ctx Ctx, detail string, ok bool) {
+	outcome := audit.OutcomeOK
+	if !ok {
+		outcome = audit.OutcomeError
+	}
+	s.auditOp(audit.Record{
+		Actor: ctx.Actor, Op: "MIGRATESLOT", Purpose: ctx.Purpose,
+		Outcome: outcome, Detail: detail,
+	})
+}

@@ -126,3 +126,52 @@ func TestRunMultiReg(t *testing.T) {
 		}
 	}
 }
+
+func TestRunBreach(t *testing.T) {
+	res, err := RunBreach(BreachConfig{
+		Records:  9000,
+		Subjects: 50,
+		Writers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full replay covers at least the synthetic trail (the seed puts
+	// and live writes are audited on top of it).
+	if res.ScanRecords < res.Records {
+		t.Errorf("scan saw %d records, want >= %d", res.ScanRecords, res.Records)
+	}
+	// The window is the middle third: roughly a third of the trail, with
+	// the whole subject population affected and some denied attempts.
+	if res.WindowRecords < res.Records/4 || res.WindowRecords > res.Records/2 {
+		t.Errorf("window records = %d, want ≈ %d", res.WindowRecords, res.Records/3)
+	}
+	if res.AffectedOwners != res.Subjects {
+		t.Errorf("affected subjects = %d, want %d", res.AffectedOwners, res.Subjects)
+	}
+	if res.Denied == 0 {
+		t.Error("no denied operations in the window")
+	}
+	if !res.Masked {
+		t.Error("default run should replay a masked trail")
+	}
+	out := FormatBreach(res)
+	for _, want := range []string{"breach-replay", "full_scan=", "affected_subjects=", "live_writes="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatBreach missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBreachUnmaskedDistinctOwners(t *testing.T) {
+	res, err := RunBreach(BreachConfig{Records: 3000, Subjects: 20, Unmasked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Masked {
+		t.Error("Unmasked run reported masked")
+	}
+	if res.AffectedOwners != 20 {
+		t.Errorf("affected subjects = %d, want 20", res.AffectedOwners)
+	}
+}

@@ -41,37 +41,67 @@ type ClusterConfig struct {
 }
 
 // clusterState is the resolved cluster configuration, swapped atomically
-// so the hot path reads it lock-free and operators can re-point the slot
-// map (a static reassignment rolled out across the fleet) without
-// restarting.
+// so the hot path reads it lock-free. topo is this node's versioned view
+// (epoch, slot map, in-flight migrations); m caches topo.Map() so the
+// slot check dereferences one pointer. selfID is stable across topology
+// mutations — the node's address in the map may change (failover), its
+// identity does not.
 type clusterState struct {
-	self    cluster.Node
+	selfID  string
+	topo    *cluster.Topology
 	m       *cluster.Map
 	timeout time.Duration
 }
 
+// self returns this node's current entry in the map.
+func (cs *clusterState) self() cluster.Node {
+	n, _ := cs.m.NodeByID(cs.selfID)
+	return n
+}
+
 // EnableCluster puts the server in cluster mode (or re-points the slot
-// map when already enabled). Self must name a node of the map, and that
-// node's Addr should be how *other* nodes and clients reach this server.
+// map when already enabled — the new map starts a fresh epoch-1
+// topology). Self must name a node of the map, and that node's Addr
+// should be how *other* nodes and clients reach this server.
 func (s *Server) EnableCluster(cfg ClusterConfig) error {
 	if cfg.Map == nil {
 		return errors.New("server: cluster: nil slot map")
 	}
-	self, ok := cfg.Map.NodeByID(cfg.Self)
-	if !ok {
+	if _, ok := cfg.Map.NodeByID(cfg.Self); !ok {
 		return fmt.Errorf("server: cluster: self id %q is not in the map", cfg.Self)
 	}
 	timeout := cfg.FanoutTimeout
 	if timeout <= 0 {
 		timeout = DefaultClusterFanoutTimeout
 	}
-	s.clusterSt.Store(&clusterState{self: self, m: cfg.Map, timeout: timeout})
+	topo := cluster.NewTopology(cfg.Map)
+	s.clusterMu.Lock()
+	s.clusterSt.Store(&clusterState{selfID: cfg.Self, topo: topo, m: topo.Map(), timeout: timeout})
+	s.clusterMu.Unlock()
 	return nil
 }
 
 // clusterInfo returns the current cluster state, nil when cluster mode is
 // off.
 func (s *Server) clusterInfo() *clusterState { return s.clusterSt.Load() }
+
+// swapTopology applies one admin mutation to the current topology under
+// clusterMu, so concurrent CLUSTER SETSLOT/SETNODE commands serialize and
+// every accepted mutation bumps the epoch exactly once.
+func (s *Server) swapTopology(mutate func(*cluster.Topology) (*cluster.Topology, error)) error {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	cs := s.clusterSt.Load()
+	if cs == nil {
+		return errors.New("this instance has cluster support disabled")
+	}
+	next, err := mutate(cs.topo)
+	if err != nil {
+		return err
+	}
+	s.clusterSt.Store(&clusterState{selfID: cs.selfID, topo: next, m: next.Map(), timeout: cs.timeout})
+	return nil
+}
 
 // codedError is an error whose text is the complete RESP error reply,
 // wire-code prefix included (MOVED/CROSSSLOT/CLUSTERDOWN). errReply
@@ -82,6 +112,12 @@ func (e codedError) Error() string { return e.text }
 
 func movedError(slot uint16, addr string) error {
 	return codedError{text: fmt.Sprintf("%s %d %s", wirecode.Moved, slot, addr)}
+}
+
+// askError is the one-shot migration redirect: retry this command (only)
+// at addr after an ASKING handshake; ownership has not changed.
+func askError(slot uint16, addr string) error {
+	return codedError{text: fmt.Sprintf("%s %d %s", wirecode.Ask, slot, addr)}
 }
 
 var errCrossSlot = codedError{text: wirecode.CrossSlot + " Keys in request don't hash to the same slot"}
@@ -119,11 +155,42 @@ func (s *Server) clusterMiddleware(next Handler) Handler {
 				return resp.Value{}, errCrossSlot
 			}
 		}
-		if owner := cs.m.NodeForSlot(slot); owner.ID != cs.self.ID {
-			return resp.Value{}, movedError(slot, owner.Addr)
+		owner := cs.m.NodeForSlot(slot)
+		if owner.ID == cs.selfID {
+			// We own the slot. While it is MIGRATING away, keys that have
+			// already moved (or were never here — new writes must land at
+			// the destination) earn a one-shot ASK redirect; keys still
+			// present are served locally until their turn to move.
+			if mg, ok := cs.topo.Migration(slot); ok && mg.State == cluster.StateMigrating {
+				if !s.anyKeyPresent(keys) {
+					if dest, ok := cs.m.NodeByID(mg.PeerID); ok {
+						return resp.Value{}, askError(slot, dest.Addr)
+					}
+				}
+			}
+			return next(ctx)
 		}
-		return next(ctx)
+		// Not the owner: admit only ASK-following clients for a slot this
+		// node is importing; everything else is redirected to the owner.
+		if mg, ok := cs.topo.Migration(slot); ok && mg.State == cluster.StateImporting && ctx.Asking {
+			return next(ctx)
+		}
+		return resp.Value{}, movedError(slot, owner.Addr)
 	}
+}
+
+// anyKeyPresent reports whether at least one of the requested keys is
+// live locally — the MIGRATING-state test for serving locally vs ASK.
+// Crypto-erased ghosts awaiting the sweep do not count: they will never
+// migrate, so commands on them belong at the destination.
+func (s *Server) anyKeyPresent(keys [][]byte) bool {
+	for _, k := range keys {
+		key := string(k)
+		if s.store.Exists(key) && s.store.KeyVisible(key) {
+			return true
+		}
+	}
+	return false
 }
 
 // --- key extractors (Command.Keys) ---
@@ -161,13 +228,29 @@ func keysGMPut(a [][]byte) [][]byte {
 	return out
 }
 
-// --- CLUSTER command ---
+// --- cluster-internal command registrations ---
+//
+// The CLUSTER admin command itself lives in cluster_admin.go, dispatched
+// through a declarative subcommand table.
 
 func init() {
 	register(Command{
-		Name: "CLUSTER", MinArgs: 1, MaxArgs: 2, Flags: FlagReadonly,
-		Summary: "cluster introspection (CLUSTER SLOTS|INFO|MYID|KEYSLOT key)",
-		Handler: cmdCluster,
+		Name: "ASKING", MinArgs: 0, MaxArgs: 0, Flags: FlagReadonly,
+		Summary: "announce that the next command follows an ASK redirect",
+		Handler: func(ctx *Ctx) (resp.Value, error) {
+			ctx.Sess.asking = true
+			return resp.SimpleStringValue("OK"), nil
+		},
+	})
+	// RESTOREKEY is the destination half of slot migration: it ingests one
+	// portable record streamed by the source's CLUSTER MIGRATESLOT. Keys is
+	// nil on purpose — the record's key belongs to a slot this node does
+	// not own yet, so the handler does its own owns-or-imports check
+	// instead of the middleware's MOVED logic.
+	register(Command{
+		Name: "RESTOREKEY", MinArgs: 1, MaxArgs: 1, Flags: FlagWrite | FlagAdmin,
+		Summary: "ingest one migrated record (cluster-internal; driven by CLUSTER MIGRATESLOT)",
+		Handler: handleRestoreKey,
 	})
 	// Cluster-internal rights primitives: the node-local halves of the
 	// coordinated rights commands. The coordinator invokes them on every
@@ -202,54 +285,42 @@ func init() {
 	})
 }
 
-func cmdCluster(ctx *Ctx) (resp.Value, error) {
-	cs := ctx.Srv.clusterInfo()
-	switch strings.ToUpper(string(ctx.Args[0])) {
-	case "SLOTS":
-		if cs == nil {
-			return resp.ArrayValue(), nil
-		}
-		return clusterSlotsValue(cs.m), nil
-	case "INFO":
-		snap := InfoSnapshot{Name: "cluster", Fields: ctx.Srv.clusterFields()}
-		return resp.BulkStringValue(renderInfoText([]InfoSnapshot{snap})), nil
-	case "MYID":
-		if cs == nil {
-			return resp.Value{}, errors.New("this instance has cluster support disabled")
-		}
-		return resp.BulkStringValue(cs.self.ID), nil
-	case "KEYSLOT":
-		if len(ctx.Args) != 2 {
-			return resp.Value{}, errSyntax
-		}
-		return resp.IntegerValue(int64(cluster.Slot(string(ctx.Args[1])))), nil
-	default:
-		return resp.Value{}, fmt.Errorf("unknown CLUSTER subcommand '%s'", string(ctx.Args[0]))
-	}
-}
-
 // clusterSlotsValue renders the topology in Redis CLUSTER SLOTS shape:
-// one entry per contiguous range, [start, end, [host, port, id]].
+// one entry per contiguous range, [start, end, [host, port, id],
+// [host, port, addr]...] — the first address array is the primary, any
+// further ones are its replicas (their id field carries the replica's
+// address, the only identity a replica has). Clients that read only the
+// primary entry are unaffected by the extra elements.
 func clusterSlotsValue(m *cluster.Map) resp.Value {
 	ranges := m.SlotRanges()
 	vs := make([]resp.Value, 0, len(ranges))
 	for _, sr := range ranges {
-		host, portStr, err := net.SplitHostPort(sr.Node.Addr)
-		if err != nil {
-			host, portStr = sr.Node.Addr, "0"
-		}
-		port, _ := strconv.ParseInt(portStr, 10, 64)
-		vs = append(vs, resp.ArrayValue(
+		entry := make([]resp.Value, 0, 3+len(sr.Node.Replicas))
+		entry = append(entry,
 			resp.IntegerValue(int64(sr.Range.Start)),
 			resp.IntegerValue(int64(sr.Range.End)),
-			resp.ArrayValue(
-				resp.BulkStringValue(host),
-				resp.IntegerValue(port),
-				resp.BulkStringValue(sr.Node.ID),
-			),
-		))
+			clusterAddrValue(sr.Node.Addr, sr.Node.ID),
+		)
+		for _, rep := range sr.Node.Replicas {
+			entry = append(entry, clusterAddrValue(rep, rep))
+		}
+		vs = append(vs, resp.ArrayValue(entry...))
 	}
 	return resp.ArrayValue(vs...)
+}
+
+// clusterAddrValue renders one [host, port, id] address triple.
+func clusterAddrValue(addr, id string) resp.Value {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		host, portStr = addr, "0"
+	}
+	port, _ := strconv.ParseInt(portStr, 10, 64)
+	return resp.ArrayValue(
+		resp.BulkStringValue(host),
+		resp.IntegerValue(port),
+		resp.BulkStringValue(id),
+	)
 }
 
 // --- node-local rights primitives ---
@@ -306,13 +377,20 @@ type fanoutSpec struct {
 	// audited writes an aggregate coordinator record on success (erasure
 	// only; read-path rights are audited per node by the store itself).
 	audited bool
+	// readonly marks the access-path rights (Art. 15/20): when a primary
+	// is unreachable the coordinator retries its replicas, preferring the
+	// surviving majority over a CLUSTERDOWN. Mutating rights (erasure,
+	// objections) never fall back — a replica cannot accept the write, and
+	// claiming success without every primary would be a lie in the audit
+	// trail.
+	readonly bool
 }
 
 var fanoutSpecs = map[string]fanoutSpec{
 	"FORGETUSER":  {localCmd: "FORGETUSERLOCAL", merge: mergeSum, audited: true},
-	"GETUSER":     {localCmd: "GETUSERLOCAL", merge: mergeConcat},
-	"GETUSERDATA": {localCmd: "GETUSERLOCAL", merge: mergeConcat},
-	"EXPORTUSER":  {localCmd: "EXPORTUSERLOCAL", merge: mergeExport},
+	"GETUSER":     {localCmd: "GETUSERLOCAL", merge: mergeConcat, readonly: true},
+	"GETUSERDATA": {localCmd: "GETUSERLOCAL", merge: mergeConcat, readonly: true},
+	"EXPORTUSER":  {localCmd: "EXPORTUSERLOCAL", merge: mergeExport, readonly: true},
 	"OBJECT":      {localCmd: "OBJECTLOCAL", merge: mergeOK},
 	"UNOBJECT":    {localCmd: "UNOBJECTLOCAL", merge: mergeOK},
 }
@@ -388,7 +466,7 @@ func (s *Server) clusterFanout(ctx *Ctx, cs *clusterState) (resp.Value, error) {
 
 	peers := make([]cluster.Node, 0, len(cs.m.Nodes())-1)
 	for _, n := range cs.m.Nodes() {
-		if n.ID != cs.self.ID {
+		if n.ID != cs.selfID {
 			peers = append(peers, n)
 		}
 	}
@@ -410,6 +488,18 @@ func (s *Server) clusterFanout(ctx *Ctx, cs *clusterState) (resp.Value, error) {
 		go func(i int, p cluster.Node) {
 			defer wg.Done()
 			v, err := clusterCall(p.Addr, ctx.Core.Actor, ctx.Core.Purpose, cs.timeout, peerArgs...)
+			if err != nil && spec.readonly {
+				// Access-path rights prefer the surviving majority: a dead
+				// primary's replicas hold the same records (and audit their
+				// own serving of them), so try each before reporting the
+				// node failed.
+				for _, rep := range p.Replicas {
+					if rv, rerr := clusterCall(rep, ctx.Core.Actor, ctx.Core.Purpose, cs.timeout, peerArgs...); rerr == nil {
+						v, err = rv, nil
+						break
+					}
+				}
+			}
 			replies[i] = peerReply{node: p, v: v, err: err}
 		}(i, p)
 	}

@@ -1,0 +1,593 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"gdprstore/internal/audit"
+	"gdprstore/internal/cluster"
+	"gdprstore/internal/core"
+	"gdprstore/internal/replica"
+	"gdprstore/internal/testutil"
+	"gdprstore/pkg/gdprkv"
+)
+
+// End-to-end tests for cluster elasticity: the CLUSTER admin surface,
+// live slot migration with ASK redirects, erasure racing a migration,
+// and primary failover with replica promotion.
+
+func TestClusterAdminSurface(t *testing.T) {
+	srvs, _, m := startCluster(t, 2)
+	ctx := context.Background()
+	c := nodeClient(t, srvs[0].Addr())
+
+	// CLUSTER HELP is generated from the dispatch table, so every
+	// subcommand must appear in it.
+	hv, err := c.Do(ctx, "CLUSTER", "HELP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var help []string
+	for _, l := range hv.Array {
+		help = append(help, l.Text())
+	}
+	joined := strings.Join(help, "\n")
+	for _, sub := range []string{"SLOTS", "INFO", "MYID", "KEYSLOT", "TOPOLOGY",
+		"SETSLOT", "SETNODE", "COUNTKEYSINSLOT", "GETKEYSINSLOT", "MIGRATESLOT", "HELP"} {
+		if !strings.Contains(joined, "CLUSTER "+sub) {
+			t.Errorf("CLUSTER HELP missing %s:\n%s", sub, joined)
+		}
+	}
+
+	// Unknown subcommands point at HELP; arity errors name the usage.
+	if _, err := c.Do(ctx, "CLUSTER", "BOGUS"); err == nil ||
+		!strings.Contains(err.Error(), "CLUSTER HELP") {
+		t.Errorf("unknown subcommand error = %v, want a pointer to CLUSTER HELP", err)
+	}
+	if _, err := c.Do(ctx, "CLUSTER", "KEYSLOT"); err == nil ||
+		!strings.Contains(err.Error(), "CLUSTER KEYSLOT key") {
+		t.Errorf("arity error = %v, want the KEYSLOT usage string", err)
+	}
+
+	owner := ownerOn(t, m, "n1")
+	slot := cluster.Slot(owner)
+	ss := strconv.Itoa(int(slot))
+
+	// SETSLOT validation: bad slots, unknown or nonsensical peers, and
+	// verb/argument mismatches are all rejected.
+	for _, bad := range [][]string{
+		{"CLUSTER", "SETSLOT", "4096", "MIGRATING", "n2"}, // slot out of range
+		{"CLUSTER", "SETSLOT", ss, "MIGRATING", "nope"},   // unknown destination
+		{"CLUSTER", "SETSLOT", ss, "MIGRATING", "n1"},     // destination owns it already
+		{"CLUSTER", "SETSLOT", ss, "IMPORTING", "n2"},     // source is not the owner
+		{"CLUSTER", "SETSLOT", ss, "STABLE", "n1"},        // STABLE takes no id
+		{"CLUSTER", "SETSLOT", ss, "NODE"},                // NODE needs an id
+		{"CLUSTER", "SETNODE", "n1", "noport"},            // not host:port
+	} {
+		if _, err := c.Do(ctx, bad...); err == nil {
+			t.Errorf("%v did not fail", bad)
+		}
+	}
+
+	// The epoch starts at 1 and bumps exactly once per mutation, visible
+	// in INFO and CLUSTER TOPOLOGY alike.
+	info, err := c.Info(ctx, "cluster")
+	if err != nil || !strings.Contains(info, "cluster_epoch:1") {
+		t.Fatalf("fresh INFO cluster (%v):\n%s", err, info)
+	}
+	if _, err := c.Do(ctx, "CLUSTER", "SETSLOT", ss, "MIGRATING", "n2"); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = c.Info(ctx, "cluster")
+	for _, want := range []string{"cluster_epoch:2", "cluster_migrating_slots:1"} {
+		if !strings.Contains(info, want) {
+			t.Errorf("INFO cluster missing %q after SETSLOT:\n%s", want, info)
+		}
+	}
+	tv, err := c.Do(ctx, "CLUSTER", "TOPOLOGY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv.Array[0].Int != 2 {
+		t.Errorf("TOPOLOGY epoch = %d, want 2", tv.Array[0].Int)
+	}
+	migs := tv.Array[2].Array
+	if len(migs) != 1 || migs[0].Array[0].Int != int64(slot) ||
+		migs[0].Array[1].Text() != "migrating" || migs[0].Array[2].Text() != "n2" {
+		t.Errorf("TOPOLOGY migrations = %v, want [[%d migrating n2]]", migs, slot)
+	}
+
+	// STABLE aborts the migration and bumps again.
+	if _, err := c.Do(ctx, "CLUSTER", "SETSLOT", ss, "STABLE"); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = c.Info(ctx, "cluster")
+	for _, want := range []string{"cluster_epoch:3", "cluster_migrating_slots:0"} {
+		if !strings.Contains(info, want) {
+			t.Errorf("INFO cluster missing %q after STABLE:\n%s", want, info)
+		}
+	}
+
+	// COUNTKEYSINSLOT/GETKEYSINSLOT see live keys only: a crypto-erased
+	// ghost is not data anymore.
+	k1, k2 := fmt.Sprintf("pd:{%s}:a", owner), fmt.Sprintf("pd:{%s}:b", owner)
+	for _, k := range []string{k1, k2} {
+		if err := c.GPut(ctx, k, []byte("x"), gdprkv.PutOptions{
+			Owner: owner, Purposes: []string{"service"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := c.Do(ctx, "CLUSTER", "COUNTKEYSINSLOT", ss); err != nil || v.Int != 2 {
+		t.Fatalf("COUNTKEYSINSLOT = %d, %v; want 2", v.Int, err)
+	}
+	if v, err := c.Do(ctx, "CLUSTER", "GETKEYSINSLOT", ss, "1"); err != nil ||
+		len(v.Array) != 1 || v.Array[0].Text() != k1 {
+		t.Fatalf("GETKEYSINSLOT limit 1 = %v, %v; want [%s] (sorted)", v.Array, err, k1)
+	}
+	if _, err := c.ForgetUser(ctx, owner); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Do(ctx, "CLUSTER", "COUNTKEYSINSLOT", ss); err != nil || v.Int != 0 {
+		t.Fatalf("COUNTKEYSINSLOT after erasure = %d, %v; want 0", v.Int, err)
+	}
+}
+
+func TestClusterSlotMigrationWithAsk(t *testing.T) {
+	srvs, stores, m := startCluster(t, 3)
+	ctx := context.Background()
+	c := clusterClient(t, srvs)
+
+	owner := ownerOn(t, m, "n1")
+	slot := cluster.Slot(owner)
+	ss := strconv.Itoa(int(slot))
+	keys := make([]string, 3)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("pd:{%s}:rec%d", owner, i)
+		if err := c.GPut(ctx, keys[i], []byte("v-"+keys[i]), gdprkv.PutOptions{
+			Owner: owner, Purposes: []string{"service"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Operator sequence: destination imports, source migrates.
+	src := nodeClient(t, srvs[0].Addr())
+	dst := nodeClient(t, srvs[1].Addr())
+	if _, err := dst.Do(ctx, "CLUSTER", "SETSLOT", ss, "IMPORTING", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Do(ctx, "CLUSTER", "SETSLOT", ss, "MIGRATING", "n2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// While the keys are still on the source, it serves them directly —
+	// no redirect for present keys.
+	if v, err := c.GGet(ctx, keys[0]); err != nil || string(v) != "v-"+keys[0] {
+		t.Fatalf("GGet during MIGRATING = %q, %v", v, err)
+	}
+	if asks := c.Stats().Asks; asks != 0 {
+		t.Fatalf("present key triggered %d ASKs", asks)
+	}
+	// A key absent from the source earns an ASK to the destination; the
+	// client follows it transparently and maps the miss as usual.
+	if _, err := c.GGet(ctx, fmt.Sprintf("pd:{%s}:nope", owner)); !errors.Is(err, gdprkv.ErrNotFound) {
+		t.Fatalf("GGet missing key during MIGRATING = %v, want ErrNotFound", err)
+	}
+	if asks := c.Stats().Asks; asks != 1 {
+		t.Fatalf("Stats.Asks = %d, want exactly 1", asks)
+	}
+
+	// Stream the slot. Every record lands on the destination, re-sealed
+	// and individually audited; the source keeps one aggregate record.
+	mv, err := src.Do(ctx, "CLUSTER", "MIGRATESLOT", ss)
+	if err != nil || mv.Int != 3 {
+		t.Fatalf("MIGRATESLOT = %d, %v; want 3 moved", mv.Int, err)
+	}
+	for _, k := range keys {
+		if stores[0].Engine().Exists(k) {
+			t.Errorf("source still holds %s after migration", k)
+		}
+		if !stores[1].Engine().Exists(k) {
+			t.Errorf("destination missing %s after migration", k)
+		}
+	}
+	if meta, err := stores[1].Metadata(core.Ctx{Actor: "app", Purpose: "service"}, keys[0]); err != nil || meta.Owner != owner {
+		t.Fatalf("migrated metadata = %+v, %v; want owner %s", meta, err, owner)
+	}
+	if recs, err := stores[1].Trail().Query(audit.Filter{Op: "RESTOREKEY", Owner: owner}); err != nil || len(recs) != 3 {
+		t.Fatalf("destination RESTOREKEY audit records = %d, %v; want 3", len(recs), err)
+	}
+	aggr, err := stores[0].Trail().Query(audit.Filter{Op: "MIGRATESLOT"})
+	if err != nil || len(aggr) != 1 || !strings.Contains(aggr[0].Detail, "moved=3") {
+		t.Fatalf("source MIGRATESLOT audit = %+v, %v; want one record with moved=3", aggr, err)
+	}
+
+	// The slot map still names the source, so reads and writes now hop via
+	// ASK: reads come back from the destination, writes land there.
+	if v, err := c.GGet(ctx, keys[0]); err != nil || string(v) != "v-"+keys[0] {
+		t.Fatalf("GGet after migration = %q, %v", v, err)
+	}
+	newKey := fmt.Sprintf("pd:{%s}:late", owner)
+	if err := c.GPut(ctx, newKey, []byte("late"), gdprkv.PutOptions{
+		Owner: owner, Purposes: []string{"service"}}); err != nil {
+		t.Fatal(err)
+	}
+	if stores[0].Engine().Exists(newKey) || !stores[1].Engine().Exists(newKey) {
+		t.Fatal("ASK-redirected write did not land on the destination")
+	}
+	if asks := c.Stats().Asks; asks != 3 {
+		t.Fatalf("Stats.Asks = %d, want 3 (miss, read, write)", asks)
+	}
+	// Pipelines follow ASK per-op too.
+	res, err := c.Pipeline().Get(keys[1]).Get(keys[2]).Exec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if v, err := r.Bytes(); err != nil || string(v) != "v-"+keys[i+1] {
+			t.Fatalf("pipelined GGet %d via ASK = %q, %v", i, v, err)
+		}
+	}
+
+	// Finalize everywhere; clients converge via one ordinary MOVED.
+	for _, srv := range srvs {
+		if _, err := nodeClient(t, srv.Addr()).Do(ctx, "CLUSTER", "SETSLOT", ss, "NODE", "n2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Stats().Redirects
+	if v, err := c.GGet(ctx, keys[0]); err != nil || string(v) != "v-"+keys[0] {
+		t.Fatalf("GGet after finalize = %q, %v", v, err)
+	}
+	if c.Stats().Redirects != before+1 {
+		t.Fatalf("Redirects = %d, want %d (one MOVED to converge)", c.Stats().Redirects, before+1)
+	}
+
+	// The public topology API reports the new owner and the bumped epoch
+	// (IMPORTING then NODE on the destination: epoch 3).
+	top, err := dst.Topology(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Epoch != 3 {
+		t.Errorf("topology epoch = %d, want 3", top.Epoch)
+	}
+	found := false
+	for _, sr := range top.Slots {
+		if sr.Start <= slot && slot <= sr.End {
+			found = true
+			if sr.ID != "n2" {
+				t.Errorf("slot %d owner = %s, want n2", slot, sr.ID)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("slot %d missing from topology %+v", slot, top.Slots)
+	}
+}
+
+func TestClusterForgetMidMigration(t *testing.T) {
+	srvs, stores, m := startCluster(t, 3)
+	ctx := context.Background()
+	c := clusterClient(t, srvs)
+
+	owner := ownerOn(t, m, "n1")
+	slot := cluster.Slot(owner)
+	ss := strconv.Itoa(int(slot))
+	keys := []string{
+		fmt.Sprintf("pd:{%s}:rec0", owner),
+		fmt.Sprintf("pd:{%s}:rec1", owner),
+	}
+	for _, k := range keys {
+		if err := c.GPut(ctx, k, []byte("data"), gdprkv.PutOptions{
+			Owner: owner, Purposes: []string{"service"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	src := nodeClient(t, srvs[0].Addr())
+	dst := nodeClient(t, srvs[1].Addr())
+	if _, err := dst.Do(ctx, "CLUSTER", "SETSLOT", ss, "IMPORTING", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Do(ctx, "CLUSTER", "SETSLOT", ss, "MIGRATING", "n2"); err != nil {
+		t.Fatal(err)
+	}
+	if mv, err := src.Do(ctx, "CLUSTER", "MIGRATESLOT", ss); err != nil || mv.Int != 2 {
+		t.Fatalf("MIGRATESLOT = %d, %v; want 2", mv.Int, err)
+	}
+	// One more record arrives mid-window via ASK: it exists only on the
+	// destination while the slot map still names the source.
+	late := fmt.Sprintf("pd:{%s}:late", owner)
+	if err := c.GPut(ctx, late, []byte("late"), gdprkv.PutOptions{
+		Owner: owner, Purposes: []string{"service"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The subject invokes erasure in the middle of the migration. The
+	// fan-out reaches every node regardless of slot state, so all three
+	// records die and BOTH ends of the migration evidence the erasure.
+	n, err := c.ForgetUser(ctx, owner)
+	if err != nil || n != 3 {
+		t.Fatalf("FORGETUSER mid-migration = %d, %v; want 3", n, err)
+	}
+	for i, st := range stores {
+		for _, k := range append(keys, late) {
+			if st.Engine().Exists(k) {
+				t.Errorf("node %d still holds %s after mid-migration erasure", i+1, k)
+			}
+		}
+	}
+	for _, end := range []struct {
+		name string
+		st   *core.Store
+	}{{"source", stores[0]}, {"destination", stores[1]}} {
+		recs, err := end.st.Trail().Query(audit.Filter{Op: "FORGETUSER", Owner: owner})
+		if err != nil || len(recs) == 0 {
+			t.Errorf("%s has no FORGETUSER audit record (%v)", end.name, err)
+		}
+	}
+	// Reads through the still-open migration window agree the subject is
+	// gone (the miss travels via ASK).
+	if _, err := c.GGet(ctx, late); !errors.Is(err, gdprkv.ErrNotFound) {
+		t.Fatalf("GGet after erasure = %v, want ErrNotFound", err)
+	}
+}
+
+// startEnvelopeCluster is startCluster with envelope encryption on, so
+// erasure is a crypto-shred and the erasure-wins guarantees of the
+// migration protocol are exercised for real.
+func startEnvelopeCluster(t *testing.T, n int) ([]*Server, []*core.Store, *cluster.Map) {
+	t.Helper()
+	cfg := core.Config{
+		Compliant: true, Capability: core.CapabilityPartial, AuditEnabled: true,
+		Envelope: true, MasterKey: bytes.Repeat([]byte{0x5a}, 32),
+	}
+	srvs := make([]*Server, n)
+	stores := make([]*core.Store, n)
+	nodes := make([]cluster.Node, n)
+	splits := cluster.EvenSplit(n)
+	for i := 0; i < n; i++ {
+		st, err := core.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		srv, err := Listen("127.0.0.1:0", st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		srvs[i], stores[i] = srv, st
+		nodes[i] = cluster.Node{ID: fmt.Sprintf("n%d", i+1), Addr: srv.Addr(), Ranges: splits[i]}
+	}
+	m, err := cluster.NewMap(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, srv := range srvs {
+		if err := srv.EnableCluster(ClusterConfig{Self: nodes[i].ID, Map: m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srvs, stores, m
+}
+
+func TestClusterForgetDuringMigrationRace(t *testing.T) {
+	srvs, stores, m := startEnvelopeCluster(t, 2)
+	ctx := context.Background()
+	c := clusterClient(t, srvs)
+
+	owner := ownerOn(t, m, "n1")
+	slot := cluster.Slot(owner)
+	ss := strconv.Itoa(int(slot))
+	keys := make([]string, 20)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("pd:{%s}:rec%02d", owner, i)
+		if err := c.GPut(ctx, keys[i], []byte("data"), gdprkv.PutOptions{
+			Owner: owner, Purposes: []string{"service"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := nodeClient(t, srvs[0].Addr())
+	dst := nodeClient(t, srvs[1].Addr())
+	if _, err := dst.Do(ctx, "CLUSTER", "SETSLOT", ss, "IMPORTING", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Do(ctx, "CLUSTER", "SETSLOT", ss, "MIGRATING", "n2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Race the slot stream against the subject's erasure, issued through a
+	// second connection. Whatever the interleaving, no record of the
+	// subject may survive visibly on either node: a record the erasure
+	// beat to the destination is refused with ERASED (the destination's
+	// keyring is shredded), one it trailed is erased by the fan-out.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var migErr, forgetErr error
+	go func() {
+		defer wg.Done()
+		_, migErr = src.Do(ctx, "CLUSTER", "MIGRATESLOT", ss)
+	}()
+	go func() {
+		defer wg.Done()
+		_, forgetErr = c.ForgetUser(ctx, owner)
+	}()
+	wg.Wait()
+	if migErr != nil {
+		t.Fatalf("MIGRATESLOT racing erasure: %v", migErr)
+	}
+	if forgetErr != nil {
+		t.Fatalf("FORGETUSER racing migration: %v", forgetErr)
+	}
+
+	for i, st := range stores {
+		for _, k := range keys {
+			// KeyVisible alone is vacuously true for absent keys; a record
+			// survived only if its ciphertext is present AND still served.
+			if st.Engine().Exists(k) && st.KeyVisible(k) {
+				t.Errorf("node %d still serves %s after racing erasure", i+1, k)
+			}
+		}
+	}
+	// Both ends evidence the erasure independently.
+	for i, st := range stores {
+		recs, err := st.Trail().Query(audit.Filter{Op: "FORGETUSER", Owner: owner})
+		if err != nil || len(recs) == 0 {
+			t.Errorf("node %d has no FORGETUSER audit record (%v)", i+1, err)
+		}
+	}
+	// And the client, wherever it is routed, agrees the subject is gone.
+	for _, k := range keys {
+		if _, err := c.GGet(ctx, k); !errors.Is(err, gdprkv.ErrNotFound) {
+			t.Fatalf("GGet %s after racing erasure = %v, want ErrNotFound", k, err)
+		}
+	}
+}
+
+// startClusterWithReplica boots a 3-primary cluster where n1 carries one
+// attached replica: announced in the slot map, fed over live replication,
+// and ready for promotion.
+func startClusterWithReplica(t *testing.T) (srvs []*Server, stores []*core.Store, rsrv *Server, rst *core.Store, m *cluster.Map) {
+	t.Helper()
+	cfg := core.Config{Compliant: true, Capability: core.CapabilityPartial, AuditEnabled: true}
+	open := func() (*core.Store, *Server) {
+		st, err := core.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		srv, err := Listen("127.0.0.1:0", st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return st, srv
+	}
+	srvs = make([]*Server, 3)
+	stores = make([]*core.Store, 3)
+	for i := range srvs {
+		stores[i], srvs[i] = open()
+	}
+	rst, rsrv = open()
+
+	splits := cluster.EvenSplit(3)
+	nodes := []cluster.Node{
+		{ID: "n1", Addr: srvs[0].Addr(), Ranges: splits[0], Replicas: []string{rsrv.Addr()}},
+		{ID: "n2", Addr: srvs[1].Addr(), Ranges: splits[1]},
+		{ID: "n3", Addr: srvs[2].Addr(), Ranges: splits[2]},
+	}
+	var err error
+	m, err = cluster.NewMap(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, srv := range srvs {
+		if err := srv.EnableCluster(ClusterConfig{Self: nodes[i].ID, Map: m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The replica announces its primary's identity: same node id, same
+	// slots. It serves reads for them and is the promotion candidate.
+	if err := rsrv.EnableCluster(ClusterConfig{Self: "n1", Map: m}); err != nil {
+		t.Fatal(err)
+	}
+
+	rc := nodeClient(t, rsrv.Addr())
+	host, port, err := net.SplitHostPort(srvs[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.ReplicaOf(context.Background(), host, port); err != nil {
+		t.Fatal(err)
+	}
+	testutil.Eventually(t, replWait, 0, func() bool {
+		n := rsrv.ReplNode()
+		return n != nil && n.Status().Link == replica.LinkUp
+	}, "cluster replica link never came up")
+	return srvs, stores, rsrv, rst, m
+}
+
+func TestClusterFailoverPromoteReplica(t *testing.T) {
+	srvs, _, rsrv, rst, m := startClusterWithReplica(t)
+	ctx := context.Background()
+	c := clusterClient(t, srvs)
+
+	owner := ownerOn(t, m, "n1")
+	key := fmt.Sprintf("pd:{%s}:profile", owner)
+	if err := c.GPut(ctx, key, []byte("precious"), gdprkv.PutOptions{
+		Owner: owner, Purposes: []string{"service"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the record reaches the replica, then read through the
+	// cluster client: the slot has a replica, so the read is served there.
+	rc := nodeClient(t, rsrv.Addr())
+	testutil.Eventually(t, replWait, 0, func() bool {
+		v, err := rc.GGet(ctx, key)
+		return err == nil && string(v) == "precious"
+	}, "replication never delivered the record")
+	if v, err := c.GGet(ctx, key); err != nil || string(v) != "precious" {
+		t.Fatalf("cluster GGet = %q, %v", v, err)
+	}
+	if c.Stats().ReplicaReads == 0 {
+		t.Fatal("read was not served by the announced cluster replica")
+	}
+	// Writes against the replica bounce: it is read-only until promoted.
+	if err := rc.GPut(ctx, key, []byte("nope"), gdprkv.PutOptions{
+		Owner: owner, Purposes: []string{"service"}}); err == nil ||
+		!strings.Contains(err.Error(), "read only replica") {
+		t.Fatalf("write on cluster replica = %v, want READONLY", err)
+	}
+
+	// The primary dies under live traffic.
+	srvs[0].Close()
+
+	// Operator failover: promote the replica, then re-point n1 at it on
+	// every surviving node and on the promoted replica itself.
+	if err := rc.PromoteToPrimary(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range []*gdprkv.Client{rc, nodeClient(t, srvs[1].Addr()), nodeClient(t, srvs[2].Addr())} {
+		if _, err := cl.Do(ctx, "CLUSTER", "SETNODE", "n1", rsrv.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The client's installed topology still names the dead address. The
+	// first erasure attempt fails in transport, triggers a failover
+	// refresh from a surviving node, and the retry lands on the promoted
+	// replica — the erasure is not lost.
+	testutil.Eventually(t, replWait, 0, func() bool {
+		n, err := c.ForgetUser(ctx, owner)
+		return err == nil && n == 1
+	}, "erasure never landed after failover")
+	if c.Stats().Failovers == 0 {
+		t.Fatal("client converged without recording a failover refresh")
+	}
+	if rst.Engine().Exists(key) {
+		t.Fatal("promoted replica still holds the record after erasure")
+	}
+	recs, err := rst.Trail().Query(audit.Filter{Op: "FORGETUSER", Owner: owner})
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("promoted replica has no FORGETUSER audit record (%v)", err)
+	}
+	// Post-failover the cluster serves normally: reads of the erased key
+	// miss cleanly and new writes for the slot land on the new primary.
+	if _, err := c.GGet(ctx, key); !errors.Is(err, gdprkv.ErrNotFound) {
+		t.Fatalf("GGet after failover = %v, want ErrNotFound", err)
+	}
+	if err := c.GPut(ctx, key, []byte("fresh"), gdprkv.PutOptions{
+		Owner: owner, Purposes: []string{"service"}}); err != nil {
+		t.Fatalf("write after failover: %v", err)
+	}
+	if !rst.Engine().Exists(key) {
+		t.Fatal("post-failover write did not land on the promoted replica")
+	}
+}

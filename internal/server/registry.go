@@ -74,6 +74,11 @@ type Ctx struct {
 	// Core carries the session's actor and purpose, resolved by the
 	// session middleware before the handler runs.
 	Core core.Ctx
+	// Asking is true when the previous command on this connection was
+	// ASKING: the client is following a one-shot ASK redirect, so the
+	// cluster middleware admits the command for a slot this node is
+	// importing but does not own yet.
+	Asking bool
 }
 
 // Handler executes one command. Returning an error routes it through the
@@ -282,12 +287,18 @@ func (s *Server) execute(sess *connState, args [][]byte) resp.Value {
 	if len(a) < cmd.MinArgs || (cmd.MaxArgs >= 0 && len(a) > cmd.MaxArgs) {
 		return wrongArity(cmd.Name)
 	}
+	// The ASKING flag covers exactly one following command: consume it
+	// here so an early return (arity error upstream, redirect, refusal)
+	// cannot leak it onto a later command.
+	asking := sess.asking
+	sess.asking = false
 	ctx := &Ctx{
-		Srv:  s,
-		Sess: sess,
-		Cmd:  cmd,
-		Args: a,
-		Core: core.Ctx{Actor: sess.actor, Purpose: sess.purpose},
+		Srv:    s,
+		Sess:   sess,
+		Cmd:    cmd,
+		Args:   a,
+		Core:   core.Ctx{Actor: sess.actor, Purpose: sess.purpose},
+		Asking: asking,
 	}
 	v, err := s.pipeline(ctx)
 	if err != nil {

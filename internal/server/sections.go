@@ -256,20 +256,39 @@ func (s *Server) clusterFields() []InfoField {
 		return []InfoField{fstr("cluster_enabled", "0")}
 	}
 	nodes := cs.m.Nodes()
+	migrating, importing := 0, 0
+	for _, mg := range cs.topo.Migrations() {
+		switch mg.State {
+		case cluster.StateMigrating:
+			migrating++
+		case cluster.StateImporting:
+			importing++
+		}
+	}
 	fs := []InfoField{
 		fstr("cluster_enabled", "1"),
 		fstr("cluster_state", "ok"),
 		fint("cluster_slots", cluster.NumSlots),
 		fint("cluster_known_nodes", len(nodes)),
-		fstr("cluster_self", cs.self.ID),
+		fstr("cluster_self", cs.selfID),
+		fint64("cluster_epoch", int64(cs.topo.Epoch())),
+		fint("cluster_migrating_slots", migrating),
+		fint("cluster_importing_slots", importing),
 	}
 	for _, n := range nodes {
 		rs := make([]string, len(n.Ranges))
 		for i, r := range n.Ranges {
 			rs[i] = r.String()
 		}
-		fs = append(fs, fstr("cluster_node_"+n.ID,
-			fmt.Sprintf("addr=%s,slots=%s", n.Addr, strings.Join(rs, ","))))
+		slots := strings.Join(rs, ",")
+		if slots == "" {
+			slots = "none"
+		}
+		line := fmt.Sprintf("addr=%s,slots=%s", n.Addr, slots)
+		if len(n.Replicas) > 0 {
+			line += ",replicas=" + strings.Join(n.Replicas, "+")
+		}
+		fs = append(fs, fstr("cluster_node_"+n.ID, line))
 	}
 	return fs
 }

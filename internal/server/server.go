@@ -54,8 +54,11 @@ type Server struct {
 
 	// clusterSt holds the cluster-mode topology (cluster.go); nil while
 	// the server runs standalone. Swapped atomically so slot checks on the
-	// command hot path are lock-free.
+	// command hot path are lock-free. clusterMu serializes the
+	// derive-and-swap of admin mutations (CLUSTER SETSLOT/SETNODE) so two
+	// concurrent topology changes cannot lose each other's epoch bump.
 	clusterSt clusterStatePtr
+	clusterMu sync.Mutex
 
 	// stats
 	commands atomic.Uint64
@@ -157,6 +160,11 @@ func (s *Server) Close() error {
 type connState struct {
 	actor   string
 	purpose string
+
+	// asking is the one-shot ASKING flag: set by the ASKING command,
+	// consumed by the next command's cluster-middleware slot check, exactly
+	// like Redis Cluster's per-connection ASKING state.
+	asking bool
 
 	conn     net.Conn
 	w        *resp.Writer

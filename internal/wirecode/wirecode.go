@@ -40,6 +40,12 @@ const (
 	// CrossSlot rejects a multi-key command whose keys hash to different
 	// slots (Redis's exact prefix).
 	CrossSlot = "CROSSSLOT"
+	// Ask is the one-shot migration redirection prefix: the key's slot is
+	// mid-migration and this key has already moved. The text is
+	// "ASK <slot> <host:port>", Redis's exact shape; the client retries
+	// that one command at the target after an ASKING handshake, without
+	// updating its slot map (ownership has not changed yet).
+	Ask = "ASK"
 	// ClusterDown reports a cluster-wide operation (rights fan-out) that
 	// could not reach every node. The operation is deliberately
 	// all-or-reported: partial completion is surfaced, never hidden.
@@ -50,7 +56,7 @@ const (
 var known = map[string]bool{
 	Err: true, Denied: true, PurposeDenied: true, Policy: true,
 	Erased: true, Baseline: true, ReadOnly: true,
-	Moved: true, CrossSlot: true, ClusterDown: true,
+	Moved: true, CrossSlot: true, ClusterDown: true, Ask: true,
 }
 
 // Entry maps one compliance-layer sentinel to its wire code.

@@ -38,7 +38,7 @@ type Client struct {
 
 	stats struct {
 		primaryReads, replicaReads, writes, retries, redials atomic.Uint64
-		redirects, slotRefreshes                             atomic.Uint64
+		redirects, slotRefreshes, asks, failovers            atomic.Uint64
 		pipelineExecs, pipelineOps                           atomic.Uint64
 		autoBatchFlushes, autoBatchOps                       atomic.Uint64
 	}
@@ -137,6 +137,13 @@ type Stats struct {
 	// SlotRefreshes counts successful slot-map refreshes triggered by
 	// MOVED redirects in cluster mode.
 	SlotRefreshes uint64
+	// Asks counts ASK redirects followed in cluster mode: one-shot hops
+	// to a migration destination, taken without changing the slot map.
+	Asks uint64
+	// Failovers counts topology refreshes triggered by a node that
+	// stopped answering: the client asked a surviving node for the
+	// current epoch-stamped topology and installed a newer view.
+	Failovers uint64
 	// PipelineExecs counts Pipeline.Exec submissions.
 	PipelineExecs uint64
 	// PipelineOps counts commands submitted through pipelines.
@@ -159,6 +166,8 @@ func (c *Client) Stats() Stats {
 		Redials:          c.stats.redials.Load(),
 		Redirects:        c.stats.redirects.Load(),
 		SlotRefreshes:    c.stats.slotRefreshes.Load(),
+		Asks:             c.stats.asks.Load(),
+		Failovers:        c.stats.failovers.Load(),
 		PipelineExecs:    c.stats.pipelineExecs.Load(),
 		PipelineOps:      c.stats.pipelineOps.Load(),
 		AutoBatchFlushes: c.stats.autoBatchFlushes.Load(),
@@ -206,18 +215,14 @@ func (c *Client) doWriteKey(ctx context.Context, key string, args [][]byte) (res
 	return c.doSlot(ctx, key, args)
 }
 
-// doReadKey routes a key-addressed idempotent read: slot owner in
-// cluster mode (every node is the primary for its slots, so these count
-// as primary reads), replica round-robin otherwise.
+// doReadKey routes a key-addressed idempotent read: in cluster mode,
+// round-robin over the slot's replicas with the slot owner as backstop
+// (doSlotRead); replica round-robin otherwise.
 func (c *Client) doReadKey(ctx context.Context, key string, args [][]byte) (resp.Value, error) {
 	if c.cl == nil {
 		return c.doRead(ctx, args)
 	}
-	if c.closed.Load() {
-		return resp.Value{}, ErrClosed
-	}
-	c.stats.primaryReads.Add(1)
-	return c.doSlot(ctx, key, args)
+	return c.doSlotRead(ctx, key, args)
 }
 
 // doRead routes an idempotent read: round-robin over replicas first,

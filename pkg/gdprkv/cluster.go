@@ -13,22 +13,34 @@ import (
 	"gdprstore/internal/resp"
 )
 
-// This file is the cluster half of the client: slot-map bootstrap via
-// CLUSTER SLOTS, one connection pool per primary, slot-owner routing for
-// key-addressed calls, transparent MOVED following within a bounded
-// redirect budget (each redirect refreshing the slot map), and per-slot
-// splitting of the batch helpers. See DESIGN.md §10.
+// This file is the cluster half of the client: epoch-stamped topology
+// bootstrap via CLUSTER TOPOLOGY (with CLUSTER SLOTS fallback), one
+// connection pool per node, slot-owner routing for key-addressed calls,
+// replica round-robin for key-addressed reads, transparent MOVED and ASK
+// following within a bounded redirect budget, failover convergence
+// (a dead node triggers an epoch-gated refresh from a surviving one),
+// and per-slot splitting of the batch helpers. See DESIGN.md §10 and §15.
+
+// slotOwner is one slot's routing entry: the primary's address plus the
+// read-serving replica addresses behind it.
+type slotOwner struct {
+	addr     string
+	replicas []string
+}
 
 // clusterRouter is the slot map plus the per-node pool set. The map is
 // read on every routed call and replaced wholesale on refresh; pools are
-// created lazily per address and live for the client's lifetime.
+// created lazily per address and live for the client's lifetime. epoch
+// versions the installed view: a refresh carrying a lower epoch than the
+// one already installed is a stale answer and is ignored.
 type clusterRouter struct {
 	cfg     *config
 	redials *atomic.Uint64
 
 	mu          sync.RWMutex
-	slots       [cluster.NumSlots]string // slot -> node addr
-	defaultAddr string                   // bootstrap node: target for un-keyed commands
+	slots       [cluster.NumSlots]slotOwner // slot -> primary + replicas
+	epoch       uint64
+	defaultAddr string // bootstrap node: target for un-keyed commands
 	pools       map[string]*pool
 	closed      bool
 }
@@ -67,10 +79,41 @@ func (r *clusterRouter) poolFor(addr string) (*pool, error) {
 func (r *clusterRouter) addrForSlot(s uint16) string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if a := r.slots[s%cluster.NumSlots]; a != "" {
+	if a := r.slots[s%cluster.NumSlots].addr; a != "" {
 		return a
 	}
 	return r.defaultAddr
+}
+
+// ownerForSlot resolves a slot to its primary plus replica addresses.
+func (r *clusterRouter) ownerForSlot(s uint16) (addr string, replicas []string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e := r.slots[s%cluster.NumSlots]
+	if e.addr == "" {
+		return r.defaultAddr, nil
+	}
+	return e.addr, e.replicas
+}
+
+// knownAddrs lists every distinct primary address in the installed map
+// (default node first): the candidate set for a failover refresh.
+func (r *clusterRouter) knownAddrs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	if r.defaultAddr != "" {
+		seen[r.defaultAddr] = true
+		out = append(out, r.defaultAddr)
+	}
+	for _, e := range r.slots {
+		if e.addr != "" && !seen[e.addr] {
+			seen[e.addr] = true
+			out = append(out, e.addr)
+		}
+	}
+	return out
 }
 
 // defaultNode is the routing target for commands that carry no key
@@ -94,35 +137,80 @@ func (r *clusterRouter) close() {
 	}
 }
 
-// applySlots installs a parsed CLUSTER SLOTS reply as the new map.
-func (r *clusterRouter) applySlots(v resp.Value) error {
-	var slots [cluster.NumSlots]string
+// parseSlotsValue decodes a CLUSTER SLOTS-shaped array (also the second
+// element of CLUSTER TOPOLOGY) into a slot table. Address arrays beyond
+// the primary's are its replicas.
+func parseSlotsValue(v resp.Value) ([cluster.NumSlots]slotOwner, error) {
+	var slots [cluster.NumSlots]slotOwner
 	if len(v.Array) == 0 {
-		return fmt.Errorf("gdprkv: empty CLUSTER SLOTS reply (is the server in cluster mode?)")
+		return slots, fmt.Errorf("gdprkv: empty CLUSTER SLOTS reply (is the server in cluster mode?)")
 	}
 	for _, e := range v.Array {
 		if len(e.Array) < 3 || len(e.Array[2].Array) < 2 {
-			return fmt.Errorf("gdprkv: malformed CLUSTER SLOTS entry")
+			return slots, fmt.Errorf("gdprkv: malformed CLUSTER SLOTS entry")
 		}
 		start, end := e.Array[0].Int, e.Array[1].Int
-		host := e.Array[2].Array[0].Text()
-		port := strconv.FormatInt(e.Array[2].Array[1].Int, 10)
 		if start < 0 || end < start || end >= cluster.NumSlots {
-			return fmt.Errorf("gdprkv: CLUSTER SLOTS range %d-%d out of bounds", start, end)
+			return slots, fmt.Errorf("gdprkv: CLUSTER SLOTS range %d-%d out of bounds", start, end)
 		}
-		addr := net.JoinHostPort(host, port)
+		entry := slotOwner{addr: joinAddrValue(e.Array[2])}
+		for _, rv := range e.Array[3:] {
+			if len(rv.Array) >= 2 {
+				entry.replicas = append(entry.replicas, joinAddrValue(rv))
+			}
+		}
 		for s := start; s <= end; s++ {
-			slots[s] = addr
+			slots[s] = entry
 		}
 	}
-	r.mu.Lock()
-	r.slots = slots
-	r.mu.Unlock()
-	return nil
+	return slots, nil
 }
 
-// bootstrap learns the slot map from the first seed that answers CLUSTER
-// SLOTS, and records it as the default node for un-keyed commands.
+// joinAddrValue renders one [host, port, id] triple as host:port.
+func joinAddrValue(v resp.Value) string {
+	return net.JoinHostPort(v.Array[0].Text(), strconv.FormatInt(v.Array[1].Int, 10))
+}
+
+// install commits a parsed topology if it is at least as new as the one
+// already installed. Equal epochs re-install (the same logical view, or
+// an operator restarting numbering after re-pointing the map); lower
+// epochs are stale answers from a node the rollout has not reached and
+// are dropped.
+func (r *clusterRouter) install(epoch uint64, slots [cluster.NumSlots]slotOwner) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch < r.epoch {
+		return false
+	}
+	r.epoch = epoch
+	r.slots = slots
+	return true
+}
+
+// fetchTopology asks one node for its topology view: CLUSTER TOPOLOGY
+// ([epoch, slots, migrations]) first, falling back to un-versioned
+// CLUSTER SLOTS (treated as epoch 1) if the node predates it.
+func (c *Client) fetchTopology(ctx context.Context, p *pool) (uint64, [cluster.NumSlots]slotOwner, error) {
+	v, err := c.doNode(ctx, p, args("CLUSTER", "TOPOLOGY"))
+	if err == nil && len(v.Array) >= 2 {
+		slots, perr := parseSlotsValue(v.Array[1])
+		return uint64(v.Array[0].Int), slots, perr
+	}
+	if err != nil && !isReply(err) {
+		var none [cluster.NumSlots]slotOwner
+		return 0, none, err
+	}
+	v, err = c.doNode(ctx, p, args("CLUSTER", "SLOTS"))
+	if err != nil {
+		var none [cluster.NumSlots]slotOwner
+		return 0, none, err
+	}
+	slots, perr := parseSlotsValue(v)
+	return 1, slots, perr
+}
+
+// bootstrap learns the topology from the first seed that answers, and
+// records that seed as the default node for un-keyed commands.
 func (c *Client) bootstrapCluster(ctx context.Context, seeds []string) error {
 	var lastErr error
 	for _, addr := range seeds {
@@ -130,63 +218,131 @@ func (c *Client) bootstrapCluster(ctx context.Context, seeds []string) error {
 		if err != nil {
 			return err
 		}
-		v, err := c.doNode(ctx, p, args("CLUSTER", "SLOTS"))
-		if err == nil {
-			err = c.cl.applySlots(v)
-		}
+		epoch, slots, err := c.fetchTopology(ctx, p)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		c.cl.mu.Lock()
-		c.cl.defaultAddr = addr
+		c.cl.epoch, c.cl.slots, c.cl.defaultAddr = epoch, slots, addr
 		c.cl.mu.Unlock()
 		return nil
 	}
 	return fmt.Errorf("gdprkv: cluster bootstrap failed on every seed: %w", lastErr)
 }
 
-// refreshSlots re-fetches the slot map, preferring the node that just
+// refreshSlots re-fetches the topology, preferring the node that just
 // redirected us (it is authoritative for the move we collided with).
-// Best-effort: a failed refresh keeps the old map; the redirect target
-// still serves the in-flight call.
+// Best-effort and epoch-gated: a failed or stale refresh keeps the old
+// map; the redirect target still serves the in-flight call.
 func (c *Client) refreshSlots(ctx context.Context, addr string) {
 	p, err := c.cl.poolFor(addr)
 	if err != nil {
 		return
 	}
-	v, err := c.doNode(ctx, p, args("CLUSTER", "SLOTS"))
-	if err != nil || c.cl.applySlots(v) != nil {
+	epoch, slots, err := c.fetchTopology(ctx, p)
+	if err != nil || !c.cl.install(epoch, slots) {
 		return
 	}
 	c.stats.slotRefreshes.Add(1)
 }
 
-// doCluster runs one command against startAddr, transparently following
-// MOVED redirects within the configured budget. Every redirect refreshes
-// the slot map, so a stale client converges after one collision instead
-// of bouncing on every call.
-func (c *Client) doCluster(ctx context.Context, startAddr string, cmdArgs [][]byte) (resp.Value, error) {
-	addr := startAddr
-	for hops := 0; ; hops++ {
+// failoverRefresh converges the client after a node stopped answering:
+// ask each surviving primary for its topology and install the first
+// fresh-enough view. The next call routes around the dead node (whose
+// slots a promoted replica now serves at its own address).
+func (c *Client) failoverRefresh(ctx context.Context, failed string) {
+	for _, addr := range c.cl.knownAddrs() {
+		if addr == failed {
+			continue
+		}
 		p, err := c.cl.poolFor(addr)
 		if err != nil {
-			return resp.Value{}, err
+			return
 		}
-		v, err := c.doNode(ctx, p, cmdArgs)
-		target, moved := parseMoved(err)
-		if !moved {
-			return v, err
+		epoch, slots, err := c.fetchTopology(ctx, p)
+		if err != nil {
+			continue
 		}
-		if hops >= c.cfg.redirectBudget {
-			// Budget exhausted: surface the MOVED itself (it matches
-			// ErrMoved under errors.Is), pointing at a flapping map.
-			return resp.Value{}, err
+		if c.cl.install(epoch, slots) {
+			c.stats.failovers.Add(1)
 		}
-		c.stats.redirects.Add(1)
-		c.refreshSlots(ctx, target)
-		addr = target
+		return
 	}
+}
+
+// doCluster runs one command against startAddr, transparently following
+// MOVED and ASK redirects within the configured budget. A MOVED refreshes
+// the slot map (ownership changed; a stale client converges after one
+// collision); an ASK is a one-shot hop — ASKING handshake on the target's
+// connection, no map change, because ownership has not moved yet. A
+// transport failure triggers a failover refresh from a surviving node
+// before the error surfaces, so the *next* call converges even though
+// this one is ambiguous and must not be retried.
+func (c *Client) doCluster(ctx context.Context, startAddr string, cmdArgs [][]byte) (resp.Value, error) {
+	addr, asked := startAddr, false
+	for hops := 0; ; hops++ {
+		var v resp.Value
+		var err error
+		if asked {
+			v, err = c.doAsk(ctx, addr, cmdArgs)
+			asked = false
+		} else {
+			p, perr := c.cl.poolFor(addr)
+			if perr != nil {
+				return resp.Value{}, perr
+			}
+			v, err = c.doNode(ctx, p, cmdArgs)
+		}
+		if err != nil && !isReply(err) && ctx.Err() == nil {
+			c.failoverRefresh(ctx, addr)
+			return resp.Value{}, err
+		}
+		if target, moved := parseRedirect(err, "MOVED"); moved {
+			if hops >= c.cfg.redirectBudget {
+				// Budget exhausted: surface the MOVED itself (it matches
+				// ErrMoved under errors.Is), pointing at a flapping map.
+				return resp.Value{}, err
+			}
+			c.stats.redirects.Add(1)
+			c.refreshSlots(ctx, target)
+			addr = target
+			continue
+		}
+		if target, isAsk := parseRedirect(err, "ASK"); isAsk {
+			if hops >= c.cfg.redirectBudget {
+				return resp.Value{}, err
+			}
+			c.stats.asks.Add(1)
+			addr, asked = target, true
+			continue
+		}
+		return v, err
+	}
+}
+
+// doAsk performs the one-shot ASK hop: ASKING plus the command on the
+// same checked-out connection (the server's ASKING flag is
+// per-connection and covers exactly the next command).
+func (c *Client) doAsk(ctx context.Context, addr string, cmdArgs [][]byte) (resp.Value, error) {
+	p, err := c.cl.poolFor(addr)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	cn, err := p.get(ctx)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	vs, err := cn.doMulti(ctx, c.cfg.ioTimeout, [][][]byte{args("ASKING"), cmdArgs})
+	p.put(cn)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	v := vs[1]
+	if v.IsError() {
+		return v, wireError(v.Text())
+	}
+	return v, nil
 }
 
 // doSlot routes one key-addressed command to the key's slot owner.
@@ -197,11 +353,57 @@ func (c *Client) doSlot(ctx context.Context, key string, cmdArgs [][]byte) (resp
 	return c.doCluster(ctx, c.cl.addrForSlot(cluster.Slot(key)), cmdArgs)
 }
 
-// parseMoved decodes a MOVED error reply ("MOVED <slot> <addr>") into its
-// target address; ok is false for every other error.
-func parseMoved(err error) (addr string, ok bool) {
+// doSlotRead routes one key-addressed idempotent read, round-robin over
+// the slot's replicas with the primary as final candidate — the cluster
+// analogue of doRead. Replies (including redirects, which doCluster
+// follows) are authoritative; only a transport failure moves the read to
+// the next candidate.
+func (c *Client) doSlotRead(ctx context.Context, key string, cmdArgs [][]byte) (resp.Value, error) {
+	if c.closed.Load() {
+		return resp.Value{}, ErrClosed
+	}
+	primary, replicas := c.cl.ownerForSlot(cluster.Slot(key))
+	if len(replicas) == 0 {
+		c.stats.primaryReads.Add(1)
+		return c.doCluster(ctx, primary, cmdArgs)
+	}
+	cands := append(append(make([]string, 0, len(replicas)+1), replicas...), primary)
+	start := c.rr.Add(1) - 1
+	var lastErr error
+	for attempt := 0; attempt < len(cands); attempt++ {
+		// Round-robin over the replicas; the primary always goes last so
+		// it backstops rather than competes.
+		var addr string
+		if attempt == len(cands)-1 {
+			addr = primary
+		} else {
+			addr = replicas[(start+uint32(attempt))%uint32(len(replicas))]
+		}
+		if attempt > 0 {
+			c.stats.retries.Add(1)
+		}
+		v, err := c.doCluster(ctx, addr, cmdArgs)
+		if err == nil || isReply(err) {
+			if addr == primary {
+				c.stats.primaryReads.Add(1)
+			} else {
+				c.stats.replicaReads.Add(1)
+			}
+			return v, err
+		}
+		if ctx.Err() != nil {
+			return resp.Value{}, err
+		}
+		lastErr = err
+	}
+	return resp.Value{}, lastErr
+}
+
+// parseRedirect decodes a MOVED/ASK error reply ("<code> <slot> <addr>")
+// into its target address; ok is false for every other error.
+func parseRedirect(err error, code string) (addr string, ok bool) {
 	se, isServer := err.(*ServerError)
-	if !isServer || se.Code != "MOVED" {
+	if !isServer || se.Code != code {
 		return "", false
 	}
 	fields := strings.Fields(se.Message)

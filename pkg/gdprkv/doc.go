@@ -96,8 +96,22 @@
 // batch helpers per slot, and follows MOVED redirects within a bounded
 // budget, refreshing the slot map on each one. GDPR rights calls
 // (ForgetUser, GetUser, ...) go to the data subject's slot node, which
-// coordinates the cluster-wide fan-out server-side. Cluster mode and
-// WithReplicas are mutually exclusive.
+// coordinates the cluster-wide fan-out server-side. Per-primary replica
+// addresses from the cluster map spread idempotent reads exactly as
+// WithReplicas does on a single node; the explicit WithReplicas option
+// and cluster mode remain mutually exclusive.
+//
+// During a live slot migration the client also follows ASK redirects:
+// an ASK reply means "this one key has already moved" — the command is
+// replayed on the destination behind a one-shot ASKING, counted in
+// Stats().Asks, and the slot map is left untouched (only MOVED rewrites
+// it). Pipelines follow ASK per operation. When a primary dies
+// mid-call, the client refreshes its topology from the surviving nodes
+// (counted in Stats().Failovers) and returns the transport error; the
+// caller's retry lands on the promoted replica. Topology exposes the
+// server's versioned view — epoch, slot ranges, active migrations — for
+// operators and tests; refreshes carrying an older epoch than the
+// installed one are ignored.
 //
 // # Migrating from internal/client
 //

@@ -50,6 +50,11 @@ var (
 	// longer, budget exhausted) follow. Seeing it usually means the slot
 	// map is flapping or the client is not in cluster mode.
 	ErrMoved = errors.New("gdprkv: key moved to another cluster node")
+	// ErrAsk reports an ASK redirect the client did not (or could no
+	// longer, budget exhausted) follow: the key's slot is mid-migration
+	// and this key already lives at the destination. The client normally
+	// follows these transparently (ASKING handshake, no slot-map change).
+	ErrAsk = errors.New("gdprkv: key is migrating to another cluster node")
 )
 
 // sentinelByCode maps a wire code to the sentinel its *ServerError
@@ -65,6 +70,7 @@ var sentinelByCode = map[string]error{
 	wirecode.CrossSlot:     ErrCrossSlot,
 	wirecode.ClusterDown:   ErrClusterDown,
 	wirecode.Moved:         ErrMoved,
+	wirecode.Ask:           ErrAsk,
 }
 
 // ServerError is a decoded error reply from the server. It preserves the

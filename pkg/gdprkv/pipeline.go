@@ -237,14 +237,20 @@ func (p *Pipeline) Exec(ctx context.Context) ([]PipeResult, error) {
 		wg.Wait()
 	}
 
-	// Follow MOVED answers individually: the slot map was stale for those
-	// keys. doCluster refreshes the map and retries within the redirect
-	// budget, so one migration costs one extra hop, not a failed pipeline.
+	// Follow MOVED and ASK answers individually: the slot map was stale
+	// (or mid-migration) for those keys. doCluster refreshes the map on
+	// MOVED and performs the ASKING handshake on ASK, retrying within the
+	// redirect budget, so one migration costs one extra hop, not a failed
+	// pipeline.
 	for i := range results {
-		if target, moved := parseMoved(results[i].Err); moved {
+		if target, moved := parseRedirect(results[i].Err, "MOVED"); moved {
 			c.stats.redirects.Add(1)
 			c.refreshSlots(ctx, target)
 			v, err := c.doCluster(ctx, target, ops[i].args)
+			results[i] = decodeResult(v, err, ops[i].nullIsMiss)
+		} else if target, isAsk := parseRedirect(results[i].Err, "ASK"); isAsk {
+			c.stats.asks.Add(1)
+			v, err := c.doAsk(ctx, target, ops[i].args)
 			results[i] = decodeResult(v, err, ops[i].nullIsMiss)
 		}
 	}

@@ -1,0 +1,78 @@
+package gdprkv
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+
+	"gdprstore/internal/cluster"
+)
+
+// Topology is the epoch-stamped cluster slot map as one node sees it,
+// fetched with Client.Topology. It is a snapshot — the cluster may move
+// on (the Epoch of a later snapshot will be higher).
+type Topology struct {
+	// Epoch versions the view: operators bump it with every CLUSTER
+	// SETSLOT/SETNODE mutation, and clients never downgrade to a lower
+	// epoch than they have seen.
+	Epoch uint64
+	// Slots lists the contiguous slot ranges in ascending order; together
+	// they cover every slot exactly once.
+	Slots []SlotRange
+}
+
+// SlotRange is one contiguous run of slots with a single owner.
+type SlotRange struct {
+	// Start and End bound the range, inclusive.
+	Start, End uint16
+	// ID is the owning node's operator-chosen id (stable across
+	// failovers).
+	ID string
+	// Addr is the owning node's current client-facing address.
+	Addr string
+	// Replicas are the addresses of the read-serving replicas attached to
+	// the owner, the promotion candidates when it dies.
+	Replicas []string
+}
+
+// Topology fetches the current epoch-stamped topology from the client's
+// default node (any node answers; views can differ transiently while an
+// operator rolls a mutation across the fleet). It requires a server in
+// cluster mode, but works on clients dialed with or without WithCluster —
+// an operator tool can inspect a node without adopting its routing.
+func (c *Client) Topology(ctx context.Context) (Topology, error) {
+	if c.closed.Load() {
+		return Topology{}, ErrClosed
+	}
+	v, err := c.doPrimary(ctx, args("CLUSTER", "TOPOLOGY"))
+	if err != nil {
+		return Topology{}, err
+	}
+	if len(v.Array) < 2 {
+		return Topology{}, fmt.Errorf("gdprkv: malformed CLUSTER TOPOLOGY reply")
+	}
+	t := Topology{Epoch: uint64(v.Array[0].Int)}
+	for _, e := range v.Array[1].Array {
+		if len(e.Array) < 3 || len(e.Array[2].Array) < 3 {
+			return Topology{}, fmt.Errorf("gdprkv: malformed CLUSTER TOPOLOGY slot entry")
+		}
+		start, end := e.Array[0].Int, e.Array[1].Int
+		if start < 0 || end < start || end >= cluster.NumSlots {
+			return Topology{}, fmt.Errorf("gdprkv: CLUSTER TOPOLOGY range %d-%d out of bounds", start, end)
+		}
+		sr := SlotRange{
+			Start: uint16(start),
+			End:   uint16(end),
+			ID:    e.Array[2].Array[2].Text(),
+			Addr:  net.JoinHostPort(e.Array[2].Array[0].Text(), strconv.FormatInt(e.Array[2].Array[1].Int, 10)),
+		}
+		for _, rv := range e.Array[3:] {
+			if len(rv.Array) >= 2 {
+				sr.Replicas = append(sr.Replicas, joinAddrValue(rv))
+			}
+		}
+		t.Slots = append(t.Slots, sr)
+	}
+	return t, nil
+}
